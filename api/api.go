@@ -1,0 +1,124 @@
+// Package api is Heron's public, user-facing API: the contracts a
+// topology author implements (Spout, Bolt) and the TopologyBuilder used
+// to assemble them into a directed graph of streams.
+//
+// A minimal word-count topology:
+//
+//	b := api.NewTopologyBuilder("wordcount")
+//	b.SetSpout("word", newWordSpout, 4).OutputFields("word")
+//	b.SetBolt("count", newCountBolt, 4).FieldsGrouping("word", "", "word")
+//	spec, err := b.Build()
+//
+// The resulting Spec is submitted through the root heron package; module
+// selection (scheduler, packing algorithm, state manager, transport) is
+// entirely a matter of configuration.
+package api
+
+// Values is one tuple's payload. Supported element types are string,
+// int64, float64, bool and []byte.
+type Values = []any
+
+// Tuple is a received data tuple as seen by a bolt. Implementations are
+// provided by the engine; user code only reads them and passes them back
+// as anchors or to Ack/Fail.
+type Tuple interface {
+	// Values returns the tuple's fields.
+	Values() Values
+	// SourceComponent is the name of the component that emitted the tuple.
+	SourceComponent() string
+	// Stream is the stream the tuple arrived on.
+	Stream() string
+	// String returns field i as a string (panics on type mismatch, like
+	// the fail-fast accessors of Heron's Java API).
+	String(i int) string
+	// Int returns field i as an int64.
+	Int(i int) int64
+	// Float returns field i as a float64.
+	Float(i int) float64
+	// Bool returns field i as a bool.
+	Bool(i int) bool
+	// Bytes returns field i as a byte slice.
+	Bytes(i int) []byte
+}
+
+// TopologyContext gives a component its place in the physical plan.
+type TopologyContext interface {
+	// TopologyName is the submitted topology's name.
+	TopologyName() string
+	// ComponentName is this instance's component.
+	ComponentName() string
+	// ComponentIndex is this instance's index within the component,
+	// 0 ≤ index < parallelism.
+	ComponentIndex() int32
+	// TaskID is this instance's globally unique task id.
+	TaskID() int32
+	// ComponentParallelism returns the current parallelism of any
+	// component in the topology.
+	ComponentParallelism(component string) int
+}
+
+// SpoutCollector is how a spout emits tuples.
+type SpoutCollector interface {
+	// Emit sends values on a declared stream. A non-nil msgID makes the
+	// tuple reliable: the spout's Ack or Fail method will eventually be
+	// called with that id once the tuple tree completes or times out.
+	// Stream "" means the default stream.
+	Emit(stream string, msgID any, values ...any)
+}
+
+// Spout produces the topology's input streams (for example a stream of
+// tweets, or the random-word source of the paper's WordCount benchmark).
+type Spout interface {
+	// Open prepares the spout. It is called once before any NextTuple.
+	Open(ctx TopologyContext, out SpoutCollector) error
+	// NextTuple emits at most a handful of tuples and returns. Returning
+	// false tells the executor no input was available, letting it back
+	// off briefly. NextTuple is never called concurrently with itself or
+	// with Ack/Fail.
+	NextTuple() bool
+	// Ack reports that the tuple tree rooted at msgID completed.
+	Ack(msgID any)
+	// Fail reports that the tuple tree rooted at msgID failed or timed
+	// out; a reliable spout typically re-emits.
+	Fail(msgID any)
+	// Close releases resources; called at topology teardown.
+	Close() error
+}
+
+// BoltCollector is how a bolt emits and acknowledges tuples.
+type BoltCollector interface {
+	// Emit sends values on a declared stream, anchored to the given input
+	// tuples: if any anchor's tree later fails, the spout is informed.
+	// Stream "" means the default stream.
+	Emit(stream string, anchors []Tuple, values ...any)
+	// Ack marks an input tuple as fully processed.
+	Ack(t Tuple)
+	// Fail marks an input tuple as failed, failing its whole tree
+	// immediately.
+	Fail(t Tuple)
+}
+
+// Bolt consumes streams and optionally emits derived streams.
+type Bolt interface {
+	// Prepare initializes the bolt. It is called once before any Execute.
+	Prepare(ctx TopologyContext, out BoltCollector) error
+	// Execute processes one input tuple. A bolt processing reliably must
+	// Ack or Fail every input it receives.
+	Execute(t Tuple) error
+	// Cleanup releases resources; called at topology teardown.
+	Cleanup() error
+}
+
+// Ticker is an optional bolt extension: bolts that also implement Ticker
+// and declare a tick interval (BoltDeclarer.TickEvery) receive periodic
+// Tick calls on the executor goroutine, interleaved with Execute — the
+// mechanism behind time-based windows and timeout flushing.
+type Ticker interface {
+	Tick() error
+}
+
+// SpoutFactory builds a fresh Spout per instance.
+type SpoutFactory func() Spout
+
+// BoltFactory builds a fresh Bolt per instance.
+type BoltFactory func() Bolt

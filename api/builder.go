@@ -1,0 +1,238 @@
+package api
+
+import (
+	"fmt"
+	"time"
+
+	"heron/internal/core"
+)
+
+// Spec is a built topology: the logical plan plus the component factories
+// the engine instantiates inside Heron Instances.
+type Spec struct {
+	Topology *core.Topology
+	Spouts   map[string]SpoutFactory
+	Bolts    map[string]BoltFactory
+}
+
+// TopologyBuilder assembles a topology from spouts, bolts and groupings.
+// All methods record state; errors surface from Build.
+type TopologyBuilder struct {
+	name   string
+	order  []string
+	spouts map[string]*SpoutDeclarer
+	bolts  map[string]*BoltDeclarer
+	errs   []error
+}
+
+// NewTopologyBuilder starts a topology named name.
+func NewTopologyBuilder(name string) *TopologyBuilder {
+	return &TopologyBuilder{
+		name:   name,
+		spouts: map[string]*SpoutDeclarer{},
+		bolts:  map[string]*BoltDeclarer{},
+	}
+}
+
+// SetSpout adds a spout with the given factory and parallelism.
+func (b *TopologyBuilder) SetSpout(name string, f SpoutFactory, parallelism int) *SpoutDeclarer {
+	d := &SpoutDeclarer{common: common{name: name, parallelism: parallelism, outputs: map[string][]string{}}, factory: f}
+	if _, dup := b.spouts[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("api: duplicate spout %q", name))
+		return d
+	}
+	if _, dup := b.bolts[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("api: component %q declared as both spout and bolt", name))
+		return d
+	}
+	b.spouts[name] = d
+	b.order = append(b.order, name)
+	return d
+}
+
+// SetBolt adds a bolt with the given factory and parallelism.
+func (b *TopologyBuilder) SetBolt(name string, f BoltFactory, parallelism int) *BoltDeclarer {
+	d := &BoltDeclarer{common: common{name: name, parallelism: parallelism, outputs: map[string][]string{}}, factory: f}
+	if _, dup := b.bolts[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("api: duplicate bolt %q", name))
+		return d
+	}
+	if _, dup := b.spouts[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("api: component %q declared as both spout and bolt", name))
+		return d
+	}
+	b.bolts[name] = d
+	b.order = append(b.order, name)
+	return d
+}
+
+type common struct {
+	name        string
+	parallelism int
+	outputs     map[string][]string
+	resources   core.Resource
+}
+
+// SpoutDeclarer configures one spout; methods chain.
+type SpoutDeclarer struct {
+	common
+	factory SpoutFactory
+}
+
+// OutputFields declares the default stream's field names.
+func (d *SpoutDeclarer) OutputFields(fields ...string) *SpoutDeclarer {
+	d.outputs[core.DefaultStream] = fields
+	return d
+}
+
+// OutputStream declares a named stream and its field names.
+func (d *SpoutDeclarer) OutputStream(stream string, fields ...string) *SpoutDeclarer {
+	d.outputs[stream] = fields
+	return d
+}
+
+// Resources sets the per-instance resource request (cpu cores, ram MB,
+// disk MB). Unset components use the configured default.
+func (d *SpoutDeclarer) Resources(cpu float64, ramMB, diskMB int64) *SpoutDeclarer {
+	d.resources = core.Resource{CPU: cpu, RAMMB: ramMB, DiskMB: diskMB}
+	return d
+}
+
+type inputDecl struct {
+	component string
+	stream    string
+	grouping  core.Grouping
+	keyFields []string
+}
+
+// BoltDeclarer configures one bolt; methods chain.
+type BoltDeclarer struct {
+	common
+	factory   BoltFactory
+	inputs    []inputDecl
+	tickEvery time.Duration
+}
+
+// OutputFields declares the default stream's field names.
+func (d *BoltDeclarer) OutputFields(fields ...string) *BoltDeclarer {
+	d.outputs[core.DefaultStream] = fields
+	return d
+}
+
+// OutputStream declares a named stream and its field names.
+func (d *BoltDeclarer) OutputStream(stream string, fields ...string) *BoltDeclarer {
+	d.outputs[stream] = fields
+	return d
+}
+
+// Resources sets the per-instance resource request.
+func (d *BoltDeclarer) Resources(cpu float64, ramMB, diskMB int64) *BoltDeclarer {
+	d.resources = core.Resource{CPU: cpu, RAMMB: ramMB, DiskMB: diskMB}
+	return d
+}
+
+// TickEvery delivers periodic Tick calls to instances of this bolt (the
+// bolt must implement api.Ticker).
+func (d *BoltDeclarer) TickEvery(interval time.Duration) *BoltDeclarer {
+	d.tickEvery = interval
+	return d
+}
+
+// ShuffleGrouping subscribes to component's stream ("" = default) with
+// round-robin partitioning.
+func (d *BoltDeclarer) ShuffleGrouping(component, stream string) *BoltDeclarer {
+	d.inputs = append(d.inputs, inputDecl{component: component, stream: stream, grouping: core.GroupShuffle})
+	return d
+}
+
+// FieldsGrouping subscribes with hash partitioning on the named key
+// fields, resolved against the upstream stream's declared fields at Build
+// time. Equal keys always reach the same task.
+func (d *BoltDeclarer) FieldsGrouping(component, stream string, keyFields ...string) *BoltDeclarer {
+	d.inputs = append(d.inputs, inputDecl{component: component, stream: stream, grouping: core.GroupFields, keyFields: keyFields})
+	return d
+}
+
+// AllGrouping replicates every tuple of the stream to every task.
+func (d *BoltDeclarer) AllGrouping(component, stream string) *BoltDeclarer {
+	d.inputs = append(d.inputs, inputDecl{component: component, stream: stream, grouping: core.GroupAll})
+	return d
+}
+
+// GlobalGrouping sends the whole stream to the bolt's first task.
+func (d *BoltDeclarer) GlobalGrouping(component, stream string) *BoltDeclarer {
+	d.inputs = append(d.inputs, inputDecl{component: component, stream: stream, grouping: core.GroupGlobal})
+	return d
+}
+
+// Build validates the assembled topology and returns its Spec.
+func (b *TopologyBuilder) Build() (*Spec, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	t := &core.Topology{Name: b.name}
+	spec := &Spec{Topology: t, Spouts: map[string]SpoutFactory{}, Bolts: map[string]BoltFactory{}}
+	outputsOf := func(name string) map[string][]string {
+		if d, ok := b.spouts[name]; ok {
+			return d.outputs
+		}
+		if d, ok := b.bolts[name]; ok {
+			return d.outputs
+		}
+		return nil
+	}
+	for _, name := range b.order {
+		if d, ok := b.spouts[name]; ok {
+			if d.factory == nil {
+				return nil, fmt.Errorf("api: spout %q has nil factory", name)
+			}
+			t.Components = append(t.Components, core.ComponentSpec{
+				Name: name, Kind: core.KindSpout, Parallelism: d.parallelism,
+				Resources: d.resources, Outputs: d.outputs,
+			})
+			spec.Spouts[name] = d.factory
+			continue
+		}
+		d := b.bolts[name]
+		if d.factory == nil {
+			return nil, fmt.Errorf("api: bolt %q has nil factory", name)
+		}
+		cs := core.ComponentSpec{
+			Name: name, Kind: core.KindBolt, Parallelism: d.parallelism,
+			Resources: d.resources, Outputs: d.outputs,
+			TickEveryMs: d.tickEvery.Milliseconds(),
+		}
+		for _, in := range d.inputs {
+			stream := in.stream
+			if stream == "" {
+				stream = core.DefaultStream
+			}
+			is := core.InputSpec{Component: in.component, Stream: stream, Grouping: in.grouping}
+			if in.grouping == core.GroupFields {
+				upstream := outputsOf(in.component)
+				fields := upstream[stream]
+				for _, key := range in.keyFields {
+					idx := -1
+					for i, f := range fields {
+						if f == key {
+							idx = i
+							break
+						}
+					}
+					if idx < 0 {
+						return nil, fmt.Errorf("api: bolt %q keys on unknown field %q of %s.%s (fields: %v)",
+							name, key, in.component, stream, fields)
+					}
+					is.FieldIdx = append(is.FieldIdx, idx)
+				}
+			}
+			cs.Inputs = append(cs.Inputs, is)
+		}
+		t.Components = append(t.Components, cs)
+		spec.Bolts[name] = d.factory
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

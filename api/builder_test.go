@@ -1,0 +1,125 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"heron/internal/core"
+)
+
+type nopSpout struct{}
+
+func (nopSpout) Open(TopologyContext, SpoutCollector) error { return nil }
+func (nopSpout) NextTuple() bool                            { return false }
+func (nopSpout) Ack(any)                                    {}
+func (nopSpout) Fail(any)                                   {}
+func (nopSpout) Close() error                               { return nil }
+
+type nopBolt struct{}
+
+func (nopBolt) Prepare(TopologyContext, BoltCollector) error { return nil }
+func (nopBolt) Execute(Tuple) error                          { return nil }
+func (nopBolt) Cleanup() error                               { return nil }
+
+func newNopSpout() Spout { return nopSpout{} }
+func newNopBolt() Bolt   { return nopBolt{} }
+
+func TestBuildWordCount(t *testing.T) {
+	b := NewTopologyBuilder("wc")
+	b.SetSpout("word", newNopSpout, 3).OutputFields("word").Resources(1, 512, 256)
+	b.SetBolt("count", newNopBolt, 5).FieldsGrouping("word", "", "word")
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Topology.Name != "wc" || len(spec.Topology.Components) != 2 {
+		t.Fatalf("topology = %+v", spec.Topology)
+	}
+	word := spec.Topology.Component("word")
+	if word.Kind != core.KindSpout || word.Parallelism != 3 {
+		t.Errorf("word = %+v", word)
+	}
+	if word.Resources != (core.Resource{CPU: 1, RAMMB: 512, DiskMB: 256}) {
+		t.Errorf("word resources = %v", word.Resources)
+	}
+	count := spec.Topology.Component("count")
+	if len(count.Inputs) != 1 {
+		t.Fatalf("count inputs = %v", count.Inputs)
+	}
+	in := count.Inputs[0]
+	if in.Grouping != core.GroupFields || len(in.FieldIdx) != 1 || in.FieldIdx[0] != 0 {
+		t.Errorf("input = %+v", in)
+	}
+	if spec.Spouts["word"] == nil || spec.Bolts["count"] == nil {
+		t.Error("factories missing")
+	}
+}
+
+func TestBuildMultiStream(t *testing.T) {
+	b := NewTopologyBuilder("multi")
+	b.SetSpout("src", newNopSpout, 1).
+		OutputFields("a", "b").
+		OutputStream("errors", "msg")
+	b.SetBolt("main", newNopBolt, 2).
+		ShuffleGrouping("src", "").
+		OutputFields("x")
+	b.SetBolt("errlog", newNopBolt, 1).GlobalGrouping("src", "errors")
+	b.SetBolt("fan", newNopBolt, 2).AllGrouping("main", "")
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(spec.Topology.Components); got != 4 {
+		t.Errorf("components = %d", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("duplicate spout", func(t *testing.T) {
+		b := NewTopologyBuilder("x")
+		b.SetSpout("s", newNopSpout, 1).OutputFields("f")
+		b.SetSpout("s", newNopSpout, 1).OutputFields("f")
+		if _, err := b.Build(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("spout and bolt same name", func(t *testing.T) {
+		b := NewTopologyBuilder("x")
+		b.SetSpout("s", newNopSpout, 1).OutputFields("f")
+		b.SetBolt("s", newNopBolt, 1).ShuffleGrouping("s", "")
+		if _, err := b.Build(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("unknown key field", func(t *testing.T) {
+		b := NewTopologyBuilder("x")
+		b.SetSpout("s", newNopSpout, 1).OutputFields("word")
+		b.SetBolt("c", newNopBolt, 1).FieldsGrouping("s", "", "nope")
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), "unknown field") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("nil factory", func(t *testing.T) {
+		b := NewTopologyBuilder("x")
+		b.SetSpout("s", nil, 1).OutputFields("f")
+		if _, err := b.Build(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("invalid topology propagates", func(t *testing.T) {
+		b := NewTopologyBuilder("x")
+		b.SetSpout("s", newNopSpout, 0).OutputFields("f") // parallelism 0
+		if _, err := b.Build(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("bolt without inputs", func(t *testing.T) {
+		b := NewTopologyBuilder("x")
+		b.SetSpout("s", newNopSpout, 1).OutputFields("f")
+		b.SetBolt("b", newNopBolt, 1)
+		if _, err := b.Build(); err == nil {
+			t.Error("want error")
+		}
+	})
+}

@@ -1,0 +1,195 @@
+// Benchmarks reproducing the paper's evaluation (Figures 2–14), one
+// testing.B entry per figure. Each benchmark runs a scaled-down steady-
+// state measurement and reports the paper's metrics as custom units:
+//
+//	Mtuples/min   throughput in million tuples per minute
+//	Mtpm/core     throughput per provisioned CPU core
+//	lat-ms        mean end-to-end (complete) latency
+//
+// Full sweeps with the paper's exact x-axis values run via
+// cmd/heron-bench (-full). Absolute numbers are host-dependent; the
+// shapes — who wins, by what factor, where the knees fall — are the
+// reproduction targets and are recorded in EXPERIMENTS.md.
+package heron_test
+
+import (
+	"testing"
+	"time"
+
+	"heron/internal/harness"
+)
+
+// benchWC runs one WordCount measurement per benchmark iteration set: the
+// measurement window scales with b.N so longer -benchtime gives steadier
+// numbers.
+func benchWC(b *testing.B, o harness.WCOptions, storm bool) harness.Result {
+	b.Helper()
+	o.Warmup = 400 * time.Millisecond
+	o.Measure = time.Duration(b.N) * 300 * time.Millisecond
+	if o.Measure > 10*time.Second {
+		o.Measure = 10 * time.Second
+	}
+	o.DictSize = 45_000
+	var (
+		r   harness.Result
+		err error
+	)
+	b.ResetTimer()
+	if storm {
+		r, err = harness.RunStormWordCount(o)
+	} else {
+		r, err = harness.RunHeronWordCount(o)
+	}
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.ThroughputMTPM, "Mtuples/min")
+	if r.Cores > 0 {
+		b.ReportMetric(r.PerCoreMTPM, "Mtpm/core")
+	}
+	if o.Acks {
+		b.ReportMetric(r.LatencyMeanMs, "lat-ms")
+	}
+	return r
+}
+
+// Figure 2/3: Heron vs Storm with acks (throughput and latency).
+func BenchmarkFig02And03HeronVsStormWithAcks(b *testing.B) {
+	for _, par := range []int{10, 25} {
+		o := harness.WCOptions{Parallelism: par, Acks: true, Optimized: true, MaxSpoutPending: 1000}
+		b.Run(bname("heron", par), func(b *testing.B) { benchWC(b, o, false) })
+		b.Run(bname("storm", par), func(b *testing.B) { benchWC(b, o, true) })
+	}
+}
+
+// Figure 4: Heron vs Storm without acks.
+func BenchmarkFig04HeronVsStormNoAcks(b *testing.B) {
+	for _, par := range []int{10, 25} {
+		o := harness.WCOptions{Parallelism: par, Optimized: true}
+		b.Run(bname("heron", par), func(b *testing.B) { benchWC(b, o, false) })
+		b.Run(bname("storm", par), func(b *testing.B) { benchWC(b, o, true) })
+	}
+}
+
+// Figure 5/6: Stream Manager optimizations, no acks (total and per-core).
+func BenchmarkFig05And06OptimizationsNoAcks(b *testing.B) {
+	for _, par := range []int{25, 100} {
+		b.Run(bname("without-opts", par), func(b *testing.B) {
+			benchWC(b, harness.WCOptions{Parallelism: par, Optimized: false}, false)
+		})
+		b.Run(bname("with-opts", par), func(b *testing.B) {
+			benchWC(b, harness.WCOptions{Parallelism: par, Optimized: true}, false)
+		})
+	}
+}
+
+// Figure 7/8/9: Stream Manager optimizations with acks (throughput,
+// per-core, latency).
+func BenchmarkFig07To09OptimizationsWithAcks(b *testing.B) {
+	for _, par := range []int{25, 100} {
+		b.Run(bname("without-opts", par), func(b *testing.B) {
+			benchWC(b, harness.WCOptions{Parallelism: par, Acks: true, Optimized: false, MaxSpoutPending: 200}, false)
+		})
+		b.Run(bname("with-opts", par), func(b *testing.B) {
+			benchWC(b, harness.WCOptions{Parallelism: par, Acks: true, Optimized: true, MaxSpoutPending: 200}, false)
+		})
+	}
+}
+
+// Figure 10/11: throughput and latency vs max spout pending.
+func BenchmarkFig10And11MaxSpoutPending(b *testing.B) {
+	for _, msp := range []int{5, 20, 100, 1000} {
+		b.Run(bname("msp", msp), func(b *testing.B) {
+			benchWC(b, harness.WCOptions{Parallelism: 25, Acks: true, Optimized: true, MaxSpoutPending: msp}, false)
+		})
+	}
+}
+
+// Figure 12/13: throughput and latency vs cache drain frequency.
+func BenchmarkFig12And13CacheDrainFrequency(b *testing.B) {
+	for _, drain := range []time.Duration{200 * time.Microsecond, 1 * time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond} {
+		b.Run(drain.String(), func(b *testing.B) {
+			benchWC(b, harness.WCOptions{
+				Parallelism: 25, Acks: true, Optimized: true,
+				MaxSpoutPending: 200, CacheDrain: drain, CacheMaxBatch: 1 << 20,
+			}, false)
+		})
+	}
+}
+
+// Figure 14: resource-consumption breakdown of the Kafka → filter →
+// aggregate → Redis topology.
+func BenchmarkFig14ResourceBreakdown(b *testing.B) {
+	o := harness.ETLOptions{
+		EventsPerPart: 20_000,
+		Warmup:        400 * time.Millisecond,
+		Measure:       time.Duration(b.N) * 500 * time.Millisecond,
+	}
+	if o.Measure > 10*time.Second {
+		o.Measure = 10 * time.Second
+	}
+	b.ResetTimer()
+	r, err := harness.RunETL(o)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.FetchPct, "fetch-%")
+	b.ReportMetric(r.UserPct, "user-%")
+	b.ReportMetric(r.HeronPct, "heron-%")
+	b.ReportMetric(r.WritePct, "write-%")
+	b.ReportMetric(r.EventsPerMin/1e6, "Mevents/min")
+}
+
+func bname(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "-0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return prefix + "-" + string(buf[i:])
+}
+
+// ---------------------------------------------------------------------------
+// Ablations: the Section V-A optimizations measured one at a time, so the
+// contribution of each design choice (DESIGN.md §6) is visible in
+// isolation rather than only as the bundled Figures 5–9 comparison.
+
+// BenchmarkAblationInstanceBatching isolates the gateway-side batching:
+// instances flushing one mixed frame per 64 emits vs one frame per tuple,
+// everything else optimized.
+func BenchmarkAblationInstanceBatching(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run(bname("batch", batch), func(b *testing.B) {
+			benchWC(b, harness.WCOptions{Parallelism: 16, Optimized: true, InstanceBatch: batch}, false)
+		})
+	}
+}
+
+// BenchmarkAblationTupleCacheBatching isolates the Stream Manager tuple
+// cache: batches capped at 1 tuple (every tuple leaves in its own frame)
+// vs the default 1024.
+func BenchmarkAblationTupleCacheBatching(b *testing.B) {
+	for _, cacheMax := range []int{1, 1024} {
+		b.Run(bname("cache", cacheMax), func(b *testing.B) {
+			benchWC(b, harness.WCOptions{Parallelism: 16, Optimized: true, CacheMaxBatch: cacheMax}, false)
+		})
+	}
+}
+
+// BenchmarkAblationCodec isolates serialization: naive (allocation per
+// message) vs fast (pooled) codec under the otherwise optimized router.
+func BenchmarkAblationCodec(b *testing.B) {
+	for _, codec := range []string{"naive", "fast"} {
+		b.Run(codec, func(b *testing.B) {
+			benchWC(b, harness.WCOptions{Parallelism: 16, Optimized: true, CodecOverride: codec}, false)
+		})
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseScale(t *testing.T) {
+	got, err := parseScale("count=8")
+	if err != nil || got["count"] != 8 || len(got) != 1 {
+		t.Fatalf("parseScale = %v, %v", got, err)
+	}
+	got, err = parseScale("count=8, word=3")
+	if err != nil || got["count"] != 8 || got["word"] != 3 {
+		t.Fatalf("parseScale multi = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "count", "count=x", "=3"} {
+		if _, err := parseScale(bad); err == nil && bad != "=3" {
+			t.Errorf("parseScale(%q) accepted", bad)
+		}
+	}
+}

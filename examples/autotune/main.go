@@ -1,0 +1,74 @@
+// Autotune: the paper's Section V-B future work, implemented — the
+// max-spout-pending window of a live topology is driven by an AIMD
+// controller from real-time throughput and latency observations, instead
+// of being hand-picked from a Figure-10-style sweep.
+//
+// The topology starts with a deliberately tiny window (throughput-bound);
+// the tuner grows it until the latency budget binds, and the printout
+// shows the controller walking up the Figure 10 curve.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	heron "heron"
+	"heron/internal/tuning"
+	"heron/internal/workloads"
+)
+
+func main() {
+	spec, stats, err := workloads.BuildWordCount(workloads.WordCountOptions{
+		Spouts: 2, Bolts: 2, DictSize: 45_000, Reliable: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := heron.NewConfig()
+	cfg.AckingEnabled = true
+	cfg.MaxSpoutPending = 2 // start almost stalled
+
+	h, err := heron.Submit(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	tuner, err := tuning.New(tuning.NewHandleTarget(h), tuning.Options{
+		LatencyTarget: 40 * time.Millisecond,
+		Period:        500 * time.Millisecond,
+		Initial:       4,
+		Step:          16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tuner.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer tuner.Stop()
+
+	fmt.Println("autotuning max-spout-pending (latency target 40ms, 10s)...")
+	var last int64
+	for i := 0; i < 10; i++ {
+		time.Sleep(time.Second)
+		acked := stats.Acked.Load()
+		fmt.Printf("t+%2ds  window=%-5d  acked/sec=%d\n", i+1, tuner.Window(), acked-last)
+		last = acked
+	}
+	fmt.Println("\ncontroller decisions (last 5):")
+	hist := tuner.History()
+	if len(hist) > 5 {
+		hist = hist[len(hist)-5:]
+	}
+	for _, d := range hist {
+		fmt.Printf("  %-8s window=%-5d rate=%.0f/s lat=%s\n",
+			d.Action, d.Window, d.Observation.AckedPerSec, d.Observation.MeanLatency.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,117 @@
+// Quickstart: the smallest complete topology — a sentence spout, a
+// splitter bolt and an exclaiming printer — built with the public api
+// package and run on the local scheduler.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	heron "heron"
+	"heron/api"
+)
+
+// sentenceSpout emits a rotating set of sentences.
+type sentenceSpout struct {
+	out api.SpoutCollector
+	i   int
+}
+
+var sentences = []string{
+	"heron processes billions of events per day",
+	"modular architectures can outperform specialized ones",
+	"the stream manager routes every tuple",
+}
+
+func (s *sentenceSpout) Open(_ api.TopologyContext, out api.SpoutCollector) error {
+	s.out = out
+	return nil
+}
+
+func (s *sentenceSpout) NextTuple() bool {
+	s.out.Emit("", nil, sentences[s.i%len(sentences)])
+	s.i++
+	time.Sleep(50 * time.Millisecond) // keep the demo readable
+	return true
+}
+
+func (s *sentenceSpout) Ack(any)      {}
+func (s *sentenceSpout) Fail(any)     {}
+func (s *sentenceSpout) Close() error { return nil }
+
+// splitBolt splits sentences into words.
+type splitBolt struct{ out api.BoltCollector }
+
+func (b *splitBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	b.out = out
+	return nil
+}
+
+func (b *splitBolt) Execute(t api.Tuple) error {
+	sentence := t.String(0)
+	start := 0
+	for i := 0; i <= len(sentence); i++ {
+		if i == len(sentence) || sentence[i] == ' ' {
+			if i > start {
+				b.out.Emit("", []api.Tuple{t}, sentence[start:i])
+			}
+			start = i + 1
+		}
+	}
+	b.out.Ack(t)
+	return nil
+}
+
+func (b *splitBolt) Cleanup() error { return nil }
+
+// exclaimBolt prints each word with enthusiasm (at most a few per second).
+type exclaimBolt struct {
+	out  api.BoltCollector
+	task int32
+	n    atomic.Int64
+}
+
+func (b *exclaimBolt) Prepare(ctx api.TopologyContext, out api.BoltCollector) error {
+	b.out, b.task = out, ctx.TaskID()
+	return nil
+}
+
+func (b *exclaimBolt) Execute(t api.Tuple) error {
+	if n := b.n.Add(1); n%10 == 0 {
+		fmt.Printf("task %d: %s!!!\n", b.task, t.String(0))
+	}
+	b.out.Ack(t)
+	return nil
+}
+
+func (b *exclaimBolt) Cleanup() error { return nil }
+
+func main() {
+	builder := api.NewTopologyBuilder("quickstart")
+	builder.SetSpout("sentence", func() api.Spout { return &sentenceSpout{} }, 1).
+		OutputFields("sentence")
+	builder.SetBolt("split", func() api.Bolt { return &splitBolt{} }, 2).
+		ShuffleGrouping("sentence", "").
+		OutputFields("word")
+	builder.SetBolt("exclaim", func() api.Bolt { return &exclaimBolt{} }, 2).
+		FieldsGrouping("split", "", "word")
+	spec, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	h, err := heron.Submit(spec, heron.NewConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("topology running; ctrl-c or wait 5s")
+	time.Sleep(5 * time.Second)
+}

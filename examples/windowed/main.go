@@ -1,0 +1,112 @@
+// Windowed: sliding-window analytics over a simulated trade stream — the
+// real-time analytics use case the paper's introduction motivates. A
+// trade spout emits (symbol, price); a time-window bolt keyed by symbol
+// computes a 2-second moving average every 500 ms, driven by the engine's
+// tick mechanism; a sink prints the moving averages.
+//
+//	go run ./examples/windowed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	heron "heron"
+	"heron/api"
+	"heron/windows"
+)
+
+var symbols = []string{"HRON", "STRM", "TUPL", "ACKR"}
+
+// tradeSpout emits random-walk prices per symbol.
+type tradeSpout struct {
+	out    api.SpoutCollector
+	rng    *rand.Rand
+	prices map[string]float64
+}
+
+func (s *tradeSpout) Open(ctx api.TopologyContext, out api.SpoutCollector) error {
+	s.out = out
+	s.rng = rand.New(rand.NewSource(int64(ctx.TaskID()) + 42))
+	s.prices = map[string]float64{}
+	for i, sym := range symbols {
+		s.prices[sym] = 100 + float64(i)*25
+	}
+	return nil
+}
+
+func (s *tradeSpout) NextTuple() bool {
+	sym := symbols[s.rng.Intn(len(symbols))]
+	s.prices[sym] *= 1 + (s.rng.Float64()-0.5)*0.01
+	s.out.Emit("", nil, sym, s.prices[sym])
+	time.Sleep(2 * time.Millisecond) // a few hundred trades/sec
+	return true
+}
+
+func (s *tradeSpout) Ack(any)      {}
+func (s *tradeSpout) Fail(any)     {}
+func (s *tradeSpout) Close() error { return nil }
+
+// printBolt renders moving averages.
+type printBolt struct{ out api.BoltCollector }
+
+func (b *printBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	b.out = out
+	return nil
+}
+
+func (b *printBolt) Execute(t api.Tuple) error {
+	fmt.Printf("  %s  avg=%8.2f  over %3d trades\n", t.String(0), t.Float(1), t.Int(2))
+	b.out.Ack(t)
+	return nil
+}
+
+func (b *printBolt) Cleanup() error { return nil }
+
+func main() {
+	b := api.NewTopologyBuilder("windowed")
+	b.SetSpout("trades", func() api.Spout { return &tradeSpout{} }, 1).
+		OutputFields("symbol", "price")
+	b.SetBolt("avg", func() api.Bolt {
+		return windows.NewTimeWindow(2*time.Second, 500*time.Millisecond,
+			func(w windows.Window, out api.BoltCollector) {
+				// One moving average per symbol in the window.
+				sums := map[string]float64{}
+				counts := map[string]int64{}
+				for _, t := range w.Tuples {
+					sums[t.String(0)] += t.Float(1)
+					counts[t.String(0)]++
+				}
+				for sym, sum := range sums {
+					avg := sum / float64(counts[sym])
+					if math.IsNaN(avg) {
+						continue
+					}
+					out.Emit("", w.Tuples, sym, avg, counts[sym])
+				}
+			})
+	}, len(symbols)).
+		FieldsGrouping("trades", "", "symbol").
+		TickEvery(100*time.Millisecond).
+		OutputFields("symbol", "avg", "trades")
+	b.SetBolt("print", func() api.Bolt { return &printBolt{} }, 1).
+		GlobalGrouping("avg", "")
+	spec, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	h, err := heron.Submit(spec, heron.NewConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2s moving averages, sliding every 500ms (running 6s):")
+	time.Sleep(6 * time.Second)
+}

@@ -1,0 +1,102 @@
+package heron
+
+import (
+	"testing"
+	"time"
+
+	"heron/internal/cluster"
+	"heron/internal/core"
+)
+
+// failureFixture runs WordCount on a simulated cluster under the given
+// scheduler, injects a container failure, and verifies the topology
+// recovers and keeps making progress.
+func runFailureRecovery(t *testing.T, schedName string) {
+	var f fixture
+	spec := f.buildWordCount(t, 2, 2, -1, true)
+	cfg := testConfig(t)
+	cfg.SchedulerName = schedName
+	cfg.AckingEnabled = true
+	cfg.MaxSpoutPending = 200
+	cfg.MessageTimeout = 2 * time.Second
+	cl := cluster.New(schedName+"-sim", 4, core.Resource{CPU: 32, RAMMB: 32768, DiskMB: 65536})
+	cfg.Framework = cl
+
+	h, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "initial progress", func() bool {
+		return f.acked.Load() > 1000
+	})
+
+	// Kill a worker container (id 1). Under YARN the stateful scheduler's
+	// monitor must re-request and relaunch it; under Aurora the framework
+	// auto-restarts it.
+	if err := cl.InjectFailure(h.Name(), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "container reallocated", func() bool {
+		return cl.Allocated(h.Name(), 1)
+	})
+
+	// Processing must resume: acks keep growing well past the failure
+	// point (in-flight trees on the dead container time out and replay).
+	base := f.acked.Load()
+	waitFor(t, 120*time.Second, "post-failure progress", func() bool {
+		return f.acked.Load() > base+5000
+	})
+
+	// Fields grouping still holds after recovery.
+	f.table.mu.Lock()
+	defer f.table.mu.Unlock()
+	for word, tasks := range f.table.counts {
+		if len(tasks) != 1 {
+			t.Errorf("word %q on %d tasks after recovery", word, len(tasks))
+		}
+	}
+}
+
+func TestFailureRecoveryYARNStateful(t *testing.T) {
+	runFailureRecovery(t, "yarn")
+}
+
+func TestFailureRecoveryAuroraStateless(t *testing.T) {
+	runFailureRecovery(t, "aurora")
+}
+
+func TestFailureRecoveryMesosOfferBased(t *testing.T) {
+	runFailureRecovery(t, "mesos")
+}
+
+func TestTMasterDeathObservedByStreamManagers(t *testing.T) {
+	// Restarting container 0 kills the TMaster; its ephemeral location
+	// vanishes, a new TMaster comes up, stream managers reconnect and the
+	// topology keeps processing.
+	var f fixture
+	spec := f.buildWordCount(t, 2, 2, -1, false)
+	cfg := testConfig(t)
+
+	h, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "initial progress", func() bool {
+		return f.table.total.Load() > 1000
+	})
+	if err := h.Restart(core.TMasterContainerID); err != nil {
+		t.Fatal(err)
+	}
+	base := f.table.total.Load()
+	waitFor(t, 20*time.Second, "progress after TMaster restart", func() bool {
+		return f.table.total.Load() > base+5000
+	})
+}

@@ -1,0 +1,3 @@
+module heron
+
+go 1.22

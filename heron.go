@@ -1,0 +1,291 @@
+// Package heron is the public entry point of this repository: a Go
+// implementation of the modular, extensible streaming engine described in
+// "Twitter Heron: Towards Extensible Streaming Engines" (ICDE 2017).
+//
+// Topologies are built with the api package and submitted with Submit.
+// Every module — packing algorithm (Resource Manager), Scheduler, State
+// Manager, transport, codec — is selected by name in the Config, and new
+// implementations plug in through the registries in internal/core without
+// touching the rest of the system.
+//
+//	spec, _ := builder.Build()
+//	cfg := heron.NewConfig()
+//	cfg.SchedulerName = "yarn"          // or "local", "aurora"
+//	cfg.PackingAlgorithm = "binpacking" // or "roundrobin"
+//	h, err := heron.Submit(spec, cfg)
+//	defer h.Kill()
+package heron
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"heron/api"
+	"heron/internal/core"
+	"heron/internal/metrics"
+	"heron/internal/packing"
+	"heron/internal/runtime"
+
+	// Register the built-in module implementations.
+	_ "heron/internal/scheduler"
+	_ "heron/internal/statemgr"
+)
+
+// Config re-exports the engine configuration.
+type Config = core.Config
+
+// Resource re-exports the resource vector.
+type Resource = core.Resource
+
+// NewConfig returns the default configuration (optimized data plane,
+// round-robin packing, local scheduler, in-memory state manager).
+func NewConfig() *Config { return core.NewConfig() }
+
+// Handle controls one submitted topology.
+type Handle struct {
+	name   string
+	cfg    *core.Config
+	spec   *api.Spec
+	state  core.StateManager
+	rm     core.ResourceManager
+	sched  core.Scheduler
+	engine *runtime.Engine
+	killed bool
+}
+
+// Submit validates, packs, and schedules a topology, returning a Handle
+// once the containers are launched. The submission path is exactly the
+// paper's: Resource Manager pack → State Manager persist → Scheduler
+// onSchedule against the configured framework.
+func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
+	if spec == nil || spec.Topology == nil {
+		return nil, errors.New("heron: nil spec")
+	}
+	if cfg == nil {
+		cfg = NewConfig()
+	} else {
+		cfg = cfg.Clone()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Topology.Validate(); err != nil {
+		return nil, err
+	}
+
+	state, err := core.NewStateManager(cfg.StateManagerName)
+	if err != nil {
+		return nil, err
+	}
+	if err := state.Initialize(cfg); err != nil {
+		return nil, err
+	}
+	if names, err := state.ListTopologies(); err == nil {
+		for _, n := range names {
+			if n == spec.Topology.Name {
+				state.Close()
+				return nil, fmt.Errorf("heron: topology %q already exists", n)
+			}
+		}
+	}
+	if err := state.SetTopology(spec.Topology); err != nil {
+		state.Close()
+		return nil, err
+	}
+
+	rm, err := core.NewResourceManager(cfg.PackingAlgorithm)
+	if err != nil {
+		state.Close()
+		return nil, err
+	}
+	if err := rm.Initialize(cfg, spec.Topology); err != nil {
+		state.Close()
+		return nil, err
+	}
+	plan, err := rm.Pack()
+	if err != nil {
+		state.Close()
+		return nil, err
+	}
+	if err := state.SetPackingPlan(spec.Topology.Name, plan); err != nil {
+		state.Close()
+		return nil, err
+	}
+
+	engine := runtime.NewEngine(cfg, spec)
+	cfg.Launcher = engine
+
+	sched, err := core.NewScheduler(cfg.SchedulerName)
+	if err != nil {
+		state.Close()
+		return nil, err
+	}
+	if err := sched.Initialize(cfg); err != nil {
+		state.Close()
+		return nil, err
+	}
+	if err := sched.OnSchedule(plan); err != nil {
+		sched.Close()
+		state.Close()
+		return nil, err
+	}
+	_ = state.SetSchedulerLocation(core.SchedulerLocation{
+		Topology: spec.Topology.Name, Kind: cfg.SchedulerName,
+	})
+	return &Handle{
+		name: spec.Topology.Name, cfg: cfg, spec: spec,
+		state: state, rm: rm, sched: sched, engine: engine,
+	}, nil
+}
+
+// WaitRunning blocks until the topology's plan has been broadcast to
+// every container (all Stream Managers registered), or the timeout
+// elapses.
+func (h *Handle) WaitRunning(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if tm := h.engine.TMaster(); tm != nil {
+			select {
+			case <-tm.Ready():
+				return nil
+			case <-time.After(10 * time.Millisecond):
+			}
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("heron: topology %q not running after %v", h.name, timeout)
+		}
+	}
+}
+
+// Scale adjusts component parallelism on the running topology: the
+// Resource Manager repacks with minimal disruption, the Scheduler applies
+// the container diff, and the Topology Master rebroadcasts the plan.
+func (h *Handle) Scale(changes map[string]int) error {
+	if h.killed {
+		return errors.New("heron: topology killed")
+	}
+	current, err := h.state.GetPackingPlan(h.name)
+	if err != nil {
+		return err
+	}
+	proposed, err := h.rm.Repack(current, changes)
+	if err != nil {
+		return err
+	}
+	topo, err := h.state.GetTopology(h.name)
+	if err != nil {
+		return err
+	}
+	counts := current.ComponentCounts()
+	for i := range topo.Components {
+		if n, ok := counts[topo.Components[i].Name]; ok {
+			topo.Components[i].Parallelism = n
+		}
+	}
+	scaled, err := packing.ScaledTopology(topo, changes)
+	if err != nil {
+		return err
+	}
+	if err := h.state.SetTopology(scaled); err != nil {
+		return err
+	}
+	if err := h.state.SetPackingPlan(h.name, proposed); err != nil {
+		return err
+	}
+	if err := h.sched.OnUpdate(core.UpdateRequest{Topology: h.name, Current: current, Proposed: proposed}); err != nil {
+		return err
+	}
+	if tm := h.engine.TMaster(); tm != nil {
+		tm.Refresh()
+	}
+	return nil
+}
+
+// Restart bounces one container (or all, with containerID -1).
+func (h *Handle) Restart(containerID int32) error {
+	if h.killed {
+		return errors.New("heron: topology killed")
+	}
+	return h.sched.OnRestart(core.RestartRequest{Topology: h.name, ContainerID: containerID})
+}
+
+// Kill tears the topology down and removes its state.
+func (h *Handle) Kill() error {
+	if h.killed {
+		return nil
+	}
+	h.killed = true
+	err := h.sched.OnKill(core.KillRequest{Topology: h.name})
+	_ = h.sched.Close()
+	_ = h.rm.Close()
+	_ = h.state.DeleteTopology(h.name)
+	_ = h.state.Close()
+	return err
+}
+
+// Name returns the topology name.
+func (h *Handle) Name() string { return h.name }
+
+// PackingPlan returns the currently active packing plan.
+func (h *Handle) PackingPlan() (*core.PackingPlan, error) {
+	return h.state.GetPackingPlan(h.name)
+}
+
+// SetMaxSpoutPending retunes the live max-spout-pending window of every
+// spout in the running topology (0 = unbounded). This implements the
+// paper's Section V-B future work: the parameter can now be driven by
+// real-time observations (see the tuning package).
+func (h *Handle) SetMaxSpoutPending(n int) error {
+	if h.killed {
+		return errors.New("heron: topology killed")
+	}
+	if n < 0 {
+		return errors.New("heron: negative max spout pending")
+	}
+	tm := h.engine.TMaster()
+	if tm == nil {
+		return errors.New("heron: no running TMaster")
+	}
+	tm.Tune(n)
+	return nil
+}
+
+// Registries exposes the per-container metric registries for measurement
+// harnesses (same-process observation; not part of the engine protocol).
+func (h *Handle) Registries() map[int32]*metrics.Registry { return h.engine.Registries() }
+
+// SumCounter sums a counter across all containers, matching by suffix
+// when exact names differ per instance (e.g. "count.3.executed").
+func (h *Handle) SumCounter(suffix string) int64 {
+	var total int64
+	for _, r := range h.engine.Registries() {
+		s := r.Snapshot(0)
+		for name, v := range s.Counters {
+			if name == suffix || hasSuffix(name, suffix) {
+				total += v
+			}
+		}
+	}
+	return total
+}
+
+// LatencySnapshots returns every histogram whose name ends in suffix.
+func (h *Handle) LatencySnapshots(suffix string) []metrics.HistogramSnapshot {
+	var out []metrics.HistogramSnapshot
+	for _, r := range h.engine.Registries() {
+		s := r.Snapshot(0)
+		for name, hs := range s.Histos {
+			if name == suffix || hasSuffix(name, suffix) {
+				out = append(out, hs)
+			}
+		}
+	}
+	return out
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) > len(suffix) && s[len(s)-len(suffix):] == suffix && s[len(s)-len(suffix)-1] == '.'
+}

@@ -1,0 +1,152 @@
+// Package acker implements Heron's at-least-once delivery tracking: the
+// XOR tuple-tree algorithm over a rotating-bucket map, as introduced by
+// Storm and retained by Heron's Stream Manager.
+//
+// Every spout tuple starts a tree identified by a random 64-bit root id.
+// The tree's entry holds the XOR of (a) every tuple key created in the
+// tree and (b) every tuple key acknowledged in it. Each ack carries
+// delta = ackedKey ⊕ (keys of tuples emitted while processing it), so the
+// entry reaches zero exactly when every tuple in the tree has been both
+// created and acked — regardless of arrival order. Timeouts are tracked
+// by bucket rotation: entries live in the newest bucket and expire when
+// their bucket falls off the end.
+package acker
+
+import "sync"
+
+// Result describes a completed tuple tree.
+type Result uint8
+
+// Tree outcomes reported to the completion callback.
+const (
+	// Completed: every tuple in the tree was acked.
+	Completed Result = iota + 1
+	// Failed: a bolt explicitly failed a tuple of the tree.
+	Failed
+	// TimedOut: the tree did not complete within the rotation window.
+	TimedOut
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case Completed:
+		return "completed"
+	case Failed:
+		return "failed"
+	case TimedOut:
+		return "timedout"
+	default:
+		return "unknown"
+	}
+}
+
+// Acker tracks the tuple trees rooted at one set of spout tasks (in Heron,
+// the acker state lives in the Stream Manager of the container hosting
+// the spout). It is safe for concurrent use.
+type Acker struct {
+	mu      sync.Mutex
+	buckets []map[uint64]uint64 // buckets[0] is newest
+	// onDone is called outside the lock with each tree's outcome.
+	onDone func(root uint64, r Result)
+}
+
+// DefaultBuckets is the rotation granularity: a tree times out after
+// between (buckets-1) and buckets rotations.
+const DefaultBuckets = 3
+
+// New creates an Acker with n rotation buckets (minimum 2) that reports
+// every finished tree to onDone.
+func New(n int, onDone func(root uint64, r Result)) *Acker {
+	if n < 2 {
+		n = 2
+	}
+	a := &Acker{buckets: make([]map[uint64]uint64, n), onDone: onDone}
+	for i := range a.buckets {
+		a.buckets[i] = map[uint64]uint64{}
+	}
+	return a
+}
+
+// find locates root's bucket index, or -1. Caller holds mu.
+func (a *Acker) find(root uint64) int {
+	for i, b := range a.buckets {
+		if _, ok := b[root]; ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// Anchor registers tuple keys created in root's tree: the spout's initial
+// emission or a bolt's children. The entry is refreshed into the newest
+// bucket (progress resets the timeout clock, as in Heron).
+func (a *Acker) Anchor(root uint64, delta uint64) {
+	a.xor(root, delta)
+}
+
+// Ack processes an acknowledgement delta for root's tree. When the entry
+// reaches zero the tree is complete.
+func (a *Acker) Ack(root uint64, delta uint64) {
+	a.xor(root, delta)
+}
+
+func (a *Acker) xor(root uint64, delta uint64) {
+	a.mu.Lock()
+	cur := uint64(0)
+	if i := a.find(root); i >= 0 {
+		cur = a.buckets[i][root]
+		delete(a.buckets[i], root)
+	}
+	cur ^= delta
+	if cur == 0 {
+		a.mu.Unlock()
+		if a.onDone != nil {
+			a.onDone(root, Completed)
+		}
+		return
+	}
+	a.buckets[0][root] = cur
+	a.mu.Unlock()
+}
+
+// Fail terminates root's tree immediately with a Failed outcome. Unknown
+// roots are ignored (the tree may have completed or timed out already).
+func (a *Acker) Fail(root uint64) {
+	a.mu.Lock()
+	i := a.find(root)
+	if i >= 0 {
+		delete(a.buckets[i], root)
+	}
+	a.mu.Unlock()
+	if i >= 0 && a.onDone != nil {
+		a.onDone(root, Failed)
+	}
+}
+
+// Rotate expires the oldest bucket: every tree still in it times out.
+// Callers drive rotation from a timer whose period is
+// messageTimeout / (buckets - 1).
+func (a *Acker) Rotate() {
+	a.mu.Lock()
+	oldest := a.buckets[len(a.buckets)-1]
+	copy(a.buckets[1:], a.buckets[:len(a.buckets)-1])
+	a.buckets[0] = map[uint64]uint64{}
+	a.mu.Unlock()
+	if a.onDone != nil {
+		for root := range oldest {
+			a.onDone(root, TimedOut)
+		}
+	}
+}
+
+// Pending returns the number of in-flight trees (test/metrics helper).
+func (a *Acker) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, b := range a.buckets {
+		n += len(b)
+	}
+	return n
+}

@@ -1,0 +1,402 @@
+// Package cluster is the scheduling-framework substrate: a simulated
+// multi-node cluster standing in for the YARN or Aurora deployments the
+// paper ran on. It provides what a Heron Scheduler needs from a framework —
+// resource-accounted container allocation, container lifecycle, failure
+// events, and an optional framework-side auto-restart policy (the Aurora
+// behaviour) — so both the stateful and the stateless scheduler designs of
+// Section IV-B can be implemented and tested against it.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"heron/internal/core"
+)
+
+// EventKind classifies container lifecycle events.
+type EventKind uint8
+
+// Container lifecycle events delivered to watchers.
+const (
+	// ContainerStarted: a container was allocated and its processes launched.
+	ContainerStarted EventKind = iota + 1
+	// ContainerFailed: the container crashed; its resources were released.
+	// A stateful scheduler reacts by re-allocating.
+	ContainerFailed
+	// ContainerRestarted: the framework itself relaunched the container
+	// (auto-restart policy, the Aurora behaviour).
+	ContainerRestarted
+	// ContainerStopped: the container was released deliberately.
+	ContainerStopped
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case ContainerStarted:
+		return "started"
+	case ContainerFailed:
+		return "failed"
+	case ContainerRestarted:
+		return "restarted"
+	case ContainerStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one container lifecycle notification.
+type Event struct {
+	Topology    string
+	ContainerID int32
+	Node        string
+	Kind        EventKind
+}
+
+// Errors returned by allocation calls.
+var (
+	ErrNoCapacity   = errors.New("cluster: no node has enough free capacity")
+	ErrNotAllocated = errors.New("cluster: container not allocated")
+	ErrDupContainer = errors.New("cluster: container already allocated")
+)
+
+type node struct {
+	name string
+	cap  core.Resource
+	used core.Resource
+}
+
+type allocKey struct {
+	topology string
+	id       int32
+}
+
+type allocation struct {
+	key         allocKey
+	res         core.Resource
+	node        *node
+	stop        func()
+	launcher    core.ContainerLauncher
+	autoRestart bool
+	failed      bool
+}
+
+// Cluster simulates a resource-managed cluster of identical nodes.
+type Cluster struct {
+	name string
+
+	mu       sync.Mutex
+	nodes    []*node
+	allocs   map[allocKey]*allocation
+	watchers map[int64]chan Event
+	nextWID  int64
+	closed   bool
+}
+
+// New creates a cluster of n nodes, each with capacity perNode.
+func New(name string, n int, perNode core.Resource) *Cluster {
+	c := &Cluster{name: name, allocs: map[allocKey]*allocation{}, watchers: map[int64]chan Event{}}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &node{name: fmt.Sprintf("%s-node-%d", name, i), cap: perNode})
+	}
+	return c
+}
+
+// Name returns the cluster's framework URL-ish identity.
+func (c *Cluster) Name() string { return c.name }
+
+// URL returns a framework URL for SchedulerLocation records.
+func (c *Cluster) URL() string { return "sim://" + c.name }
+
+// AllocateOptions control one container allocation.
+type AllocateOptions struct {
+	// AutoRestart makes the framework relaunch the container itself after
+	// a failure (Aurora). When false the failure is only reported, and a
+	// stateful scheduler (YARN) must handle it.
+	AutoRestart bool
+}
+
+// Allocate reserves res on some node for (topology, id), launches the
+// container's processes through launcher, and reports ContainerStarted.
+// First-fit across nodes in order.
+func (c *Cluster) Allocate(topology string, id int32, res core.Resource, launcher core.ContainerLauncher, opts AllocateOptions) error {
+	key := allocKey{topology, id}
+	c.mu.Lock()
+	if _, dup := c.allocs[key]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s/%d", ErrDupContainer, topology, id)
+	}
+	var target *node
+	for _, n := range c.nodes {
+		if res.Fits(n.cap.Sub(n.used)) {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: need %v", ErrNoCapacity, res)
+	}
+	target.used = target.used.Add(res)
+	a := &allocation{key: key, res: res, node: target, launcher: launcher, autoRestart: opts.AutoRestart}
+	c.allocs[key] = a
+	c.mu.Unlock()
+
+	stop, err := launcher.LaunchContainer(topology, id)
+	if err != nil {
+		c.mu.Lock()
+		target.used = target.used.Sub(res)
+		delete(c.allocs, key)
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: launching %s/%d: %w", topology, id, err)
+	}
+	c.mu.Lock()
+	a.stop = stop
+	c.mu.Unlock()
+	c.emit(Event{Topology: topology, ContainerID: id, Node: target.name, Kind: ContainerStarted})
+	return nil
+}
+
+// Release stops the container's processes and frees its resources.
+func (c *Cluster) Release(topology string, id int32) error {
+	key := allocKey{topology, id}
+	c.mu.Lock()
+	a, ok := c.allocs[key]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s/%d", ErrNotAllocated, topology, id)
+	}
+	delete(c.allocs, key)
+	a.node.used = a.node.used.Sub(a.res)
+	stop := a.stop
+	nodeName := a.node.name
+	c.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	c.emit(Event{Topology: topology, ContainerID: id, Node: nodeName, Kind: ContainerStopped})
+	return nil
+}
+
+// ReleaseTopology releases every container of the topology.
+func (c *Cluster) ReleaseTopology(topology string) {
+	c.mu.Lock()
+	var ids []int32
+	for key := range c.allocs {
+		if key.topology == topology {
+			ids = append(ids, key.id)
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		_ = c.Release(topology, id)
+	}
+}
+
+// Restart stops and relaunches a container in place (same reservation).
+func (c *Cluster) Restart(topology string, id int32) error {
+	key := allocKey{topology, id}
+	c.mu.Lock()
+	a, ok := c.allocs[key]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s/%d", ErrNotAllocated, topology, id)
+	}
+	stop, launcher := a.stop, a.launcher
+	c.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	newStop, err := launcher.LaunchContainer(topology, id)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	a.stop = newStop
+	a.failed = false
+	nodeName := a.node.name
+	c.mu.Unlock()
+	c.emit(Event{Topology: topology, ContainerID: id, Node: nodeName, Kind: ContainerRestarted})
+	return nil
+}
+
+// InjectFailure crashes a container: its processes stop and its
+// reservation is freed (as when a node loses the process). With
+// AutoRestart, the framework immediately re-allocates and relaunches,
+// emitting ContainerFailed then ContainerRestarted; otherwise only
+// ContainerFailed is emitted and a stateful scheduler must recover.
+func (c *Cluster) InjectFailure(topology string, id int32) error {
+	key := allocKey{topology, id}
+	c.mu.Lock()
+	a, ok := c.allocs[key]
+	if !ok || a.failed {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s/%d", ErrNotAllocated, topology, id)
+	}
+	a.failed = true
+	a.node.used = a.node.used.Sub(a.res)
+	stop := a.stop
+	a.stop = nil
+	nodeName := a.node.name
+	autoRestart := a.autoRestart
+	res, launcher := a.res, a.launcher
+	delete(c.allocs, key)
+	c.mu.Unlock()
+
+	if stop != nil {
+		stop()
+	}
+	c.emit(Event{Topology: topology, ContainerID: id, Node: nodeName, Kind: ContainerFailed})
+
+	if autoRestart {
+		// The framework's own supervisor brings the container back
+		// (possibly on a different node) without scheduler involvement.
+		if err := c.Allocate(topology, id, res, launcher, AllocateOptions{AutoRestart: true}); err != nil {
+			return fmt.Errorf("cluster: auto-restart of %s/%d: %w", topology, id, err)
+		}
+		// Allocate emitted ContainerStarted; translate intent for watchers.
+		c.emit(Event{Topology: topology, ContainerID: id, Node: nodeName, Kind: ContainerRestarted})
+	}
+	return nil
+}
+
+// Watch subscribes to lifecycle events. The returned cancel function
+// closes the subscription. Slow watchers lose events rather than block
+// the cluster (the channel is deeply buffered).
+func (c *Cluster) Watch() (<-chan Event, func()) {
+	ch := make(chan Event, 256)
+	c.mu.Lock()
+	c.nextWID++
+	id := c.nextWID
+	c.watchers[id] = ch
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		if w, ok := c.watchers[id]; ok {
+			delete(c.watchers, id)
+			close(w)
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Cluster) emit(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.watchers {
+		select {
+		case w <- ev:
+		default: // drop rather than deadlock
+		}
+	}
+}
+
+// Allocated reports whether (topology, id) currently holds a container.
+func (c *Cluster) Allocated(topology string, id int32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.allocs[allocKey{topology, id}]
+	return ok
+}
+
+// Containers returns the ids allocated to a topology.
+func (c *Cluster) Containers(topology string) []int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int32
+	for key := range c.allocs {
+		if key.topology == topology {
+			out = append(out, key.id)
+		}
+	}
+	return out
+}
+
+// Offer describes one node's currently free resources — the resource-
+// offer primitive a Mesos-style framework presents to its schedulers.
+type Offer struct {
+	Node string
+	Free Resource
+}
+
+// Resource aliases core.Resource in offer signatures for readability.
+type Resource = core.Resource
+
+// Offers snapshots every node's free capacity, largest first.
+func (c *Cluster) Offers() []Offer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Offer, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, Offer{Node: n.name, Free: n.cap.Sub(n.used)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Free.CPU > out[j].Free.CPU })
+	return out
+}
+
+// AllocateOn reserves res on a specific node (offer acceptance): the
+// Mesos model, where placement is the framework scheduler's decision
+// rather than the cluster's.
+func (c *Cluster) AllocateOn(nodeName, topology string, id int32, res core.Resource, launcher core.ContainerLauncher, opts AllocateOptions) error {
+	key := allocKey{topology, id}
+	c.mu.Lock()
+	if _, dup := c.allocs[key]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s/%d", ErrDupContainer, topology, id)
+	}
+	var target *node
+	for _, n := range c.nodes {
+		if n.name == nodeName {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no node %q", nodeName)
+	}
+	if !res.Fits(target.cap.Sub(target.used)) {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: node %s cannot fit %v (offer stale?)", ErrNoCapacity, nodeName, res)
+	}
+	target.used = target.used.Add(res)
+	a := &allocation{key: key, res: res, node: target, launcher: launcher, autoRestart: opts.AutoRestart}
+	c.allocs[key] = a
+	c.mu.Unlock()
+
+	stop, err := launcher.LaunchContainer(topology, id)
+	if err != nil {
+		c.mu.Lock()
+		target.used = target.used.Sub(res)
+		delete(c.allocs, key)
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: launching %s/%d: %w", topology, id, err)
+	}
+	c.mu.Lock()
+	a.stop = stop
+	c.mu.Unlock()
+	c.emit(Event{Topology: topology, ContainerID: id, Node: target.name, Kind: ContainerStarted})
+	return nil
+}
+
+// NodeStats describes one node's usage for tests and operator tooling.
+type NodeStats struct {
+	Name     string
+	Capacity core.Resource
+	Used     core.Resource
+}
+
+// Stats snapshots per-node usage.
+func (c *Cluster) Stats() []NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeStats, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = NodeStats{Name: n.name, Capacity: n.cap, Used: n.used}
+	}
+	return out
+}

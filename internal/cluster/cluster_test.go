@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heron/internal/core"
+)
+
+// fakeLauncher counts launches and stops per container.
+type fakeLauncher struct {
+	mu       sync.Mutex
+	launches map[int32]int
+	stops    map[int32]int
+	failNext bool
+}
+
+func newFakeLauncher() *fakeLauncher {
+	return &fakeLauncher{launches: map[int32]int{}, stops: map[int32]int{}}
+}
+
+func (f *fakeLauncher) LaunchContainer(topology string, id int32) (func(), error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext {
+		f.failNext = false
+		return nil, errLaunch
+	}
+	f.launches[id]++
+	return func() {
+		f.mu.Lock()
+		f.stops[id]++
+		f.mu.Unlock()
+	}, nil
+}
+
+var errLaunch = &launchError{}
+
+type launchError struct{}
+
+func (*launchError) Error() string { return "boom" }
+
+func (f *fakeLauncher) counts(id int32) (int, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.launches[id], f.stops[id]
+}
+
+var res1 = core.Resource{CPU: 2, RAMMB: 2048, DiskMB: 2048}
+
+func TestAllocateReleaseAccounting(t *testing.T) {
+	c := New("test", 2, core.Resource{CPU: 4, RAMMB: 4096, DiskMB: 4096})
+	l := newFakeLauncher()
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Allocated("t", 1) {
+		t.Error("not allocated")
+	}
+	stats := c.Stats()
+	if stats[0].Used != res1 {
+		t.Errorf("node0 used = %v", stats[0].Used)
+	}
+	if launches, _ := l.counts(1); launches != 1 {
+		t.Errorf("launches = %d", launches)
+	}
+	if err := c.Release("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, stops := l.counts(1); stops != 1 {
+		t.Errorf("stops = %d", stops)
+	}
+	if got := c.Stats()[0].Used; !got.IsZero() {
+		t.Errorf("used after release = %v", got)
+	}
+}
+
+func TestAllocateSpillsToSecondNode(t *testing.T) {
+	c := New("test", 2, core.Resource{CPU: 4, RAMMB: 4096, DiskMB: 4096})
+	l := newFakeLauncher()
+	// Two 2-CPU containers fill node 0; third goes to node 1.
+	for id := int32(1); id <= 3; id++ {
+		if err := c.Allocate("t", id, res1, l, AllocateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := c.Stats()
+	if stats[0].Used.CPU != 4 || stats[1].Used.CPU != 2 {
+		t.Errorf("usage = %v / %v", stats[0].Used, stats[1].Used)
+	}
+}
+
+func TestAllocateNoCapacity(t *testing.T) {
+	c := New("test", 1, core.Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024})
+	l := newFakeLauncher()
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{}); err == nil {
+		t.Fatal("want ErrNoCapacity")
+	}
+}
+
+func TestAllocateDuplicate(t *testing.T) {
+	c := New("test", 1, core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 8192})
+	l := newFakeLauncher()
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{}); err == nil {
+		t.Fatal("want ErrDupContainer")
+	}
+}
+
+func TestLaunchFailureRollsBackReservation(t *testing.T) {
+	c := New("test", 1, core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 8192})
+	l := newFakeLauncher()
+	l.failNext = true
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{}); err == nil {
+		t.Fatal("want launch error")
+	}
+	if !c.Stats()[0].Used.IsZero() {
+		t.Error("reservation leaked")
+	}
+	if c.Allocated("t", 1) {
+		t.Error("allocation leaked")
+	}
+}
+
+func TestRestartInPlace(t *testing.T) {
+	c := New("test", 1, core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 8192})
+	l := newFakeLauncher()
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	launches, stops := l.counts(1)
+	if launches != 2 || stops != 1 {
+		t.Errorf("launches=%d stops=%d", launches, stops)
+	}
+	if got := c.Stats()[0].Used; got != res1 {
+		t.Errorf("used = %v (restart must keep reservation)", got)
+	}
+}
+
+func TestInjectFailureWithoutAutoRestart(t *testing.T) {
+	c := New("test", 1, core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 8192})
+	l := newFakeLauncher()
+	events, cancel := c.Watch()
+	defer cancel()
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	<-events // started
+	if err := c.InjectFailure("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Kind != ContainerFailed {
+			t.Errorf("event = %v", ev.Kind)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no failure event")
+	}
+	// Resources freed, allocation gone: the scheduler must re-request.
+	if c.Allocated("t", 1) {
+		t.Error("failed container still allocated")
+	}
+	if !c.Stats()[0].Used.IsZero() {
+		t.Error("failed container still holds resources")
+	}
+	if _, stops := l.counts(1); stops != 1 {
+		t.Error("container processes were not stopped")
+	}
+}
+
+func TestInjectFailureAutoRestart(t *testing.T) {
+	c := New("test", 2, core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 8192})
+	l := newFakeLauncher()
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{AutoRestart: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFailure("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Aurora behaviour: the framework brought it back by itself.
+	if !c.Allocated("t", 1) {
+		t.Error("auto-restart did not re-allocate")
+	}
+	if launches, _ := l.counts(1); launches != 2 {
+		t.Errorf("launches = %d, want 2", launches)
+	}
+}
+
+func TestInjectFailureUnknown(t *testing.T) {
+	c := New("test", 1, res1)
+	if err := c.InjectFailure("t", 9); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestReleaseTopology(t *testing.T) {
+	c := New("test", 2, core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 8192})
+	l := newFakeLauncher()
+	for id := int32(0); id < 3; id++ {
+		if err := c.Allocate("t", id, res1, l, AllocateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Allocate("other", 0, res1, l, AllocateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c.ReleaseTopology("t")
+	if got := len(c.Containers("t")); got != 0 {
+		t.Errorf("t containers = %d", got)
+	}
+	if got := len(c.Containers("other")); got != 1 {
+		t.Errorf("other containers = %d", got)
+	}
+}
+
+func TestWatchCancel(t *testing.T) {
+	c := New("test", 1, core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 8192})
+	l := newFakeLauncher()
+	events, cancel := c.Watch()
+	var count atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		for range events {
+			count.Add(1)
+		}
+		close(done)
+	}()
+	if err := c.Allocate("t", 1, res1, l, AllocateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done // channel closed by cancel
+	_ = c.Release("t", 1)
+	if count.Load() != 1 {
+		t.Errorf("events after cancel: %d", count.Load())
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		ContainerStarted: "started", ContainerFailed: "failed",
+		ContainerRestarted: "restarted", ContainerStopped: "stopped",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

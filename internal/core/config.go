@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config selects module implementations and tunes the engine. Modules are
+// chosen purely by name — the paper's "plug it in the system without
+// disrupting the remaining modules" — so swapping YARN for Aurora or
+// round-robin packing for bin packing is a configuration change, never a
+// code change.
+type Config struct {
+	// Module selection.
+	PackingAlgorithm string // registry name: "roundrobin" (default), "binpacking"
+	SchedulerName    string // "local" (default), "yarn", "aurora"
+	StateManagerName string // "memory" (default), "localfs"
+	Transport        string // "inproc" (default), "tcp"
+	Codec            string // "fast" (default), "naive"
+
+	// StreamManagerOptimized gates the Section V-A fast paths: memory
+	// pooling, lazy routing and tuple-cache batching. Disabling it (with
+	// Codec "naive") reproduces the "without optimizations" arm of the
+	// evaluation.
+	StreamManagerOptimized bool
+
+	// Packing inputs.
+	NumContainers     int      // round-robin container count hint (default 4)
+	ContainerCapacity Resource // bin-packing per-container capacity
+	ContainerOverhead Resource // per-container stream/metrics manager cost
+	InstanceResources Resource // default per-instance request
+	TMasterResources  Resource // container-0 request
+
+	// Data plane tuning (paper Section V-B).
+	AckingEnabled bool
+	// MaxSpoutPending bounds un-acked tuples in flight per spout task; 0
+	// means unbounded. Meaningful only with AckingEnabled.
+	MaxSpoutPending int
+	// MessageTimeout fails tuple trees not completed in time.
+	MessageTimeout time.Duration
+	// CacheDrainFrequency is the Stream Manager tuple-cache flush period.
+	CacheDrainFrequency time.Duration
+	// CacheMaxBatchTuples caps a batch regardless of the drain timer; 0
+	// selects the default.
+	CacheMaxBatchTuples int
+	// InstanceBatchTuples is how many emitted tuples an instance buffers
+	// before one IPC send (0 = default 64, 1 = per-tuple; ablation knob
+	// for the gateway-side batching).
+	InstanceBatchTuples int
+
+	// StateRoot is the root path/znode for the State Manager tree.
+	StateRoot string
+
+	// Extra carries module-specific settings (e.g. "yarn.queue").
+	Extra map[string]string
+
+	// Launcher and Framework are live runtime dependencies injected by the
+	// engine, never serialized: Launcher boots a container's processes;
+	// Framework is the underlying scheduling-framework handle (for the
+	// simulated YARN/Aurora cluster, a *cluster.Cluster).
+	Launcher  ContainerLauncher
+	Framework any
+}
+
+// Defaults for unset fields.
+const (
+	DefaultNumContainers       = 4
+	DefaultCacheDrainFrequency = 5 * time.Millisecond
+	DefaultCacheMaxBatchTuples = 1024
+	DefaultMessageTimeout      = 30 * time.Second
+)
+
+// DefaultInstanceResources is the per-instance ask used when a component
+// does not set one (1 core, 1 GB RAM, 1 GB disk — Heron's defaults).
+var DefaultInstanceResources = Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024}
+
+// DefaultContainerOverhead covers the Stream Manager and Metrics Manager
+// processes of each container.
+var DefaultContainerOverhead = Resource{CPU: 1, RAMMB: 512, DiskMB: 512}
+
+// NewConfig returns a Config populated with defaults: the optimized data
+// plane, round-robin packing on the local scheduler with the in-memory
+// state manager, acking off.
+func NewConfig() *Config {
+	return &Config{
+		PackingAlgorithm:       "roundrobin",
+		SchedulerName:          "local",
+		StateManagerName:       "memory",
+		Transport:              "inproc",
+		Codec:                  "fast",
+		StreamManagerOptimized: true,
+		NumContainers:          DefaultNumContainers,
+		InstanceResources:      DefaultInstanceResources,
+		ContainerOverhead:      DefaultContainerOverhead,
+		TMasterResources:       Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024},
+		MessageTimeout:         DefaultMessageTimeout,
+		CacheDrainFrequency:    DefaultCacheDrainFrequency,
+		CacheMaxBatchTuples:    DefaultCacheMaxBatchTuples,
+		StateRoot:              "/heron",
+		Extra:                  map[string]string{},
+	}
+}
+
+// Clone returns a deep copy so per-topology tweaks don't alias.
+func (c *Config) Clone() *Config {
+	out := *c
+	out.Extra = make(map[string]string, len(c.Extra))
+	for k, v := range c.Extra {
+		out.Extra[k] = v
+	}
+	return &out
+}
+
+// Validate rejects configurations the engine cannot run.
+func (c *Config) Validate() error {
+	if c.NumContainers < 1 {
+		return fmt.Errorf("core: NumContainers %d < 1", c.NumContainers)
+	}
+	if c.MaxSpoutPending < 0 {
+		return fmt.Errorf("core: MaxSpoutPending %d < 0", c.MaxSpoutPending)
+	}
+	if c.CacheDrainFrequency < 0 {
+		return fmt.Errorf("core: negative CacheDrainFrequency")
+	}
+	if c.MaxSpoutPending > 0 && !c.AckingEnabled {
+		return fmt.Errorf("core: MaxSpoutPending requires AckingEnabled")
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import "errors"
+
+// ErrNotFound is returned by StateManager getters for absent keys and by
+// the registries for unknown module names.
+var ErrNotFound = errors.New("core: not found")
+
+// ResourceManager is the paper's Section IV-A module: it decides how
+// resources are allocated for a topology by producing packing plans. It is
+// not a long-running process — it is invoked on demand at submission
+// (Pack) and during scaling operations (Repack).
+type ResourceManager interface {
+	// Initialize binds the manager to a topology and its configuration.
+	Initialize(cfg *Config, topo *Topology) error
+	// Pack generates the initial packing plan. Policies differ per
+	// implementation: round-robin optimizes load balance, bin packing
+	// minimizes the number of containers (deployment cost).
+	Pack() (*PackingPlan, error)
+	// Repack adjusts an existing plan for a topology scaling request.
+	// parallelismChanges maps component name to its new parallelism.
+	// Implementations should minimize disruption to current placements and
+	// reuse free space in already-provisioned containers.
+	Repack(current *PackingPlan, parallelismChanges map[string]int) (*PackingPlan, error)
+	Close() error
+}
+
+// KillRequest asks a scheduler to tear a topology down.
+type KillRequest struct {
+	Topology string
+}
+
+// RestartRequest asks a scheduler to restart a topology's containers
+// (ContainerID ≥ 0 restarts one container, -1 restarts all).
+type RestartRequest struct {
+	Topology    string
+	ContainerID int32
+}
+
+// UpdateRequest asks a scheduler to move a running topology to a new
+// packing plan (topology scaling). The scheduler adds or removes
+// containers as the plan demands.
+type UpdateRequest struct {
+	Topology string
+	Current  *PackingPlan
+	Proposed *PackingPlan
+}
+
+// Scheduler is the paper's Section IV-B module: the bridge between a
+// packing plan and an underlying scheduling framework (YARN, Aurora,
+// Mesos, or the local machine). A stateful implementation monitors its
+// containers and restarts failures itself; a stateless one delegates
+// failure handling to the framework.
+type Scheduler interface {
+	Initialize(cfg *Config) error
+	// OnSchedule receives the initial packing plan and acquires the
+	// resources it specifies from the underlying framework.
+	OnSchedule(initial *PackingPlan) error
+	OnKill(req KillRequest) error
+	OnRestart(req RestartRequest) error
+	OnUpdate(req UpdateRequest) error
+	Close() error
+}
+
+// ContainerLauncher boots the Heron processes of one container: the
+// Topology Master for container 0, or a Stream Manager + Metrics Manager +
+// Heron Instances for the others. The engine injects it into the Config
+// before initializing a Scheduler; schedulers call it when the underlying
+// framework grants a container, and call the returned stop function when
+// the container is released, restarted or lost.
+type ContainerLauncher interface {
+	LaunchContainer(topology string, containerID int32) (stop func(), err error)
+}
+
+// TMasterLocation is the Topology Master's advertised control endpoint,
+// published through the State Manager so Stream Managers can find it (and
+// immediately observe its death, since the record is ephemeral).
+type TMasterLocation struct {
+	Topology string
+	// Transport and Addr locate the TMaster's control listener.
+	Transport string
+	Addr      string
+	// SessionID increments on every TMaster (re)start, letting watchers
+	// discard stale locations.
+	SessionID int64
+}
+
+// SchedulerLocation records which scheduler instance manages a topology
+// and the URL of the underlying framework, part of the metadata the paper
+// lists as stored in the State Manager.
+type SchedulerLocation struct {
+	Topology string
+	Kind     string // module name, e.g. "yarn"
+	// FrameworkURL points at the underlying scheduling framework.
+	FrameworkURL string
+}
+
+// StateManager is the paper's Section IV-C module: distributed
+// coordination plus topology metadata storage on a tree-structured store.
+// Implementations: a ZooKeeper-like in-memory store for cluster mode and a
+// local-filesystem store for single-server mode.
+type StateManager interface {
+	Initialize(cfg *Config) error
+
+	// SetTMasterLocation writes an ephemeral record: it vanishes when the
+	// writing session closes, which is how Stream Managers learn of a
+	// TMaster death.
+	SetTMasterLocation(loc TMasterLocation) error
+	GetTMasterLocation(topology string) (TMasterLocation, error)
+	// WatchTMasterLocation invokes cb on every change to the topology's
+	// TMaster location, including deletion (signalled by a zero-valued
+	// location). The returned cancel function stops the watch.
+	WatchTMasterLocation(topology string, cb func(TMasterLocation)) (func(), error)
+
+	SetSchedulerLocation(loc SchedulerLocation) error
+	GetSchedulerLocation(topology string) (SchedulerLocation, error)
+
+	SetTopology(t *Topology) error
+	GetTopology(name string) (*Topology, error)
+	DeleteTopology(name string) error
+	ListTopologies() ([]string, error)
+
+	SetPackingPlan(topology string, p *PackingPlan) error
+	GetPackingPlan(topology string) (*PackingPlan, error)
+	DeletePackingPlan(topology string) error
+
+	Close() error
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskInfo describes one task of the physical plan.
+type TaskInfo struct {
+	ID             int32
+	Component      string
+	ComponentIndex int32
+	ContainerID    int32
+	Kind           ComponentKind
+}
+
+// ConsumerInfo is one downstream subscription of a stream: which component
+// consumes it, with which grouping, delivered to which tasks.
+type ConsumerInfo struct {
+	Component string
+	Grouping  Grouping
+	FieldIdx  []int
+	// Tasks are the consumer's task ids in ComponentIndex order; fields
+	// grouping indexes into this slice by hash so the order must be stable.
+	Tasks []int32
+}
+
+// StreamInfo is one entry of the stream table. Data tuples carry the
+// stream's int32 id instead of component/stream strings.
+type StreamInfo struct {
+	ID           int32
+	SrcComponent string
+	Stream       string
+	Fields       []string
+	Consumers    []ConsumerInfo
+}
+
+// PhysicalPlan joins a topology with a packing plan: the full routing
+// state the Topology Master distributes to every Stream Manager.
+type PhysicalPlan struct {
+	Topology *Topology
+	Packing  *PackingPlan
+	// Tasks is indexed by task id.
+	Tasks []TaskInfo
+	// Streams is indexed by stream id.
+	Streams []StreamInfo
+
+	streamIdx map[streamKey]int32
+	compTasks map[string][]int32
+}
+
+type streamKey struct{ component, stream string }
+
+// NewPhysicalPlan derives the routing state from a validated topology and
+// packing plan. Task ids are taken from the packing plan.
+func NewPhysicalPlan(t *Topology, p *PackingPlan) (*PhysicalPlan, error) {
+	if err := p.Validate(t); err != nil {
+		return nil, err
+	}
+	pp := &PhysicalPlan{
+		Topology:  t,
+		Packing:   p,
+		streamIdx: map[streamKey]int32{},
+		compTasks: map[string][]int32{},
+	}
+	var maxTask int32 = -1
+	for i := range p.Containers {
+		for _, inst := range p.Containers[i].Instances {
+			if inst.ID.TaskID > maxTask {
+				maxTask = inst.ID.TaskID
+			}
+		}
+	}
+	pp.Tasks = make([]TaskInfo, maxTask+1)
+	for i := range p.Containers {
+		c := &p.Containers[i]
+		for _, inst := range c.Instances {
+			spec := t.Component(inst.ID.Component)
+			pp.Tasks[inst.ID.TaskID] = TaskInfo{
+				ID:             inst.ID.TaskID,
+				Component:      inst.ID.Component,
+				ComponentIndex: inst.ID.ComponentIndex,
+				ContainerID:    c.ID,
+				Kind:           spec.Kind,
+			}
+			pp.compTasks[inst.ID.Component] = append(pp.compTasks[inst.ID.Component], inst.ID.TaskID)
+		}
+	}
+	// Order component task lists by component index so fields grouping is
+	// stable across plan regenerations.
+	for name, tasks := range pp.compTasks {
+		sort.Slice(tasks, func(a, b int) bool {
+			return pp.Tasks[tasks[a]].ComponentIndex < pp.Tasks[tasks[b]].ComponentIndex
+		})
+		pp.compTasks[name] = tasks
+	}
+	// Build the stream table in declaration order for deterministic ids.
+	for _, spec := range t.Components {
+		streams := make([]string, 0, len(spec.Outputs))
+		for s := range spec.Outputs {
+			streams = append(streams, s)
+		}
+		sort.Strings(streams)
+		for _, s := range streams {
+			id := int32(len(pp.Streams))
+			pp.streamIdx[streamKey{spec.Name, s}] = id
+			pp.Streams = append(pp.Streams, StreamInfo{
+				ID:           id,
+				SrcComponent: spec.Name,
+				Stream:       s,
+				Fields:       spec.Outputs[s],
+			})
+		}
+	}
+	// Attach consumers.
+	for _, spec := range t.Components {
+		for _, in := range spec.Inputs {
+			stream := in.Stream
+			if stream == "" {
+				stream = DefaultStream
+			}
+			id, ok := pp.streamIdx[streamKey{in.Component, stream}]
+			if !ok {
+				return nil, fmt.Errorf("core: no stream %s.%s", in.Component, stream)
+			}
+			si := &pp.Streams[id]
+			si.Consumers = append(si.Consumers, ConsumerInfo{
+				Component: spec.Name,
+				Grouping:  in.Grouping,
+				FieldIdx:  in.FieldIdx,
+				Tasks:     pp.compTasks[spec.Name],
+			})
+		}
+	}
+	return pp, nil
+}
+
+// StreamID returns the id for (component, stream); ok is false if absent.
+func (pp *PhysicalPlan) StreamID(component, stream string) (int32, bool) {
+	if stream == "" {
+		stream = DefaultStream
+	}
+	id, ok := pp.streamIdx[streamKey{component, stream}]
+	return id, ok
+}
+
+// ComponentTasks returns the task ids of a component in index order.
+func (pp *PhysicalPlan) ComponentTasks(component string) []int32 {
+	return pp.compTasks[component]
+}
+
+// ContainerTasks returns the task ids hosted in a container.
+func (pp *PhysicalPlan) ContainerTasks(containerID int32) []int32 {
+	var out []int32
+	for _, ti := range pp.Tasks {
+		if ti.ContainerID == containerID && ti.Kind != 0 {
+			out = append(out, ti.ID)
+		}
+	}
+	return out
+}
+
+// TaskContainer returns the container hosting a task, or -1.
+func (pp *PhysicalPlan) TaskContainer(task int32) int32 {
+	if task < 0 || int(task) >= len(pp.Tasks) || pp.Tasks[task].Kind == 0 {
+		return -1
+	}
+	return pp.Tasks[task].ContainerID
+}
+
+// SpoutTasks returns the task ids of all spout components.
+func (pp *PhysicalPlan) SpoutTasks() []int32 {
+	var out []int32
+	for _, ti := range pp.Tasks {
+		if ti.Kind == KindSpout {
+			out = append(out, ti.ID)
+		}
+	}
+	return out
+}

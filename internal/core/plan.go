@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstanceID identifies one Heron Instance (one spout or bolt task).
+type InstanceID struct {
+	Component string
+	// ComponentIndex is the instance's index within its component,
+	// 0 ≤ ComponentIndex < Parallelism.
+	ComponentIndex int32
+	// TaskID is the globally unique task number used for routing.
+	TaskID int32
+}
+
+// String implements fmt.Stringer.
+func (id InstanceID) String() string {
+	return fmt.Sprintf("%s[%d]#%d", id.Component, id.ComponentIndex, id.TaskID)
+}
+
+// InstancePlacement is one instance plus its resource request inside a
+// container plan.
+type InstancePlacement struct {
+	ID        InstanceID
+	Resources Resource
+}
+
+// ContainerPlan lists the instances packed into one container. Container
+// ids start at 1; container 0 is reserved for the Topology Master (the
+// paper: "the first container runs the Topology Master").
+type ContainerPlan struct {
+	ID        int32
+	Instances []InstancePlacement
+	// Required is the container's resource ask handed to the scheduling
+	// framework; it covers the instance requests plus per-container
+	// overhead (stream manager, metrics manager).
+	Required Resource
+}
+
+// InstanceSum returns the sum of the instance requests in the container.
+func (c *ContainerPlan) InstanceSum() Resource {
+	var r Resource
+	for _, p := range c.Instances {
+		r = r.Add(p.Resources)
+	}
+	return r
+}
+
+// PackingPlan is the Resource Manager's output: the mapping from
+// containers to instances and their resource requirements, consumed by
+// the Scheduler.
+type PackingPlan struct {
+	Topology   string
+	Containers []ContainerPlan
+}
+
+// TMasterContainerID is the reserved container that hosts only the
+// Topology Master.
+const TMasterContainerID int32 = 0
+
+// NumInstances returns the total instance count across containers.
+func (p *PackingPlan) NumInstances() int {
+	n := 0
+	for i := range p.Containers {
+		n += len(p.Containers[i].Instances)
+	}
+	return n
+}
+
+// MaxRequired returns the component-wise maximum container ask, used by
+// schedulers that can only allocate homogeneous containers (Aurora).
+func (p *PackingPlan) MaxRequired() Resource {
+	var r Resource
+	for i := range p.Containers {
+		r = r.Max(p.Containers[i].Required)
+	}
+	return r
+}
+
+// Clone returns a deep copy of the plan.
+func (p *PackingPlan) Clone() *PackingPlan {
+	out := &PackingPlan{Topology: p.Topology, Containers: make([]ContainerPlan, len(p.Containers))}
+	for i, c := range p.Containers {
+		nc := ContainerPlan{ID: c.ID, Required: c.Required, Instances: make([]InstancePlacement, len(c.Instances))}
+		copy(nc.Instances, c.Instances)
+		out.Containers[i] = nc
+	}
+	return out
+}
+
+// Normalize sorts containers by id and instances by task id, giving plans
+// a canonical form for comparison and deterministic physical plans.
+func (p *PackingPlan) Normalize() {
+	sort.Slice(p.Containers, func(i, j int) bool { return p.Containers[i].ID < p.Containers[j].ID })
+	for i := range p.Containers {
+		ins := p.Containers[i].Instances
+		sort.Slice(ins, func(a, b int) bool { return ins[a].ID.TaskID < ins[b].ID.TaskID })
+	}
+}
+
+// ComponentCounts returns instances-per-component totals.
+func (p *PackingPlan) ComponentCounts() map[string]int {
+	out := map[string]int{}
+	for i := range p.Containers {
+		for _, inst := range p.Containers[i].Instances {
+			out[inst.ID.Component]++
+		}
+	}
+	return out
+}
+
+// Validate checks the invariants every packing algorithm must uphold:
+// container ids unique and ≥ 1, task ids globally unique, component
+// indices unique per component and dense enough to match the topology's
+// parallelism, and every topology instance placed exactly once.
+func (p *PackingPlan) Validate(t *Topology) error {
+	if p.Topology != t.Name {
+		return fmt.Errorf("core: packing plan for %q, topology %q", p.Topology, t.Name)
+	}
+	taskSeen := map[int32]bool{}
+	idxSeen := map[string]map[int32]bool{}
+	for i := range p.Containers {
+		c := &p.Containers[i]
+		if c.ID < 1 {
+			return fmt.Errorf("core: container id %d < 1 (0 is reserved for the TMaster)", c.ID)
+		}
+		for j := i + 1; j < len(p.Containers); j++ {
+			if p.Containers[j].ID == c.ID {
+				return fmt.Errorf("core: duplicate container id %d", c.ID)
+			}
+		}
+		if sum := c.InstanceSum(); !sum.Fits(c.Required) {
+			return fmt.Errorf("core: container %d instances %v exceed ask %v", c.ID, sum, c.Required)
+		}
+		for _, inst := range c.Instances {
+			spec := t.Component(inst.ID.Component)
+			if spec == nil {
+				return fmt.Errorf("core: instance of unknown component %q", inst.ID.Component)
+			}
+			if taskSeen[inst.ID.TaskID] {
+				return fmt.Errorf("core: duplicate task id %d", inst.ID.TaskID)
+			}
+			taskSeen[inst.ID.TaskID] = true
+			if inst.ID.ComponentIndex < 0 || int(inst.ID.ComponentIndex) >= spec.Parallelism {
+				return fmt.Errorf("core: %s index %d out of range (parallelism %d)",
+					inst.ID.Component, inst.ID.ComponentIndex, spec.Parallelism)
+			}
+			m := idxSeen[inst.ID.Component]
+			if m == nil {
+				m = map[int32]bool{}
+				idxSeen[inst.ID.Component] = m
+			}
+			if m[inst.ID.ComponentIndex] {
+				return fmt.Errorf("core: duplicate instance %s[%d]", inst.ID.Component, inst.ID.ComponentIndex)
+			}
+			m[inst.ID.ComponentIndex] = true
+		}
+	}
+	for _, spec := range t.Components {
+		if got := len(idxSeen[spec.Name]); got != spec.Parallelism {
+			return fmt.Errorf("core: component %q has %d placed instances, parallelism %d", spec.Name, got, spec.Parallelism)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registries below are the extension points of the modular
+// architecture: a new scheduler, packing algorithm or state manager is
+// added by registering a factory under a name (typically from the
+// implementing package's init function) and selecting that name in the
+// Config. Nothing else in the system changes — the property the paper
+// contrasts with Storm's one-repository-per-platform approach.
+
+type registry[T any] struct {
+	mu        sync.RWMutex
+	kind      string
+	factories map[string]func() T
+}
+
+func newRegistry[T any](kind string) *registry[T] {
+	return &registry[T]{kind: kind, factories: map[string]func() T{}}
+}
+
+func (r *registry[T]) register(name string, f func() T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("core: duplicate %s registration %q", r.kind, name))
+	}
+	r.factories[name] = f
+}
+
+func (r *registry[T]) create(name string) (T, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	var zero T
+	if !ok {
+		return zero, fmt.Errorf("core: unknown %s %q (registered: %v): %w", r.kind, name, r.names(), ErrNotFound)
+	}
+	return f(), nil
+}
+
+func (r *registry[T]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	resourceManagers = newRegistry[ResourceManager]("resource manager")
+	schedulers       = newRegistry[Scheduler]("scheduler")
+	stateManagers    = newRegistry[StateManager]("state manager")
+)
+
+// RegisterResourceManager adds a packing-algorithm factory under name.
+// It panics on duplicate names (a wiring bug, caught at init time).
+func RegisterResourceManager(name string, f func() ResourceManager) {
+	resourceManagers.register(name, f)
+}
+
+// NewResourceManager instantiates the packing algorithm registered under
+// name.
+func NewResourceManager(name string) (ResourceManager, error) {
+	return resourceManagers.create(name)
+}
+
+// ResourceManagerNames lists registered packing algorithms.
+func ResourceManagerNames() []string { return resourceManagers.names() }
+
+// RegisterScheduler adds a scheduler factory under name.
+func RegisterScheduler(name string, f func() Scheduler) { schedulers.register(name, f) }
+
+// NewScheduler instantiates the scheduler registered under name.
+func NewScheduler(name string) (Scheduler, error) { return schedulers.create(name) }
+
+// SchedulerNames lists registered schedulers.
+func SchedulerNames() []string { return schedulers.names() }
+
+// RegisterStateManager adds a state-manager factory under name.
+func RegisterStateManager(name string, f func() StateManager) { stateManagers.register(name, f) }
+
+// NewStateManager instantiates the state manager registered under name.
+func NewStateManager(name string) (StateManager, error) { return stateManagers.create(name) }
+
+// StateManagerNames lists registered state managers.
+func StateManagerNames() []string { return stateManagers.names() }

@@ -1,0 +1,61 @@
+// Package core defines the kernel of the modular architecture described in
+// the paper's Sections II and IV: the topology model, the packing and
+// physical plans exchanged between modules, the configuration surface, and
+// the pluggable module interfaces (ResourceManager, Scheduler,
+// StateManager) with their registries.
+//
+// Everything else in this repository is a replaceable module implementing
+// one of these interfaces; core itself contains no policy.
+package core
+
+import "fmt"
+
+// Resource describes an amount of cluster resources: CPU cores (fractional
+// allowed), RAM and disk in megabytes. It is used both for requests (how
+// much an instance needs) and capacities (how much a container or node
+// offers).
+type Resource struct {
+	CPU    float64
+	RAMMB  int64
+	DiskMB int64
+}
+
+// Add returns r grown by o.
+func (r Resource) Add(o Resource) Resource {
+	return Resource{CPU: r.CPU + o.CPU, RAMMB: r.RAMMB + o.RAMMB, DiskMB: r.DiskMB + o.DiskMB}
+}
+
+// Sub returns r shrunk by o. Negative components are possible; use Fits to
+// test feasibility first.
+func (r Resource) Sub(o Resource) Resource {
+	return Resource{CPU: r.CPU - o.CPU, RAMMB: r.RAMMB - o.RAMMB, DiskMB: r.DiskMB - o.DiskMB}
+}
+
+// Fits reports whether a request r can be satisfied by capacity c.
+func (r Resource) Fits(c Resource) bool {
+	return r.CPU <= c.CPU+1e-9 && r.RAMMB <= c.RAMMB && r.DiskMB <= c.DiskMB
+}
+
+// Max returns the component-wise maximum of r and o; Aurora-style
+// homogeneous containers are sized with it.
+func (r Resource) Max(o Resource) Resource {
+	out := r
+	if o.CPU > out.CPU {
+		out.CPU = o.CPU
+	}
+	if o.RAMMB > out.RAMMB {
+		out.RAMMB = o.RAMMB
+	}
+	if o.DiskMB > out.DiskMB {
+		out.DiskMB = o.DiskMB
+	}
+	return out
+}
+
+// IsZero reports whether all components are zero.
+func (r Resource) IsZero() bool { return r.CPU == 0 && r.RAMMB == 0 && r.DiskMB == 0 }
+
+// String implements fmt.Stringer.
+func (r Resource) String() string {
+	return fmt.Sprintf("{cpu=%.2f ram=%dMB disk=%dMB}", r.CPU, r.RAMMB, r.DiskMB)
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ComponentKind distinguishes sources from processors.
+type ComponentKind uint8
+
+// Component kinds: a topology is a directed acyclic graph of spouts
+// (sources of input data) and bolts (computations over streams).
+const (
+	KindSpout ComponentKind = iota + 1
+	KindBolt
+)
+
+// String implements fmt.Stringer.
+func (k ComponentKind) String() string {
+	switch k {
+	case KindSpout:
+		return "spout"
+	case KindBolt:
+		return "bolt"
+	default:
+		return fmt.Sprintf("ComponentKind(%d)", uint8(k))
+	}
+}
+
+// Grouping selects how a stream's tuples are partitioned among the
+// consuming component's tasks.
+type Grouping uint8
+
+// Supported groupings.
+const (
+	// GroupShuffle distributes tuples round-robin across consumer tasks.
+	GroupShuffle Grouping = iota + 1
+	// GroupFields hashes the configured key fields so equal keys always
+	// reach the same task (the WordCount partitioning of Section VI-A).
+	GroupFields
+	// GroupAll replicates every tuple to every consumer task.
+	GroupAll
+	// GroupGlobal sends every tuple to the single lowest-id consumer task.
+	GroupGlobal
+)
+
+// String implements fmt.Stringer.
+func (g Grouping) String() string {
+	switch g {
+	case GroupShuffle:
+		return "shuffle"
+	case GroupFields:
+		return "fields"
+	case GroupAll:
+		return "all"
+	case GroupGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("Grouping(%d)", uint8(g))
+	}
+}
+
+// DefaultStream is the stream name used when a component declares or
+// subscribes without naming one.
+const DefaultStream = "default"
+
+// InputSpec subscribes a bolt to one upstream stream.
+type InputSpec struct {
+	Component string   // upstream component name
+	Stream    string   // upstream stream name (DefaultStream if empty)
+	Grouping  Grouping // partitioning of the stream across this bolt's tasks
+	// FieldIdx lists the positions of the key fields for GroupFields.
+	FieldIdx []int
+}
+
+// ComponentSpec declares one spout or bolt of the logical plan.
+type ComponentSpec struct {
+	Name        string
+	Kind        ComponentKind
+	Parallelism int      // number of instances (tasks)
+	Resources   Resource // per-instance resource request
+	Inputs      []InputSpec
+	// Outputs maps declared output stream names to their field names. A
+	// component with no entry emits no streams (a sink).
+	Outputs map[string][]string
+	// TickEveryMs, when positive, delivers a periodic Tick to each of the
+	// bolt's instances (for time-based windows and timeouts). Bolts opt in
+	// by implementing api.Ticker.
+	TickEveryMs int64
+}
+
+// Topology is the logical plan: the directed graph of spouts and bolts
+// submitted by the user. Components preserves declaration order, which
+// keeps task-id assignment deterministic.
+type Topology struct {
+	Name       string
+	Components []ComponentSpec
+}
+
+// Component returns the spec with the given name, or nil.
+func (t *Topology) Component(name string) *ComponentSpec {
+	for i := range t.Components {
+		if t.Components[i].Name == name {
+			return &t.Components[i]
+		}
+	}
+	return nil
+}
+
+// Spouts returns the names of all spout components in declaration order.
+func (t *Topology) Spouts() []string {
+	var out []string
+	for _, c := range t.Components {
+		if c.Kind == KindSpout {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Bolts returns the names of all bolt components in declaration order.
+func (t *Topology) Bolts() []string {
+	var out []string
+	for _, c := range t.Components {
+		if c.Kind == KindBolt {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// TotalInstances returns the sum of parallelism over all components.
+func (t *Topology) TotalInstances() int {
+	n := 0
+	for _, c := range t.Components {
+		n += c.Parallelism
+	}
+	return n
+}
+
+// ErrInvalidTopology wraps all topology validation failures.
+var ErrInvalidTopology = errors.New("core: invalid topology")
+
+// Validate checks the structural invariants the rest of the system relies
+// on: unique names, positive parallelism, spouts without inputs, bolts
+// with at least one input referencing an existing upstream stream, valid
+// fields-grouping indices, and acyclicity.
+func (t *Topology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("%w: empty topology name", ErrInvalidTopology)
+	}
+	if len(t.Components) == 0 {
+		return fmt.Errorf("%w: no components", ErrInvalidTopology)
+	}
+	byName := map[string]*ComponentSpec{}
+	for i := range t.Components {
+		c := &t.Components[i]
+		if c.Name == "" {
+			return fmt.Errorf("%w: component %d has empty name", ErrInvalidTopology, i)
+		}
+		if _, dup := byName[c.Name]; dup {
+			return fmt.Errorf("%w: duplicate component %q", ErrInvalidTopology, c.Name)
+		}
+		byName[c.Name] = c
+		if c.Parallelism <= 0 {
+			return fmt.Errorf("%w: component %q parallelism %d", ErrInvalidTopology, c.Name, c.Parallelism)
+		}
+		switch c.Kind {
+		case KindSpout:
+			if len(c.Inputs) > 0 {
+				return fmt.Errorf("%w: spout %q declares inputs", ErrInvalidTopology, c.Name)
+			}
+			if len(c.Outputs) == 0 {
+				return fmt.Errorf("%w: spout %q declares no output streams", ErrInvalidTopology, c.Name)
+			}
+		case KindBolt:
+			if len(c.Inputs) == 0 {
+				return fmt.Errorf("%w: bolt %q has no inputs", ErrInvalidTopology, c.Name)
+			}
+		default:
+			return fmt.Errorf("%w: component %q has kind %v", ErrInvalidTopology, c.Name, c.Kind)
+		}
+	}
+	hasSpout := false
+	for _, c := range t.Components {
+		if c.Kind == KindSpout {
+			hasSpout = true
+		}
+	}
+	if !hasSpout {
+		return fmt.Errorf("%w: no spouts", ErrInvalidTopology)
+	}
+	for _, c := range t.Components {
+		for _, in := range c.Inputs {
+			up, ok := byName[in.Component]
+			if !ok {
+				return fmt.Errorf("%w: bolt %q subscribes to unknown component %q", ErrInvalidTopology, c.Name, in.Component)
+			}
+			stream := in.Stream
+			if stream == "" {
+				stream = DefaultStream
+			}
+			fields, ok := up.Outputs[stream]
+			if !ok {
+				return fmt.Errorf("%w: bolt %q subscribes to unknown stream %s.%s", ErrInvalidTopology, c.Name, in.Component, stream)
+			}
+			switch in.Grouping {
+			case GroupShuffle, GroupAll, GroupGlobal:
+			case GroupFields:
+				if len(in.FieldIdx) == 0 {
+					return fmt.Errorf("%w: bolt %q fields grouping without key fields", ErrInvalidTopology, c.Name)
+				}
+				for _, idx := range in.FieldIdx {
+					if idx < 0 || idx >= len(fields) {
+						return fmt.Errorf("%w: bolt %q key field %d out of range for %s.%s", ErrInvalidTopology, c.Name, idx, in.Component, stream)
+					}
+				}
+			default:
+				return fmt.Errorf("%w: bolt %q input has grouping %v", ErrInvalidTopology, c.Name, in.Grouping)
+			}
+		}
+	}
+	return t.checkAcyclic(byName)
+}
+
+func (t *Topology) checkAcyclic(byName map[string]*ComponentSpec) error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case grey:
+			return fmt.Errorf("%w: cycle through component %q", ErrInvalidTopology, name)
+		case black:
+			return nil
+		}
+		color[name] = grey
+		for _, in := range byName[name].Inputs {
+			if err := visit(in.Component); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for name := range byName {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

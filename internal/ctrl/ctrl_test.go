@@ -1,0 +1,83 @@
+package ctrl
+
+import (
+	"testing"
+
+	"heron/internal/core"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := &Message{
+		Op: OpRegisterStmgr, Topology: "t", Container: 3,
+		DataAddr: "inproc-7", On: true,
+	}
+	b, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.Topology != in.Topology || out.Container != in.Container ||
+		out.DataAddr != in.DataAddr || !out.On {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Error("malformed json accepted")
+	}
+	if _, err := Decode([]byte("{}")); err == nil {
+		t.Error("missing op accepted")
+	}
+}
+
+func TestPlanPayloadRoundTrip(t *testing.T) {
+	topo := &core.Topology{
+		Name: "t",
+		Components: []core.ComponentSpec{
+			{Name: "s", Kind: core.KindSpout, Parallelism: 1,
+				Outputs: map[string][]string{"default": {"x"}}},
+			{Name: "b", Kind: core.KindBolt, Parallelism: 1,
+				Inputs: []core.InputSpec{{Component: "s", Grouping: core.GroupShuffle}}},
+		},
+	}
+	plan := &core.PackingPlan{Topology: "t", Containers: []core.ContainerPlan{
+		{ID: 1, Required: core.Resource{CPU: 2, RAMMB: 256, DiskMB: 256},
+			Instances: []core.InstancePlacement{
+				{ID: core.InstanceID{Component: "s", TaskID: 0}, Resources: core.Resource{CPU: 1, RAMMB: 128, DiskMB: 128}},
+				{ID: core.InstanceID{Component: "b", TaskID: 1, ComponentIndex: 0}, Resources: core.Resource{CPU: 1, RAMMB: 128, DiskMB: 128}},
+			}},
+	}}
+	msg := &Message{Op: OpPlan, Topology: "t", Plan: &PlanPayload{
+		Epoch: 7, Topology: topo, Packing: plan,
+		Stmgrs: map[int32]string{1: "addr-1"},
+	}}
+	b, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan == nil || out.Plan.Epoch != 7 || out.Plan.Stmgrs[1] != "addr-1" {
+		t.Fatalf("plan payload = %+v", out.Plan)
+	}
+	pp, err := out.Plan.BuildPhysicalPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pp.Tasks) != 2 {
+		t.Errorf("tasks = %d", len(pp.Tasks))
+	}
+}
+
+func TestBuildPhysicalPlanIncomplete(t *testing.T) {
+	p := &PlanPayload{}
+	if _, err := p.BuildPhysicalPlan(); err == nil {
+		t.Error("incomplete payload accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package kafkasim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(key, value []byte) bool {
+		k, v, rest, err := decodeOne(encode(key, value))
+		return err == nil && bytes.Equal(k, key) && bytes.Equal(v, value) && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := encode([]byte("k"), []byte("v"))
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, _, _, err := decodeOne(bad); err == nil {
+			t.Errorf("flip at %d accepted", i)
+		}
+	}
+	if _, _, _, err := decodeOne(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	b := NewBroker(1)
+	for i := 0; i < SegmentRecords+10; i++ {
+		b.Produce(0, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	b.Flush()
+	if got := b.Len(0); got != SegmentRecords+10 {
+		t.Fatalf("len = %d", got)
+	}
+	c := NewConsumer(b, []int{0})
+	recs := c.Poll(1000)
+	if len(recs) != SegmentRecords+10 {
+		t.Fatalf("polled %d", len(recs))
+	}
+	if string(recs[0].Key) != "k0" || string(recs[len(recs)-1].Key) != fmt.Sprintf("k%d", SegmentRecords+9) {
+		t.Error("record order wrong")
+	}
+}
+
+func TestProduceConsume(t *testing.T) {
+	b := NewBroker(3)
+	for i := 0; i < 30; i++ {
+		b.Produce(i%3, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	b.Flush()
+	c := NewConsumer(b, []int{0, 1, 2})
+	if got := c.Lag(); got != 30 {
+		t.Fatalf("lag = %d", got)
+	}
+	seen := map[string]bool{}
+	for {
+		recs := c.Poll(7)
+		if len(recs) == 0 {
+			break
+		}
+		for _, r := range recs {
+			seen[string(r.Key)] = true
+		}
+	}
+	if len(seen) != 30 {
+		t.Errorf("consumed %d distinct keys", len(seen))
+	}
+	if c.Lag() != 0 {
+		t.Errorf("lag after drain = %d", c.Lag())
+	}
+}
+
+func TestConsumerLoopRewinds(t *testing.T) {
+	b := NewBroker(1)
+	b.Produce(0, []byte("a"), []byte("1"))
+	b.Produce(0, []byte("b"), []byte("2"))
+	b.Flush()
+	c := NewConsumer(b, []int{0})
+	c.Loop = true
+	total := 0
+	for i := 0; i < 5; i++ {
+		total += len(c.Poll(2))
+	}
+	if total != 10 {
+		t.Errorf("looped consumer read %d records, want 10", total)
+	}
+}
+
+func TestAssignAllPartitionsDisjointAndComplete(t *testing.T) {
+	b := NewBroker(10)
+	seen := map[int]int{}
+	for i := 0; i < 3; i++ {
+		c := AssignAll(b, i, 3)
+		for _, p := range c.parts {
+			seen[p]++
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("assigned %d of 10 partitions", len(seen))
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Errorf("partition %d assigned %d times", p, n)
+		}
+	}
+}
+
+func TestPreload(t *testing.T) {
+	b := NewBroker(4)
+	b.Preload(100, func(part, i int) ([]byte, []byte) {
+		return []byte(fmt.Sprintf("p%d-%d", part, i)), []byte("x")
+	})
+	for p := 0; p < 4; p++ {
+		if got := b.Len(p); got != 100 {
+			t.Errorf("partition %d has %d records", p, got)
+		}
+	}
+}
+
+func TestPollEmptyConsumer(t *testing.T) {
+	b := NewBroker(1)
+	c := NewConsumer(b, nil)
+	if got := c.Poll(10); got != nil {
+		t.Errorf("Poll on no partitions = %v", got)
+	}
+}
+
+func BenchmarkPollDecode(b *testing.B) {
+	br := NewBroker(4)
+	value := bytes.Repeat([]byte{0xab}, 200)
+	br.Preload(10000, func(part, i int) ([]byte, []byte) {
+		return []byte(fmt.Sprintf("key-%d-%d", part, i)), value
+	})
+	c := NewConsumer(br, []int{0, 1, 2, 3})
+	c.Loop = true
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		n += len(c.Poll(500))
+	}
+}

@@ -1,0 +1,212 @@
+// Package redissim simulates the Redis deployment of the paper's Section
+// VI-D experiment: a sharded in-memory key-value store reached through a
+// pipelining client that pays realistic protocol costs — every command is
+// encoded to RESP (the Redis serialization protocol) and parsed back on
+// the "server" side, so Figure 14's "writing data" share measures real
+// client/server CPU work.
+package redissim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+)
+
+// Server is a sharded string→int64 store (the aggregation sink the
+// paper's topology writes to).
+type Server struct {
+	shards []*shard
+}
+
+type shard struct {
+	mu   sync.Mutex
+	data map[string]int64
+}
+
+// NewServer creates a server with n shards.
+func NewServer(n int) *Server {
+	if n < 1 {
+		n = 1
+	}
+	s := &Server{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{data: map[string]int64{}}
+	}
+	return s
+}
+
+func (s *Server) shardOf(key string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Get returns a key's value.
+func (s *Server) Get(key string) (int64, bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.data[key]
+	return v, ok
+}
+
+// Keys returns the total number of keys.
+func (s *Server) Keys() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.data)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// execRESP parses one RESP command array and applies it. Only the
+// commands the ETL workload needs are implemented.
+func (s *Server) execRESP(cmd []byte) error {
+	args, err := parseRESP(cmd)
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("redissim: empty command")
+	}
+	switch args[0] {
+	case "INCRBY":
+		if len(args) != 3 {
+			return fmt.Errorf("redissim: INCRBY arity")
+		}
+		delta, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		sh.data[args[1]] += delta
+		sh.mu.Unlock()
+	case "SET":
+		if len(args) != 3 {
+			return fmt.Errorf("redissim: SET arity")
+		}
+		v, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		sh.data[args[1]] = v
+		sh.mu.Unlock()
+	default:
+		return fmt.Errorf("redissim: unknown command %q", args[0])
+	}
+	return nil
+}
+
+// appendRESP encodes an argument list as a RESP array of bulk strings.
+func appendRESP(dst []byte, args ...string) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(len(args)), 10)
+	dst = append(dst, '\r', '\n')
+	for _, a := range args {
+		dst = append(dst, '$')
+		dst = strconv.AppendInt(dst, int64(len(a)), 10)
+		dst = append(dst, '\r', '\n')
+		dst = append(dst, a...)
+		dst = append(dst, '\r', '\n')
+	}
+	return dst
+}
+
+// parseRESP decodes one RESP array of bulk strings.
+func parseRESP(b []byte) ([]string, error) {
+	readLine := func() ([]byte, error) {
+		for i := 0; i+1 < len(b); i++ {
+			if b[i] == '\r' && b[i+1] == '\n' {
+				line := b[:i]
+				b = b[i+2:]
+				return line, nil
+			}
+		}
+		return nil, fmt.Errorf("redissim: unterminated line")
+	}
+	line, err := readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, fmt.Errorf("redissim: expected array")
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 || line[0] != '$' {
+			return nil, fmt.Errorf("redissim: expected bulk string")
+		}
+		l, err := strconv.Atoi(string(line[1:]))
+		if err != nil {
+			return nil, err
+		}
+		if len(b) < l+2 {
+			return nil, fmt.Errorf("redissim: short bulk string")
+		}
+		out = append(out, string(b[:l]))
+		b = b[l+2:]
+	}
+	return out, nil
+}
+
+// Client is a pipelining Redis client: commands accumulate in a buffer
+// and Flush sends the whole pipeline, amortizing round trips exactly as
+// the paper's aggregator does before writing to Redis.
+type Client struct {
+	srv     *Server
+	pending [][]byte
+	scratch []byte
+	// FlushEvery auto-flushes after this many buffered commands
+	// (0 = manual flushes only).
+	FlushEvery int
+}
+
+// NewClient connects a client to a server.
+func NewClient(srv *Server) *Client { return &Client{srv: srv, FlushEvery: 128} }
+
+// IncrBy queues an INCRBY command.
+func (c *Client) IncrBy(key string, delta int64) {
+	c.scratch = appendRESP(c.scratch[:0], "INCRBY", key, strconv.FormatInt(delta, 10))
+	c.pending = append(c.pending, append([]byte(nil), c.scratch...))
+	if c.FlushEvery > 0 && len(c.pending) >= c.FlushEvery {
+		_ = c.Flush()
+	}
+}
+
+// Set queues a SET command.
+func (c *Client) Set(key string, v int64) {
+	c.scratch = appendRESP(c.scratch[:0], "SET", key, strconv.FormatInt(v, 10))
+	c.pending = append(c.pending, append([]byte(nil), c.scratch...))
+	if c.FlushEvery > 0 && len(c.pending) >= c.FlushEvery {
+		_ = c.Flush()
+	}
+}
+
+// Flush executes the pipeline.
+func (c *Client) Flush() error {
+	var first error
+	for _, cmd := range c.pending {
+		if err := c.srv.execRESP(cmd); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.pending = c.pending[:0]
+	return first
+}
+
+// Pending returns the number of buffered commands.
+func (c *Client) Pending() int { return len(c.pending) }

@@ -1,0 +1,118 @@
+package redissim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestRESPRoundTrip(t *testing.T) {
+	f := func(a, b, c string) bool {
+		enc := appendRESP(nil, a, b, c)
+		args, err := parseRESP(enc)
+		return err == nil && len(args) == 3 && args[0] == a && args[1] == b && args[2] == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRESPErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("+OK\r\n"),
+		[]byte("*1\r\n+x\r\n"),
+		[]byte("*2\r\n$1\r\na\r\n"),   // short array
+		[]byte("*1\r\n$10\r\nab\r\n"), // short bulk
+	}
+	for _, c := range cases {
+		if _, err := parseRESP(c); err == nil {
+			t.Errorf("parseRESP(%q) accepted", c)
+		}
+	}
+}
+
+func TestIncrBySetGet(t *testing.T) {
+	srv := NewServer(4)
+	c := NewClient(srv)
+	c.FlushEvery = 0
+	c.IncrBy("counts:word", 3)
+	c.IncrBy("counts:word", 4)
+	c.Set("total", 99)
+	if srv.Keys() != 0 {
+		t.Error("commands applied before flush")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := srv.Get("counts:word"); !ok || v != 7 {
+		t.Errorf("counts:word = %d, %v", v, ok)
+	}
+	if v, _ := srv.Get("total"); v != 99 {
+		t.Errorf("total = %d", v)
+	}
+	if srv.Keys() != 2 {
+		t.Errorf("keys = %d", srv.Keys())
+	}
+}
+
+func TestAutoFlush(t *testing.T) {
+	srv := NewServer(1)
+	c := NewClient(srv)
+	c.FlushEvery = 10
+	for i := 0; i < 25; i++ {
+		c.IncrBy(fmt.Sprintf("k%d", i), 1)
+	}
+	if c.Pending() >= 10 {
+		t.Errorf("pending = %d, auto-flush broken", c.Pending())
+	}
+	c.Flush()
+	if srv.Keys() != 25 {
+		t.Errorf("keys = %d", srv.Keys())
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	srv := NewServer(1)
+	bad := [][]string{
+		{"UNKNOWN", "x"},
+		{"INCRBY", "k"},
+		{"INCRBY", "k", "notanumber"},
+		{"SET", "k"},
+	}
+	for _, args := range bad {
+		if err := srv.execRESP(appendRESP(nil, args...)); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	srv := NewServer(8)
+	c := NewClient(srv)
+	for i := 0; i < 1000; i++ {
+		c.Set(fmt.Sprintf("key-%d", i), int64(i))
+	}
+	c.Flush()
+	used := 0
+	for _, sh := range srv.shards {
+		sh.mu.Lock()
+		if len(sh.data) > 0 {
+			used++
+		}
+		sh.mu.Unlock()
+	}
+	if used < 6 {
+		t.Errorf("only %d of 8 shards used", used)
+	}
+}
+
+func BenchmarkPipelinedIncr(b *testing.B) {
+	srv := NewServer(8)
+	c := NewClient(srv)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.IncrBy("hot-key", 1)
+	}
+	c.Flush()
+}

@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+)
+
+// PaperParallelismHeronVsStorm are the x-axis points of Figures 2–4.
+var PaperParallelismHeronVsStorm = []int{10, 25, 50, 75}
+
+// PaperParallelismOptimizations are the x-axis points of Figures 5–9.
+var PaperParallelismOptimizations = []int{25, 100, 200}
+
+// PaperMaxSpoutPending are the sweep points of Figures 10–11 (tuples).
+var PaperMaxSpoutPending = []int{1000, 5000, 10000, 20000, 40000, 60000}
+
+// PaperCacheDrainFrequencies are the sweep points of Figures 12–13.
+var PaperCacheDrainFrequencies = []time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 32 * time.Millisecond,
+}
+
+// Fig2and3 reproduces Figures 2 and 3: WordCount throughput and
+// end-to-end latency with acknowledgements enabled, Heron vs Storm,
+// across spout/bolt parallelism. Expected shape: Heron ≈3–5× Storm's
+// throughput at 2–4× lower latency.
+func Fig2and3(parallelism []int, base WCOptions) (throughput, latency *Table, err error) {
+	throughput = &Table{
+		Title:   "Figure 2: Throughput with acks (million tuples/min)",
+		Columns: []string{"parallelism", "heron", "storm", "heron/storm"},
+		Note:    "paper: Heron outperforms Storm by ~3-5x",
+	}
+	latency = &Table{
+		Title:   "Figure 3: End-to-end latency with acks (ms)",
+		Columns: []string{"parallelism", "heron", "storm", "storm/heron"},
+		Note:    "paper: Heron has 2-4x lower latency",
+	}
+	for _, p := range parallelism {
+		o := base
+		o.Parallelism = p
+		o.Acks = true
+		o.Optimized = true
+		hr, err := RunHeronWordCount(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		sr, err := RunStormWordCount(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		throughput.Rows = append(throughput.Rows, []string{
+			fmt.Sprint(p), f1(hr.ThroughputMTPM), f1(sr.ThroughputMTPM),
+			f2(ratio(hr.ThroughputMTPM, sr.ThroughputMTPM)),
+		})
+		latency.Rows = append(latency.Rows, []string{
+			fmt.Sprint(p), f2(hr.LatencyMeanMs), f2(sr.LatencyMeanMs),
+			f2(ratio(sr.LatencyMeanMs, hr.LatencyMeanMs)),
+		})
+	}
+	return throughput, latency, nil
+}
+
+// Fig4 reproduces Figure 4: throughput without acknowledgements, Heron vs
+// Storm. Expected shape: Heron ≈2–3× Storm.
+func Fig4(parallelism []int, base WCOptions) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 4: Throughput without acks (million tuples/min)",
+		Columns: []string{"parallelism", "heron", "storm", "heron/storm"},
+		Note:    "paper: Heron throughput is 2-3x that of Storm",
+	}
+	for _, p := range parallelism {
+		o := base
+		o.Parallelism = p
+		o.Acks = false
+		o.Optimized = true
+		hr, err := RunHeronWordCount(o)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := RunStormWordCount(o)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p), f1(hr.ThroughputMTPM), f1(sr.ThroughputMTPM),
+			f2(ratio(hr.ThroughputMTPM, sr.ThroughputMTPM)),
+		})
+	}
+	return t, nil
+}
+
+// Fig5to6 reproduces Figures 5 and 6: throughput (total and per
+// provisioned CPU core) without acks, with vs without the Stream Manager
+// optimizations. Expected shape: ≈5–6× total, ≈4–5× per core.
+func Fig5to6(parallelism []int, base WCOptions) (total, perCore *Table, err error) {
+	total = &Table{
+		Title:   "Figure 5: Throughput without acks (million tuples/min)",
+		Columns: []string{"parallelism", "without-opts", "with-opts", "speedup"},
+		Note:    "paper: optimizations provide 5-6x improvement",
+	}
+	perCore = &Table{
+		Title:   "Figure 6: Throughput/CPU core without acks (million tuples/min/core)",
+		Columns: []string{"parallelism", "without-opts", "with-opts", "speedup"},
+		Note:    "paper: ~4-5x improvement per provisioned core",
+	}
+	for _, p := range parallelism {
+		o := base
+		o.Parallelism = p
+		o.Acks = false
+		o.Optimized = false
+		off, err := RunHeronWordCount(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		o.Optimized = true
+		on, err := RunHeronWordCount(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		total.Rows = append(total.Rows, []string{
+			fmt.Sprint(p), f1(off.ThroughputMTPM), f1(on.ThroughputMTPM),
+			f2(ratio(on.ThroughputMTPM, off.ThroughputMTPM)),
+		})
+		perCore.Rows = append(perCore.Rows, []string{
+			fmt.Sprint(p), f2(off.PerCoreMTPM), f2(on.PerCoreMTPM),
+			f2(ratio(on.PerCoreMTPM, off.PerCoreMTPM)),
+		})
+	}
+	return total, perCore, nil
+}
+
+// Fig7to9 reproduces Figures 7, 8 and 9: throughput, per-core throughput
+// and latency with acks, with vs without the optimizations. Expected
+// shape: ≈3.5–4.5× throughput, substantial per-core gain, 2–3× lower
+// latency.
+func Fig7to9(parallelism []int, base WCOptions) (total, perCore, latency *Table, err error) {
+	total = &Table{
+		Title:   "Figure 7: Throughput with acks (million tuples/min)",
+		Columns: []string{"parallelism", "without-opts", "with-opts", "speedup"},
+		Note:    "paper: 3.5-4.5x improvement",
+	}
+	perCore = &Table{
+		Title:   "Figure 8: Throughput/CPU core with acks (million tuples/min/core)",
+		Columns: []string{"parallelism", "without-opts", "with-opts", "speedup"},
+		Note:    "paper: substantial per-core improvement",
+	}
+	latency = &Table{
+		Title:   "Figure 9: End-to-end latency with acks (ms)",
+		Columns: []string{"parallelism", "without-opts", "with-opts", "reduction"},
+		Note:    "paper: 2-3x latency reduction",
+	}
+	for _, p := range parallelism {
+		o := base
+		o.Parallelism = p
+		o.Acks = true
+		if o.MaxSpoutPending == 0 {
+			// Keep the total in-flight window modest so the single-host
+			// substrate measures pipeline cost, not queueing (the paper's
+			// testbed spread the same window over dozens of cores).
+			o.MaxSpoutPending = 200
+		}
+		o.Optimized = false
+		off, err := RunHeronWordCount(o)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		o.Optimized = true
+		on, err := RunHeronWordCount(o)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		total.Rows = append(total.Rows, []string{
+			fmt.Sprint(p), f1(off.ThroughputMTPM), f1(on.ThroughputMTPM),
+			f2(ratio(on.ThroughputMTPM, off.ThroughputMTPM)),
+		})
+		perCore.Rows = append(perCore.Rows, []string{
+			fmt.Sprint(p), f2(off.PerCoreMTPM), f2(on.PerCoreMTPM),
+			f2(ratio(on.PerCoreMTPM, off.PerCoreMTPM)),
+		})
+		latency.Rows = append(latency.Rows, []string{
+			fmt.Sprint(p), f2(off.LatencyMeanMs), f2(on.LatencyMeanMs),
+			f2(ratio(off.LatencyMeanMs, on.LatencyMeanMs)),
+		})
+	}
+	return total, perCore, latency, nil
+}
+
+// Fig10to11 reproduces Figures 10 and 11: throughput and latency vs
+// max_spout_pending for each parallelism. Expected shape: throughput
+// rises then saturates; latency rises monotonically with pending tuples.
+func Fig10to11(parallelism []int, pendings []int, base WCOptions) (throughput, latency *Table, err error) {
+	throughput = &Table{
+		Title:   "Figure 10: Throughput vs max spout pending (million tuples/min)",
+		Columns: append([]string{"max-spout-pending"}, colNames(parallelism)...),
+		Note:    "paper: throughput increases until the topology saturates",
+	}
+	latency = &Table{
+		Title:   "Figure 11: Latency vs max spout pending (ms)",
+		Columns: append([]string{"max-spout-pending"}, colNames(parallelism)...),
+		Note:    "paper: latency grows with pending tuples (queuing delays)",
+	}
+	for _, msp := range pendings {
+		tRow := []string{fmt.Sprint(msp)}
+		lRow := []string{fmt.Sprint(msp)}
+		for _, p := range parallelism {
+			o := base
+			o.Parallelism = p
+			o.Acks = true
+			o.Optimized = true
+			o.MaxSpoutPending = msp
+			r, err := RunHeronWordCount(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			tRow = append(tRow, f1(r.ThroughputMTPM))
+			lRow = append(lRow, f2(r.LatencyMeanMs))
+		}
+		throughput.Rows = append(throughput.Rows, tRow)
+		latency.Rows = append(latency.Rows, lRow)
+	}
+	return throughput, latency, nil
+}
+
+// Fig12to13 reproduces Figures 12 and 13: throughput and latency vs the
+// Stream Manager cache drain frequency. Expected shape: throughput peaks
+// at a middle drain period (flush overhead on the left, bounded in-flight
+// tuples starving the pipeline on the right); latency is U-shaped.
+func Fig12to13(parallelism []int, drains []time.Duration, base WCOptions) (throughput, latency *Table, err error) {
+	throughput = &Table{
+		Title:   "Figure 12: Throughput vs cache drain frequency (million tuples/min)",
+		Columns: append([]string{"drain-ms"}, colNames(parallelism)...),
+		Note:    "paper: rises to a peak then declines",
+	}
+	latency = &Table{
+		Title:   "Figure 13: Latency vs cache drain frequency (ms)",
+		Columns: append([]string{"drain-ms"}, colNames(parallelism)...),
+		Note:    "paper: high flush overhead at low periods, queuing delays at high",
+	}
+	for _, d := range drains {
+		tRow := []string{fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)}
+		lRow := []string{fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)}
+		for _, p := range parallelism {
+			o := base
+			o.Parallelism = p
+			o.Acks = true
+			o.Optimized = true
+			o.CacheDrain = d
+			if o.CacheMaxBatch == 0 {
+				// Timer-governed batching: the paper's sweep varies the
+				// drain period, so the size threshold must not preempt it.
+				o.CacheMaxBatch = 1 << 20
+			}
+			if o.MaxSpoutPending == 0 {
+				// A bounded in-flight window makes the right side of the
+				// curve visible: tuples waiting out a long drain period
+				// starve the spout window.
+				o.MaxSpoutPending = 200
+			}
+			r, err := RunHeronWordCount(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			tRow = append(tRow, f1(r.ThroughputMTPM))
+			lRow = append(lRow, f2(r.LatencyMeanMs))
+		}
+		throughput.Rows = append(throughput.Rows, tRow)
+		latency.Rows = append(latency.Rows, lRow)
+	}
+	return throughput, latency, nil
+}
+
+func colNames(parallelism []int) []string {
+	out := make([]string, len(parallelism))
+	for i, p := range parallelism {
+		out[i] = fmt.Sprintf("%ds/%db", p, p)
+	}
+	return out
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

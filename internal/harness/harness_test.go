@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// Quick-run options keep harness tests fast; the real sweeps live in the
+// repository-root benchmarks and cmd/heron-bench.
+func quick(parallelism int) WCOptions {
+	return WCOptions{
+		Parallelism: parallelism,
+		Containers:  2,
+		Warmup:      300 * time.Millisecond,
+		Measure:     700 * time.Millisecond,
+		DictSize:    10_000,
+	}
+}
+
+func TestHeronRunProducesThroughput(t *testing.T) {
+	o := quick(4)
+	o.Acks = false
+	o.Optimized = true
+	r, err := RunHeronWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples == 0 || r.ThroughputMTPM <= 0 {
+		t.Fatalf("no throughput: %+v", r)
+	}
+	if r.Cores <= 0 || r.PerCoreMTPM <= 0 {
+		t.Errorf("per-core accounting broken: %+v", r)
+	}
+}
+
+func TestHeronAckedRunProducesLatency(t *testing.T) {
+	o := quick(4)
+	o.Acks = true
+	o.Optimized = true
+	r, err := RunHeronWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencyMeanMs <= 0 || r.LatencyP99Ms < r.LatencyP50Ms {
+		t.Errorf("latency stats: %+v", r)
+	}
+}
+
+func TestStormRunProducesThroughput(t *testing.T) {
+	o := quick(4)
+	o.Acks = false
+	r, err := RunStormWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples == 0 {
+		t.Fatalf("no throughput: %+v", r)
+	}
+}
+
+// TestShapeHeronBeatsStorm is the headline claim (Figures 2 and 4) at
+// small scale: the optimized general-purpose engine out-throughputs the
+// specialized baseline. The threshold is deliberately loose — shape, not
+// magnitude.
+func TestShapeHeronBeatsStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparative shape test")
+	}
+	o := quick(8)
+	o.Measure = 1500 * time.Millisecond
+	o.Acks = false
+	o.Optimized = true
+	hr, err := RunHeronWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := RunStormWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("heron=%.1f storm=%.1f Mtuples/min (ratio %.2f)",
+		hr.ThroughputMTPM, sr.ThroughputMTPM, hr.ThroughputMTPM/sr.ThroughputMTPM)
+	if hr.ThroughputMTPM < sr.ThroughputMTPM {
+		t.Errorf("Heron (%.1f) did not beat Storm (%.1f)", hr.ThroughputMTPM, sr.ThroughputMTPM)
+	}
+}
+
+// TestShapeOptimizationsHelp checks the Figures 5/7 direction: the
+// optimized stream manager beats the naive one.
+func TestShapeOptimizationsHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparative shape test")
+	}
+	o := quick(8)
+	o.Measure = 1500 * time.Millisecond
+	o.Acks = false
+	o.Optimized = false
+	off, err := RunHeronWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Optimized = true
+	on, err := RunHeronWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("with-opts=%.1f without=%.1f (speedup %.2f)",
+		on.ThroughputMTPM, off.ThroughputMTPM, on.ThroughputMTPM/off.ThroughputMTPM)
+	if on.ThroughputMTPM <= off.ThroughputMTPM {
+		t.Errorf("optimizations did not help: on=%.1f off=%.1f", on.ThroughputMTPM, off.ThroughputMTPM)
+	}
+}
+
+func TestFig14Breakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ETL run")
+	}
+	r, err := RunETL(ETLOptions{
+		EventsPerPart: 20_000,
+		Warmup:        400 * time.Millisecond,
+		Measure:       1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fetch=%.1f%% user=%.1f%% heron=%.1f%% write=%.1f%% rate=%.1fM/min keys=%d",
+		r.FetchPct, r.UserPct, r.HeronPct, r.WritePct, r.EventsPerMin/1e6, r.RedisKeys)
+	sum := r.FetchPct + r.UserPct + r.HeronPct + r.WritePct
+	if sum < 99 || sum > 101 {
+		t.Errorf("percentages sum to %.1f", sum)
+	}
+	if r.RedisKeys == 0 {
+		t.Error("no aggregates reached Redis")
+	}
+	if r.EventsPerMin <= 0 {
+		t.Error("no events consumed")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"yyyy", "2"}},
+		Note:    "n",
+	}
+	out := tab.Format()
+	if out == "" || len(out) < 20 {
+		t.Errorf("format = %q", out)
+	}
+}

@@ -1,0 +1,258 @@
+package instance
+
+import (
+	"log"
+	"time"
+
+	"heron/api"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// boltTuple implements api.Tuple for one received data tuple. It carries
+// the anchoring state the collector needs to compute ack deltas: the
+// tuple's own key, its roots, and the XOR of the keys of every tuple
+// emitted anchored to it.
+type boltTuple struct {
+	values     api.Values
+	source     string
+	stream     string
+	key        uint64
+	roots      []uint64
+	emittedXor uint64
+	done       bool
+}
+
+// Values implements api.Tuple.
+func (t *boltTuple) Values() api.Values { return t.values }
+
+// SourceComponent implements api.Tuple.
+func (t *boltTuple) SourceComponent() string { return t.source }
+
+// Stream implements api.Tuple.
+func (t *boltTuple) Stream() string { return t.stream }
+
+// String implements api.Tuple.
+func (t *boltTuple) String(i int) string { return t.values[i].(string) }
+
+// Int implements api.Tuple.
+func (t *boltTuple) Int(i int) int64 { return t.values[i].(int64) }
+
+// Float implements api.Tuple.
+func (t *boltTuple) Float(i int) float64 { return t.values[i].(float64) }
+
+// Bool implements api.Tuple.
+func (t *boltTuple) Bool(i int) bool { return t.values[i].(bool) }
+
+// Bytes implements api.Tuple.
+func (t *boltTuple) Bytes(i int) []byte { return t.values[i].([]byte) }
+
+// boltCollector implements api.BoltCollector; executor goroutine only.
+type boltCollector struct {
+	in      *Instance
+	destBuf []int32
+	encBuf  []byte
+	roots   []uint64
+}
+
+// Emit implements api.BoltCollector.
+func (c *boltCollector) Emit(stream string, anchors []api.Tuple, values ...any) {
+	in := c.in
+	ps := in.plan.Load()
+	if ps == nil {
+		return
+	}
+	sid, ok := ps.streamIDByName[streamOrDefault(stream)]
+	if !ok {
+		log.Printf("instance %v: emit on undeclared stream %q", in.opts.ID, stream)
+		return
+	}
+	c.destBuf = c.destBuf[:0]
+	dests, err := ps.destinations(sid, values, c.destBuf)
+	if err != nil {
+		return
+	}
+	c.destBuf = dests
+	if len(dests) == 0 {
+		return
+	}
+
+	// Union of the anchors' roots (duplicates are fine to skip: roots are
+	// per-spout-emission and an input is anchored to each root once).
+	c.roots = c.roots[:0]
+	reliable := in.opts.Cfg.AckingEnabled && len(anchors) > 0
+	var anchorTuples []*boltTuple
+	if reliable {
+		for _, a := range anchors {
+			bt, ok := a.(*boltTuple)
+			if !ok {
+				continue
+			}
+			anchorTuples = append(anchorTuples, bt)
+			for _, r := range bt.roots {
+				dup := false
+				for _, have := range c.roots {
+					if have == r {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					c.roots = append(c.roots, r)
+				}
+			}
+		}
+		reliable = len(c.roots) > 0
+	}
+
+	t := tuple.Get()
+	defer tuple.Put(t)
+	t.SrcTask = in.opts.ID.TaskID
+	t.StreamID = sid
+	t.Values = append(t.Values, values...)
+	if reliable {
+		t.Roots = append(t.Roots, c.roots...)
+	}
+	for _, dest := range dests {
+		t.DestTask = dest
+		if reliable {
+			t.Key = in.rng.Uint64() | 1
+			// The new key joins every anchor's pending XOR: it is folded
+			// into the anchors' ack deltas.
+			for _, bt := range anchorTuples {
+				bt.emittedXor ^= t.Key
+			}
+		}
+		if in.codec.Pooled() {
+			c.encBuf = in.codec.EncodeData(c.encBuf[:0], t)
+			in.sendData(dest, c.encBuf)
+		} else {
+			in.sendData(dest, in.codec.EncodeData(nil, t))
+		}
+		in.mEmitted.Inc(1)
+	}
+}
+
+// Ack implements api.BoltCollector: the tuple's tree absorbs
+// key ⊕ emittedChildren for every root.
+func (c *boltCollector) Ack(t api.Tuple) {
+	bt, ok := t.(*boltTuple)
+	if !ok || bt.done {
+		return
+	}
+	bt.done = true
+	in := c.in
+	if !in.opts.Cfg.AckingEnabled || len(bt.roots) == 0 {
+		return
+	}
+	delta := bt.key ^ bt.emittedXor
+	for _, root := range bt.roots {
+		in.sendAck(&tuple.AckTuple{
+			Kind: tuple.AckAck, SpoutTask: RootSpout(root), Root: root, Delta: delta,
+		})
+	}
+	in.mAcked.Inc(1)
+}
+
+// Fail implements api.BoltCollector: every root's tree fails now.
+func (c *boltCollector) Fail(t api.Tuple) {
+	bt, ok := t.(*boltTuple)
+	if !ok || bt.done {
+		return
+	}
+	bt.done = true
+	in := c.in
+	if !in.opts.Cfg.AckingEnabled || len(bt.roots) == 0 {
+		return
+	}
+	for _, root := range bt.roots {
+		in.sendAck(&tuple.AckTuple{
+			Kind: tuple.AckFail, SpoutTask: RootSpout(root), Root: root,
+		})
+	}
+	in.mFailed.Inc(1)
+}
+
+// runBolt is the bolt executor loop.
+func (in *Instance) runBolt() {
+	col := &boltCollector{in: in}
+	if err := in.opts.Bolt.Prepare(context{in}, col); err != nil {
+		log.Printf("instance %v: bolt prepare: %v", in.opts.ID, err)
+		return
+	}
+	defer func() {
+		if err := in.opts.Bolt.Cleanup(); err != nil {
+			log.Printf("instance %v: bolt cleanup: %v", in.opts.ID, err)
+		}
+	}()
+	// Bolts that implement api.Ticker and declare a tick interval get
+	// periodic Tick calls on this goroutine, interleaved with Execute.
+	var tick <-chan time.Time
+	ticker, isTicker := in.opts.Bolt.(api.Ticker)
+	if isTicker {
+		if ms := in.tickEveryMs(); ms > 0 {
+			tk := time.NewTicker(time.Duration(ms) * time.Millisecond)
+			defer tk.Stop()
+			tick = tk.C
+		}
+	}
+	var dt tuple.DataTuple
+	for {
+		select {
+		case f := <-in.inbox:
+			if f.kind != network.MsgData {
+				continue
+			}
+			in.executeFrame(f.data, &dt, col)
+			in.flushOut() // one outbound frame per processed batch
+		case <-tick:
+			if err := ticker.Tick(); err != nil {
+				log.Printf("instance %v: tick: %v", in.opts.ID, err)
+			}
+			in.flushOut()
+		case <-in.stop:
+			return
+		}
+	}
+}
+
+// tickEveryMs reads this component's tick interval from the plan.
+func (in *Instance) tickEveryMs() int64 {
+	ps := in.plan.Load()
+	if ps == nil {
+		return 0
+	}
+	if spec := ps.pp.Topology.Component(in.opts.ID.Component); spec != nil {
+		return spec.TickEveryMs
+	}
+	return 0
+}
+
+// executeFrame decodes and executes every tuple of one data frame.
+func (in *Instance) executeFrame(frame []byte, dt *tuple.DataTuple, col *boltCollector) {
+	ps := in.plan.Load()
+	_, _, err := tuple.WalkFrame(frame, func(tb []byte) error {
+		if err := in.codec.DecodeData(tb, dt); err != nil {
+			return nil
+		}
+		bt := &boltTuple{
+			values: append(api.Values(nil), dt.Values...),
+			key:    dt.Key,
+		}
+		if len(dt.Roots) > 0 {
+			bt.roots = append([]uint64(nil), dt.Roots...)
+		}
+		if ps != nil && int(dt.StreamID) < len(ps.pp.Streams) {
+			si := &ps.pp.Streams[dt.StreamID]
+			bt.source, bt.stream = si.SrcComponent, si.Stream
+		}
+		in.mExecuted.Inc(1)
+		if err := in.opts.Bolt.Execute(bt); err != nil {
+			log.Printf("instance %v: execute: %v", in.opts.ID, err)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Printf("instance %v: bad frame: %v", in.opts.ID, err)
+	}
+}

@@ -1,0 +1,370 @@
+// Package instance implements the Heron Instance: the process that runs
+// exactly one spout or bolt task (the paper's Section II — "every spout
+// and bolt run as separate Heron Instances", giving per-task resource and
+// failure isolation).
+//
+// An instance connects to its container's Stream Manager, registers its
+// task id, receives the physical plan, and then runs a single-threaded
+// executor loop: spouts pull from user code and emit; bolts execute
+// incoming tuples. All routing decisions (grouping, destination task) are
+// made here, while the tuple values are still in memory — the Stream
+// Manager only ever reads the destination header.
+package instance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heron/api"
+	"heron/internal/core"
+	"heron/internal/ctrl"
+	"heron/internal/metrics"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// Options configure one instance.
+type Options struct {
+	Topology string
+	ID       core.InstanceID
+	Kind     core.ComponentKind
+	Spout    api.Spout // when Kind == KindSpout
+	Bolt     api.Bolt  // when Kind == KindBolt
+	Cfg      *core.Config
+	// StmgrAddr is the local Stream Manager's data address.
+	StmgrAddr string
+	Registry  *metrics.Registry
+}
+
+// inFrame is one frame queued for the executor.
+type inFrame struct {
+	kind network.MsgKind
+	data []byte
+}
+
+// Instance is one running spout or bolt task.
+type Instance struct {
+	opts  Options
+	conn  network.Conn
+	codec tuple.Codec
+
+	plan      atomic.Pointer[planState]
+	planReady chan struct{}
+	readyOnce sync.Once
+
+	inbox chan inFrame
+	// wake nudges a gated executor when state it is waiting on (a
+	// backpressure release, a new plan) changes outside the inbox.
+	wake chan struct{}
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	// pauses tracks which containers currently assert backpressure.
+	pauseMu sync.Mutex
+	pauses  map[int32]bool
+	paused  atomic.Bool
+
+	// maxPending is the live max-spout-pending window; OpTune updates it
+	// at runtime (0 = unbounded).
+	maxPending atomic.Int64
+
+	rng *rand.Rand
+
+	// Spout state (executor goroutine only).
+	inflight int
+	pending  map[uint64]pendingEmit
+
+	// Reusable scratch buffers (executor goroutine only; Send copies).
+	frameBuf []byte
+	ackBuf   []byte
+	encBuf2  []byte
+
+	// Output batching (executor goroutine only): emitted tuples and acks
+	// accumulate and leave in one frame per flush — the gateway-side
+	// batching of Heron's instances. Disabled with the naive codec so the
+	// unoptimized arm stays per-tuple end to end.
+	batchOut    bool
+	outBatchMax int
+	outData     []byte
+	outCount    int
+	outAcks     []byte
+	outAckCnt   int
+
+	// Metrics.
+	mEmitted  *metrics.Counter
+	mExecuted *metrics.Counter
+	mAcked    *metrics.Counter
+	mFailed   *metrics.Counter
+	mLatency  *metrics.Histogram
+	mInflight *metrics.Gauge
+}
+
+type pendingEmit struct {
+	msgID  any
+	emitNs int64
+}
+
+// New creates an instance, connects it to the Stream Manager and starts
+// its executor.
+func New(opts Options) (*Instance, error) {
+	if opts.Cfg == nil {
+		return nil, errors.New("instance: nil config")
+	}
+	switch opts.Kind {
+	case core.KindSpout:
+		if opts.Spout == nil {
+			return nil, errors.New("instance: spout kind without spout")
+		}
+	case core.KindBolt:
+		if opts.Bolt == nil {
+			return nil, errors.New("instance: bolt kind without bolt")
+		}
+	default:
+		return nil, fmt.Errorf("instance: bad kind %v", opts.Kind)
+	}
+	tr, err := network.ByName(opts.Cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := tuple.ByName(opts.Cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	conn, err := tr.Dial(opts.StmgrAddr)
+	if err != nil {
+		return nil, fmt.Errorf("instance %v: dialing stmgr: %w", opts.ID, err)
+	}
+	prefix := fmt.Sprintf("%s.%d.", opts.ID.Component, opts.ID.ComponentIndex)
+	inst := &Instance{
+		opts:      opts,
+		conn:      conn,
+		codec:     codec,
+		planReady: make(chan struct{}),
+		inbox:     make(chan inFrame, 1024),
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		pauses:    map[int32]bool{},
+		rng:       rand.New(rand.NewSource(int64(opts.ID.TaskID)*2654435761 + time.Now().UnixNano())),
+		pending:   map[uint64]pendingEmit{},
+
+		batchOut: opts.Cfg.StreamManagerOptimized && codec.Pooled(),
+
+		mEmitted:  opts.Registry.Counter(prefix + "emitted"),
+		mExecuted: opts.Registry.Counter(prefix + "executed"),
+		mAcked:    opts.Registry.Counter(prefix + "acked"),
+		mFailed:   opts.Registry.Counter(prefix + "failed"),
+		mLatency:  opts.Registry.Histogram(prefix + "complete_latency_ns"),
+		mInflight: opts.Registry.Gauge(prefix + "inflight"),
+	}
+	conn.Start(inst.onFrame)
+	reg, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpRegisterInstance, Topology: opts.Topology, TaskID: opts.ID.TaskID})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := conn.Send(network.MsgControl, reg); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("instance %v: registering: %w", opts.ID, err)
+	}
+	if inst.outBatchMax <= 0 {
+		inst.outBatchMax = defaultOutBatchTuples
+	}
+	if inst.outBatchMax == 1 {
+		inst.batchOut = false // per-tuple: the ablation baseline
+	}
+	inst.maxPending.Store(int64(opts.Cfg.MaxSpoutPending))
+	inst.wg.Add(1)
+	go inst.run()
+	return inst, nil
+}
+
+// onFrame is the connection handler: control frames are applied
+// immediately, data/ack frames are queued for the executor.
+func (in *Instance) onFrame(kind network.MsgKind, payload []byte) {
+	if kind == network.MsgControl {
+		m, err := ctrl.Decode(payload)
+		if err != nil {
+			return
+		}
+		switch m.Op {
+		case ctrl.OpPlan:
+			in.applyPlan(m.Plan)
+		case ctrl.OpBackpressure:
+			in.setPause(m.Container, m.On)
+		case ctrl.OpTune:
+			if m.MaxSpoutPending >= 0 {
+				in.maxPending.Store(int64(m.MaxSpoutPending))
+				in.nudge()
+			}
+		}
+		return
+	}
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	select {
+	case in.inbox <- inFrame{kind, data}:
+	case <-in.stop:
+	}
+}
+
+func (in *Instance) applyPlan(p *ctrl.PlanPayload) {
+	if p == nil {
+		return
+	}
+	ps, err := newPlanState(p, in.opts.ID.TaskID)
+	if err != nil {
+		return
+	}
+	old := in.plan.Load()
+	if old != nil && old.epoch > ps.epoch {
+		return
+	}
+	in.plan.Store(ps)
+	in.readyOnce.Do(func() { close(in.planReady) })
+}
+
+func (in *Instance) setPause(origin int32, on bool) {
+	in.pauseMu.Lock()
+	if on {
+		in.pauses[origin] = true
+	} else {
+		delete(in.pauses, origin)
+	}
+	in.paused.Store(len(in.pauses) > 0)
+	in.pauseMu.Unlock()
+	in.nudge()
+}
+
+// nudge wakes a gated executor without blocking.
+func (in *Instance) nudge() {
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run dispatches to the executor for this instance's kind.
+func (in *Instance) run() {
+	defer in.wg.Done()
+	select {
+	case <-in.planReady:
+	case <-in.stop:
+		return
+	}
+	switch in.opts.Kind {
+	case core.KindSpout:
+		in.runSpout()
+	case core.KindBolt:
+		in.runBolt()
+	}
+}
+
+// Stop halts the executor and closes the connection.
+func (in *Instance) Stop() {
+	in.once.Do(func() {
+		close(in.stop)
+		in.conn.Close()
+	})
+	in.wg.Wait()
+}
+
+// TaskID returns this instance's task id.
+func (in *Instance) TaskID() int32 { return in.opts.ID.TaskID }
+
+// context implements api.TopologyContext against the current plan.
+type context struct {
+	in *Instance
+}
+
+// TopologyName implements api.TopologyContext.
+func (c context) TopologyName() string { return c.in.opts.Topology }
+
+// ComponentName implements api.TopologyContext.
+func (c context) ComponentName() string { return c.in.opts.ID.Component }
+
+// ComponentIndex implements api.TopologyContext.
+func (c context) ComponentIndex() int32 { return c.in.opts.ID.ComponentIndex }
+
+// TaskID implements api.TopologyContext.
+func (c context) TaskID() int32 { return c.in.opts.ID.TaskID }
+
+// ComponentParallelism implements api.TopologyContext.
+func (c context) ComponentParallelism(component string) int {
+	ps := c.in.plan.Load()
+	if ps == nil {
+		return 0
+	}
+	return len(ps.pp.ComponentTasks(component))
+}
+
+// defaultOutBatchTuples flushes the instance's output buffer once this
+// many tuples have accumulated.
+const defaultOutBatchTuples = 64
+
+// sendData emits one encoded tuple toward the Stream Manager. With
+// batching on, tuples accumulate into a mixed-destination frame flushed
+// by flushOut; otherwise each tuple leaves as its own frame.
+func (in *Instance) sendData(dest int32, encoded []byte) {
+	if in.batchOut {
+		in.outData = tuple.AppendFrameEntry(in.outData, encoded)
+		in.outCount++
+		if in.outCount >= in.outBatchMax {
+			in.flushOut()
+		}
+		return
+	}
+	in.frameBuf = tuple.AppendFrameHeader(in.frameBuf[:0], dest, 1)
+	in.frameBuf = tuple.AppendFrameEntry(in.frameBuf, encoded)
+	_ = in.conn.Send(network.MsgData, in.frameBuf)
+}
+
+// sendAck emits one control tuple toward the Stream Manager, batched the
+// same way as data.
+func (in *Instance) sendAck(a *tuple.AckTuple) {
+	in.encBuf2 = tuple.EncodeAck(in.encBuf2[:0], a)
+	if in.batchOut {
+		in.outAcks = tuple.AppendFrameEntry(in.outAcks, in.encBuf2)
+		in.outAckCnt++
+		if in.outAckCnt >= in.outBatchMax {
+			in.flushOut()
+		}
+		return
+	}
+	in.ackBuf = tuple.AppendAckFrameHeader(in.ackBuf[:0], 1)
+	in.ackBuf = tuple.AppendFrameEntry(in.ackBuf, in.encBuf2)
+	_ = in.conn.Send(network.MsgAck, in.ackBuf)
+}
+
+// flushOut sends everything buffered since the last flush: at most one
+// mixed-destination data frame and one ack frame.
+func (in *Instance) flushOut() {
+	if in.outCount > 0 {
+		in.frameBuf = tuple.AppendFrameHeader(in.frameBuf[:0], tuple.MixedFrameDest, in.outCount)
+		in.frameBuf = append(in.frameBuf, in.outData...)
+		_ = in.conn.Send(network.MsgData, in.frameBuf)
+		in.outData = in.outData[:0]
+		in.outCount = 0
+	}
+	if in.outAckCnt > 0 {
+		in.ackBuf = tuple.AppendAckFrameHeader(in.ackBuf[:0], in.outAckCnt)
+		in.ackBuf = append(in.ackBuf, in.outAcks...)
+		_ = in.conn.Send(network.MsgAck, in.ackBuf)
+		in.outAcks = in.outAcks[:0]
+		in.outAckCnt = 0
+	}
+}
+
+// MakeRoot and RootSpout re-export the core helpers used throughout this
+// package.
+func MakeRoot(spoutTask int32, random uint64) uint64 { return core.MakeRoot(spoutTask, random) }
+
+// RootSpout recovers the spout task id from a root id.
+func RootSpout(root uint64) int32 { return core.RootSpout(root) }

@@ -1,0 +1,426 @@
+package instance
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"heron/api"
+	"heron/internal/core"
+	"heron/internal/ctrl"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+func TestMakeRootRoundTrip(t *testing.T) {
+	f := func(task uint16, random uint64) bool {
+		return RootSpout(MakeRoot(int32(task), random)) == int32(task)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// planPayload builds a one-container plan: spout task 0 → bolt tasks 1,2.
+func planPayload(epoch int64) *ctrl.PlanPayload {
+	topo := &core.Topology{
+		Name: "t",
+		Components: []core.ComponentSpec{
+			{Name: "s", Kind: core.KindSpout, Parallelism: 1,
+				Outputs: map[string][]string{"default": {"word"}}},
+			{Name: "b", Kind: core.KindBolt, Parallelism: 2,
+				Inputs: []core.InputSpec{{Component: "s", Grouping: core.GroupFields, FieldIdx: []int{0}}}},
+		},
+	}
+	req := core.Resource{CPU: 1, RAMMB: 128, DiskMB: 128}
+	plan := &core.PackingPlan{Topology: "t", Containers: []core.ContainerPlan{
+		{ID: 1, Required: core.Resource{CPU: 4, RAMMB: 512, DiskMB: 512},
+			Instances: []core.InstancePlacement{
+				{ID: core.InstanceID{Component: "s", ComponentIndex: 0, TaskID: 0}, Resources: req},
+				{ID: core.InstanceID{Component: "b", ComponentIndex: 0, TaskID: 1}, Resources: req},
+				{ID: core.InstanceID{Component: "b", ComponentIndex: 1, TaskID: 2}, Resources: req},
+			}},
+	}}
+	return &ctrl.PlanPayload{Epoch: epoch, Topology: topo, Packing: plan,
+		Stmgrs: map[int32]string{1: "x"}}
+}
+
+func TestPlanStateRouting(t *testing.T) {
+	ps, err := newPlanState(planPayload(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fields grouping: the same word must always route to the same task.
+	d1, err := ps.destinations(0, []any{"hello"}, nil)
+	if err != nil || len(d1) != 1 {
+		t.Fatalf("destinations = %v, %v", d1, err)
+	}
+	for i := 0; i < 10; i++ {
+		d, _ := ps.destinations(0, []any{"hello"}, nil)
+		if d[0] != d1[0] {
+			t.Fatal("fields grouping unstable")
+		}
+	}
+	// Different words should cover both tasks eventually.
+	seen := map[int32]bool{}
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, w := range words {
+		d, _ := ps.destinations(0, []any{w}, nil)
+		seen[d[0]] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("fields grouping used %d of 2 tasks", len(seen))
+	}
+	if _, err := ps.destinations(99, nil, nil); err == nil {
+		t.Error("unknown stream accepted")
+	}
+}
+
+func TestPlanStateShuffleRoundRobin(t *testing.T) {
+	p := planPayload(1)
+	p.Topology.Components[1].Inputs[0] = core.InputSpec{Component: "s", Grouping: core.GroupShuffle}
+	ps, err := newPlanState(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int32]int{}
+	for i := 0; i < 10; i++ {
+		d, _ := ps.destinations(0, []any{"x"}, nil)
+		counts[d[0]]++
+	}
+	if counts[1] != 5 || counts[2] != 5 {
+		t.Errorf("shuffle distribution = %v", counts)
+	}
+}
+
+// stmgrSim is a minimal fake Stream Manager endpoint for instances.
+type stmgrSim struct {
+	listener network.Listener
+	mu       sync.Mutex
+	conns    []network.Conn
+	frames   chan struct {
+		kind network.MsgKind
+		data []byte
+	}
+}
+
+func newStmgrSim(t *testing.T) *stmgrSim {
+	t.Helper()
+	l, err := (network.InprocTransport{}).Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stmgrSim{listener: l, frames: make(chan struct {
+		kind network.MsgKind
+		data []byte
+	}, 4096)}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, conn)
+			s.mu.Unlock()
+			conn.Start(func(kind network.MsgKind, payload []byte) {
+				cp := make([]byte, len(payload))
+				copy(cp, payload)
+				select {
+				case s.frames <- struct {
+					kind network.MsgKind
+					data []byte
+				}{kind, cp}:
+				default:
+				}
+			})
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return s
+}
+
+// sendPlan pushes a plan to every connected instance.
+func (s *stmgrSim) sendPlan(t *testing.T, epoch int64) {
+	t.Helper()
+	raw, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpPlan, Topology: "t", Plan: planPayload(epoch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		if err := c.Send(network.MsgControl, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitRegistered waits until n instances have registered.
+func (s *stmgrSim) waitRegistered(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	count := 0
+	for count < n {
+		select {
+		case f := <-s.frames:
+			if f.kind == network.MsgControl {
+				if m, err := ctrl.Decode(f.data); err == nil && m.Op == ctrl.OpRegisterInstance {
+					count++
+				}
+			}
+		default:
+			if time.Now().After(deadline) {
+				t.Fatalf("registered %d of %d", count, n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+type testSpout struct {
+	emitted atomic.Int64
+	acked   atomic.Int64
+	failed  atomic.Int64
+	out     api.SpoutCollector
+	limit   int64
+}
+
+func (s *testSpout) Open(_ api.TopologyContext, out api.SpoutCollector) error {
+	s.out = out
+	return nil
+}
+
+func (s *testSpout) NextTuple() bool {
+	if s.emitted.Load() >= s.limit {
+		return false
+	}
+	s.out.Emit("", "id", "word")
+	s.emitted.Add(1)
+	return true
+}
+
+func (s *testSpout) Ack(any)      { s.acked.Add(1) }
+func (s *testSpout) Fail(any)     { s.failed.Add(1) }
+func (s *testSpout) Close() error { return nil }
+
+func startSpout(t *testing.T, sim *stmgrSim, cfg *core.Config, sp api.Spout) *Instance {
+	t.Helper()
+	inst, err := New(Options{
+		Topology:  "t",
+		ID:        core.InstanceID{Component: "s", ComponentIndex: 0, TaskID: 0},
+		Kind:      core.KindSpout,
+		Spout:     sp,
+		Cfg:       cfg,
+		StmgrAddr: sim.listener.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Stop)
+	return inst
+}
+
+func TestSpoutEmitsAfterPlan(t *testing.T) {
+	sim := newStmgrSim(t)
+	cfg := core.NewConfig()
+	sp := &testSpout{limit: 10}
+	startSpout(t, sim, cfg, sp)
+	sim.waitRegistered(t, 1)
+	sim.sendPlan(t, 1)
+
+	// The spout should emit 10 tuples, arriving as data frames.
+	var tuples int
+	deadline := time.Now().Add(5 * time.Second)
+	for tuples < 10 {
+		select {
+		case f := <-sim.frames:
+			if f.kind != network.MsgData {
+				continue
+			}
+			_, n, err := tuple.WalkFrame(f.data, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tuples += n
+		default:
+			if time.Now().After(deadline) {
+				t.Fatalf("got %d of 10 tuples", tuples)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestMaxSpoutPendingGates(t *testing.T) {
+	sim := newStmgrSim(t)
+	cfg := core.NewConfig()
+	cfg.AckingEnabled = true
+	cfg.MaxSpoutPending = 3
+	sp := &testSpout{limit: 1000}
+	startSpout(t, sim, cfg, sp)
+	sim.waitRegistered(t, 1)
+	sim.sendPlan(t, 1)
+	// With no acks coming back, the spout must stop at the gate.
+	time.Sleep(300 * time.Millisecond)
+	if got := sp.emitted.Load(); got != 3 {
+		t.Errorf("emitted %d, want 3 (gated)", got)
+	}
+}
+
+func TestBackpressurePausesSpout(t *testing.T) {
+	sim := newStmgrSim(t)
+	cfg := core.NewConfig()
+	sp := &testSpout{limit: 1 << 30}
+	startSpout(t, sim, cfg, sp)
+	sim.waitRegistered(t, 1)
+	sim.sendPlan(t, 1)
+	waitProgress := func() int64 {
+		time.Sleep(150 * time.Millisecond)
+		return sp.emitted.Load()
+	}
+	if waitProgress() == 0 {
+		t.Fatal("no emissions")
+	}
+	// Pause from container 9.
+	bp, _ := ctrl.Encode(&ctrl.Message{Op: ctrl.OpBackpressure, Topology: "t", Container: 9, On: true})
+	sim.mu.Lock()
+	conn := sim.conns[0]
+	sim.mu.Unlock()
+	if err := conn.Send(network.MsgControl, bp); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	before := sp.emitted.Load()
+	if after := waitProgress(); after != before {
+		t.Errorf("spout kept emitting under backpressure: %d → %d", before, after)
+	}
+	// Resume.
+	bpOff, _ := ctrl.Encode(&ctrl.Message{Op: ctrl.OpBackpressure, Topology: "t", Container: 9, On: false})
+	if err := conn.Send(network.MsgControl, bpOff); err != nil {
+		t.Fatal(err)
+	}
+	before = sp.emitted.Load()
+	deadline := time.Now().Add(3 * time.Second)
+	for sp.emitted.Load() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("spout did not resume")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+type recordingBolt struct {
+	mu    sync.Mutex
+	words []string
+	acks  bool
+	out   api.BoltCollector
+}
+
+func (b *recordingBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	b.out = out
+	return nil
+}
+
+func (b *recordingBolt) Execute(t api.Tuple) error {
+	b.mu.Lock()
+	b.words = append(b.words, t.String(0))
+	b.mu.Unlock()
+	if b.acks {
+		b.out.Ack(t)
+	}
+	return nil
+}
+
+func (b *recordingBolt) Cleanup() error { return nil }
+
+func TestBoltExecutesDeliveredFrames(t *testing.T) {
+	sim := newStmgrSim(t)
+	cfg := core.NewConfig()
+	bolt := &recordingBolt{}
+	inst, err := New(Options{
+		Topology:  "t",
+		ID:        core.InstanceID{Component: "b", ComponentIndex: 0, TaskID: 1},
+		Kind:      core.KindBolt,
+		Bolt:      bolt,
+		Cfg:       cfg,
+		StmgrAddr: sim.listener.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Stop)
+	sim.waitRegistered(t, 1)
+	sim.sendPlan(t, 1)
+
+	// Deliver a 3-tuple frame addressed to task 1.
+	frame := tuple.AppendFrameHeader(nil, 1, 3)
+	for _, w := range []string{"a", "b", "c"} {
+		enc := tuple.FastCodec{}.EncodeData(nil, &tuple.DataTuple{
+			DestTask: 1, StreamID: 0, Values: tuple.Values{w}})
+		frame = tuple.AppendFrameEntry(frame, enc)
+	}
+	sim.mu.Lock()
+	conn := sim.conns[0]
+	sim.mu.Unlock()
+	if err := conn.Send(network.MsgData, frame); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bolt.mu.Lock()
+		n := len(bolt.words)
+		bolt.mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("executed %d of 3", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("nil config accepted")
+	}
+	cfg := core.NewConfig()
+	if _, err := New(Options{Cfg: cfg, Kind: core.KindSpout}); err == nil {
+		t.Error("spout kind without spout accepted")
+	}
+	if _, err := New(Options{Cfg: cfg, Kind: core.KindBolt}); err == nil {
+		t.Error("bolt kind without bolt accepted")
+	}
+	if _, err := New(Options{Cfg: cfg, Kind: core.ComponentKind(9)}); err == nil {
+		t.Error("bad kind accepted")
+	}
+	cfg2 := core.NewConfig()
+	if _, err := New(Options{Cfg: cfg2, Kind: core.KindSpout, Spout: &testSpout{},
+		StmgrAddr: "no-such-endpoint"}); err == nil {
+		t.Error("bad stmgr addr accepted")
+	}
+}
+
+func TestStalePlanIgnored(t *testing.T) {
+	sim := newStmgrSim(t)
+	cfg := core.NewConfig()
+	sp := &testSpout{limit: 0}
+	inst := startSpout(t, sim, cfg, sp)
+	sim.waitRegistered(t, 1)
+	sim.sendPlan(t, 5)
+	deadline := time.Now().Add(3 * time.Second)
+	for inst.plan.Load() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("plan not applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sim.sendPlan(t, 3) // stale epoch
+	time.Sleep(50 * time.Millisecond)
+	if got := inst.plan.Load().epoch; got != 5 {
+		t.Errorf("epoch = %d, stale plan applied", got)
+	}
+}

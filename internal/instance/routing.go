@@ -1,0 +1,91 @@
+package instance
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"heron/internal/core"
+	"heron/internal/ctrl"
+)
+
+// planState is an instance's immutable view of one physical-plan epoch:
+// the routing tables used by emits. Plan updates swap the whole state
+// atomically.
+type planState struct {
+	epoch int64
+	pp    *core.PhysicalPlan
+	// routesByStream is indexed by stream id.
+	routesByStream []streamRoutes
+	// streamIDByName resolves this component's output stream names.
+	streamIDByName map[string]int32
+}
+
+type streamRoutes struct {
+	info      *core.StreamInfo
+	consumers []consumerRoute
+}
+
+type consumerRoute struct {
+	grouping core.Grouping
+	fieldIdx []int
+	tasks    []int32
+	rr       *atomic.Uint64 // shuffle position
+}
+
+func newPlanState(p *ctrl.PlanPayload, selfTask int32) (*planState, error) {
+	pp, err := p.BuildPhysicalPlan()
+	if err != nil {
+		return nil, err
+	}
+	ps := &planState{epoch: p.Epoch, pp: pp, streamIDByName: map[string]int32{}}
+	ps.routesByStream = make([]streamRoutes, len(pp.Streams))
+	var selfComponent string
+	if int(selfTask) < len(pp.Tasks) {
+		selfComponent = pp.Tasks[selfTask].Component
+	}
+	for i := range pp.Streams {
+		si := &pp.Streams[i]
+		sr := streamRoutes{info: si}
+		for _, c := range si.Consumers {
+			sr.consumers = append(sr.consumers, consumerRoute{
+				grouping: c.Grouping,
+				fieldIdx: c.FieldIdx,
+				tasks:    c.Tasks,
+				rr:       new(atomic.Uint64),
+			})
+		}
+		ps.routesByStream[i] = sr
+		if si.SrcComponent == selfComponent {
+			ps.streamIDByName[si.Stream] = si.ID
+		}
+	}
+	return ps, nil
+}
+
+// destinations appends the destination tasks for one emitted tuple on a
+// stream. Fields grouping hashes the key fields so equal keys stick to
+// one task; shuffle advances a round-robin cursor.
+func (ps *planState) destinations(streamID int32, values []any, dst []int32) ([]int32, error) {
+	if int(streamID) >= len(ps.routesByStream) {
+		return dst, fmt.Errorf("instance: unknown stream %d", streamID)
+	}
+	for i := range ps.routesByStream[streamID].consumers {
+		c := &ps.routesByStream[streamID].consumers[i]
+		if len(c.tasks) == 0 {
+			continue
+		}
+		switch c.grouping {
+		case core.GroupShuffle:
+			n := c.rr.Add(1)
+			dst = append(dst, c.tasks[int(n%uint64(len(c.tasks)))])
+		case core.GroupFields:
+			h := core.HashFields(values, c.fieldIdx)
+			dst = append(dst, c.tasks[int(h%uint64(len(c.tasks)))])
+		case core.GroupAll:
+			dst = append(dst, c.tasks...)
+		case core.GroupGlobal:
+			dst = append(dst, c.tasks[0])
+		}
+	}
+	return dst, nil
+}

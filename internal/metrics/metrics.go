@@ -1,0 +1,259 @@
+// Package metrics implements the Metrics Manager module: per-container
+// collection of counters, gauges and latency histograms from the
+// processes in the container (the paper's Section II), periodically
+// exported to the Topology Master.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds delta.
+func (c *Counter) Inc(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a set-to-latest metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records a stream of values (latencies in nanoseconds, queue
+// depths, ...) in a fixed-size sampling reservoir plus exact count, sum,
+// min and max. Quantiles come from the reservoir.
+type Histogram struct {
+	mu   sync.Mutex
+	rsv  []int64
+	seen int64
+	sum  int64
+	min  int64
+	max  int64
+	rngS uint64
+	cap  int
+}
+
+// NewHistogram creates a histogram with the given reservoir capacity
+// (1024 if n <= 0).
+func NewHistogram(n int) *Histogram {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Histogram{cap: n, min: math.MaxInt64, max: math.MinInt64, rngS: 0x9e3779b97f4a7c15}
+}
+
+func (h *Histogram) rand() uint64 {
+	// xorshift64*: cheap, good enough for reservoir sampling.
+	h.rngS ^= h.rngS >> 12
+	h.rngS ^= h.rngS << 25
+	h.rngS ^= h.rngS >> 27
+	return h.rngS * 0x2545f4914f6cdd1d
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	h.seen++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.rsv) < h.cap {
+		h.rsv = append(h.rsv, v)
+	} else if idx := h.rand() % uint64(h.seen); idx < uint64(h.cap) {
+		h.rsv[idx] = v
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time summary.
+type HistogramSnapshot struct {
+	Count    int64
+	Sum      int64
+	Min, Max int64
+	// sorted reservoir for quantiles
+	sample []int64
+}
+
+// Mean returns the exact mean of all observed values.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the approximate p-quantile (0 ≤ p ≤ 1).
+func (s HistogramSnapshot) Quantile(p float64) int64 {
+	if len(s.sample) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(s.sample)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.sample) {
+		idx = len(s.sample) - 1
+	}
+	return s.sample[idx]
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.seen, Sum: h.sum, Min: h.min, Max: h.max,
+		sample: append([]int64(nil), h.rsv...)}
+	if s.Count == 0 {
+		s.Min, s.Max = 0, 0
+	}
+	sort.Slice(s.sample, func(i, j int) bool { return s.sample[i] < s.sample[j] })
+	return s
+}
+
+// Registry is one container's metric namespace. Components create metrics
+// lazily by name; the Metrics Manager snapshots the whole registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	histos   map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}, histos: map[string]*Histogram{}}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histos[name]
+	if !ok {
+		h = NewHistogram(0)
+		r.histos[name] = h
+	}
+	return h
+}
+
+// Snapshot is one registry export.
+type Snapshot struct {
+	Container int32
+	TakenAt   time.Time
+	Counters  map[string]int64
+	Gauges    map[string]int64
+	Histos    map[string]HistogramSnapshot
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot(container int32) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Container: container,
+		TakenAt:   time.Now(),
+		Counters:  make(map[string]int64, len(r.counters)),
+		Gauges:    make(map[string]int64, len(r.gauges)),
+		Histos:    make(map[string]HistogramSnapshot, len(r.histos)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.histos {
+		s.Histos[n] = h.Snapshot()
+	}
+	return s
+}
+
+// Manager is the per-container Metrics Manager process: it periodically
+// snapshots the container's registry and pushes the snapshot to a sink
+// (the Topology Master's metrics endpoint).
+type Manager struct {
+	container int32
+	registry  *Registry
+	interval  time.Duration
+	sink      func(Snapshot)
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewManager creates a Metrics Manager exporting registry to sink every
+// interval (default 1s if interval <= 0).
+func NewManager(container int32, registry *Registry, interval time.Duration, sink func(Snapshot)) *Manager {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Manager{container: container, registry: registry, interval: interval, sink: sink, stop: make(chan struct{})}
+}
+
+// Start begins the export loop.
+func (m *Manager) Start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.sink(m.registry.Snapshot(m.container))
+			}
+		}
+	}()
+}
+
+// Stop halts the export loop after a final export.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+	m.sink(m.registry.Snapshot(m.container))
+}

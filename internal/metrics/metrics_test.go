@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tuples")
+	c.Inc(5)
+	c.Inc(2)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("tuples") != c {
+		t.Error("counter not memoized")
+	}
+	g := r.Gauge("queue")
+	g.Set(10)
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram(16)
+	for _, v := range []int64{5, 1, 9, 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 18 || s.Min != 1 || s.Max != 9 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.Mean() != 4.5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("q0 = %d", q)
+	}
+	if q := s.Quantile(1); q != 9 {
+		t.Errorf("q1 = %d", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := NewHistogram(8).Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram(32)
+	for i := int64(0); i < 10000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != 10000 || len(s.sample) != 32 {
+		t.Errorf("count=%d sample=%d", s.Count, len(s.sample))
+	}
+	if s.Min != 0 || s.Max != 9999 {
+		t.Errorf("min/max = %d/%d", s.Min, s.Max)
+	}
+	// Median of 0..9999 should be roughly in the middle; reservoir
+	// sampling keeps it within a loose band.
+	if q := s.Quantile(0.5); q < 1000 || q > 9000 {
+		t.Errorf("median = %d, way off", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Errorf("count = %d", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc(1)
+	r.Gauge("b").Set(2)
+	r.Histogram("c").Observe(3)
+	s := r.Snapshot(7)
+	if s.Container != 7 || s.Counters["a"] != 1 || s.Gauges["b"] != 2 || s.Histos["c"].Count != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestManagerExports(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc(1)
+	var mu sync.Mutex
+	var got []Snapshot
+	m := NewManager(3, r, 10*time.Millisecond, func(s Snapshot) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	})
+	m.Start()
+	time.Sleep(50 * time.Millisecond)
+	m.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 2 {
+		t.Fatalf("exports = %d", len(got))
+	}
+	last := got[len(got)-1]
+	if last.Container != 3 || last.Counters["x"] != 1 {
+		t.Errorf("last = %+v", last)
+	}
+}

@@ -1,0 +1,107 @@
+// Package network is Heron's IPC kernel: the one non-replaceable layer of
+// the architecture (the paper's "basic inter/intra process communication
+// mechanisms" that every other module plugs into).
+//
+// It exposes a minimal connection abstraction — framed, kind-tagged byte
+// messages — behind a Transport interface with two implementations:
+//
+//   - "tcp": real sockets with length-prefixed framing, used when
+//     containers are separate processes or for realism in tests.
+//   - "inproc": channel-backed connections for single-process deployments
+//     and benchmarks. Payloads are still copied on Send, so every message
+//     pays the serialize-copy-deserialize cost of a process boundary; only
+//     the syscall is elided.
+//
+// Handlers receive payload slices that are valid only for the duration of
+// the call; receivers must copy anything they retain. This allows both
+// transports to recycle receive buffers through the wire package's pools.
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MsgKind tags the content of a frame so a single connection can carry
+// data tuples, acks and control messages.
+type MsgKind uint8
+
+// Frame kinds.
+const (
+	MsgData    MsgKind = 1 // batch of encoded data tuples
+	MsgAck     MsgKind = 2 // batch of encoded ack/fail control tuples
+	MsgControl MsgKind = 3 // control plane (registration, plans, metrics)
+)
+
+// MaxFrameSize bounds a single frame; larger sends fail fast instead of
+// letting a corrupted length header allocate unbounded memory on receive.
+const MaxFrameSize = 16 << 20
+
+// Errors shared by transports.
+var (
+	ErrClosed      = errors.New("network: connection closed")
+	ErrFrameTooBig = fmt.Errorf("network: frame exceeds %d bytes", MaxFrameSize)
+)
+
+// Handler consumes one received frame. The payload slice is reused after
+// the handler returns.
+type Handler func(kind MsgKind, payload []byte)
+
+// Conn is a bidirectional, framed message connection.
+type Conn interface {
+	// Send enqueues one frame. It copies payload before returning and
+	// blocks when the peer is slower than the sender — this blocking is
+	// the engine's backpressure primitive. Returns ErrClosed after Close.
+	Send(kind MsgKind, payload []byte) error
+	// Start begins delivering received frames to h from a dedicated
+	// goroutine. It must be called exactly once.
+	Start(h Handler)
+	// Close tears the connection down and unblocks pending Sends.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next connection; it returns ErrClosed once the
+	// listener is closed.
+	Accept() (Conn, error)
+	// Addr returns the bound address in the transport's own format.
+	Addr() string
+	Close() error
+}
+
+// Transport creates listeners and connections for one address family.
+type Transport interface {
+	Name() string
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// ByName returns the transport registered under name.
+func ByName(name string) (Transport, error) {
+	switch name {
+	case "", "inproc":
+		return InprocTransport{}, nil
+	case "tcp":
+		return TCPTransport{}, nil
+	default:
+		return nil, fmt.Errorf("network: unknown transport %q", name)
+	}
+}
+
+// frame header: 4-byte big-endian payload length + 1-byte kind.
+const headerSize = 5
+
+func putHeader(dst []byte, kind MsgKind, n int) {
+	binary.BigEndian.PutUint32(dst, uint32(n))
+	dst[4] = byte(kind)
+}
+
+func parseHeader(src []byte) (MsgKind, int, error) {
+	n := int(binary.BigEndian.Uint32(src))
+	if n > MaxFrameSize {
+		return 0, 0, ErrFrameTooBig
+	}
+	return MsgKind(src[4]), n, nil
+}

@@ -1,0 +1,326 @@
+package network
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func transports(t *testing.T) map[string]Transport {
+	t.Helper()
+	return map[string]Transport{"inproc": InprocTransport{}, "tcp": TCPTransport{}}
+}
+
+// echoPair returns a connected (client, server) pair over tr.
+func connPair(t *testing.T, tr Transport) (Conn, Conn, func()) {
+	t.Helper()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var server Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		server = c
+	}()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	cleanup := func() {
+		client.Close()
+		if server != nil {
+			server.Close()
+		}
+		l.Close()
+	}
+	return client, server, cleanup
+}
+
+func TestSendReceiveAllKinds(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server, cleanup := connPair(t, tr)
+			defer cleanup()
+
+			type rec struct {
+				kind MsgKind
+				data []byte
+			}
+			got := make(chan rec, 8)
+			server.Start(func(kind MsgKind, payload []byte) {
+				// Payload is only valid during the call: copy.
+				got <- rec{kind, append([]byte(nil), payload...)}
+			})
+			msgs := []rec{
+				{MsgData, []byte("tuples")},
+				{MsgAck, []byte("acks")},
+				{MsgControl, []byte(`{"op":"register"}`)},
+				{MsgData, nil}, // empty payload is legal
+			}
+			for _, m := range msgs {
+				if err := client.Send(m.kind, m.data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, want := range msgs {
+				select {
+				case r := <-got:
+					if r.kind != want.kind || !bytes.Equal(r.data, want.data) {
+						t.Errorf("got %v %q, want %v %q", r.kind, r.data, want.kind, want.data)
+					}
+				case <-time.After(2 * time.Second):
+					t.Fatal("timeout waiting for frame")
+				}
+			}
+		})
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server, cleanup := connPair(t, tr)
+			defer cleanup()
+			fromServer := make(chan []byte, 1)
+			fromClient := make(chan []byte, 1)
+			client.Start(func(_ MsgKind, p []byte) { fromServer <- append([]byte(nil), p...) })
+			server.Start(func(_ MsgKind, p []byte) { fromClient <- append([]byte(nil), p...) })
+			if err := client.Send(MsgData, []byte("ping")); err != nil {
+				t.Fatal(err)
+			}
+			if err := server.Send(MsgData, []byte("pong")); err != nil {
+				t.Fatal(err)
+			}
+			if got := <-fromClient; string(got) != "ping" {
+				t.Errorf("server got %q", got)
+			}
+			if got := <-fromServer; string(got) != "pong" {
+				t.Errorf("client got %q", got)
+			}
+		})
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server, cleanup := connPair(t, tr)
+			defer cleanup()
+			server.Start(func(MsgKind, []byte) {})
+			client.Close()
+			// TCP may need a beat for the close to surface; retry briefly.
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				err := client.Send(MsgData, []byte("x"))
+				if err != nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("Send succeeded after Close")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+func TestManyFramesOrdered(t *testing.T) {
+	const n = 5000
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server, cleanup := connPair(t, tr)
+			defer cleanup()
+			var mu sync.Mutex
+			var got []int
+			done := make(chan struct{})
+			server.Start(func(_ MsgKind, p []byte) {
+				mu.Lock()
+				got = append(got, int(p[0])<<16|int(p[1])<<8|int(p[2]))
+				if len(got) == n {
+					close(done)
+				}
+				mu.Unlock()
+			})
+			for i := 0; i < n; i++ {
+				p := []byte{byte(i >> 16), byte(i >> 8), byte(i)}
+				if err := client.Send(MsgData, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("timeout")
+			}
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("frame %d out of order: %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestFrameTooBig(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			client, _, cleanup := connPair(t, tr)
+			defer cleanup()
+			huge := make([]byte, MaxFrameSize+1)
+			if err := client.Send(MsgData, huge); err != ErrFrameTooBig {
+				t.Errorf("want ErrFrameTooBig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			l, err := tr.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			errc := make(chan error, 1)
+			go func() {
+				_, err := l.Accept()
+				errc <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			l.Close()
+			select {
+			case err := <-errc:
+				if err != ErrClosed {
+					t.Errorf("want ErrClosed, got %v", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Accept did not unblock")
+			}
+		})
+	}
+}
+
+func TestInprocAddressReuseAfterClose(t *testing.T) {
+	tr := InprocTransport{}
+	l, err := tr.Listen("reuse-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Listen("reuse-test"); err == nil {
+		t.Fatal("double bind should fail")
+	}
+	l.Close()
+	l2, err := tr.Listen("reuse-test")
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestInprocDialUnknown(t *testing.T) {
+	if _, err := (InprocTransport{}).Dial("no-such-endpoint"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"", "inproc", "tcp"} {
+		tr, err := ByName(n)
+		if err != nil || tr == nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("rdma"); err == nil {
+		t.Error("want error for unknown transport")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			client, server, cleanup := connPair(t, tr)
+			defer cleanup()
+			const senders, per = 8, 500
+			var count atomic.Int64
+			done := make(chan struct{})
+			server.Start(func(_ MsgKind, p []byte) {
+				if count.Add(1) == senders*per {
+					close(done)
+				}
+			})
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					payload := []byte(fmt.Sprintf("sender-%d", s))
+					for i := 0; i < per; i++ {
+						if err := client.Send(MsgData, payload); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("got %d of %d frames", count.Load(), senders*per)
+			}
+		})
+	}
+}
+
+func BenchmarkSendRecv(b *testing.B) {
+	for name, tr := range map[string]Transport{"inproc": InprocTransport{}, "tcp": TCPTransport{}} {
+		b.Run(name, func(b *testing.B) {
+			l, err := tr.Listen("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			acceptErr := make(chan error, 1)
+			var server Conn
+			go func() {
+				c, err := l.Accept()
+				server = c
+				acceptErr <- err
+			}()
+			client, err := tr.Dial(l.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := <-acceptErr; err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			defer server.Close()
+			var seen atomic.Int64
+			server.Start(func(MsgKind, []byte) { seen.Add(1) })
+			payload := bytes.Repeat([]byte{0xaa}, 256)
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.Send(MsgData, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for int(seen.Load()) < b.N {
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package network
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"heron/internal/encoding/wire"
+)
+
+// TCPTransport carries frames over loopback or real network sockets. Each
+// frame is a 4-byte big-endian length, a 1-byte kind, then the payload.
+type TCPTransport struct{}
+
+// Name implements Transport.
+func (TCPTransport) Name() string { return "tcp" }
+
+type tcpConn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes writers
+	w  *bufio.Writer
+
+	closeOnce sync.Once
+	closeErr  error
+	hdr       [headerSize]byte
+}
+
+// Send implements Conn. Frames from concurrent senders are serialized by
+// a mutex; the bufio layer coalesces small frames into fewer syscalls.
+func (t *tcpConn) Send(kind MsgKind, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	putHeader(t.hdr[:], kind, len(payload))
+	if _, err := t.w.Write(t.hdr[:]); err != nil {
+		return t.mapErr(err)
+	}
+	if _, err := t.w.Write(payload); err != nil {
+		return t.mapErr(err)
+	}
+	// Flush per Send: batching happens above this layer (the Stream
+	// Manager's tuple cache), so a frame on the wire should depart now.
+	if err := t.w.Flush(); err != nil {
+		return t.mapErr(err)
+	}
+	return nil
+}
+
+func (t *tcpConn) mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+		return ErrClosed
+	}
+	return err
+}
+
+// Start implements Conn.
+func (t *tcpConn) Start(h Handler) {
+	go func() {
+		r := bufio.NewReaderSize(t.c, 64<<10)
+		var hdr [headerSize]byte
+		for {
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				return
+			}
+			kind, n, err := parseHeader(hdr[:])
+			if err != nil {
+				_ = t.Close()
+				return
+			}
+			buf := wire.GetSlice(n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				wire.PutSlice(buf)
+				return
+			}
+			h(kind, buf)
+			wire.PutSlice(buf)
+		}
+	}()
+}
+
+// Close implements Conn.
+func (t *tcpConn) Close() error {
+	t.closeOnce.Do(func() { t.closeErr = t.c.Close() })
+	return t.closeErr
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+// Accept implements Listener.
+func (l tcpListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return wrapTCP(c), nil
+}
+
+// Addr implements Listener.
+func (l tcpListener) Addr() string { return l.l.Addr().String() }
+
+// Close implements Listener.
+func (l tcpListener) Close() error { return l.l.Close() }
+
+func wrapTCP(c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // latency matters more than tinygram avoidance
+	}
+	return &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+}
+
+// Listen implements Transport. Use "127.0.0.1:0" for an ephemeral port.
+func (TCPTransport) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{l: l}, nil
+}
+
+// Dial implements Transport.
+func (TCPTransport) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return wrapTCP(c), nil
+}

@@ -1,0 +1,366 @@
+package packing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heron/internal/core"
+)
+
+func topo(spouts, bolts int) *core.Topology {
+	return &core.Topology{
+		Name: "wc",
+		Components: []core.ComponentSpec{
+			{Name: "word", Kind: core.KindSpout, Parallelism: spouts,
+				Resources: core.Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024},
+				Outputs:   map[string][]string{"default": {"word"}}},
+			{Name: "count", Kind: core.KindBolt, Parallelism: bolts,
+				Resources: core.Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024},
+				Inputs:    []core.InputSpec{{Component: "word", Grouping: core.GroupFields, FieldIdx: []int{0}}}},
+		},
+	}
+}
+
+func cfg() *core.Config { return core.NewConfig() }
+
+func TestRegistryHasBothAlgorithms(t *testing.T) {
+	for _, name := range []string{"roundrobin", "binpacking"} {
+		rm, err := core.NewResourceManager(name)
+		if err != nil || rm == nil {
+			t.Fatalf("NewResourceManager(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRoundRobinPack(t *testing.T) {
+	c := cfg()
+	c.NumContainers = 4
+	tp := topo(4, 8)
+	rm := &RoundRobin{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Containers) != 4 {
+		t.Fatalf("containers = %d", len(plan.Containers))
+	}
+	// 12 instances over 4 containers: exactly 3 each (load balance).
+	for _, c := range plan.Containers {
+		if len(c.Instances) != 3 {
+			t.Errorf("container %d has %d instances", c.ID, len(c.Instances))
+		}
+	}
+}
+
+func TestRoundRobinNoEmptyContainers(t *testing.T) {
+	c := cfg()
+	c.NumContainers = 10
+	tp := topo(1, 2) // 3 instances < 10 containers
+	rm := &RoundRobin{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Containers) != 3 {
+		t.Errorf("containers = %d, want 3", len(plan.Containers))
+	}
+}
+
+func TestRoundRobinUsesDefaultResources(t *testing.T) {
+	c := cfg()
+	tp := topo(1, 1)
+	tp.Components[0].Resources = core.Resource{} // unset: fall back to default
+	rm := &RoundRobin{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range plan.Containers {
+		for _, inst := range ct.Instances {
+			if inst.ID.Component == "word" && inst.Resources != core.DefaultInstanceResources {
+				t.Errorf("instance resources = %v", inst.Resources)
+			}
+		}
+	}
+}
+
+func TestBinPackingMinimizesContainers(t *testing.T) {
+	c := cfg()
+	c.ContainerCapacity = core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 16384}
+	c.ContainerOverhead = core.Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024}
+	// Usable per container: 7 CPU / 7168 MB. Instances: 1 CPU / 1024 MB
+	// → 7 per container; 14 instances → exactly 2 containers.
+	tp := topo(7, 7)
+	rm := &BinPacking{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Containers) != 2 {
+		t.Errorf("containers = %d, want 2 (bin packing should minimize)", len(plan.Containers))
+	}
+	// Round robin with the default 4 containers would use more: that is
+	// the cost-vs-balance tradeoff the paper describes.
+	rr := &RoundRobin{}
+	if err := rr.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	rrPlan, err := rr.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrPlan.Containers) <= len(plan.Containers) {
+		t.Errorf("expected roundrobin (%d) to use more containers than binpacking (%d)",
+			len(rrPlan.Containers), len(plan.Containers))
+	}
+}
+
+func TestBinPackingRespectsCapacity(t *testing.T) {
+	c := cfg()
+	c.ContainerCapacity = core.Resource{CPU: 4, RAMMB: 4096, DiskMB: 8192}
+	c.ContainerOverhead = core.Resource{CPU: 1, RAMMB: 512, DiskMB: 512}
+	tp := topo(5, 10)
+	rm := &BinPacking{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	usable := c.ContainerCapacity.Sub(c.ContainerOverhead)
+	for _, ct := range plan.Containers {
+		if sum := ct.InstanceSum(); !sum.Fits(usable) {
+			t.Errorf("container %d load %v exceeds usable %v", ct.ID, sum, usable)
+		}
+	}
+}
+
+func TestBinPackingRejectsOversizedInstance(t *testing.T) {
+	c := cfg()
+	c.ContainerCapacity = core.Resource{CPU: 2, RAMMB: 1024, DiskMB: 1024}
+	tp := topo(1, 1) // instances ask 1 CPU/1024MB; overhead leaves less
+	rm := &BinPacking{}
+	if err := rm.Initialize(c, tp); err == nil {
+		t.Fatal("want error: instance cannot fit any container")
+	}
+}
+
+func TestPackBeforeInitialize(t *testing.T) {
+	if _, err := (&RoundRobin{}).Pack(); err != ErrNotInitialized {
+		t.Errorf("got %v", err)
+	}
+	if _, err := (&BinPacking{}).Pack(); err != ErrNotInitialized {
+		t.Errorf("got %v", err)
+	}
+	if _, err := (&RoundRobin{}).Repack(nil, nil); err != ErrNotInitialized {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestRepackScaleUpMinimalDisruption(t *testing.T) {
+	c := cfg()
+	c.NumContainers = 3
+	tp := topo(3, 3)
+	rm := &RoundRobin{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	before, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := rm.Repack(before, map[string]int{"count": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, _ := ScaledTopology(tp, map[string]int{"count": 6})
+	if err := after.Validate(scaled); err != nil {
+		t.Fatal(err)
+	}
+	// Every original placement must survive in the same container.
+	place := func(p *core.PackingPlan) map[core.InstanceID]int32 {
+		m := map[core.InstanceID]int32{}
+		for _, ct := range p.Containers {
+			for _, inst := range ct.Instances {
+				m[inst.ID] = ct.ID
+			}
+		}
+		return m
+	}
+	beforeMap, afterMap := place(before), place(after)
+	for id, ctr := range beforeMap {
+		if afterMap[id] != ctr {
+			t.Errorf("instance %v moved from container %d to %d", id, ctr, afterMap[id])
+		}
+	}
+	// New instances exist with fresh task ids.
+	if len(afterMap) != len(beforeMap)+3 {
+		t.Errorf("after has %d instances, want %d", len(afterMap), len(beforeMap)+3)
+	}
+}
+
+func TestRepackScaleDownRemovesHighestIndices(t *testing.T) {
+	c := cfg()
+	tp := topo(2, 5)
+	rm := &RoundRobin{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	before, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := rm.Repack(before, map[string]int{"count": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range after.Containers {
+		for _, inst := range ct.Instances {
+			if inst.ID.Component == "count" && inst.ID.ComponentIndex >= 2 {
+				t.Errorf("index %d survived scale-down", inst.ID.ComponentIndex)
+			}
+		}
+	}
+	scaled, _ := ScaledTopology(tp, map[string]int{"count": 2})
+	if err := after.Validate(scaled); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepackBinPackingUsesFreeSpaceFirst(t *testing.T) {
+	c := cfg()
+	c.ContainerCapacity = core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 16384}
+	c.ContainerOverhead = core.Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024}
+	tp := topo(2, 2) // 4 instances fit one container (7 usable)
+	rm := &BinPacking{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	before, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Containers) != 1 {
+		t.Fatalf("containers = %d", len(before.Containers))
+	}
+	// +3 count instances: 7 total fits exactly in the existing container.
+	after, err := rm.Repack(before, map[string]int{"count": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Containers) != 1 {
+		t.Errorf("repack opened %d containers; free space should have been used", len(after.Containers))
+	}
+	// +10 more must overflow into a second container, never violating capacity.
+	after2, err := rm.Repack(after, map[string]int{"count": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usable := c.ContainerCapacity.Sub(c.ContainerOverhead)
+	for _, ct := range after2.Containers {
+		if !ct.InstanceSum().Fits(usable) {
+			t.Errorf("container %d over capacity", ct.ID)
+		}
+	}
+	if len(after2.Containers) != 2 {
+		t.Errorf("containers = %d, want 2", len(after2.Containers))
+	}
+}
+
+func TestRepackErrors(t *testing.T) {
+	c := cfg()
+	tp := topo(1, 1)
+	rm := &RoundRobin{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := rm.Pack()
+	if _, err := rm.Repack(plan, map[string]int{"ghost": 3}); err == nil {
+		t.Error("want error for unknown component")
+	}
+	if _, err := rm.Repack(plan, map[string]int{"count": 0}); err == nil {
+		t.Error("want error for parallelism 0")
+	}
+}
+
+// TestPackingProperty checks the core invariants over random topologies
+// and scaling sequences for both algorithms.
+func TestPackingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spouts := 1 + rng.Intn(20)
+		bolts := 1 + rng.Intn(40)
+		tp := topo(spouts, bolts)
+		c := cfg()
+		c.NumContainers = 1 + rng.Intn(8)
+		c.ContainerCapacity = core.Resource{CPU: 16, RAMMB: 16384, DiskMB: 32768}
+
+		for _, rm := range []core.ResourceManager{&RoundRobin{}, &BinPacking{}} {
+			if err := rm.Initialize(c, tp); err != nil {
+				return false
+			}
+			plan, err := rm.Pack()
+			if err != nil || plan.Validate(tp) != nil {
+				return false
+			}
+			// Random scaling walk: 3 repacks, each validated.
+			cur, curTopo := plan, tp
+			for step := 0; step < 3; step++ {
+				changes := map[string]int{"count": 1 + rng.Intn(50)}
+				next, err := rm.Repack(cur, changes)
+				if err != nil {
+					return false
+				}
+				scaled, err := ScaledTopology(curTopo, changes)
+				if err != nil || next.Validate(scaled) != nil {
+					return false
+				}
+				cur, curTopo = next, scaled
+				// Repack must keep surviving placements in place.
+				// (Checked thoroughly in the directed tests; here we just
+				// confirm no instance is duplicated or lost via Validate.)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledTopology(t *testing.T) {
+	tp := topo(2, 3)
+	scaled, err := ScaledTopology(tp, map[string]int{"count": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Component("count").Parallelism != 9 {
+		t.Error("not scaled")
+	}
+	if tp.Component("count").Parallelism != 3 {
+		t.Error("original mutated")
+	}
+	if _, err := ScaledTopology(tp, map[string]int{"nope": 1}); err == nil {
+		t.Error("want error")
+	}
+}

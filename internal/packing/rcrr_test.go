@@ -1,0 +1,111 @@
+package packing
+
+import (
+	"testing"
+
+	"heron/internal/core"
+)
+
+func TestRCRRRegistered(t *testing.T) {
+	if _, err := core.NewResourceManager("rcrr"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCRRBalancesWithinCapacity(t *testing.T) {
+	c := cfg()
+	c.NumContainers = 3
+	c.ContainerCapacity = core.Resource{CPU: 8, RAMMB: 8192, DiskMB: 16384}
+	c.ContainerOverhead = core.Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024}
+	tp := topo(3, 6) // 9 one-core instances over 3 containers → 3 each
+	rm := &ResourceCompliantRR{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Containers) != 3 {
+		t.Fatalf("containers = %d", len(plan.Containers))
+	}
+	for _, ct := range plan.Containers {
+		if len(ct.Instances) != 3 {
+			t.Errorf("container %d has %d instances (want balanced 3)", ct.ID, len(ct.Instances))
+		}
+	}
+}
+
+func TestRCRROverflowOpensNewContainers(t *testing.T) {
+	c := cfg()
+	c.NumContainers = 2
+	c.ContainerCapacity = core.Resource{CPU: 4, RAMMB: 4096, DiskMB: 8192}
+	c.ContainerOverhead = core.Resource{CPU: 1, RAMMB: 512, DiskMB: 512}
+	// Usable 3 CPU per container; 2 containers hold 6 instances; 10
+	// instances need at least 4 containers.
+	tp := topo(4, 6)
+	rm := &ResourceCompliantRR{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Containers) < 4 {
+		t.Errorf("containers = %d, want ≥ 4", len(plan.Containers))
+	}
+	usable := c.ContainerCapacity.Sub(c.ContainerOverhead)
+	for _, ct := range plan.Containers {
+		if !ct.InstanceSum().Fits(usable) {
+			t.Errorf("container %d over capacity", ct.ID)
+		}
+	}
+}
+
+func TestRCRRRejectsOversizedInstance(t *testing.T) {
+	c := cfg()
+	c.ContainerCapacity = core.Resource{CPU: 1.5, RAMMB: 1024, DiskMB: 1024}
+	if err := (&ResourceCompliantRR{}).Initialize(c, topo(1, 1)); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestRCRRRepackRespectsCapacity(t *testing.T) {
+	c := cfg()
+	c.NumContainers = 2
+	c.ContainerCapacity = core.Resource{CPU: 4, RAMMB: 4096, DiskMB: 8192}
+	c.ContainerOverhead = core.Resource{CPU: 1, RAMMB: 512, DiskMB: 512}
+	tp := topo(2, 2)
+	rm := &ResourceCompliantRR{}
+	if err := rm.Initialize(c, tp); err != nil {
+		t.Fatal(err)
+	}
+	before, err := rm.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := rm.Repack(before, map[string]int{"count": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, _ := ScaledTopology(tp, map[string]int{"count": 10})
+	if err := after.Validate(scaled); err != nil {
+		t.Fatal(err)
+	}
+	usable := c.ContainerCapacity.Sub(c.ContainerOverhead)
+	for _, ct := range after.Containers {
+		if !ct.InstanceSum().Fits(usable) {
+			t.Errorf("container %d over capacity after repack", ct.ID)
+		}
+	}
+	if _, err := (&ResourceCompliantRR{}).Pack(); err != ErrNotInitialized {
+		t.Errorf("uninitialized pack: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+
+	"heron/internal/cluster"
+	"heron/internal/core"
+)
+
+// Aurora is the stateless scheduler of Section IV-B: once containers are
+// handed to the framework it does not track their state — Aurora's own
+// supervisor restarts failed containers and their tasks. Aurora can only
+// allocate homogeneous containers, so every container (including the
+// TMaster's) asks for the plan's component-wise maximum requirement.
+type Aurora struct {
+	cfg *core.Config
+	cl  *cluster.Cluster
+
+	mu    sync.Mutex
+	plans map[string]*core.PackingPlan
+	sizes map[string]core.Resource // homogeneous ask per topology
+}
+
+// Initialize implements core.Scheduler. No monitor is started: the
+// framework owns failure recovery.
+func (a *Aurora) Initialize(cfg *core.Config) error {
+	if cfg.Launcher == nil {
+		return ErrNoLauncher
+	}
+	cl, err := frameworkOf(cfg)
+	if err != nil {
+		return err
+	}
+	a.cfg, a.cl = cfg, cl
+	a.plans = map[string]*core.PackingPlan{}
+	a.sizes = map[string]core.Resource{}
+	return nil
+}
+
+// homogeneousAsk sizes every container of a plan identically.
+func (a *Aurora) homogeneousAsk(p *core.PackingPlan) core.Resource {
+	ask := p.MaxRequired()
+	if !a.cfg.TMasterResources.IsZero() {
+		ask = ask.Max(a.cfg.TMasterResources)
+	}
+	return ask
+}
+
+// OnSchedule implements core.Scheduler with homogeneous containers and
+// framework-side auto-restart.
+func (a *Aurora) OnSchedule(initial *core.PackingPlan) error {
+	if a.cfg == nil {
+		return fmt.Errorf("scheduler: aurora not initialized")
+	}
+	topo := initial.Topology
+	ask := a.homogeneousAsk(initial)
+	a.mu.Lock()
+	if _, dup := a.sizes[topo]; dup {
+		a.mu.Unlock()
+		return fmt.Errorf("scheduler: topology %q already scheduled", topo)
+	}
+	a.sizes[topo] = ask
+	a.plans[topo] = initial.Clone()
+	a.mu.Unlock()
+	for _, id := range containerSet(initial) {
+		if err := a.cl.Allocate(topo, id, ask, a.cfg.Launcher, cluster.AllocateOptions{AutoRestart: true}); err != nil {
+			a.cl.ReleaseTopology(topo)
+			a.mu.Lock()
+			delete(a.sizes, topo)
+			delete(a.plans, topo)
+			a.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// OnKill implements core.Scheduler.
+func (a *Aurora) OnKill(req core.KillRequest) error {
+	a.mu.Lock()
+	_, ok := a.sizes[req.Topology]
+	delete(a.sizes, req.Topology)
+	delete(a.plans, req.Topology)
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	a.cl.ReleaseTopology(req.Topology)
+	return nil
+}
+
+// OnRestart implements core.Scheduler by asking the framework to bounce
+// the containers.
+func (a *Aurora) OnRestart(req core.RestartRequest) error {
+	a.mu.Lock()
+	_, ok := a.sizes[req.Topology]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	if req.ContainerID >= 0 {
+		return a.cl.Restart(req.Topology, req.ContainerID)
+	}
+	for _, id := range a.cl.Containers(req.Topology) {
+		if err := a.cl.Restart(req.Topology, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnUpdate implements core.Scheduler. If the homogeneous size grew, every
+// container must be re-requested at the new size; otherwise only
+// membership changes are applied.
+func (a *Aurora) OnUpdate(req core.UpdateRequest) error {
+	a.mu.Lock()
+	oldAsk, ok := a.sizes[req.Topology]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	newAsk := a.homogeneousAsk(req.Proposed)
+	resize := !newAsk.Fits(oldAsk) // grew in some dimension
+
+	curByID, newByID := planByID(req.Current), planByID(req.Proposed)
+	for id := range curByID {
+		if _, keep := newByID[id]; !keep {
+			if err := a.cl.Release(req.Topology, id); err != nil {
+				return err
+			}
+		}
+	}
+	ask := oldAsk
+	if resize {
+		ask = newAsk
+	}
+	for id, nc := range newByID {
+		oc, existed := curByID[id]
+		switch {
+		case !existed:
+			if err := a.cl.Allocate(req.Topology, id, ask, a.cfg.Launcher, cluster.AllocateOptions{AutoRestart: true}); err != nil {
+				return err
+			}
+		case resize:
+			// Homogeneous resize: replace the reservation.
+			if err := a.cl.Release(req.Topology, id); err != nil {
+				return err
+			}
+			if err := a.cl.Allocate(req.Topology, id, ask, a.cfg.Launcher, cluster.AllocateOptions{AutoRestart: true}); err != nil {
+				return err
+			}
+		case instanceFingerprint(oc) != instanceFingerprint(nc):
+			if err := a.cl.Restart(req.Topology, id); err != nil {
+				return err
+			}
+		}
+	}
+	if resize {
+		// Container 0 as well.
+		if err := a.cl.Release(req.Topology, core.TMasterContainerID); err == nil {
+			if err := a.cl.Allocate(req.Topology, core.TMasterContainerID, ask, a.cfg.Launcher, cluster.AllocateOptions{AutoRestart: true}); err != nil {
+				return err
+			}
+		}
+	}
+	a.mu.Lock()
+	a.sizes[req.Topology] = ask
+	a.plans[req.Topology] = req.Proposed.Clone()
+	a.mu.Unlock()
+	return nil
+}
+
+// Close implements core.Scheduler.
+func (a *Aurora) Close() error {
+	if a.cfg == nil {
+		return nil
+	}
+	a.mu.Lock()
+	var topos []string
+	for t := range a.sizes {
+		topos = append(topos, t)
+	}
+	a.sizes = map[string]core.Resource{}
+	a.plans = map[string]*core.PackingPlan{}
+	a.mu.Unlock()
+	for _, t := range topos {
+		a.cl.ReleaseTopology(t)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+// Package scheduler provides the Scheduler module implementations (the
+// paper's Section IV-B): the bridge between a packing plan and an
+// underlying scheduling framework.
+//
+// Three implementations register with the core registry:
+//
+//   - "local": runs every container on the local machine with no
+//     framework, Heron's local mode.
+//   - "yarn": a *stateful* scheduler against the simulated cluster — it
+//     monitors container state through framework events and restarts
+//     failed containers itself. YARN grants heterogeneous containers, so
+//     each container's ask is exactly its packing-plan requirement.
+//   - "aurora": a *stateless* scheduler — Aurora's supervisor restarts
+//     failed containers without scheduler involvement, and only
+//     homogeneous containers can be allocated, so every container asks
+//     for the plan's component-wise maximum.
+//
+// Adding a framework (Mesos, Slurm, Marathon, ...) means implementing the
+// same five callbacks and registering a name — no other module changes,
+// which is the extensibility claim this repository demonstrates.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"heron/internal/cluster"
+	"heron/internal/core"
+)
+
+func init() {
+	core.RegisterScheduler("local", func() core.Scheduler { return &Local{} })
+	core.RegisterScheduler("yarn", func() core.Scheduler { return &YARN{} })
+	core.RegisterScheduler("aurora", func() core.Scheduler { return &Aurora{} })
+}
+
+// Errors shared by the implementations.
+var (
+	ErrNoLauncher  = errors.New("scheduler: config has no container launcher")
+	ErrNoFramework = errors.New("scheduler: config has no *cluster.Cluster framework")
+	ErrNotRunning  = errors.New("scheduler: topology not scheduled")
+)
+
+// containerSet computes which container ids a plan uses, always including
+// the reserved TMaster container 0.
+func containerSet(p *core.PackingPlan) []int32 {
+	ids := []int32{core.TMasterContainerID}
+	for i := range p.Containers {
+		ids = append(ids, p.Containers[i].ID)
+	}
+	return ids
+}
+
+// planByID indexes a plan's containers.
+func planByID(p *core.PackingPlan) map[int32]*core.ContainerPlan {
+	m := make(map[int32]*core.ContainerPlan, len(p.Containers))
+	for i := range p.Containers {
+		m[p.Containers[i].ID] = &p.Containers[i]
+	}
+	return m
+}
+
+// instanceFingerprint canonically describes a container's membership so
+// updates can tell changed containers from untouched ones.
+func instanceFingerprint(c *core.ContainerPlan) string {
+	cp := *c
+	cp.Instances = append([]core.InstancePlacement(nil), c.Instances...)
+	tmp := core.PackingPlan{Containers: []core.ContainerPlan{cp}}
+	tmp.Normalize()
+	s := ""
+	for _, inst := range tmp.Containers[0].Instances {
+		s += inst.ID.String() + ";"
+	}
+	return s
+}
+
+// Local runs containers as in-process groups on the local machine: no
+// framework, no resource accounting — Heron's local mode.
+type Local struct {
+	cfg *core.Config
+
+	mu    sync.Mutex
+	plans map[string]*core.PackingPlan // topology → active plan
+	stops map[string]map[int32]func()  // topology → container → stop
+}
+
+// Initialize implements core.Scheduler.
+func (l *Local) Initialize(cfg *core.Config) error {
+	if cfg.Launcher == nil {
+		return ErrNoLauncher
+	}
+	l.cfg = cfg
+	l.plans = map[string]*core.PackingPlan{}
+	l.stops = map[string]map[int32]func(){}
+	return nil
+}
+
+// OnSchedule implements core.Scheduler.
+func (l *Local) OnSchedule(initial *core.PackingPlan) error {
+	if l.cfg == nil {
+		return fmt.Errorf("scheduler: local not initialized")
+	}
+	topo := initial.Topology
+	l.mu.Lock()
+	if _, dup := l.stops[topo]; dup {
+		l.mu.Unlock()
+		return fmt.Errorf("scheduler: topology %q already scheduled", topo)
+	}
+	l.stops[topo] = map[int32]func(){}
+	l.plans[topo] = initial.Clone()
+	l.mu.Unlock()
+	for _, id := range containerSet(initial) {
+		stop, err := l.cfg.Launcher.LaunchContainer(topo, id)
+		if err != nil {
+			_ = l.OnKill(core.KillRequest{Topology: topo})
+			return fmt.Errorf("scheduler: launching container %d: %w", id, err)
+		}
+		l.mu.Lock()
+		l.stops[topo][id] = stop
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+// OnKill implements core.Scheduler.
+func (l *Local) OnKill(req core.KillRequest) error {
+	l.mu.Lock()
+	stops, ok := l.stops[req.Topology]
+	delete(l.stops, req.Topology)
+	delete(l.plans, req.Topology)
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	// Stop TMaster last so instances unwind first.
+	var tmStop func()
+	for id, stop := range stops {
+		if id == core.TMasterContainerID {
+			tmStop = stop
+			continue
+		}
+		stop()
+	}
+	if tmStop != nil {
+		tmStop()
+	}
+	return nil
+}
+
+// OnRestart implements core.Scheduler.
+func (l *Local) OnRestart(req core.RestartRequest) error {
+	l.mu.Lock()
+	stops, ok := l.stops[req.Topology]
+	if !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	var ids []int32
+	if req.ContainerID >= 0 {
+		if _, ok := stops[req.ContainerID]; !ok {
+			l.mu.Unlock()
+			return fmt.Errorf("scheduler: container %d not running", req.ContainerID)
+		}
+		ids = []int32{req.ContainerID}
+	} else {
+		for id := range stops {
+			ids = append(ids, id)
+		}
+	}
+	l.mu.Unlock()
+	for _, id := range ids {
+		l.mu.Lock()
+		stop := stops[id]
+		l.mu.Unlock()
+		stop()
+		newStop, err := l.cfg.Launcher.LaunchContainer(req.Topology, id)
+		if err != nil {
+			return err
+		}
+		l.mu.Lock()
+		stops[id] = newStop
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+// OnUpdate implements core.Scheduler: containers whose membership changed
+// are restarted, removed ones stopped, added ones launched. Unchanged
+// containers keep running (minimal disruption).
+func (l *Local) OnUpdate(req core.UpdateRequest) error {
+	l.mu.Lock()
+	stops, ok := l.stops[req.Topology]
+	if !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	l.plans[req.Topology] = req.Proposed.Clone()
+	l.mu.Unlock()
+
+	curByID, newByID := planByID(req.Current), planByID(req.Proposed)
+	// Removed containers.
+	for id := range curByID {
+		if _, keep := newByID[id]; !keep {
+			l.mu.Lock()
+			stop := stops[id]
+			delete(stops, id)
+			l.mu.Unlock()
+			if stop != nil {
+				stop()
+			}
+		}
+	}
+	// Added and changed containers.
+	for id, nc := range newByID {
+		oc, existed := curByID[id]
+		if existed && instanceFingerprint(oc) == instanceFingerprint(nc) {
+			continue
+		}
+		if existed {
+			l.mu.Lock()
+			stop := stops[id]
+			l.mu.Unlock()
+			if stop != nil {
+				stop()
+			}
+		}
+		newStop, err := l.cfg.Launcher.LaunchContainer(req.Topology, id)
+		if err != nil {
+			return err
+		}
+		l.mu.Lock()
+		stops[id] = newStop
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+// Close implements core.Scheduler; running topologies are killed.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	var topos []string
+	for t := range l.stops {
+		topos = append(topos, t)
+	}
+	l.mu.Unlock()
+	for _, t := range topos {
+		_ = l.OnKill(core.KillRequest{Topology: t})
+	}
+	return nil
+}
+
+// Running reports the container ids currently running for a topology
+// (test and CLI helper).
+func (l *Local) Running(topology string) []int32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []int32
+	for id := range l.stops[topology] {
+		out = append(out, id)
+	}
+	return out
+}
+
+// frameworkOf extracts the simulated cluster handle from the config.
+func frameworkOf(cfg *core.Config) (*cluster.Cluster, error) {
+	cl, ok := cfg.Framework.(*cluster.Cluster)
+	if !ok || cl == nil {
+		return nil, ErrNoFramework
+	}
+	return cl, nil
+}

@@ -1,0 +1,261 @@
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+
+	"heron/internal/cluster"
+	"heron/internal/core"
+)
+
+// Slurm is a static-allocation scheduler in the style of the Slurm
+// workload manager the paper lists among the community's Scheduler
+// extensions. Unlike YARN/Mesos, where containers are requested
+// incrementally, a Slurm job acquires a fixed node allocation up front
+// (salloc) and every container must run inside it; scaling beyond the
+// allocation fails with an explicit error rather than growing the
+// footprint — the batch-cluster contract.
+//
+// Failure handling is stateful within the allocation, like srun
+// restarting a failed task on the job's nodes.
+type Slurm struct {
+	cfg *core.Config
+	cl  *cluster.Cluster
+
+	mu      sync.Mutex
+	allocs  map[string]*slurmJob
+	stopMon func()
+	wg      sync.WaitGroup
+}
+
+type slurmJob struct {
+	nodes map[string]bool // the job's node allocation
+	asks  map[int32]core.Resource
+}
+
+func init() {
+	core.RegisterScheduler("slurm", func() core.Scheduler { return &Slurm{} })
+}
+
+// Initialize implements core.Scheduler.
+func (s *Slurm) Initialize(cfg *core.Config) error {
+	if cfg.Launcher == nil {
+		return ErrNoLauncher
+	}
+	cl, err := frameworkOf(cfg)
+	if err != nil {
+		return err
+	}
+	s.cfg, s.cl = cfg, cl
+	s.allocs = map[string]*slurmJob{}
+
+	events, cancel := cl.Watch()
+	s.stopMon = cancel
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for ev := range events {
+			if ev.Kind != cluster.ContainerFailed {
+				continue
+			}
+			s.mu.Lock()
+			job, managed := s.allocs[ev.Topology]
+			var res core.Resource
+			if managed {
+				res, managed = job.asks[ev.ContainerID]
+			}
+			s.mu.Unlock()
+			if !managed {
+				continue
+			}
+			// Restart inside the job's allocation.
+			_ = s.placeInAllocation(ev.Topology, job, ev.ContainerID, res)
+		}
+	}()
+	return nil
+}
+
+// placeInAllocation puts a container on one of the job's nodes.
+func (s *Slurm) placeInAllocation(topology string, job *slurmJob, id int32, res core.Resource) error {
+	for _, offer := range s.cl.Offers() {
+		if !job.nodes[offer.Node] || !res.Fits(offer.Free) {
+			continue
+		}
+		if err := s.cl.AllocateOn(offer.Node, topology, id, res, s.cfg.Launcher, cluster.AllocateOptions{}); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("scheduler: slurm allocation for %s exhausted (container %d needs %v)", topology, id, res)
+}
+
+func (s *Slurm) tmasterAsk() core.Resource {
+	if !s.cfg.TMasterResources.IsZero() {
+		return s.cfg.TMasterResources
+	}
+	return core.Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024}
+}
+
+// OnSchedule implements core.Scheduler: acquire the node allocation, then
+// place every container inside it.
+func (s *Slurm) OnSchedule(initial *core.PackingPlan) error {
+	if s.cfg == nil {
+		return fmt.Errorf("scheduler: slurm not initialized")
+	}
+	topo := initial.Topology
+	asks := map[int32]core.Resource{core.TMasterContainerID: s.tmasterAsk()}
+	for i := range initial.Containers {
+		asks[initial.Containers[i].ID] = initial.Containers[i].Required
+	}
+	// salloc: greedily claim nodes until the allocation covers the total
+	// ask (first-fit over descending offers).
+	var total core.Resource
+	for _, r := range asks {
+		total = total.Add(r)
+	}
+	job := &slurmJob{nodes: map[string]bool{}, asks: asks}
+	var covered core.Resource
+	for _, offer := range s.cl.Offers() {
+		if total.Fits(covered) {
+			break
+		}
+		job.nodes[offer.Node] = true
+		covered = covered.Add(offer.Free)
+	}
+	if !total.Fits(covered) {
+		return fmt.Errorf("scheduler: slurm cannot allocate %v across the cluster", total)
+	}
+	s.mu.Lock()
+	if _, dup := s.allocs[topo]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("scheduler: topology %q already scheduled", topo)
+	}
+	s.allocs[topo] = job
+	s.mu.Unlock()
+	for _, id := range containerSet(initial) {
+		if err := s.placeInAllocation(topo, job, id, asks[id]); err != nil {
+			s.teardown(topo)
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Slurm) teardown(topology string) {
+	s.cl.ReleaseTopology(topology)
+	s.mu.Lock()
+	delete(s.allocs, topology)
+	s.mu.Unlock()
+}
+
+// OnKill implements core.Scheduler: scancel.
+func (s *Slurm) OnKill(req core.KillRequest) error {
+	s.mu.Lock()
+	_, ok := s.allocs[req.Topology]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	s.teardown(req.Topology)
+	return nil
+}
+
+// OnRestart implements core.Scheduler.
+func (s *Slurm) OnRestart(req core.RestartRequest) error {
+	s.mu.Lock()
+	job, ok := s.allocs[req.Topology]
+	var ids []int32
+	if ok {
+		if req.ContainerID >= 0 {
+			ids = []int32{req.ContainerID}
+		} else {
+			for id := range job.asks {
+				ids = append(ids, id)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	for _, id := range ids {
+		if err := s.cl.Restart(req.Topology, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnUpdate implements core.Scheduler: new containers must fit the
+// existing allocation; Slurm jobs do not grow.
+func (s *Slurm) OnUpdate(req core.UpdateRequest) error {
+	s.mu.Lock()
+	job, ok := s.allocs[req.Topology]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	curByID, newByID := planByID(req.Current), planByID(req.Proposed)
+	for id := range curByID {
+		if _, keep := newByID[id]; !keep {
+			if err := s.cl.Release(req.Topology, id); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			delete(job.asks, id)
+			s.mu.Unlock()
+		}
+	}
+	for id, nc := range newByID {
+		oc, existed := curByID[id]
+		s.mu.Lock()
+		job.asks[id] = nc.Required
+		s.mu.Unlock()
+		switch {
+		case !existed:
+			if err := s.placeInAllocation(req.Topology, job, id, nc.Required); err != nil {
+				return err
+			}
+		case instanceFingerprint(oc) != instanceFingerprint(nc):
+			if err := s.cl.Restart(req.Topology, id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close implements core.Scheduler.
+func (s *Slurm) Close() error {
+	if s.cfg == nil {
+		return nil
+	}
+	s.mu.Lock()
+	var topos []string
+	for t := range s.allocs {
+		topos = append(topos, t)
+	}
+	s.mu.Unlock()
+	for _, t := range topos {
+		s.teardown(t)
+	}
+	if s.stopMon != nil {
+		s.stopMon()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Allocation reports the node set held for a topology (test helper).
+func (s *Slurm) Allocation(topology string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.allocs[topology]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(job.nodes))
+	for n := range job.nodes {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package statemgr
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"heron/internal/core"
+)
+
+// LocalFS is the single-server State Manager: the same tree persisted as
+// files under a root directory, the implementation the paper describes for
+// "running locally in a single server". Watches are poll-based; ephemeral
+// records are tracked in memory and removed when the manager closes.
+type LocalFS struct {
+	root string
+
+	mu        sync.Mutex
+	ephemeral map[string]bool
+	stop      chan struct{}
+	stopOnce  sync.Once
+	watchWG   sync.WaitGroup
+}
+
+// WatchPollInterval is how often LocalFS watches re-read their file.
+const WatchPollInterval = 25 * time.Millisecond
+
+// Initialize implements core.StateManager. The directory comes from
+// Extra["localfs.root"], defaulting to a directory under os.TempDir
+// derived from StateRoot.
+func (l *LocalFS) Initialize(cfg *core.Config) error {
+	root := cfg.Extra["localfs.root"]
+	if root == "" {
+		root = filepath.Join(os.TempDir(), "heron-state", filepath.Base(cfg.StateRoot))
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("statemgr: localfs root: %w", err)
+	}
+	l.root = root
+	l.ephemeral = map[string]bool{}
+	l.stop = make(chan struct{})
+	return nil
+}
+
+func (l *LocalFS) checkInit() error {
+	if l.root == "" {
+		return fmt.Errorf("statemgr: localfs state manager not initialized")
+	}
+	return nil
+}
+
+func (l *LocalFS) file(topology, kind string) string {
+	return filepath.Join(l.root, "topologies", topology, kind+".json")
+}
+
+func (l *LocalFS) write(path string, v any, ephemeral bool) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if ephemeral {
+		l.mu.Lock()
+		l.ephemeral[path] = true
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+func (l *LocalFS) read(path string, v any) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return core.ErrNotFound
+	}
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}
+
+// SetTMasterLocation implements core.StateManager.
+func (l *LocalFS) SetTMasterLocation(loc core.TMasterLocation) error {
+	return l.write(l.file(loc.Topology, "tmaster"), loc, true)
+}
+
+// GetTMasterLocation implements core.StateManager.
+func (l *LocalFS) GetTMasterLocation(topology string) (core.TMasterLocation, error) {
+	var loc core.TMasterLocation
+	err := l.read(l.file(topology, "tmaster"), &loc)
+	return loc, err
+}
+
+// WatchTMasterLocation implements core.StateManager with a poll loop.
+func (l *LocalFS) WatchTMasterLocation(topology string, cb func(core.TMasterLocation)) (func(), error) {
+	if err := l.checkInit(); err != nil {
+		return nil, err
+	}
+	path := l.file(topology, "tmaster")
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() { once.Do(func() { close(done) }) }
+	l.watchWG.Add(1)
+	go func() {
+		defer l.watchWG.Done()
+		var last []byte
+		lastExists := false
+		first := true
+		t := time.NewTicker(WatchPollInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-l.stop:
+				return
+			case <-t.C:
+			}
+			b, err := os.ReadFile(path)
+			exists := err == nil
+			if first {
+				// Arm with the current state without firing: watches report
+				// changes, not history.
+				last, lastExists, first = b, exists, false
+				continue
+			}
+			if exists == lastExists && bytes.Equal(b, last) {
+				continue
+			}
+			last, lastExists = b, exists
+			var loc core.TMasterLocation
+			if exists {
+				if json.Unmarshal(b, &loc) != nil {
+					continue
+				}
+			}
+			cb(loc)
+		}
+	}()
+	return cancel, nil
+}
+
+// SetSchedulerLocation implements core.StateManager.
+func (l *LocalFS) SetSchedulerLocation(loc core.SchedulerLocation) error {
+	return l.write(l.file(loc.Topology, "scheduler"), loc, false)
+}
+
+// GetSchedulerLocation implements core.StateManager.
+func (l *LocalFS) GetSchedulerLocation(topology string) (core.SchedulerLocation, error) {
+	var loc core.SchedulerLocation
+	err := l.read(l.file(topology, "scheduler"), &loc)
+	return loc, err
+}
+
+// SetTopology implements core.StateManager.
+func (l *LocalFS) SetTopology(t *core.Topology) error {
+	return l.write(l.file(t.Name, "topology"), t, false)
+}
+
+// GetTopology implements core.StateManager.
+func (l *LocalFS) GetTopology(name string) (*core.Topology, error) {
+	var t core.Topology
+	if err := l.read(l.file(name, "topology"), &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// DeleteTopology implements core.StateManager.
+func (l *LocalFS) DeleteTopology(name string) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	return os.RemoveAll(filepath.Join(l.root, "topologies", name))
+}
+
+// ListTopologies implements core.StateManager.
+func (l *LocalFS) ListTopologies() ([]string, error) {
+	if err := l.checkInit(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(l.root, "topologies"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, err := os.Stat(l.file(e.Name(), "topology")); err == nil {
+				out = append(out, e.Name())
+			}
+		}
+	}
+	return out, nil
+}
+
+// SetPackingPlan implements core.StateManager.
+func (l *LocalFS) SetPackingPlan(topology string, p *core.PackingPlan) error {
+	return l.write(l.file(topology, "packingplan"), p, false)
+}
+
+// GetPackingPlan implements core.StateManager.
+func (l *LocalFS) GetPackingPlan(topology string) (*core.PackingPlan, error) {
+	var p core.PackingPlan
+	if err := l.read(l.file(topology, "packingplan"), &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DeletePackingPlan implements core.StateManager.
+func (l *LocalFS) DeletePackingPlan(topology string) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	err := os.Remove(l.file(topology, "packingplan"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Close implements core.StateManager: watches stop and ephemeral records
+// (TMaster locations) are removed, emulating session expiry.
+func (l *LocalFS) Close() error {
+	if l.root == "" {
+		return nil
+	}
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.watchWG.Wait()
+	l.mu.Lock()
+	paths := make([]string, 0, len(l.ephemeral))
+	for p := range l.ephemeral {
+		paths = append(paths, p)
+	}
+	l.ephemeral = map[string]bool{}
+	l.mu.Unlock()
+	for _, p := range paths {
+		_ = os.Remove(p)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package statemgr
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"heron/internal/core"
+)
+
+func init() {
+	core.RegisterStateManager("memory", func() core.StateManager { return &Memory{} })
+	core.RegisterStateManager("localfs", func() core.StateManager { return &LocalFS{} })
+}
+
+// Shared in-process stores, keyed by Config.StateRoot: every module that
+// initializes a "memory" state manager with the same root sees the same
+// tree, the way separate Heron processes share one ZooKeeper ensemble.
+var (
+	sharedMu     sync.Mutex
+	sharedStores = map[string]*Store{}
+)
+
+// SharedStore returns (creating if needed) the process-wide store for a
+// root. Tests may use it to observe or reset coordination state.
+func SharedStore(root string) *Store {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	s, ok := sharedStores[root]
+	if !ok {
+		s = NewStore()
+		sharedStores[root] = s
+	}
+	return s
+}
+
+// ResetSharedStore drops the store for a root; tests use it for isolation.
+func ResetSharedStore(root string) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	delete(sharedStores, root)
+}
+
+// Memory is the ZooKeeper-backed State Manager equivalent: a session on
+// the shared in-memory tree store.
+type Memory struct {
+	session *Session
+}
+
+// Initialize implements core.StateManager.
+func (m *Memory) Initialize(cfg *core.Config) error {
+	root := cfg.StateRoot
+	if root == "" {
+		root = "/heron"
+	}
+	m.session = SharedStore(root).NewSession()
+	return nil
+}
+
+func (m *Memory) checkInit() error {
+	if m.session == nil {
+		return fmt.Errorf("statemgr: memory state manager not initialized")
+	}
+	return nil
+}
+
+// Paths within the tree, mirroring Heron's znode layout.
+func topologyPath(name string) string    { return "/topologies/" + name + "/topology" }
+func packingPath(name string) string     { return "/topologies/" + name + "/packingplan" }
+func tmasterPath(name string) string     { return "/topologies/" + name + "/tmaster" }
+func schedulerPath(name string) string   { return "/topologies/" + name + "/scheduler" }
+func topologyDirPath(name string) string { return "/topologies/" + name }
+
+// SetTMasterLocation implements core.StateManager; the record is ephemeral.
+func (m *Memory) SetTMasterLocation(loc core.TMasterLocation) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(loc)
+	if err != nil {
+		return err
+	}
+	return m.session.Set(tmasterPath(loc.Topology), b, true)
+}
+
+// GetTMasterLocation implements core.StateManager.
+func (m *Memory) GetTMasterLocation(topology string) (core.TMasterLocation, error) {
+	var loc core.TMasterLocation
+	if err := m.checkInit(); err != nil {
+		return loc, err
+	}
+	b, ok, err := m.session.Get(tmasterPath(topology))
+	if err != nil {
+		return loc, err
+	}
+	if !ok {
+		return loc, core.ErrNotFound
+	}
+	err = json.Unmarshal(b, &loc)
+	return loc, err
+}
+
+// WatchTMasterLocation implements core.StateManager. Deletion (TMaster
+// death) is delivered as a zero-valued location.
+func (m *Memory) WatchTMasterLocation(topology string, cb func(core.TMasterLocation)) (func(), error) {
+	if err := m.checkInit(); err != nil {
+		return nil, err
+	}
+	return m.session.Watch(tmasterPath(topology), func(data []byte, exists bool) {
+		var loc core.TMasterLocation
+		if exists {
+			if err := json.Unmarshal(data, &loc); err != nil {
+				return // ignore corrupt writes; next update will fire again
+			}
+		}
+		cb(loc)
+	})
+}
+
+// SetSchedulerLocation implements core.StateManager.
+func (m *Memory) SetSchedulerLocation(loc core.SchedulerLocation) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(loc)
+	if err != nil {
+		return err
+	}
+	return m.session.Set(schedulerPath(loc.Topology), b, false)
+}
+
+// GetSchedulerLocation implements core.StateManager.
+func (m *Memory) GetSchedulerLocation(topology string) (core.SchedulerLocation, error) {
+	var loc core.SchedulerLocation
+	if err := m.checkInit(); err != nil {
+		return loc, err
+	}
+	b, ok, err := m.session.Get(schedulerPath(topology))
+	if err != nil {
+		return loc, err
+	}
+	if !ok {
+		return loc, core.ErrNotFound
+	}
+	err = json.Unmarshal(b, &loc)
+	return loc, err
+}
+
+// SetTopology implements core.StateManager.
+func (m *Memory) SetTopology(t *core.Topology) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	return m.session.Set(topologyPath(t.Name), b, false)
+}
+
+// GetTopology implements core.StateManager.
+func (m *Memory) GetTopology(name string) (*core.Topology, error) {
+	if err := m.checkInit(); err != nil {
+		return nil, err
+	}
+	b, ok, err := m.session.Get(topologyPath(name))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	var t core.Topology
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// DeleteTopology implements core.StateManager; it removes every record of
+// the topology.
+func (m *Memory) DeleteTopology(name string) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	for _, p := range []string{topologyPath(name), packingPath(name), schedulerPath(name), tmasterPath(name), topologyDirPath(name)} {
+		if err := m.session.Delete(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListTopologies implements core.StateManager.
+func (m *Memory) ListTopologies() ([]string, error) {
+	if err := m.checkInit(); err != nil {
+		return nil, err
+	}
+	names, err := m.session.Children("/topologies")
+	if err != nil {
+		return nil, err
+	}
+	// Only topologies whose definition record still exists.
+	out := names[:0]
+	for _, n := range names {
+		if ok, _ := m.session.Exists(topologyPath(n)); ok {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// SetPackingPlan implements core.StateManager.
+func (m *Memory) SetPackingPlan(topology string, p *core.PackingPlan) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	return m.session.Set(packingPath(topology), b, false)
+}
+
+// GetPackingPlan implements core.StateManager.
+func (m *Memory) GetPackingPlan(topology string) (*core.PackingPlan, error) {
+	if err := m.checkInit(); err != nil {
+		return nil, err
+	}
+	b, ok, err := m.session.Get(packingPath(topology))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	var p core.PackingPlan
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DeletePackingPlan implements core.StateManager.
+func (m *Memory) DeletePackingPlan(topology string) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	return m.session.Delete(packingPath(topology))
+}
+
+// Close implements core.StateManager: the session expires, deleting this
+// manager's ephemeral nodes (notably its TMaster locations).
+func (m *Memory) Close() error {
+	if m.session == nil {
+		return nil
+	}
+	return m.session.Close()
+}

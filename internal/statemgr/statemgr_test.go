@@ -1,0 +1,439 @@
+package statemgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"heron/internal/core"
+)
+
+func TestStoreBasicOps(t *testing.T) {
+	st := NewStore()
+	s := st.NewSession()
+	if err := s.Set("/a/b/c", []byte("v1"), false); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := s.Get("/a/b/c")
+	if err != nil || !ok || string(b) != "v1" {
+		t.Fatalf("Get = %q %v %v", b, ok, err)
+	}
+	// Parents were auto-created.
+	if ok, _ := s.Exists("/a/b"); !ok {
+		t.Error("parent missing")
+	}
+	if err := s.Set("/a/b/c", []byte("v2"), false); err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ = s.Get("/a/b/c")
+	if string(b) != "v2" {
+		t.Errorf("after update: %q", b)
+	}
+	if err := s.Delete("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("/a/b/c"); ok {
+		t.Error("still exists after delete")
+	}
+	if err := s.Delete("/a/b/c"); err != nil {
+		t.Error("delete absent should be no-op:", err)
+	}
+}
+
+func TestStoreBadPaths(t *testing.T) {
+	s := NewStore().NewSession()
+	for _, p := range []string{"", "a", "/a//b", "/a/"} {
+		if err := s.Set(p, nil, false); err == nil {
+			t.Errorf("Set(%q) should fail", p)
+		}
+	}
+}
+
+func TestStoreChildren(t *testing.T) {
+	s := NewStore().NewSession()
+	for _, p := range []string{"/t/a/x", "/t/b", "/t/c/deep/deeper", "/other"} {
+		if err := s.Set(p, nil, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kids, err := s.Children("/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(kids) != len(want) {
+		t.Fatalf("children = %v", kids)
+	}
+	for i := range want {
+		if kids[i] != want[i] {
+			t.Fatalf("children = %v, want %v", kids, want)
+		}
+	}
+}
+
+func TestEphemeralDiesWithSession(t *testing.T) {
+	st := NewStore()
+	owner := st.NewSession()
+	observer := st.NewSession()
+	if err := owner.Set("/eph", []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := observer.Exists("/eph"); !ok {
+		t.Fatal("ephemeral not visible")
+	}
+	var mu sync.Mutex
+	var events []bool
+	if _, err := observer.Watch("/eph", func(_ []byte, exists bool) {
+		mu.Lock()
+		events = append(events, exists)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	owner.Close()
+	if ok, _ := observer.Exists("/eph"); ok {
+		t.Error("ephemeral survived session close")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 || events[0] != false {
+		t.Errorf("watch events = %v, want [false]", events)
+	}
+}
+
+func TestPersistentSurvivesSession(t *testing.T) {
+	st := NewStore()
+	s1 := st.NewSession()
+	if err := s1.Set("/persist", []byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2 := st.NewSession()
+	if ok, _ := s2.Exists("/persist"); !ok {
+		t.Error("persistent node died with session")
+	}
+}
+
+func TestWatchFiresOnSetAndDelete(t *testing.T) {
+	st := NewStore()
+	s := st.NewSession()
+	type ev struct {
+		data   string
+		exists bool
+	}
+	var mu sync.Mutex
+	var got []ev
+	cancel, err := s.Watch("/w", func(d []byte, exists bool) {
+		mu.Lock()
+		got = append(got, ev{string(d), exists})
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set("/w", []byte("1"), false)
+	s.Set("/w", []byte("2"), false)
+	s.Delete("/w")
+	cancel()
+	s.Set("/w", []byte("3"), false) // after cancel: no event
+	mu.Lock()
+	defer mu.Unlock()
+	want := []ev{{"1", true}, {"2", true}, {"", false}}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClosedSessionRejectsOps(t *testing.T) {
+	s := NewStore().NewSession()
+	s.Close()
+	if err := s.Set("/x", nil, false); !errors.Is(err, ErrClosedSession) {
+		t.Errorf("Set: %v", err)
+	}
+	if _, _, err := s.Get("/x"); !errors.Is(err, ErrClosedSession) {
+		t.Errorf("Get: %v", err)
+	}
+	if _, err := s.Watch("/x", nil); !errors.Is(err, ErrClosedSession) {
+		t.Errorf("Watch: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close should be fine:", err)
+	}
+}
+
+func TestStorePropertySetGet(t *testing.T) {
+	st := NewStore()
+	s := st.NewSession()
+	f := func(key uint16, val []byte) bool {
+		p := fmt.Sprintf("/prop/%d", key)
+		if err := s.Set(p, val, false); err != nil {
+			return false
+		}
+		got, ok, err := s.Get(p)
+		if err != nil || !ok {
+			return false
+		}
+		if len(got) != len(val) {
+			return false
+		}
+		for i := range val {
+			if got[i] != val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// managers returns both StateManager implementations, freshly initialized.
+func managers(t *testing.T) map[string]core.StateManager {
+	t.Helper()
+	out := map[string]core.StateManager{}
+
+	cfg := core.NewConfig()
+	cfg.StateRoot = "/test-" + t.Name()
+	ResetSharedStore(cfg.StateRoot)
+	mem := &Memory{}
+	if err := mem.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out["memory"] = mem
+
+	cfg2 := core.NewConfig()
+	cfg2.Extra["localfs.root"] = t.TempDir()
+	lfs := &LocalFS{}
+	if err := lfs.Initialize(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	out["localfs"] = lfs
+	return out
+}
+
+func sampleTopology() *core.Topology {
+	return &core.Topology{
+		Name: "wc",
+		Components: []core.ComponentSpec{
+			{Name: "word", Kind: core.KindSpout, Parallelism: 2,
+				Outputs: map[string][]string{"default": {"word"}}},
+			{Name: "count", Kind: core.KindBolt, Parallelism: 2,
+				Inputs: []core.InputSpec{{Component: "word", Grouping: core.GroupFields, FieldIdx: []int{0}}}},
+		},
+	}
+}
+
+func TestStateManagerTopologyRoundTrip(t *testing.T) {
+	for name, sm := range managers(t) {
+		t.Run(name, func(t *testing.T) {
+			defer sm.Close()
+			tp := sampleTopology()
+			if err := sm.SetTopology(tp); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sm.GetTopology("wc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Name != "wc" || len(got.Components) != 2 {
+				t.Errorf("topology = %+v", got)
+			}
+			if got.Components[1].Inputs[0].Grouping != core.GroupFields {
+				t.Error("grouping lost in round trip")
+			}
+			names, err := sm.ListTopologies()
+			if err != nil || len(names) != 1 || names[0] != "wc" {
+				t.Errorf("ListTopologies = %v, %v", names, err)
+			}
+			if err := sm.DeleteTopology("wc"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sm.GetTopology("wc"); !errors.Is(err, core.ErrNotFound) {
+				t.Errorf("after delete: %v", err)
+			}
+			names, _ = sm.ListTopologies()
+			if len(names) != 0 {
+				t.Errorf("after delete list = %v", names)
+			}
+		})
+	}
+}
+
+func TestStateManagerPackingPlanRoundTrip(t *testing.T) {
+	for name, sm := range managers(t) {
+		t.Run(name, func(t *testing.T) {
+			defer sm.Close()
+			plan := &core.PackingPlan{Topology: "wc", Containers: []core.ContainerPlan{
+				{ID: 1, Required: core.Resource{CPU: 2, RAMMB: 2048, DiskMB: 2048},
+					Instances: []core.InstancePlacement{
+						{ID: core.InstanceID{Component: "word", TaskID: 0}, Resources: core.Resource{CPU: 1, RAMMB: 1024, DiskMB: 1024}},
+					}},
+			}}
+			if err := sm.SetPackingPlan("wc", plan); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sm.GetPackingPlan("wc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Containers) != 1 || got.Containers[0].Instances[0].ID.Component != "word" {
+				t.Errorf("plan = %+v", got)
+			}
+			if err := sm.DeletePackingPlan("wc"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sm.GetPackingPlan("wc"); !errors.Is(err, core.ErrNotFound) {
+				t.Errorf("after delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestStateManagerSchedulerLocation(t *testing.T) {
+	for name, sm := range managers(t) {
+		t.Run(name, func(t *testing.T) {
+			defer sm.Close()
+			loc := core.SchedulerLocation{Topology: "wc", Kind: "yarn", FrameworkURL: "sim://cluster-1"}
+			if err := sm.SetSchedulerLocation(loc); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sm.GetSchedulerLocation("wc")
+			if err != nil || got != loc {
+				t.Errorf("got %+v, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestStateManagerTMasterLocationAndWatch(t *testing.T) {
+	for name, sm := range managers(t) {
+		t.Run(name, func(t *testing.T) {
+			defer sm.Close()
+			events := make(chan core.TMasterLocation, 8)
+			cancel, err := sm.WatchTMasterLocation("wc", func(loc core.TMasterLocation) {
+				events <- loc
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cancel()
+			// localfs watch needs its arming poll to run first.
+			time.Sleep(2 * WatchPollInterval)
+			loc := core.TMasterLocation{Topology: "wc", Transport: "inproc", Addr: "tm-1", SessionID: 1}
+			if err := sm.SetTMasterLocation(loc); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sm.GetTMasterLocation("wc")
+			if err != nil || got != loc {
+				t.Fatalf("Get = %+v, %v", got, err)
+			}
+			select {
+			case ev := <-events:
+				if ev.Addr != "tm-1" {
+					t.Errorf("watch event = %+v", ev)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("watch did not fire on set")
+			}
+		})
+	}
+}
+
+func TestMemoryTMasterEphemeralOnClose(t *testing.T) {
+	root := "/test-ephemeral"
+	ResetSharedStore(root)
+	cfg := core.NewConfig()
+	cfg.StateRoot = root
+
+	tmasterSM := &Memory{}
+	if err := tmasterSM.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	observerSM := &Memory{}
+	if err := observerSM.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer observerSM.Close()
+
+	deaths := make(chan core.TMasterLocation, 1)
+	if _, err := observerSM.WatchTMasterLocation("wc", func(loc core.TMasterLocation) {
+		if loc.Addr == "" {
+			deaths <- loc
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmasterSM.SetTMasterLocation(core.TMasterLocation{Topology: "wc", Addr: "tm", SessionID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := observerSM.GetTMasterLocation("wc"); err != nil {
+		t.Fatal(err)
+	}
+	// TMaster process dies → its state manager session closes → every
+	// stream manager's watch observes the deletion (the paper's Section
+	// IV-C failure-detection mechanism).
+	tmasterSM.Close()
+	select {
+	case <-deaths:
+	case <-time.After(2 * time.Second):
+		t.Fatal("TMaster death not observed")
+	}
+	if _, err := observerSM.GetTMasterLocation("wc"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("location survived: %v", err)
+	}
+}
+
+func TestLocalFSEphemeralRemovedOnClose(t *testing.T) {
+	cfg := core.NewConfig()
+	cfg.Extra["localfs.root"] = t.TempDir()
+	sm := &LocalFS{}
+	if err := sm.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.SetTMasterLocation(core.TMasterLocation{Topology: "wc", Addr: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	sm.Close()
+	sm2 := &LocalFS{}
+	if err := sm2.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer sm2.Close()
+	if _, err := sm2.GetTMasterLocation("wc"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("ephemeral tmaster record survived close: %v", err)
+	}
+}
+
+func TestRegistryHasBothManagers(t *testing.T) {
+	for _, name := range []string{"memory", "localfs"} {
+		if _, err := core.NewStateManager(name); err != nil {
+			t.Errorf("NewStateManager(%q): %v", name, err)
+		}
+	}
+}
+
+func TestUninitializedManagersFail(t *testing.T) {
+	var m Memory
+	if err := m.SetTopology(sampleTopology()); err == nil {
+		t.Error("memory: want error")
+	}
+	var l LocalFS
+	if err := l.SetTopology(sampleTopology()); err == nil {
+		t.Error("localfs: want error")
+	}
+	if err := m.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package statemgr provides the State Manager module (the paper's Section
+// IV-C): distributed coordination and topology-metadata storage on a
+// tree-structured store.
+//
+// Two implementations register with the core registry:
+//
+//   - "memory": a ZooKeeper-like in-memory store with sessions, ephemeral
+//     nodes and watches — the coordination semantics Heron uses in cluster
+//     mode (TMaster location as an ephemeral znode, so its death is
+//     observed immediately by every Stream Manager).
+//   - "localfs": the same API persisted to a local directory for
+//     single-server deployments, with poll-based watches.
+package statemgr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a ZooKeeper-like tree of nodes. All access happens through
+// Sessions; ephemeral nodes die with the session that created them.
+type Store struct {
+	mu       sync.Mutex
+	nodes    map[string]*znode
+	watches  map[string]map[int64]*watch
+	nextSess int64
+	nextWid  int64
+}
+
+type znode struct {
+	data []byte
+	// owner is the session id for ephemeral nodes, 0 for persistent ones.
+	owner int64
+}
+
+type watch struct {
+	id   int64
+	path string
+	cb   func(data []byte, exists bool)
+}
+
+// NewStore returns an empty tree.
+func NewStore() *Store {
+	return &Store{nodes: map[string]*znode{}, watches: map[string]map[int64]*watch{}}
+}
+
+// Session is one client's connection to the store. Closing it removes the
+// ephemeral nodes it created — the mechanism behind TMaster failure
+// detection.
+type Session struct {
+	store  *Store
+	id     int64
+	mu     sync.Mutex
+	closed bool
+	// cancels stops this session's watches at Close.
+	cancels []func()
+}
+
+// NewSession opens a session.
+func (s *Store) NewSession() *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSess++
+	return &Session{store: s, id: s.nextSess}
+}
+
+func cleanPath(p string) (string, error) {
+	if !strings.HasPrefix(p, "/") || strings.Contains(p, "//") || (len(p) > 1 && strings.HasSuffix(p, "/")) {
+		return "", fmt.Errorf("statemgr: bad path %q", p)
+	}
+	return p, nil
+}
+
+// ErrClosedSession reports use of a closed session.
+var ErrClosedSession = fmt.Errorf("statemgr: session closed")
+
+func (se *Session) check() error {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.closed {
+		return ErrClosedSession
+	}
+	return nil
+}
+
+// Set writes data at path, creating the node (and persistent parents) if
+// needed. If ephemeral, the node dies with the session; overwriting an
+// existing node keeps its original ownership.
+func (se *Session) Set(path string, data []byte, ephemeral bool) error {
+	if err := se.check(); err != nil {
+		return err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return err
+	}
+	st := se.store
+	st.mu.Lock()
+	// Auto-create persistent parents (a convenience over raw ZooKeeper).
+	for i := 1; i < len(path); i++ {
+		if path[i] == '/' {
+			parent := path[:i]
+			if _, ok := st.nodes[parent]; !ok {
+				st.nodes[parent] = &znode{}
+			}
+		}
+	}
+	n, ok := st.nodes[path]
+	if !ok {
+		n = &znode{}
+		if ephemeral {
+			n.owner = se.id
+		}
+		st.nodes[path] = n
+	}
+	n.data = append(n.data[:0], data...)
+	fire := st.collectWatches(path)
+	data = append([]byte(nil), n.data...)
+	st.mu.Unlock()
+	for _, w := range fire {
+		w.cb(data, true)
+	}
+	return nil
+}
+
+// Get returns the data at path; ok is false if the node does not exist.
+func (se *Session) Get(path string) ([]byte, bool, error) {
+	if err := se.check(); err != nil {
+		return nil, false, err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return nil, false, err
+	}
+	st := se.store
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n, ok := st.nodes[path]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), n.data...), true, nil
+}
+
+// Delete removes the node at path; deleting an absent node is a no-op.
+func (se *Session) Delete(path string) error {
+	if err := se.check(); err != nil {
+		return err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return err
+	}
+	st := se.store
+	st.mu.Lock()
+	_, existed := st.nodes[path]
+	delete(st.nodes, path)
+	var fire []*watch
+	if existed {
+		fire = st.collectWatches(path)
+	}
+	st.mu.Unlock()
+	for _, w := range fire {
+		w.cb(nil, false)
+	}
+	return nil
+}
+
+// Children lists the immediate child names under path, sorted.
+func (se *Session) Children(path string) ([]string, error) {
+	if err := se.check(); err != nil {
+		return nil, err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	prefix := path
+	if prefix != "/" {
+		prefix += "/"
+	}
+	st := se.store
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seen := map[string]bool{}
+	for p := range st.nodes {
+		if strings.HasPrefix(p, prefix) && p != path {
+			rest := p[len(prefix):]
+			if i := strings.IndexByte(rest, '/'); i >= 0 {
+				rest = rest[:i]
+			}
+			seen[rest] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Exists reports whether path has a node.
+func (se *Session) Exists(path string) (bool, error) {
+	_, ok, err := se.Get(path)
+	return ok, err
+}
+
+// Watch registers a continuous watch on path: cb runs after every Set or
+// Delete (exists=false), including deletions caused by session expiry.
+// Unlike raw ZooKeeper's one-shot watches, these persist until cancelled —
+// the re-arm loop every ZooKeeper client writes is folded in here.
+func (se *Session) Watch(path string, cb func(data []byte, exists bool)) (func(), error) {
+	if err := se.check(); err != nil {
+		return nil, err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	st := se.store
+	st.mu.Lock()
+	st.nextWid++
+	w := &watch{id: st.nextWid, path: path, cb: cb}
+	m := st.watches[path]
+	if m == nil {
+		m = map[int64]*watch{}
+		st.watches[path] = m
+	}
+	m[w.id] = w
+	st.mu.Unlock()
+
+	cancel := func() {
+		st.mu.Lock()
+		if m := st.watches[path]; m != nil {
+			delete(m, w.id)
+			if len(m) == 0 {
+				delete(st.watches, path)
+			}
+		}
+		st.mu.Unlock()
+	}
+	se.mu.Lock()
+	se.cancels = append(se.cancels, cancel)
+	se.mu.Unlock()
+	return cancel, nil
+}
+
+// collectWatches snapshots the watches on path; caller holds st.mu.
+func (st *Store) collectWatches(path string) []*watch {
+	m := st.watches[path]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*watch, 0, len(m))
+	for _, w := range m {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Close expires the session: its watches are cancelled and its ephemeral
+// nodes deleted (firing other sessions' watches).
+func (se *Session) Close() error {
+	se.mu.Lock()
+	if se.closed {
+		se.mu.Unlock()
+		return nil
+	}
+	se.closed = true
+	cancels := se.cancels
+	se.cancels = nil
+	se.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	st := se.store
+	st.mu.Lock()
+	var fire []*watch
+	for p, n := range st.nodes {
+		if n.owner == se.id {
+			delete(st.nodes, p)
+			fire = append(fire, st.collectWatches(p)...)
+		}
+	}
+	st.mu.Unlock()
+	for _, w := range fire {
+		w.cb(nil, false)
+	}
+	return nil
+}

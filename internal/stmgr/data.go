@@ -1,0 +1,435 @@
+package stmgr
+
+import (
+	"sync"
+
+	"heron/internal/acker"
+	"heron/internal/core"
+	"heron/internal/encoding/wire"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// tupleCache is the Stream Manager's batching stage (paper Section V-B):
+// tuples are accumulated per destination instance and flushed either when
+// the batch reaches maxTuples or when the drain timer fires
+// (cache_drain_frequency). Batching amortizes the per-frame cost of the
+// IPC layer at the price of queueing latency — the tradeoff Figures 12
+// and 13 sweep.
+const cacheShards = 16
+
+type tupleCache struct {
+	shards    [cacheShards]cacheShard
+	maxTuples int
+	flush     func(dest int32, frame []byte, owned bool)
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	batches map[int32]*batchBuf
+	scratch []byte
+}
+
+type batchBuf struct {
+	tuples []byte // concatenated length-prefixed tuples
+	count  int
+}
+
+func newTupleCache(cfg *core.Config, flush func(dest int32, frame []byte, owned bool)) *tupleCache {
+	max := cfg.CacheMaxBatchTuples
+	if max <= 0 {
+		max = core.DefaultCacheMaxBatchTuples
+	}
+	c := &tupleCache{maxTuples: max, flush: flush}
+	for i := range c.shards {
+		c.shards[i].batches = map[int32]*batchBuf{}
+	}
+	return c
+}
+
+// add caches one encoded tuple for dest, flushing if the batch is full.
+// The cache is sharded by destination so concurrent instance connections
+// do not serialize on one lock.
+func (c *tupleCache) add(dest int32, tupleBytes []byte) {
+	sh := &c.shards[uint32(dest)%cacheShards]
+	sh.mu.Lock()
+	b := sh.batches[dest]
+	if b == nil {
+		b = &batchBuf{}
+		sh.batches[dest] = b
+	}
+	b.tuples = tuple.AppendFrameEntry(b.tuples, tupleBytes)
+	b.count++
+	if b.count >= c.maxTuples {
+		sh.scratch = sh.scratch[:0]
+		sh.scratch = tuple.AppendFrameHeader(sh.scratch, dest, b.count)
+		sh.scratch = append(sh.scratch, b.tuples...)
+		b.tuples = b.tuples[:0]
+		b.count = 0
+		// Flush under the shard lock: the frame aliases scratch, and the
+		// receiving outbox copies without blocking, so holding the lock is
+		// both required for safety and cheap.
+		c.flush(dest, sh.scratch, false)
+	}
+	sh.mu.Unlock()
+}
+
+// drainAll flushes every non-empty batch (the timer path).
+func (c *tupleCache) drainAll() {
+	type out struct {
+		dest  int32
+		frame []byte
+	}
+	var outs []out
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for dest, b := range sh.batches {
+			if b.count == 0 {
+				continue
+			}
+			var frame []byte
+			frame = tuple.AppendFrameHeader(frame, dest, b.count)
+			frame = append(frame, b.tuples...)
+			b.tuples = b.tuples[:0]
+			b.count = 0
+			outs = append(outs, out{dest, frame})
+		}
+		sh.mu.Unlock()
+	}
+	for _, o := range outs {
+		c.flush(o.dest, o.frame, true) // freshly built: ownership transfers
+	}
+}
+
+// pendingFrameCap bounds how many early frames are parked per local task
+// awaiting its instance registration.
+const pendingFrameCap = 8192
+
+// deliverLocal hands a data frame to a registered local instance, or
+// parks it until the instance registers. The copy is owned by the parked
+// queue. Returns false only when the park cap is exceeded (frame dropped).
+func (s *StreamManager) deliverLocal(dest int32, frame []byte, owned bool) bool {
+	s.mu.Lock()
+	o := s.instances[dest]
+	if o == nil {
+		if len(s.pending[dest]) >= pendingFrameCap {
+			s.mu.Unlock()
+			return false
+		}
+		cp := frame
+		if !owned {
+			cp = append([]byte(nil), frame...)
+		}
+		s.pending[dest] = append(s.pending[dest], cp)
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	s.countFrame(frame, s.mTuplesFwd)
+	if owned {
+		o.enqueueOwned(network.MsgData, frame)
+	} else {
+		o.enqueue(network.MsgData, frame)
+	}
+	return true
+}
+
+// routeFrame is the Stream Manager's data path: every MsgData and MsgAck
+// frame from instances and peers lands here.
+func (s *StreamManager) routeFrame(kind network.MsgKind, payload []byte) {
+	switch kind {
+	case network.MsgData:
+		s.routeData(payload)
+	case network.MsgAck:
+		s.routeAck(payload)
+	}
+}
+
+// routeData forwards a data frame toward its destination task.
+func (s *StreamManager) routeData(payload []byte) {
+	if s.optimized {
+		s.routeDataLazy(payload)
+	} else {
+		s.routeDataNaive(payload)
+	}
+}
+
+// routeDataLazy is the Section V-A fast path: only the frame header (and,
+// for mixed frames, each tuple's destination prefix) is parsed; tuple
+// payloads cross this router untouched.
+func (s *StreamManager) routeDataLazy(payload []byte) {
+	dest, err := tuple.FrameDest(payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	plan := s.plan
+	s.mu.Unlock()
+	if plan == nil {
+		return
+	}
+	if dest == tuple.MixedFrameDest {
+		// Instance batch: split into the per-destination tuple cache. Each
+		// tuple costs one destination peek — still lazy.
+		_, _, _ = tuple.WalkFrame(payload, func(tb []byte) error {
+			if d, err := tuple.PeekDest(tb); err == nil {
+				s.mTuplesIn.Inc(1)
+				s.cache.add(d, tb)
+			}
+			return nil
+		})
+		return
+	}
+	container := plan.TaskContainer(dest)
+	if container < 0 {
+		return // task no longer in the plan (scaled away)
+	}
+	// Single-tuple frames (fresh from a local instance) enter the tuple
+	// cache — the cache batches incoming and outgoing tuples alike, as the
+	// paper describes. Pre-batched frames are forwarded whole: to the
+	// local instance for local destinations (true lazy forwarding: the
+	// payload is never decoded here), or re-routed to a peer if the plan
+	// moved the task.
+	var count int
+	var first []byte
+	if _, c, err := tuple.WalkFrame(payload, func(tb []byte) error {
+		if first == nil {
+			first = tb
+		}
+		return nil
+	}); err != nil {
+		return
+	} else {
+		count = c
+	}
+	s.mTuplesIn.Inc(int64(count))
+	if count == 1 {
+		s.cache.add(dest, first)
+		return
+	}
+	if container == s.opts.Container {
+		s.deliverLocal(dest, payload, false)
+		return
+	}
+	s.mu.Lock()
+	peer := s.peers[container]
+	s.mu.Unlock()
+	if peer != nil {
+		peer.enqueue(network.MsgData, payload)
+	}
+}
+
+// routeDataNaive is the "without optimizations" path of Figures 5–9:
+// every tuple is fully decoded and re-encoded at every hop, nothing is
+// pooled, and no batching happens — each tuple leaves as its own frame.
+func (s *StreamManager) routeDataNaive(payload []byte) {
+	s.mu.Lock()
+	plan := s.plan
+	s.mu.Unlock()
+	if plan == nil {
+		return
+	}
+	codec := tuple.NaiveCodec{}
+	_, _, _ = tuple.WalkFrame(payload, func(tb []byte) error {
+		var t tuple.DataTuple // fresh allocation per tuple, deliberately
+		if err := codec.DecodeData(tb, &t); err != nil {
+			return nil
+		}
+		s.mTuplesIn.Inc(1)
+		reenc := codec.EncodeData(nil, &t)
+		frame := tuple.AppendFrameHeader(nil, t.DestTask, 1)
+		frame = tuple.AppendFrameEntry(frame, reenc)
+		container := plan.TaskContainer(t.DestTask)
+		if container < 0 {
+			return nil
+		}
+		if container == s.opts.Container {
+			s.deliverLocal(t.DestTask, frame, true)
+			return nil
+		}
+		s.mu.Lock()
+		peer := s.peers[container]
+		s.mu.Unlock()
+		if peer != nil {
+			peer.enqueue(network.MsgData, frame)
+		}
+		return nil
+	})
+}
+
+// countFrame adds a frame's tuple count to a counter (header parse only).
+func (s *StreamManager) countFrame(payload []byte, c interface{ Inc(int64) }) {
+	b := payload
+	if _, n, err := wire.Uvarint(b); err == nil {
+		if cnt, _, err := wire.Uvarint(b[n:]); err == nil {
+			c.Inc(int64(cnt))
+		}
+	}
+}
+
+// ackCache batches control tuples bound for peer stream managers; it is
+// drained on the same cycle as the tuple cache, so ack traffic shares the
+// batching optimization (as in Heron, where acks travel the same streams).
+type ackCache struct {
+	mu      sync.Mutex
+	batches map[int32]*batchBuf // peer container → pending acks
+}
+
+func newAckCache() *ackCache { return &ackCache{batches: map[int32]*batchBuf{}} }
+
+func (c *ackCache) add(container int32, ackBytes []byte) {
+	c.mu.Lock()
+	b := c.batches[container]
+	if b == nil {
+		b = &batchBuf{}
+		c.batches[container] = b
+	}
+	b.tuples = tuple.AppendFrameEntry(b.tuples, ackBytes)
+	b.count++
+	c.mu.Unlock()
+}
+
+// drain returns one frame per destination container and resets the cache.
+func (c *ackCache) drain() map[int32][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out map[int32][]byte
+	for container, b := range c.batches {
+		if b.count == 0 {
+			continue
+		}
+		frame := tuple.AppendAckFrameHeader(nil, b.count)
+		frame = append(frame, b.tuples...)
+		b.tuples = b.tuples[:0]
+		b.count = 0
+		if out == nil {
+			out = map[int32][]byte{}
+		}
+		out[container] = frame
+	}
+	return out
+}
+
+// routeAck moves a frame of ack/fail/anchor control tuples toward the
+// ackers of the stream managers hosting the originating spouts, handling
+// local ones directly. In optimized mode remote acks are re-batched per
+// peer; in naive mode each is forwarded as its own frame immediately.
+func (s *StreamManager) routeAck(payload []byte) {
+	s.mu.Lock()
+	plan := s.plan
+	s.mu.Unlock()
+	if plan == nil {
+		return
+	}
+	_ = tuple.WalkAckFrame(payload, func(ab []byte) error {
+		var a tuple.AckTuple
+		if err := tuple.DecodeAck(ab, &a); err != nil {
+			return nil
+		}
+		container := plan.TaskContainer(a.SpoutTask)
+		if container < 0 {
+			return nil
+		}
+		if container == s.opts.Container {
+			s.handleAck(&a)
+			return nil
+		}
+		s.mAcksRouted.Inc(1)
+		if s.optimized {
+			s.acks.add(container, ab)
+			return nil
+		}
+		s.mu.Lock()
+		peer := s.peers[container]
+		s.mu.Unlock()
+		if peer != nil {
+			frame := tuple.AppendAckFrameHeader(nil, 1)
+			frame = tuple.AppendFrameEntry(frame, ab)
+			peer.enqueueOwned(network.MsgAck, frame)
+		}
+		return nil
+	})
+}
+
+// drainAcks flushes the ack cache to peers (optimized mode only).
+func (s *StreamManager) drainAcks() {
+	for container, frame := range s.acks.drain() {
+		s.mu.Lock()
+		peer := s.peers[container]
+		s.mu.Unlock()
+		if peer != nil {
+			peer.enqueueOwned(network.MsgAck, frame)
+		}
+	}
+}
+
+// handleAck applies one control tuple to the local acker state.
+func (s *StreamManager) handleAck(a *tuple.AckTuple) {
+	switch a.Kind {
+	case tuple.AckAnchor:
+		s.mu.Lock()
+		s.rootSpout[a.Root] = a.SpoutTask
+		s.mu.Unlock()
+		s.ack.Anchor(a.Root, a.Delta)
+	case tuple.AckAck:
+		s.ack.Ack(a.Root, a.Delta)
+	case tuple.AckFail:
+		s.ack.Fail(a.Root)
+	}
+}
+
+// onTreeDone notifies the owning spout instance of a finished tree.
+func (s *StreamManager) onTreeDone(root uint64, r acker.Result) {
+	s.mu.Lock()
+	spout, ok := s.rootSpout[root]
+	if ok {
+		delete(s.rootSpout, root)
+	}
+	o := s.instances[spout]
+	s.mu.Unlock()
+	if !ok || o == nil {
+		return
+	}
+	kind := tuple.AckAck
+	switch r {
+	case acker.Failed:
+		kind = tuple.AckFail
+	case acker.TimedOut:
+		kind = tuple.AckExpired
+	}
+	enc := tuple.EncodeAck(nil, &tuple.AckTuple{Kind: kind, SpoutTask: spout, Root: root})
+	frame := tuple.AppendAckFrameHeader(nil, 1)
+	frame = tuple.AppendFrameEntry(frame, enc)
+	o.enqueueOwned(network.MsgAck, frame)
+}
+
+// flushBatch delivers one cache batch to its destination (local instance
+// or peer stream manager). owned reports whether the frame's buffer may be
+// retained without copying.
+func (s *StreamManager) flushBatch(dest int32, frame []byte, owned bool) {
+	s.mu.Lock()
+	plan := s.plan
+	s.mu.Unlock()
+	if plan == nil {
+		return
+	}
+	container := plan.TaskContainer(dest)
+	if container < 0 {
+		return
+	}
+	if container == s.opts.Container {
+		s.deliverLocal(dest, frame, owned)
+		return
+	}
+	s.mu.Lock()
+	peer := s.peers[container]
+	s.mu.Unlock()
+	if peer != nil {
+		if owned {
+			peer.enqueueOwned(network.MsgData, frame)
+		} else {
+			peer.enqueue(network.MsgData, frame)
+		}
+	}
+}

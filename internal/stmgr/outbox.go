@@ -1,0 +1,116 @@
+package stmgr
+
+import (
+	"sync"
+
+	"heron/internal/network"
+)
+
+// outbox decouples the Stream Manager's routing path from slow receivers:
+// frames are queued without bound and drained by a dedicated sender
+// goroutine. Unbounded queueing removes the emit↔deliver deadlock a
+// bounded ring would allow in cyclic topologies; memory is kept in check
+// by the backpressure watermark (the Stream Manager pauses spouts when
+// any outbox grows past the high-water mark, Heron's spout-based
+// backpressure).
+type outbox struct {
+	conn network.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []frame
+	closed bool
+
+	// onDepth, when set, observes queue depth after every enqueue/dequeue
+	// so the owner can trigger backpressure transitions.
+	onDepth func(depth int)
+
+	wg sync.WaitGroup
+}
+
+type frame struct {
+	kind network.MsgKind
+	data []byte // owned by the outbox
+}
+
+func newOutbox(conn network.Conn, onDepth func(int)) *outbox {
+	o := &outbox{conn: conn, onDepth: onDepth}
+	o.cond = sync.NewCond(&o.mu)
+	o.wg.Add(1)
+	go o.run()
+	return o
+}
+
+// enqueue copies payload and schedules it for delivery.
+func (o *outbox) enqueue(kind network.MsgKind, payload []byte) {
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	o.enqueueOwned(kind, data)
+}
+
+// enqueueOwned schedules a payload whose ownership transfers to the
+// outbox — the zero-copy path for freshly built batch frames.
+func (o *outbox) enqueueOwned(kind network.MsgKind, data []byte) {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.queue = append(o.queue, frame{kind, data})
+	depth := len(o.queue)
+	o.mu.Unlock()
+	o.cond.Signal()
+	if o.onDepth != nil {
+		o.onDepth(depth)
+	}
+}
+
+func (o *outbox) run() {
+	defer o.wg.Done()
+	for {
+		o.mu.Lock()
+		for len(o.queue) == 0 && !o.closed {
+			o.cond.Wait()
+		}
+		if o.closed && len(o.queue) == 0 {
+			o.mu.Unlock()
+			return
+		}
+		// Take a batch to amortize lock traffic.
+		batch := o.queue
+		o.queue = nil
+		o.mu.Unlock()
+		for _, f := range batch {
+			if err := o.conn.Send(f.kind, f.data); err != nil {
+				// Receiver gone: drop the rest and park until closed.
+				o.mu.Lock()
+				o.queue = nil
+				o.closed = true
+				o.mu.Unlock()
+				return
+			}
+		}
+		if o.onDepth != nil {
+			o.mu.Lock()
+			depth := len(o.queue)
+			o.mu.Unlock()
+			o.onDepth(depth)
+		}
+	}
+}
+
+// depth returns the current queue length.
+func (o *outbox) depth() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.queue)
+}
+
+// close stops the sender after draining what is already queued.
+func (o *outbox) close() {
+	o.mu.Lock()
+	o.closed = true
+	o.mu.Unlock()
+	o.cond.Broadcast()
+	o.wg.Wait()
+}

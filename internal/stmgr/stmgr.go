@@ -1,0 +1,600 @@
+// Package stmgr implements the Stream Manager: the dedicated process
+// responsible for all data transfers among Heron Instances (the paper's
+// Sections II and V). One Stream Manager runs per container; instances
+// connect to their local Stream Manager, and Stream Managers form a full
+// mesh across containers.
+//
+// The module carries the paper's Section V-A optimizations, switchable at
+// configuration time so the evaluation's "with/without optimizations"
+// comparison (Figures 5–9) is reproducible:
+//
+//   - optimized: pooled buffers, per-destination tuple-cache batching
+//     drained every cache_drain_frequency, and lazy forwarding — only the
+//     destination field of a tuple is parsed, the payload crosses the
+//     router as an opaque byte slice.
+//   - unoptimized: allocation per message, no batching (every tuple is
+//     its own frame), and a full decode + re-encode at every hop.
+//
+// The Stream Manager also hosts the acker state for local spouts and
+// implements spout-based backpressure: when a local delivery queue grows
+// past the high-water mark, local spouts are paused and peers are told to
+// pause theirs.
+package stmgr
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"heron/internal/acker"
+	"heron/internal/core"
+	"heron/internal/ctrl"
+	"heron/internal/metrics"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// Backpressure watermarks, in frames queued toward one local instance.
+const (
+	backpressureHWM = 2048
+	backpressureLWM = 128
+)
+
+// Options configure one Stream Manager.
+type Options struct {
+	Topology  string
+	Container int32
+	Cfg       *core.Config
+	// State is this container's State Manager session, used to discover
+	// the TMaster.
+	State core.StateManager
+	// Registry receives this container's data-plane metrics.
+	Registry *metrics.Registry
+}
+
+// StreamManager routes every tuple of one container.
+type StreamManager struct {
+	opts      Options
+	transport network.Transport
+	codec     tuple.Codec
+	optimized bool
+
+	listener network.Listener
+
+	mu        sync.Mutex
+	plan      *core.PhysicalPlan
+	epoch     int64
+	instances map[int32]*outbox      // local task id → delivery queue
+	instConns map[int32]network.Conn // local task id → conn (for close)
+	// pending holds data frames for local tasks whose instance has not
+	// registered yet (instances and their upstream spouts start
+	// concurrently); flushed on registration, capped per task.
+	pending   map[int32][][]byte
+	peers     map[int32]*outbox // container id → peer stream manager
+	peerConns map[int32]network.Conn
+	peerAddrs map[int32]string
+	spoutsUp  map[int32]bool // local spout tasks currently registered
+
+	cache       *tupleCache
+	acks        *ackCache
+	ack         *acker.Acker
+	rootSpout   map[uint64]int32 // root id → local spout task
+	bpActive    bool
+	stopCh      chan struct{}
+	stopOnce    sync.Once
+	wg          sync.WaitGroup
+	tmasterMu   sync.Mutex
+	tmaster     network.Conn
+	cancelWatch func()
+
+	mCacheFlush *metrics.Counter
+	mTuplesIn   *metrics.Counter
+	mTuplesFwd  *metrics.Counter
+	mAcksRouted *metrics.Counter
+	mBPTransit  *metrics.Counter
+}
+
+// New creates and starts a Stream Manager: it listens for data
+// connections, registers with the TMaster as soon as the TMaster location
+// appears in the State Manager, and begins routing once the physical plan
+// arrives.
+func New(opts Options) (*StreamManager, error) {
+	if opts.Cfg == nil || opts.State == nil {
+		return nil, errors.New("stmgr: missing config or state manager")
+	}
+	tr, err := network.ByName(opts.Cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := tuple.ByName(opts.Cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
+	l, err := tr.Listen("")
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamManager{
+		opts:      opts,
+		transport: tr,
+		codec:     codec,
+		optimized: opts.Cfg.StreamManagerOptimized,
+		listener:  l,
+		instances: map[int32]*outbox{},
+		instConns: map[int32]network.Conn{},
+		pending:   map[int32][][]byte{},
+		peers:     map[int32]*outbox{},
+		peerConns: map[int32]network.Conn{},
+		peerAddrs: map[int32]string{},
+		spoutsUp:  map[int32]bool{},
+		rootSpout: map[uint64]int32{},
+		stopCh:    make(chan struct{}),
+
+		mCacheFlush: opts.Registry.Counter("stmgr.cache_flushes"),
+		mTuplesIn:   opts.Registry.Counter("stmgr.tuples_in"),
+		mTuplesFwd:  opts.Registry.Counter("stmgr.tuples_forwarded"),
+		mAcksRouted: opts.Registry.Counter("stmgr.acks_routed"),
+		mBPTransit:  opts.Registry.Counter("stmgr.backpressure_transitions"),
+	}
+	s.ack = acker.New(acker.DefaultBuckets, s.onTreeDone)
+	s.acks = newAckCache()
+	if s.optimized {
+		s.cache = newTupleCache(opts.Cfg, s.flushBatch)
+	}
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if s.optimized {
+		s.wg.Add(1)
+		go s.drainLoop()
+	}
+	if opts.Cfg.AckingEnabled {
+		s.wg.Add(1)
+		go s.rotateLoop()
+	}
+	if err := s.watchTMaster(); err != nil {
+		s.Stop()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Addr returns the data listener's address for the TMaster directory.
+func (s *StreamManager) Addr() string { return s.listener.Addr() }
+
+// watchTMaster connects (and reconnects) to the TMaster whenever its
+// location changes in the State Manager.
+func (s *StreamManager) watchTMaster() error {
+	connect := func(loc core.TMasterLocation) {
+		if loc.Addr == "" {
+			return
+		}
+		s.connectTMaster(loc)
+	}
+	cancel, err := s.opts.State.WatchTMasterLocation(s.opts.Topology, connect)
+	if err != nil {
+		return err
+	}
+	s.cancelWatch = cancel
+	// The location may already be present.
+	if loc, err := s.opts.State.GetTMasterLocation(s.opts.Topology); err == nil {
+		connect(loc)
+	}
+	return nil
+}
+
+func (s *StreamManager) connectTMaster(loc core.TMasterLocation) {
+	tr, err := network.ByName(loc.Transport)
+	if err != nil {
+		return
+	}
+	conn, err := tr.Dial(loc.Addr)
+	if err != nil {
+		return
+	}
+	s.tmasterMu.Lock()
+	if s.tmaster != nil {
+		s.tmaster.Close()
+	}
+	s.tmaster = conn
+	s.tmasterMu.Unlock()
+	conn.Start(func(kind network.MsgKind, payload []byte) {
+		if kind != network.MsgControl {
+			return
+		}
+		m, err := ctrl.Decode(payload)
+		if err != nil {
+			return
+		}
+		switch m.Op {
+		case ctrl.OpPlan:
+			s.applyPlan(m.Plan)
+		case ctrl.OpTune:
+			s.forwardToSpouts(m)
+		}
+	})
+	reg, err := ctrl.Encode(&ctrl.Message{
+		Op:        ctrl.OpRegisterStmgr,
+		Topology:  s.opts.Topology,
+		Container: s.opts.Container,
+		DataAddr:  s.Addr(),
+	})
+	if err == nil {
+		_ = conn.Send(network.MsgControl, reg)
+	}
+}
+
+// applyPlan installs a broadcast physical plan: peer connections are
+// reconciled against the new stream-manager directory and the plan is
+// pushed to every registered local instance.
+func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
+	if p == nil {
+		return
+	}
+	pp, err := p.BuildPhysicalPlan()
+	if err != nil {
+		log.Printf("stmgr[%s/%d]: bad plan: %v", s.opts.Topology, s.opts.Container, err)
+		return
+	}
+	raw, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpPlan, Topology: s.opts.Topology, Plan: p})
+	if err != nil {
+		return
+	}
+
+	s.mu.Lock()
+	if p.Epoch < s.epoch {
+		s.mu.Unlock()
+		return // stale broadcast
+	}
+	s.epoch = p.Epoch
+	s.plan = pp
+	// Reconcile peers: close connections whose address changed or whose
+	// container vanished; dial new ones.
+	type dial struct {
+		container int32
+		addr      string
+	}
+	var dials []dial
+	for c, addr := range p.Stmgrs {
+		if c == s.opts.Container {
+			continue
+		}
+		if s.peerAddrs[c] != addr {
+			if old := s.peers[c]; old != nil {
+				old.close()
+				s.peerConns[c].Close()
+				delete(s.peers, c)
+				delete(s.peerConns, c)
+			}
+			dials = append(dials, dial{c, addr})
+		}
+	}
+	for c := range s.peers {
+		if _, ok := p.Stmgrs[c]; !ok {
+			s.peers[c].close()
+			s.peerConns[c].Close()
+			delete(s.peers, c)
+			delete(s.peerConns, c)
+			delete(s.peerAddrs, c)
+		}
+	}
+	outs := make([]*outbox, 0, len(s.instances))
+	for _, o := range s.instances {
+		outs = append(outs, o)
+	}
+	s.mu.Unlock()
+
+	for _, d := range dials {
+		conn, err := s.transport.Dial(d.addr)
+		if err != nil {
+			log.Printf("stmgr[%s/%d]: dial peer %d at %s: %v",
+				s.opts.Topology, s.opts.Container, d.container, d.addr, err)
+			continue
+		}
+		// Frames we receive on a dialed peer conn (rare: peers answer on
+		// their accepted side normally) go through the same router.
+		conn.Start(s.routeFrame)
+		s.mu.Lock()
+		s.peers[d.container] = newOutbox(conn, nil)
+		s.peerConns[d.container] = conn
+		s.peerAddrs[d.container] = d.addr
+		s.mu.Unlock()
+	}
+	// Forward the plan to local instances.
+	for _, o := range outs {
+		o.enqueue(network.MsgControl, raw)
+	}
+}
+
+// acceptLoop admits connections from local instances and peer stream
+// managers; both speak the same framed protocol and are served by the
+// same router.
+func (s *StreamManager) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		c := conn
+		c.Start(func(kind network.MsgKind, payload []byte) {
+			if kind == network.MsgControl {
+				s.handleControl(c, payload)
+				return
+			}
+			s.routeFrame(kind, payload)
+		})
+	}
+}
+
+// handleControl processes a control frame from an accepted connection.
+func (s *StreamManager) handleControl(conn network.Conn, payload []byte) {
+	m, err := ctrl.Decode(payload)
+	if err != nil {
+		return
+	}
+	switch m.Op {
+	case ctrl.OpRegisterInstance:
+		s.registerInstance(conn, m.TaskID)
+	case ctrl.OpBackpressure:
+		// A peer asks us to pause/resume our local spouts.
+		s.setSpoutPause(m.On, m.Container)
+	case ctrl.OpTune:
+		s.forwardToSpouts(m)
+	}
+}
+
+// forwardToSpouts relays a control message to every local spout instance.
+func (s *StreamManager) forwardToSpouts(m *ctrl.Message) {
+	raw, err := ctrl.Encode(m)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	var outs []*outbox
+	if s.plan != nil {
+		for task, o := range s.instances {
+			if int(task) < len(s.plan.Tasks) && s.plan.Tasks[task].Kind == core.KindSpout {
+				outs = append(outs, o)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, o := range outs {
+		o.enqueue(network.MsgControl, raw)
+	}
+}
+
+// registerInstance binds a local task to its connection and hands it the
+// current plan.
+func (s *StreamManager) registerInstance(conn network.Conn, task int32) {
+	onDepth := func(depth int) { s.observeDepth(depth) }
+	o := newOutbox(conn, onDepth)
+
+	s.mu.Lock()
+	if old := s.instances[task]; old != nil {
+		old.close()
+	}
+	s.instances[task] = o
+	s.instConns[task] = conn
+	parked := s.pending[task]
+	delete(s.pending, task)
+	var planMsg []byte
+	if s.plan != nil {
+		if raw, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpPlan, Topology: s.opts.Topology, Plan: s.payloadLocked()}); err == nil {
+			planMsg = raw
+		}
+		if int(task) < len(s.plan.Tasks) && s.plan.Tasks[task].Kind == core.KindSpout {
+			s.spoutsUp[task] = true
+		}
+	}
+	s.mu.Unlock()
+	if planMsg != nil {
+		o.enqueue(network.MsgControl, planMsg)
+	}
+	// Release any data that arrived before this instance came up. Done
+	// outside s.mu: enqueue triggers the depth callback, which takes s.mu.
+	for _, frame := range parked {
+		o.enqueueOwned(network.MsgData, frame)
+	}
+}
+
+// payloadLocked rebuilds a plan payload from current state; caller holds mu.
+func (s *StreamManager) payloadLocked() *ctrl.PlanPayload {
+	stmgrs := make(map[int32]string, len(s.peerAddrs)+1)
+	for c, a := range s.peerAddrs {
+		stmgrs[c] = a
+	}
+	stmgrs[s.opts.Container] = s.Addr()
+	return &ctrl.PlanPayload{
+		Epoch:    s.epoch,
+		Topology: s.plan.Topology,
+		Packing:  s.plan.Packing,
+		Stmgrs:   stmgrs,
+	}
+}
+
+// observeDepth drives the backpressure state machine from instance queue
+// depths.
+func (s *StreamManager) observeDepth(depth int) {
+	if depth > backpressureHWM {
+		s.mu.Lock()
+		trigger := !s.bpActive
+		s.bpActive = true
+		s.mu.Unlock()
+		if trigger {
+			s.mBPTransit.Inc(1)
+			s.broadcastBackpressure(true)
+		}
+		return
+	}
+	if depth > backpressureLWM {
+		return
+	}
+	s.mu.Lock()
+	release := s.bpActive
+	if release {
+		// Only release when every local queue is below the low-water mark.
+		for _, o := range s.instances {
+			if o.depth() > backpressureLWM {
+				release = false
+				break
+			}
+		}
+		if release {
+			s.bpActive = false
+		}
+	}
+	s.mu.Unlock()
+	if release {
+		s.mBPTransit.Inc(1)
+		s.broadcastBackpressure(false)
+	}
+}
+
+// broadcastBackpressure pauses/resumes local spouts and tells every peer
+// to do the same (Heron's spout-based backpressure).
+func (s *StreamManager) broadcastBackpressure(on bool) {
+	s.setSpoutPause(on, s.opts.Container)
+	raw, err := ctrl.Encode(&ctrl.Message{
+		Op: ctrl.OpBackpressure, Topology: s.opts.Topology,
+		Container: s.opts.Container, On: on,
+	})
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	peers := make([]*outbox, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	for _, p := range peers {
+		p.enqueue(network.MsgControl, raw)
+	}
+}
+
+// setSpoutPause forwards a pause/resume to the local spout instances.
+func (s *StreamManager) setSpoutPause(on bool, origin int32) {
+	raw, err := ctrl.Encode(&ctrl.Message{
+		Op: ctrl.OpBackpressure, Topology: s.opts.Topology,
+		Container: origin, On: on,
+	})
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	var outs []*outbox
+	if s.plan != nil {
+		for task, o := range s.instances {
+			if int(task) < len(s.plan.Tasks) && s.plan.Tasks[task].Kind == core.KindSpout {
+				outs = append(outs, o)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, o := range outs {
+		o.enqueue(network.MsgControl, raw)
+	}
+}
+
+// drainLoop flushes the tuple cache every cache_drain_frequency.
+func (s *StreamManager) drainLoop() {
+	defer s.wg.Done()
+	period := s.opts.Cfg.CacheDrainFrequency
+	if period <= 0 {
+		period = core.DefaultCacheDrainFrequency
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			s.cache.drainAll()
+			s.drainAcks()
+			return
+		case <-t.C:
+			s.cache.drainAll()
+			s.drainAcks()
+			s.mCacheFlush.Inc(1)
+		}
+	}
+}
+
+// rotateLoop expires ack trees: messageTimeout spread over the rotation
+// buckets.
+func (s *StreamManager) rotateLoop() {
+	defer s.wg.Done()
+	timeout := s.opts.Cfg.MessageTimeout
+	if timeout <= 0 {
+		timeout = core.DefaultMessageTimeout
+	}
+	period := timeout / time.Duration(acker.DefaultBuckets-1)
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.ack.Rotate()
+		}
+	}
+}
+
+// Stop tears the Stream Manager down.
+func (s *StreamManager) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		if s.cancelWatch != nil {
+			s.cancelWatch()
+		}
+		s.listener.Close()
+		s.tmasterMu.Lock()
+		if s.tmaster != nil {
+			s.tmaster.Close()
+		}
+		s.tmasterMu.Unlock()
+		s.mu.Lock()
+		insts := s.instances
+		instConns := s.instConns
+		peers := s.peers
+		peerConns := s.peerConns
+		s.instances = map[int32]*outbox{}
+		s.instConns = map[int32]network.Conn{}
+		s.peers = map[int32]*outbox{}
+		s.peerConns = map[int32]network.Conn{}
+		s.mu.Unlock()
+		for _, c := range instConns {
+			c.Close()
+		}
+		for _, c := range peerConns {
+			c.Close()
+		}
+		for _, o := range insts {
+			o.close()
+		}
+		for _, o := range peers {
+			o.close()
+		}
+		s.wg.Wait()
+	})
+}
+
+// Plan returns the installed physical plan (nil before the first
+// broadcast); used by tests and the harness.
+func (s *StreamManager) Plan() *core.PhysicalPlan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan
+}
+
+// String implements fmt.Stringer.
+func (s *StreamManager) String() string {
+	return fmt.Sprintf("stmgr[%s/%d]", s.opts.Topology, s.opts.Container)
+}

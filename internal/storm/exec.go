@@ -1,0 +1,413 @@
+package storm
+
+import (
+	"time"
+
+	"heron/api"
+	"heron/internal/acker"
+	"heron/internal/core"
+	"heron/internal/tuple"
+)
+
+// taskContext implements api.TopologyContext for a baseline task.
+type taskContext struct {
+	c *Cluster
+	t *task
+}
+
+// TopologyName implements api.TopologyContext.
+func (x taskContext) TopologyName() string { return x.c.spec.Topology.Name }
+
+// ComponentName implements api.TopologyContext.
+func (x taskContext) ComponentName() string { return x.t.info.component }
+
+// ComponentIndex implements api.TopologyContext.
+func (x taskContext) ComponentIndex() int32 { return x.t.info.index }
+
+// TaskID implements api.TopologyContext.
+func (x taskContext) TaskID() int32 { return x.t.info.id }
+
+// ComponentParallelism implements api.TopologyContext.
+func (x taskContext) ComponentParallelism(component string) int {
+	return len(x.c.plan.compTasks[component])
+}
+
+// destinations computes the destination tasks for one emit, mirroring the
+// Heron router's grouping semantics.
+func (c *Cluster) destinations(streamID int32, values []any, dst []int32, rrState *uint64) []int32 {
+	for i := range c.plan.streams[streamID].consumers {
+		cons := &c.plan.streams[streamID].consumers[i]
+		if len(cons.tasks) == 0 {
+			continue
+		}
+		switch cons.grouping {
+		case core.GroupShuffle:
+			*rrState++
+			dst = append(dst, cons.tasks[int(*rrState%uint64(len(cons.tasks)))])
+		case core.GroupFields:
+			h := core.HashFields(values, cons.fieldIdx)
+			dst = append(dst, cons.tasks[int(h%uint64(len(cons.tasks)))])
+		case core.GroupAll:
+			dst = append(dst, cons.tasks...)
+		case core.GroupGlobal:
+			dst = append(dst, cons.tasks[0])
+		}
+	}
+	return dst
+}
+
+// spoutCollector implements api.SpoutCollector for one spout task.
+type spoutCollector struct {
+	c  *Cluster
+	t  *task
+	rr uint64
+}
+
+// Emit implements api.SpoutCollector.
+func (sc *spoutCollector) Emit(stream string, msgID any, values ...any) {
+	c, t := sc.c, sc.t
+	sid, ok := c.plan.streamID(t.info.component, stream)
+	if !ok {
+		return
+	}
+	dests := c.destinations(sid, values, nil, &sc.rr)
+	if len(dests) == 0 {
+		return
+	}
+	reliable := msgID != nil && c.cfg.AckingEnabled
+	var root, anchorXor uint64
+	if reliable {
+		root = core.MakeRoot(t.info.id, t.rng.Uint64())
+	}
+	for _, dest := range dests {
+		// One TupleImpl per destination: fresh values list, metadata
+		// object and timestamp, as the JVM engine allocates.
+		it := item{
+			dest: dest, stream: sid,
+			values: append([]any(nil), values...),
+			meta:   &tupleMeta{srcTask: t.info.id, createdNs: time.Now().UnixNano()},
+		}
+		if reliable {
+			it.key = t.rng.Uint64() | 1
+			anchorXor ^= it.key
+			it.roots = []uint64{root}
+			it.meta.anchors = map[uint64]uint64{root: it.key}
+		}
+		c.deliver(t.e, it)
+		c.mEmitted.Inc(1)
+	}
+	if reliable {
+		t.pending[root] = pendingEmit{msgID: msgID, emitNs: time.Now().UnixNano()}
+		t.inflight++
+		// Init message to the acker task owning this root.
+		c.deliver(t.e, item{
+			dest: c.plan.ackerFor(root), isAck: true,
+			ack: tuple.AckTuple{Kind: tuple.AckAnchor, SpoutTask: t.info.id, Root: root, Delta: anchorXor},
+		})
+	}
+}
+
+// boltTuple implements api.Tuple for the baseline.
+type boltTuple struct {
+	values     api.Values
+	source     string
+	stream     string
+	key        uint64
+	roots      []uint64
+	emittedXor uint64
+	done       bool
+}
+
+// Values implements api.Tuple.
+func (t *boltTuple) Values() api.Values { return t.values }
+
+// SourceComponent implements api.Tuple.
+func (t *boltTuple) SourceComponent() string { return t.source }
+
+// Stream implements api.Tuple.
+func (t *boltTuple) Stream() string { return t.stream }
+
+// String implements api.Tuple.
+func (t *boltTuple) String(i int) string { return t.values[i].(string) }
+
+// Int implements api.Tuple.
+func (t *boltTuple) Int(i int) int64 { return t.values[i].(int64) }
+
+// Float implements api.Tuple.
+func (t *boltTuple) Float(i int) float64 { return t.values[i].(float64) }
+
+// Bool implements api.Tuple.
+func (t *boltTuple) Bool(i int) bool { return t.values[i].(bool) }
+
+// Bytes implements api.Tuple.
+func (t *boltTuple) Bytes(i int) []byte { return t.values[i].([]byte) }
+
+// boltCollector implements api.BoltCollector for one bolt task.
+type boltCollector struct {
+	c  *Cluster
+	t  *task
+	rr uint64
+}
+
+// Emit implements api.BoltCollector.
+func (bc *boltCollector) Emit(stream string, anchors []api.Tuple, values ...any) {
+	c, t := bc.c, bc.t
+	sid, ok := c.plan.streamID(t.info.component, stream)
+	if !ok {
+		return
+	}
+	dests := c.destinations(sid, values, nil, &bc.rr)
+	if len(dests) == 0 {
+		return
+	}
+	var roots []uint64
+	var anchorTuples []*boltTuple
+	reliable := c.cfg.AckingEnabled && len(anchors) > 0
+	if reliable {
+		for _, a := range anchors {
+			bt, ok := a.(*boltTuple)
+			if !ok {
+				continue
+			}
+			anchorTuples = append(anchorTuples, bt)
+			for _, r := range bt.roots {
+				dup := false
+				for _, have := range roots {
+					if have == r {
+						dup = true
+					}
+				}
+				if !dup {
+					roots = append(roots, r)
+				}
+			}
+		}
+		reliable = len(roots) > 0
+	}
+	for _, dest := range dests {
+		it := item{
+			dest: dest, stream: sid,
+			values: append([]any(nil), values...),
+			meta:   &tupleMeta{srcTask: t.info.id, createdNs: time.Now().UnixNano()},
+		}
+		if reliable {
+			it.key = t.rng.Uint64() | 1
+			it.roots = roots
+			it.meta.anchors = make(map[uint64]uint64, len(roots))
+			for _, r := range roots {
+				it.meta.anchors[r] = it.key
+			}
+			for _, bt := range anchorTuples {
+				bt.emittedXor ^= it.key
+			}
+		}
+		c.deliver(t.e, it)
+		c.mEmitted.Inc(1)
+	}
+}
+
+// Ack implements api.BoltCollector.
+func (bc *boltCollector) Ack(at api.Tuple) {
+	bt, ok := at.(*boltTuple)
+	if !ok || bt.done {
+		return
+	}
+	bt.done = true
+	c, t := bc.c, bc.t
+	if !c.cfg.AckingEnabled || len(bt.roots) == 0 {
+		return
+	}
+	delta := bt.key ^ bt.emittedXor
+	for _, root := range bt.roots {
+		c.deliver(t.e, item{
+			dest: c.plan.ackerFor(root), isAck: true,
+			ack: tuple.AckTuple{Kind: tuple.AckAck, SpoutTask: core.RootSpout(root), Root: root, Delta: delta},
+		})
+	}
+}
+
+// Fail implements api.BoltCollector.
+func (bc *boltCollector) Fail(at api.Tuple) {
+	bt, ok := at.(*boltTuple)
+	if !ok || bt.done {
+		return
+	}
+	bt.done = true
+	c, t := bc.c, bc.t
+	if !c.cfg.AckingEnabled || len(bt.roots) == 0 {
+		return
+	}
+	for _, root := range bt.roots {
+		c.deliver(t.e, item{
+			dest: c.plan.ackerFor(root), isAck: true,
+			ack: tuple.AckTuple{Kind: tuple.AckFail, SpoutTask: core.RootSpout(root), Root: root},
+		})
+	}
+}
+
+// spoutLoop is an executor thread multiplexing spout tasks: Storm's
+// executor model where several tasks share one thread.
+func (ex *executor) spoutLoop() {
+	defer ex.w.c.wg.Done()
+	c := ex.w.c
+	maxPending := c.cfg.MaxSpoutPending
+	idle := time.NewTimer(time.Hour)
+	defer idle.Stop()
+	for {
+		// Drain queued acks without blocking.
+		for {
+			select {
+			case it := <-ex.inQ:
+				ex.handleItem(it)
+				continue
+			case <-c.stop:
+				return
+			default:
+			}
+			break
+		}
+		progress := false
+		for _, t := range ex.tasks {
+			if maxPending > 0 && t.inflight >= maxPending {
+				continue
+			}
+			if t.spout.NextTuple() {
+				progress = true
+			}
+		}
+		if !progress {
+			idle.Reset(200 * time.Microsecond)
+			select {
+			case it := <-ex.inQ:
+				ex.handleItem(it)
+			case <-idle.C:
+			case <-c.stop:
+				return
+			}
+		}
+	}
+}
+
+// boltLoop is an executor thread for bolt and acker tasks.
+func (ex *executor) boltLoop() {
+	defer ex.w.c.wg.Done()
+	c := ex.w.c
+	var rotate <-chan time.Time
+	if ex.isAckerExecutor() && c.cfg.AckingEnabled {
+		timeout := c.cfg.MessageTimeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		tick := time.NewTicker(timeout / time.Duration(acker.DefaultBuckets-1))
+		defer tick.Stop()
+		rotate = tick.C
+	}
+	for {
+		select {
+		case <-c.stop:
+			return
+		case it := <-ex.inQ:
+			ex.handleItem(it)
+		case <-rotate:
+			for _, t := range ex.tasks {
+				if t.trees != nil {
+					t.trees.Rotate()
+				}
+			}
+		}
+	}
+}
+
+func (ex *executor) isAckerExecutor() bool {
+	for _, t := range ex.tasks {
+		if t.info.isAcker {
+			return true
+		}
+	}
+	return false
+}
+
+// handleItem dispatches one queued item to its owning task.
+func (ex *executor) handleItem(it item) {
+	t := ex.byTask[it.dest]
+	if t == nil {
+		return
+	}
+	c := ex.w.c
+	switch {
+	case t.info.isAcker:
+		t.handleAckerItem(c, it)
+	case t.spout != nil:
+		t.handleSpoutAck(c, it)
+	case t.bolt != nil:
+		if it.isAck {
+			return
+		}
+		bt := &boltTuple{values: it.values, key: it.key, roots: it.roots}
+		if int(it.stream) < len(c.plan.streams) {
+			sr := &c.plan.streams[it.stream]
+			bt.source, bt.stream = sr.srcComponent, sr.stream
+		}
+		c.mExecuted.Inc(1)
+		_ = t.bolt.Execute(bt)
+	}
+}
+
+// handleAckerItem applies an ack message to the acker task's XOR state.
+func (t *task) handleAckerItem(c *Cluster, it item) {
+	if !it.isAck {
+		return
+	}
+	switch it.ack.Kind {
+	case tuple.AckAnchor:
+		t.rootSpout[it.ack.Root] = it.ack.SpoutTask
+		t.trees.Anchor(it.ack.Root, it.ack.Delta)
+	case tuple.AckAck:
+		t.trees.Ack(it.ack.Root, it.ack.Delta)
+	case tuple.AckFail:
+		t.trees.Fail(it.ack.Root)
+	}
+}
+
+// treeDone runs on the acker executor thread when a tree finishes: notify
+// the owning spout through the normal queues.
+func (c *Cluster) treeDone(ackerTask *task, root uint64, r acker.Result) {
+	spout, ok := ackerTask.rootSpout[root]
+	if !ok {
+		spout = core.RootSpout(root)
+	}
+	delete(ackerTask.rootSpout, root)
+	kind := tuple.AckAck
+	switch r {
+	case acker.Failed:
+		kind = tuple.AckFail
+	case acker.TimedOut:
+		kind = tuple.AckExpired
+	}
+	c.deliver(ackerTask.e, item{
+		dest: spout, isAck: true,
+		ack: tuple.AckTuple{Kind: kind, SpoutTask: spout, Root: root},
+	})
+}
+
+// handleSpoutAck completes one pending emission on the spout task.
+func (t *task) handleSpoutAck(c *Cluster, it item) {
+	if !it.isAck {
+		return
+	}
+	p, ok := t.pending[it.ack.Root]
+	if !ok {
+		return
+	}
+	delete(t.pending, it.ack.Root)
+	t.inflight--
+	switch it.ack.Kind {
+	case tuple.AckAck:
+		c.mAcked.Inc(1)
+		c.mLatency.Observe(time.Now().UnixNano() - p.emitNs)
+		t.spout.Ack(p.msgID)
+	case tuple.AckFail, tuple.AckExpired:
+		c.mFailed.Inc(1)
+		t.spout.Fail(p.msgID)
+	}
+}

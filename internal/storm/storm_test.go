@@ -1,0 +1,331 @@
+package storm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heron/api"
+	"heron/internal/core"
+)
+
+// Test components mirror the ones used in the Heron integration tests.
+
+type wordSpout struct {
+	words   []string
+	next    int
+	acked   *atomic.Int64
+	failed  *atomic.Int64
+	emitted *atomic.Int64
+	out     api.SpoutCollector
+	replay  []string
+	ackMode bool
+}
+
+func (s *wordSpout) Open(_ api.TopologyContext, out api.SpoutCollector) error {
+	s.out = out
+	return nil
+}
+
+func (s *wordSpout) NextTuple() bool {
+	var w string
+	switch {
+	case len(s.replay) > 0:
+		w = s.replay[len(s.replay)-1]
+		s.replay = s.replay[:len(s.replay)-1]
+	case s.next < len(s.words):
+		w = s.words[s.next]
+		s.next++
+	default:
+		return false
+	}
+	var id any
+	if s.ackMode {
+		id = w
+	}
+	s.out.Emit("", id, w)
+	s.emitted.Add(1)
+	return true
+}
+
+func (s *wordSpout) Ack(any) { s.acked.Add(1) }
+func (s *wordSpout) Fail(m any) {
+	s.failed.Add(1)
+	s.replay = append(s.replay, m.(string))
+}
+func (s *wordSpout) Close() error { return nil }
+
+type countBolt struct {
+	mu    *sync.Mutex
+	seen  map[string]map[int32]int64
+	total *atomic.Int64
+	out   api.BoltCollector
+	task  int32
+}
+
+func (b *countBolt) Prepare(ctx api.TopologyContext, out api.BoltCollector) error {
+	b.out, b.task = out, ctx.TaskID()
+	return nil
+}
+
+func (b *countBolt) Execute(t api.Tuple) error {
+	w := t.String(0)
+	b.mu.Lock()
+	m := b.seen[w]
+	if m == nil {
+		m = map[int32]int64{}
+		b.seen[w] = m
+	}
+	m[b.task]++
+	b.mu.Unlock()
+	b.total.Add(1)
+	b.out.Ack(t)
+	return nil
+}
+
+func (b *countBolt) Cleanup() error { return nil }
+
+type fixture struct {
+	emitted, acked, failed atomic.Int64
+	total                  atomic.Int64
+	mu                     sync.Mutex
+	seen                   map[string]map[int32]int64
+}
+
+func (f *fixture) spec(t *testing.T, spouts, bolts, perSpout int, ack bool) *api.Spec {
+	t.Helper()
+	f.seen = map[string]map[int32]int64{}
+	words := make([]string, perSpout)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%03d", i%89)
+	}
+	b := api.NewTopologyBuilder("storm-" + t.Name())
+	b.SetSpout("word", func() api.Spout {
+		return &wordSpout{words: words, acked: &f.acked, failed: &f.failed, emitted: &f.emitted, ackMode: ack}
+	}, spouts).OutputFields("word")
+	b.SetBolt("count", func() api.Bolt {
+		return &countBolt{mu: &f.mu, seen: f.seen, total: &f.total}
+	}, bolts).FieldsGrouping("word", "", "word")
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBuildPlanShape(t *testing.T) {
+	var f fixture
+	spec := f.spec(t, 4, 6, 10, false)
+	p, err := buildPlan(spec.Topology, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4+6 component tasks + 2 ackers.
+	if len(p.tasks) != 12 {
+		t.Fatalf("tasks = %d", len(p.tasks))
+	}
+	// Executors: word 4/2=2, count 6/2=3, ackers 2 → 7.
+	if len(p.executors) != 7 {
+		t.Errorf("executors = %d", len(p.executors))
+	}
+	// Multiple tasks per executor: the Storm packing the paper contrasts
+	// with Heron's one-task-per-instance model.
+	multi := 0
+	for _, tasks := range p.executors {
+		if len(tasks) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no executor packs multiple tasks")
+	}
+	// Workers each got executors.
+	byWorker := map[int]int{}
+	for _, ti := range p.tasks {
+		byWorker[ti.worker]++
+	}
+	if len(byWorker) != 2 {
+		t.Errorf("workers used = %d", len(byWorker))
+	}
+	if len(p.ackerTasks) != 2 {
+		t.Errorf("ackers = %d", len(p.ackerTasks))
+	}
+}
+
+func TestBuildPlanErrors(t *testing.T) {
+	var f fixture
+	spec := f.spec(t, 1, 1, 1, false)
+	if _, err := buildPlan(spec.Topology, 0, 1, 1); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	bad := &core.Topology{Name: ""}
+	if _, err := buildPlan(bad, 1, 1, 1); err == nil {
+		t.Error("invalid topology accepted")
+	}
+}
+
+func TestWordCountWithoutAcks(t *testing.T) {
+	var f fixture
+	spec := f.spec(t, 2, 3, 2000, false)
+	cfg := NewConfig()
+	cfg.Workers = 2
+	c, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	waitFor(t, 20*time.Second, "all words counted", func() bool {
+		return f.total.Load() >= 2*2000
+	})
+	// Fields grouping correctness across the baseline.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for w, tasks := range f.seen {
+		if len(tasks) != 1 {
+			t.Errorf("word %q on %d tasks", w, len(tasks))
+		}
+	}
+}
+
+func TestWordCountWithAcks(t *testing.T) {
+	var f fixture
+	spec := f.spec(t, 2, 2, 1500, true)
+	cfg := NewConfig()
+	cfg.Workers = 2
+	cfg.AckingEnabled = true
+	cfg.MaxSpoutPending = 100
+	cfg.MessageTimeout = 5 * time.Second
+	c, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	waitFor(t, 30*time.Second, "all tuples acked", func() bool {
+		return f.acked.Load() >= 2*1500
+	})
+	emitted, executed, acked, _ := c.Counts()
+	if emitted < 3000 || executed < 3000 || acked < 3000 {
+		t.Errorf("counts: emitted=%d executed=%d acked=%d", emitted, executed, acked)
+	}
+	if c.Latency().Count == 0 {
+		t.Error("no latency samples")
+	}
+}
+
+func TestStopIsIdempotentAndPrompt(t *testing.T) {
+	var f fixture
+	spec := f.spec(t, 2, 2, 1_000_000, false)
+	c, err := Run(spec, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "progress", func() bool { return f.total.Load() > 100 })
+	done := make(chan struct{})
+	go func() {
+		c.Stop()
+		c.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop hung")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, nil); err == nil {
+		t.Error("nil spec accepted")
+	}
+}
+
+// multiStreamSpout emits on two streams to cover the baseline's named-
+// stream routing.
+type multiStreamSpout struct {
+	out api.SpoutCollector
+	n   int
+}
+
+func (s *multiStreamSpout) Open(_ api.TopologyContext, out api.SpoutCollector) error {
+	s.out = out
+	return nil
+}
+
+func (s *multiStreamSpout) NextTuple() bool {
+	if s.n >= 300 {
+		return false
+	}
+	s.out.Emit("", nil, "main")
+	if s.n%10 == 0 {
+		s.out.Emit("side", nil, "side")
+	}
+	s.n++
+	return true
+}
+
+func (s *multiStreamSpout) Ack(any)      {}
+func (s *multiStreamSpout) Fail(any)     {}
+func (s *multiStreamSpout) Close() error { return nil }
+
+type countingBolt struct {
+	n   *atomic.Int64
+	out api.BoltCollector
+}
+
+func (b *countingBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	b.out = out
+	return nil
+}
+
+func (b *countingBolt) Execute(t api.Tuple) error {
+	b.n.Add(1)
+	b.out.Ack(t)
+	return nil
+}
+
+func (b *countingBolt) Cleanup() error { return nil }
+
+// TestStormMultiStreamAndAllGrouping exercises the baseline's stream
+// table and all-grouping replication, matching the Heron engine's
+// semantics on the same topology shape.
+func TestStormMultiStreamAndAllGrouping(t *testing.T) {
+	var mainCount, sideCount atomic.Int64
+	b := api.NewTopologyBuilder("storm-multi")
+	b.SetSpout("src", func() api.Spout { return &multiStreamSpout{} }, 1).
+		OutputFields("v").
+		OutputStream("side", "v")
+	b.SetBolt("main", func() api.Bolt { return &countingBolt{n: &mainCount} }, 2).
+		ShuffleGrouping("src", "")
+	b.SetBolt("fan", func() api.Bolt { return &countingBolt{n: &sideCount} }, 3).
+		AllGrouping("src", "side")
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig()
+	cfg.Workers = 2
+	c, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	waitFor(t, 20*time.Second, "all streams drained", func() bool {
+		return mainCount.Load() >= 300 && sideCount.Load() >= 30*3
+	})
+	if got := sideCount.Load(); got != 90 {
+		t.Errorf("all-grouping delivered %d, want 90 (30 milestones × 3 tasks)", got)
+	}
+}

@@ -1,0 +1,250 @@
+// Package tmaster implements the Topology Master: the per-topology
+// process (container 0) that manages the topology throughout its
+// existence. It advertises its location through the State Manager as an
+// ephemeral record (so every Stream Manager immediately observes its
+// death), tracks Stream Manager registrations, distributes the physical
+// plan, and aggregates the snapshots pushed by the Metrics Managers.
+package tmaster
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"heron/internal/core"
+	"heron/internal/ctrl"
+	"heron/internal/network"
+)
+
+// Options configure one Topology Master.
+type Options struct {
+	Topology string
+	Cfg      *core.Config
+	// State is the TMaster's own State Manager session; closing the
+	// TMaster closes the session and thereby deletes the ephemeral
+	// location record.
+	State core.StateManager
+}
+
+// TMaster is the topology controller.
+type TMaster struct {
+	opts     Options
+	listener network.Listener
+
+	mu      sync.Mutex
+	epoch   int64
+	stmgrs  map[int32]*stmgrEntry
+	metrics map[int32]json.RawMessage
+	ready   chan struct{}
+	readyOK sync.Once
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type stmgrEntry struct {
+	addr string
+	conn network.Conn
+}
+
+// New starts a Topology Master: it listens for Stream Manager
+// registrations and advertises its location.
+func New(opts Options) (*TMaster, error) {
+	if opts.Cfg == nil || opts.State == nil {
+		return nil, errors.New("tmaster: missing config or state manager")
+	}
+	tr, err := network.ByName(opts.Cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	l, err := tr.Listen("")
+	if err != nil {
+		return nil, err
+	}
+	tm := &TMaster{
+		opts:     opts,
+		listener: l,
+		stmgrs:   map[int32]*stmgrEntry{},
+		metrics:  map[int32]json.RawMessage{},
+		ready:    make(chan struct{}),
+	}
+	tm.wg.Add(1)
+	go tm.acceptLoop()
+	loc := core.TMasterLocation{
+		Topology:  opts.Topology,
+		Transport: opts.Cfg.Transport,
+		Addr:      l.Addr(),
+		SessionID: time.Now().UnixNano(),
+	}
+	if err := opts.State.SetTMasterLocation(loc); err != nil {
+		tm.Stop()
+		return nil, err
+	}
+	return tm, nil
+}
+
+// Addr returns the control listener's address.
+func (tm *TMaster) Addr() string { return tm.listener.Addr() }
+
+func (tm *TMaster) acceptLoop() {
+	defer tm.wg.Done()
+	for {
+		conn, err := tm.listener.Accept()
+		if err != nil {
+			return
+		}
+		c := conn
+		c.Start(func(kind network.MsgKind, payload []byte) {
+			if kind != network.MsgControl {
+				return
+			}
+			m, err := ctrl.Decode(payload)
+			if err != nil {
+				return
+			}
+			switch m.Op {
+			case ctrl.OpRegisterStmgr:
+				tm.register(m.Container, m.DataAddr, c)
+			case ctrl.OpRefresh:
+				tm.Refresh()
+			case ctrl.OpMetrics:
+				tm.mu.Lock()
+				tm.metrics[m.Container] = append(json.RawMessage(nil), m.Metrics...)
+				tm.mu.Unlock()
+			}
+		})
+	}
+}
+
+// register records a Stream Manager and rebroadcasts the plan once every
+// expected container is present (and on every re-registration, so
+// restarted containers propagate their new addresses to all peers).
+func (tm *TMaster) register(container int32, addr string, conn network.Conn) {
+	tm.mu.Lock()
+	if old := tm.stmgrs[container]; old != nil && old.conn != conn {
+		old.conn.Close()
+	}
+	tm.stmgrs[container] = &stmgrEntry{addr: addr, conn: conn}
+	tm.mu.Unlock()
+	tm.broadcastIfComplete()
+}
+
+// Refresh re-reads the topology state and rebroadcasts (used after
+// scaling updates).
+func (tm *TMaster) Refresh() { tm.broadcastIfComplete() }
+
+// broadcastIfComplete pushes the current plan to every registered Stream
+// Manager when all containers of the packing plan have registered.
+func (tm *TMaster) broadcastIfComplete() {
+	topo, err := tm.opts.State.GetTopology(tm.opts.Topology)
+	if err != nil {
+		return
+	}
+	packing, err := tm.opts.State.GetPackingPlan(tm.opts.Topology)
+	if err != nil {
+		return
+	}
+	tm.mu.Lock()
+	for i := range packing.Containers {
+		if _, ok := tm.stmgrs[packing.Containers[i].ID]; !ok {
+			tm.mu.Unlock()
+			return // still waiting for a container
+		}
+	}
+	tm.epoch++
+	payload := &ctrl.PlanPayload{
+		Epoch:    tm.epoch,
+		Topology: topo,
+		Packing:  packing,
+		Stmgrs:   map[int32]string{},
+	}
+	// Only advertise containers in the current plan (stale registrations
+	// from removed containers are dropped from the directory).
+	valid := map[int32]bool{}
+	for i := range packing.Containers {
+		valid[packing.Containers[i].ID] = true
+	}
+	conns := make([]network.Conn, 0, len(tm.stmgrs))
+	for c, e := range tm.stmgrs {
+		if valid[c] {
+			payload.Stmgrs[c] = e.addr
+			conns = append(conns, e.conn)
+		}
+	}
+	tm.mu.Unlock()
+
+	raw, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpPlan, Topology: tm.opts.Topology, Plan: payload})
+	if err != nil {
+		return
+	}
+	for _, c := range conns {
+		_ = c.Send(network.MsgControl, raw)
+	}
+	tm.readyOK.Do(func() { close(tm.ready) })
+}
+
+// Ready is closed after the first complete plan broadcast: the topology
+// is fully wired.
+func (tm *TMaster) Ready() <-chan struct{} { return tm.ready }
+
+// MetricsSnapshot returns the latest snapshot pushed by each container's
+// Metrics Manager.
+func (tm *TMaster) MetricsSnapshot() map[int32]json.RawMessage {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	out := make(map[int32]json.RawMessage, len(tm.metrics))
+	for c, m := range tm.metrics {
+		out[c] = m
+	}
+	return out
+}
+
+// Tune broadcasts a max-spout-pending adjustment to every registered
+// stream manager, which relays it to its local spout instances — the
+// runtime path behind observation-driven parameter tuning.
+func (tm *TMaster) Tune(maxSpoutPending int) {
+	raw, err := ctrl.Encode(&ctrl.Message{
+		Op: ctrl.OpTune, Topology: tm.opts.Topology, MaxSpoutPending: maxSpoutPending,
+	})
+	if err != nil {
+		return
+	}
+	tm.mu.Lock()
+	conns := make([]network.Conn, 0, len(tm.stmgrs))
+	for _, e := range tm.stmgrs {
+		conns = append(conns, e.conn)
+	}
+	tm.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Send(network.MsgControl, raw)
+	}
+}
+
+// Stmgrs returns the registered container → address directory.
+func (tm *TMaster) Stmgrs() map[int32]string {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	out := make(map[int32]string, len(tm.stmgrs))
+	for c, e := range tm.stmgrs {
+		out[c] = e.addr
+	}
+	return out
+}
+
+// Stop closes the listener, every registration connection, and the State
+// Manager session (deleting the ephemeral location record — the paper's
+// TMaster-death signal).
+func (tm *TMaster) Stop() {
+	tm.stopOnce.Do(func() {
+		tm.listener.Close()
+		tm.mu.Lock()
+		for _, e := range tm.stmgrs {
+			e.conn.Close()
+		}
+		tm.stmgrs = map[int32]*stmgrEntry{}
+		tm.mu.Unlock()
+		tm.wg.Wait()
+		_ = tm.opts.State.Close()
+	})
+}

@@ -1,0 +1,224 @@
+package tmaster
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"heron/internal/core"
+	"heron/internal/ctrl"
+	"heron/internal/network"
+	"heron/internal/statemgr"
+)
+
+func testState(t *testing.T, cfg *core.Config) core.StateManager {
+	t.Helper()
+	sm, err := core.NewStateManager("memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func seedState(t *testing.T, sm core.StateManager, containers ...int32) {
+	t.Helper()
+	topo := &core.Topology{Name: "t", Components: []core.ComponentSpec{
+		{Name: "s", Kind: core.KindSpout, Parallelism: len(containers),
+			Outputs: map[string][]string{"default": {"x"}}},
+	}}
+	plan := &core.PackingPlan{Topology: "t"}
+	for i, c := range containers {
+		plan.Containers = append(plan.Containers, core.ContainerPlan{
+			ID: c, Required: core.Resource{CPU: 2, RAMMB: 256, DiskMB: 256},
+			Instances: []core.InstancePlacement{{
+				ID:        core.InstanceID{Component: "s", ComponentIndex: int32(i), TaskID: int32(i)},
+				Resources: core.Resource{CPU: 1, RAMMB: 128, DiskMB: 128},
+			}},
+		})
+	}
+	if err := sm.SetTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.SetPackingPlan("t", plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeStmgr registers with the TMaster and records plan broadcasts.
+type fakeStmgr struct {
+	conn  network.Conn
+	plans chan *ctrl.PlanPayload
+}
+
+func connectStmgr(t *testing.T, tm *TMaster, container int32, addr string) *fakeStmgr {
+	t.Helper()
+	conn, err := (network.InprocTransport{}).Dial(tm.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeStmgr{conn: conn, plans: make(chan *ctrl.PlanPayload, 16)}
+	conn.Start(func(kind network.MsgKind, payload []byte) {
+		if kind != network.MsgControl {
+			return
+		}
+		if m, err := ctrl.Decode(payload); err == nil && m.Op == ctrl.OpPlan {
+			f.plans <- m.Plan
+		}
+	})
+	reg, _ := ctrl.Encode(&ctrl.Message{
+		Op: ctrl.OpRegisterStmgr, Topology: "t", Container: container, DataAddr: addr,
+	})
+	if err := conn.Send(network.MsgControl, reg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return f
+}
+
+func newTM(t *testing.T) (*TMaster, core.StateManager, *core.Config) {
+	t.Helper()
+	cfg := core.NewConfig()
+	cfg.StateRoot = "/tm-" + t.Name()
+	statemgr.ResetSharedStore(cfg.StateRoot)
+	seeder := testState(t, cfg)
+	seedState(t, seeder, 1, 2)
+	tm, err := New(Options{Topology: "t", Cfg: cfg, State: testState(t, cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tm.Stop)
+	t.Cleanup(func() { seeder.Close() })
+	return tm, seeder, cfg
+}
+
+func TestAdvertisesEphemeralLocation(t *testing.T) {
+	tm, seeder, _ := newTM(t)
+	loc, err := seeder.GetTMasterLocation("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Addr != tm.Addr() || loc.Transport != "inproc" {
+		t.Errorf("location = %+v", loc)
+	}
+	tm.Stop()
+	if _, err := seeder.GetTMasterLocation("t"); err == nil {
+		t.Error("location survived TMaster stop (should be ephemeral)")
+	}
+}
+
+func TestBroadcastWaitsForAllContainers(t *testing.T) {
+	tm, _, _ := newTM(t)
+	s1 := connectStmgr(t, tm, 1, "addr-1")
+	select {
+	case <-s1.plans:
+		t.Fatal("plan broadcast before all containers registered")
+	case <-time.After(100 * time.Millisecond):
+	}
+	s2 := connectStmgr(t, tm, 2, "addr-2")
+	for _, s := range []*fakeStmgr{s1, s2} {
+		select {
+		case p := <-s.plans:
+			if p.Stmgrs[1] != "addr-1" || p.Stmgrs[2] != "addr-2" {
+				t.Errorf("directory = %v", p.Stmgrs)
+			}
+			if p.Epoch < 1 {
+				t.Errorf("epoch = %d", p.Epoch)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no broadcast after all containers registered")
+		}
+	}
+	select {
+	case <-tm.Ready():
+	default:
+		t.Error("Ready not closed")
+	}
+	if got := tm.Stmgrs(); got[1] != "addr-1" || got[2] != "addr-2" {
+		t.Errorf("Stmgrs = %v", got)
+	}
+}
+
+func TestReregistrationRebroadcastsNewAddress(t *testing.T) {
+	tm, _, _ := newTM(t)
+	s1 := connectStmgr(t, tm, 1, "addr-1")
+	connectStmgr(t, tm, 2, "addr-2")
+	<-s1.plans // initial broadcast
+
+	// Container 2 restarts with a new address.
+	connectStmgr(t, tm, 2, "addr-2b")
+	select {
+	case p := <-s1.plans:
+		if p.Stmgrs[2] != "addr-2b" {
+			t.Errorf("directory after restart = %v", p.Stmgrs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no rebroadcast after re-registration")
+	}
+}
+
+func TestRefreshAfterScaling(t *testing.T) {
+	tm, seeder, _ := newTM(t)
+	s1 := connectStmgr(t, tm, 1, "addr-1")
+	connectStmgr(t, tm, 2, "addr-2")
+	p := <-s1.plans
+	if len(p.Packing.Containers) != 2 {
+		t.Fatalf("containers = %d", len(p.Packing.Containers))
+	}
+	// Scale: new packing plan with an extra instance in container 1.
+	plan, err := seeder.GetPackingPlan("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, _ := seeder.GetTopology("t")
+	topo.Components[0].Parallelism = 3
+	plan.Containers[0].Instances = append(plan.Containers[0].Instances, core.InstancePlacement{
+		ID:        core.InstanceID{Component: "s", ComponentIndex: 2, TaskID: 2},
+		Resources: core.Resource{CPU: 1, RAMMB: 128, DiskMB: 128},
+	})
+	plan.Containers[0].Required = core.Resource{CPU: 3, RAMMB: 384, DiskMB: 384}
+	if err := seeder.SetTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+	if err := seeder.SetPackingPlan("t", plan); err != nil {
+		t.Fatal(err)
+	}
+	tm.Refresh()
+	select {
+	case p := <-s1.plans:
+		if p.Packing.NumInstances() != 3 {
+			t.Errorf("instances after refresh = %d", p.Packing.NumInstances())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no broadcast after refresh")
+	}
+}
+
+func TestMetricsCollection(t *testing.T) {
+	tm, _, _ := newTM(t)
+	s1 := connectStmgr(t, tm, 1, "addr-1")
+	raw := json.RawMessage(`{"counters":{"x":1}}`)
+	msg, _ := ctrl.Encode(&ctrl.Message{Op: ctrl.OpMetrics, Topology: "t", Container: 1, Metrics: raw})
+	if err := s1.conn.Send(network.MsgControl, msg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := tm.MetricsSnapshot()
+		if len(snap) == 1 && string(snap[1]) == string(raw) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics = %v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNewRejectsMissingDeps(t *testing.T) {
+	if _, err := New(Options{Topology: "t"}); err == nil {
+		t.Error("missing state accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package tuning
+
+import (
+	"time"
+
+	"heron/internal/metrics"
+)
+
+// TopologyStats is the slice of a topology handle the tuner needs; the
+// root package's *heron.Handle satisfies it.
+type TopologyStats interface {
+	// SumCounter sums a counter across containers by suffix.
+	SumCounter(suffix string) int64
+	// LatencySnapshots returns the cumulative latency histograms whose
+	// name ends in suffix.
+	LatencySnapshots(suffix string) []metrics.HistogramSnapshot
+	// SetMaxSpoutPending retunes the live window.
+	SetMaxSpoutPending(n int) error
+}
+
+// HandleTarget adapts a running topology to the tuner's Target interface,
+// deriving per-period rates from the engine's cumulative metrics.
+type HandleTarget struct {
+	stats TopologyStats
+
+	lastAt    time.Time
+	lastAcked int64
+	lastCount int64
+	lastSum   int64
+}
+
+// NewHandleTarget wraps a topology handle.
+func NewHandleTarget(stats TopologyStats) *HandleTarget {
+	return &HandleTarget{stats: stats}
+}
+
+// SetMaxSpoutPending implements Target.
+func (h *HandleTarget) SetMaxSpoutPending(n int) error {
+	return h.stats.SetMaxSpoutPending(n)
+}
+
+// Observe implements Target: rates and mean latency since the last call.
+func (h *HandleTarget) Observe() (Observation, error) {
+	now := time.Now()
+	acked := h.stats.SumCounter("acked")
+	var count, sum int64
+	for _, s := range h.stats.LatencySnapshots("complete_latency_ns") {
+		count += s.Count
+		sum += s.Sum
+	}
+	obs := Observation{}
+	if !h.lastAt.IsZero() {
+		window := now.Sub(h.lastAt).Seconds()
+		if window > 0 {
+			obs.AckedPerSec = float64(acked-h.lastAcked) / window
+		}
+		if dc := count - h.lastCount; dc > 0 {
+			obs.MeanLatency = time.Duration((sum - h.lastSum) / dc)
+		}
+	}
+	h.lastAt, h.lastAcked, h.lastCount, h.lastSum = now, acked, count, sum
+	return obs, nil
+}

@@ -1,0 +1,202 @@
+// Package tuning implements the paper's Section V-B future work: "we
+// plan to automate the process of configuring the values for these
+// parameters based on real-time observations of the workload
+// performance."
+//
+// AutoTuner drives a running topology's max-spout-pending window with an
+// AIMD (additive-increase, multiplicative-decrease) controller against a
+// latency target: while the observed complete latency stays under the
+// target, the window grows additively, claiming the throughput the
+// evaluation's Figure 10 shows is left on the table by a small window;
+// when latency overshoots — the regime Figure 11 shows queuing delays
+// exploding in — the window halves. The controller therefore settles
+// around the knee of the throughput/latency tradeoff without the operator
+// picking a number.
+package tuning
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Observation is one sampling-period measurement of the topology.
+type Observation struct {
+	// AckedPerSec is the rate of completed tuple trees over the period.
+	AckedPerSec float64
+	// MeanLatency is the mean complete latency over the period.
+	MeanLatency time.Duration
+}
+
+// Target is the control surface the tuner manipulates.
+type Target interface {
+	// Observe measures the topology since the previous call.
+	Observe() (Observation, error)
+	// SetMaxSpoutPending applies a new per-spout window.
+	SetMaxSpoutPending(n int) error
+}
+
+// Options tune the tuner.
+type Options struct {
+	// LatencyTarget is the complete-latency budget; the controller grows
+	// the window while mean latency is below it.
+	LatencyTarget time.Duration
+	// Period is the observation interval (default 500 ms).
+	Period time.Duration
+	// Initial is the starting window (default 10).
+	Initial int
+	// Min and Max clamp the window (defaults 1 and 100_000).
+	Min, Max int
+	// Step is the additive increase per period (default max(Initial/2, 1)).
+	Step int
+}
+
+func (o *Options) defaults() error {
+	if o.LatencyTarget <= 0 {
+		return errors.New("tuning: latency target required")
+	}
+	if o.Period <= 0 {
+		o.Period = 500 * time.Millisecond
+	}
+	if o.Initial <= 0 {
+		o.Initial = 10
+	}
+	if o.Min <= 0 {
+		o.Min = 1
+	}
+	if o.Max <= 0 {
+		o.Max = 100_000
+	}
+	if o.Step <= 0 {
+		o.Step = o.Initial / 2
+		if o.Step < 1 {
+			o.Step = 1
+		}
+	}
+	return nil
+}
+
+// AutoTuner runs the AIMD loop against a Target.
+type AutoTuner struct {
+	opts   Options
+	target Target
+
+	mu      sync.Mutex
+	window  int
+	history []Decision
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Decision records one control step for inspection.
+type Decision struct {
+	At          time.Time
+	Observation Observation
+	Window      int
+	Action      string // "increase", "decrease", "hold"
+}
+
+// New creates (but does not start) a tuner.
+func New(target Target, opts Options) (*AutoTuner, error) {
+	if target == nil {
+		return nil, errors.New("tuning: nil target")
+	}
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	return &AutoTuner{opts: opts, target: target, window: opts.Initial, stop: make(chan struct{})}, nil
+}
+
+// Start applies the initial window and begins the control loop.
+func (a *AutoTuner) Start() error {
+	if err := a.target.SetMaxSpoutPending(a.opts.Initial); err != nil {
+		return err
+	}
+	a.wg.Add(1)
+	go a.run()
+	return nil
+}
+
+func (a *AutoTuner) run() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.opts.Period)
+	defer t.Stop()
+	// Discard the first partial period.
+	if _, err := a.target.Observe(); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+		}
+		obs, err := a.target.Observe()
+		if err != nil {
+			continue
+		}
+		a.step(obs)
+	}
+}
+
+// step applies one AIMD decision.
+func (a *AutoTuner) step(obs Observation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	action := "hold"
+	next := a.window
+	switch {
+	case obs.MeanLatency > a.opts.LatencyTarget:
+		// Queuing regime (Figure 11): back off multiplicatively.
+		next = a.window / 2
+		action = "decrease"
+	case obs.AckedPerSec > 0 || a.window < a.opts.Max:
+		// Under budget: probe for more throughput (Figure 10's rising
+		// region) additively.
+		next = a.window + a.opts.Step
+		action = "increase"
+	}
+	if next < a.opts.Min {
+		next = a.opts.Min
+	}
+	if next > a.opts.Max {
+		next = a.opts.Max
+	}
+	if next != a.window {
+		if err := a.target.SetMaxSpoutPending(next); err == nil {
+			a.window = next
+		} else {
+			action = "hold"
+		}
+	} else if action != "hold" {
+		action = "hold"
+	}
+	a.history = append(a.history, Decision{
+		At: time.Now(), Observation: obs, Window: a.window, Action: action,
+	})
+	if len(a.history) > 1024 {
+		a.history = a.history[len(a.history)-1024:]
+	}
+}
+
+// Window returns the current max-spout-pending setting.
+func (a *AutoTuner) Window() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.window
+}
+
+// History returns the recorded control decisions.
+func (a *AutoTuner) History() []Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Decision(nil), a.history...)
+}
+
+// Stop halts the control loop.
+func (a *AutoTuner) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}

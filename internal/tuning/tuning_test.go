@@ -1,0 +1,107 @@
+package tuning
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTarget simulates a pipeline with a saturation knee: throughput
+// rises with the window up to a capacity; latency follows Little's law
+// (latency = window / capacity) past the knee.
+type fakeTarget struct {
+	mu       sync.Mutex
+	window   int
+	capacity float64 // tuples/sec
+	applied  []int
+}
+
+func (f *fakeTarget) SetMaxSpoutPending(n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.window = n
+	f.applied = append(f.applied, n)
+	return nil
+}
+
+func (f *fakeTarget) Observe() (Observation, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rate := float64(f.window) * 100 // small windows limit throughput
+	if rate > f.capacity {
+		rate = f.capacity
+	}
+	lat := time.Duration(float64(f.window) / f.capacity * float64(time.Second))
+	return Observation{AckedPerSec: rate, MeanLatency: lat}, nil
+}
+
+func TestAIMDConvergesNearKnee(t *testing.T) {
+	// Capacity 10k/s, target latency 50 ms ⇒ ideal window ≈ 500.
+	f := &fakeTarget{capacity: 10_000}
+	tuner, err := New(f, Options{
+		LatencyTarget: 50 * time.Millisecond,
+		Period:        time.Millisecond,
+		Initial:       10,
+		Step:          40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	tuner.Stop()
+	w := tuner.Window()
+	// AIMD oscillates around the knee: accept a wide band.
+	if w < 150 || w > 900 {
+		t.Errorf("window = %d, want near 500", w)
+	}
+	hist := tuner.History()
+	if len(hist) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	// Both regimes must have been visited.
+	var inc, dec bool
+	for _, d := range hist {
+		if d.Action == "increase" {
+			inc = true
+		}
+		if d.Action == "decrease" {
+			dec = true
+		}
+	}
+	if !inc || !dec {
+		t.Errorf("controller never oscillated: inc=%v dec=%v", inc, dec)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	f := &fakeTarget{capacity: 1} // everything over-latency: always decrease
+	tuner, err := New(f, Options{
+		LatencyTarget: time.Millisecond,
+		Period:        time.Millisecond,
+		Initial:       10,
+		Min:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	tuner.Stop()
+	if got := tuner.Window(); got != 4 {
+		t.Errorf("window = %d, want clamped to 4", got)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(&fakeTarget{}, Options{}); err == nil {
+		t.Error("missing latency target accepted")
+	}
+	if _, err := New(nil, Options{LatencyTarget: time.Second}); err == nil {
+		t.Error("nil target accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package tuple
+
+import (
+	"heron/internal/encoding/wire"
+)
+
+// Data frames are the unit the Stream Manager moves: a destination task,
+// a tuple count, and count length-prefixed encoded tuples. The
+// destination leads the frame so a router can direct the whole batch
+// after reading only a few bytes — the frame-level analogue of the
+// tuple-level lazy deserialization.
+//
+//	frame := uvarint(destTask) uvarint(count) count×(uvarint(len) tuple)
+
+// MixedFrameDest marks a frame whose tuples carry individual
+// destinations: the router peeks each tuple's destination header instead
+// of using the frame's. Instances use mixed frames to batch emits across
+// destinations into one IPC send.
+const MixedFrameDest int32 = -1
+
+// AppendFrameHeader starts a frame for dest with count tuples.
+func AppendFrameHeader(dst []byte, dest int32, count int) []byte {
+	dst = wire.AppendUvarint(dst, uint64(uint32(dest)))
+	return wire.AppendUvarint(dst, uint64(count))
+}
+
+// AppendFrameEntry appends one encoded tuple to a frame.
+func AppendFrameEntry(dst []byte, tupleBytes []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(tupleBytes)))
+	return append(dst, tupleBytes...)
+}
+
+// FrameDest reads only the destination of a frame: the router fast path.
+func FrameDest(b []byte) (int32, error) {
+	v, _, err := wire.Uvarint(b)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v), nil
+}
+
+// WalkFrame parses a frame, invoking visit for each encoded tuple. The
+// slices passed to visit alias b.
+func WalkFrame(b []byte, visit func(tupleBytes []byte) error) (dest int32, count int, err error) {
+	d, n, err := wire.Uvarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	b = b[n:]
+	c, n, err := wire.Uvarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	b = b[n:]
+	for i := uint64(0); i < c; i++ {
+		l, n, err := wire.Uvarint(b)
+		if err != nil {
+			return 0, 0, err
+		}
+		b = b[n:]
+		if uint64(len(b)) < l {
+			return 0, 0, ErrCorrupt
+		}
+		if visit != nil {
+			if err := visit(b[:l]); err != nil {
+				return int32(d), int(c), err
+			}
+		}
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return 0, 0, ErrCorrupt
+	}
+	return int32(d), int(c), nil
+}
+
+// Ack frames batch control tuples: uvarint(count) then count
+// length-prefixed encoded AckTuples. Batching acks through the same
+// drain cycle as data is part of the optimized Stream Manager.
+
+// AppendAckFrameHeader starts an ack frame with count entries.
+func AppendAckFrameHeader(dst []byte, count int) []byte {
+	return wire.AppendUvarint(dst, uint64(count))
+}
+
+// WalkAckFrame parses an ack frame, invoking visit per encoded AckTuple.
+func WalkAckFrame(b []byte, visit func(ackBytes []byte) error) error {
+	c, n, err := wire.Uvarint(b)
+	if err != nil {
+		return err
+	}
+	b = b[n:]
+	for i := uint64(0); i < c; i++ {
+		l, n, err := wire.Uvarint(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+		if uint64(len(b)) < l {
+			return ErrCorrupt
+		}
+		if visit != nil {
+			if err := visit(b[:l]); err != nil {
+				return err
+			}
+		}
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return ErrCorrupt
+	}
+	return nil
+}

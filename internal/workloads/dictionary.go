@@ -1,0 +1,53 @@
+// Package workloads provides the paper's evaluation workloads as reusable
+// api components: the Section VI-A WordCount topology over a 450K-word
+// dictionary, and the Section VI-D Kafka → filter → aggregate → Redis
+// pipeline with per-category resource instrumentation.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// DictionarySize matches the paper: "the spout picks a word at random
+// from a set of 450K English words".
+const DictionarySize = 450_000
+
+// Dictionary synthesizes n deterministic English-like words (the paper's
+// word list is not distributed; a pronounceable synthetic set preserves
+// the workload's length distribution and hash behaviour).
+func Dictionary(n int) []string {
+	syllables := []string{
+		"ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu",
+		"da", "de", "di", "do", "du", "fa", "fe", "fi", "fo", "fu",
+		"ga", "ge", "gi", "go", "gu", "ha", "he", "hi", "ho", "hu",
+		"ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+		"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+		"pa", "pe", "pi", "po", "pu", "ra", "re", "ri", "ro", "ru",
+		"sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+		"va", "ve", "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu",
+	}
+	endings := []string{"", "n", "r", "s", "t", "l", "m", "ck", "st", "nd"}
+	rng := rand.New(rand.NewSource(450_000))
+	out := make([]string, n)
+	seen := make(map[string]bool, n)
+	var b strings.Builder
+	for i := 0; i < n; {
+		b.Reset()
+		nsyl := 2 + rng.Intn(3) // 4–9 letters: English-ish lengths
+		for s := 0; s < nsyl; s++ {
+			b.WriteString(syllables[rng.Intn(len(syllables))])
+		}
+		b.WriteString(endings[rng.Intn(len(endings))])
+		w := b.String()
+		if seen[w] {
+			// Salt collisions with a numeric suffix to reach exactly n.
+			w = fmt.Sprintf("%s%d", w, i)
+		}
+		seen[w] = true
+		out[i] = w
+		i++
+	}
+	return out
+}

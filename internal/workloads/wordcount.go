@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"heron/api"
+)
+
+// WordCountStats aggregates the counters every WordCount run exposes to
+// the harness, shared across all instances of a run.
+type WordCountStats struct {
+	Emitted  atomic.Int64
+	Executed atomic.Int64
+	Acked    atomic.Int64
+	Failed   atomic.Int64
+}
+
+// WordSpout is the paper's WordCount source: it picks a word at random
+// from the dictionary and emits it — "extremely fast, if left
+// unrestricted". With Reliable set it attaches a message id so the tuple
+// is tracked by the acking framework, and re-emits failed words.
+type WordSpout struct {
+	Dict     []string
+	Reliable bool
+	Stats    *WordCountStats
+	// EmitBatch emits this many words per NextTuple call (default 1).
+	EmitBatch int
+
+	out    api.SpoutCollector
+	rng    *rand.Rand
+	seq    uint64
+	replay []string
+}
+
+// Open implements api.Spout.
+func (s *WordSpout) Open(ctx api.TopologyContext, out api.SpoutCollector) error {
+	s.out = out
+	s.rng = rand.New(rand.NewSource(int64(ctx.TaskID())*7919 + 1))
+	if s.EmitBatch < 1 {
+		s.EmitBatch = 1
+	}
+	return nil
+}
+
+// NextTuple implements api.Spout.
+func (s *WordSpout) NextTuple() bool {
+	for i := 0; i < s.EmitBatch; i++ {
+		var w string
+		if n := len(s.replay); n > 0 {
+			w = s.replay[n-1]
+			s.replay = s.replay[:n-1]
+		} else {
+			w = s.Dict[s.rng.Intn(len(s.Dict))]
+		}
+		var id any
+		if s.Reliable {
+			id = w
+		}
+		s.out.Emit("", id, w)
+		if s.Stats != nil {
+			s.Stats.Emitted.Add(1)
+		}
+	}
+	return true
+}
+
+// Ack implements api.Spout.
+func (s *WordSpout) Ack(any) {
+	if s.Stats != nil {
+		s.Stats.Acked.Add(1)
+	}
+}
+
+// Fail implements api.Spout: failed words are replayed.
+func (s *WordSpout) Fail(msgID any) {
+	if s.Stats != nil {
+		s.Stats.Failed.Add(1)
+	}
+	if w, ok := msgID.(string); ok {
+		s.replay = append(s.replay, w)
+	}
+}
+
+// Close implements api.Spout.
+func (s *WordSpout) Close() error { return nil }
+
+// CountBolt counts word occurrences, the paper's WordCount sink.
+type CountBolt struct {
+	Stats  *WordCountStats
+	counts map[string]int64
+	out    api.BoltCollector
+}
+
+// Prepare implements api.Bolt.
+func (b *CountBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	b.counts = make(map[string]int64, 1024)
+	b.out = out
+	return nil
+}
+
+// Execute implements api.Bolt.
+func (b *CountBolt) Execute(t api.Tuple) error {
+	b.counts[t.String(0)]++
+	if b.Stats != nil {
+		b.Stats.Executed.Add(1)
+	}
+	b.out.Ack(t)
+	return nil
+}
+
+// Cleanup implements api.Bolt.
+func (b *CountBolt) Cleanup() error { return nil }
+
+// WordCountOptions parameterize BuildWordCount.
+type WordCountOptions struct {
+	Name     string
+	Spouts   int
+	Bolts    int
+	DictSize int // defaults to DictionarySize
+	Reliable bool
+	// EmitBatch tunes words emitted per NextTuple (default 1).
+	EmitBatch int
+}
+
+// BuildWordCount assembles the Section VI-A topology: word spouts hash-
+// partitioned into count bolts. The returned stats are shared by every
+// instance.
+func BuildWordCount(opts WordCountOptions) (*api.Spec, *WordCountStats, error) {
+	if opts.Name == "" {
+		opts.Name = "wordcount"
+	}
+	if opts.DictSize <= 0 {
+		opts.DictSize = DictionarySize
+	}
+	dict := Dictionary(opts.DictSize)
+	stats := &WordCountStats{}
+	b := api.NewTopologyBuilder(opts.Name)
+	b.SetSpout("word", func() api.Spout {
+		return &WordSpout{Dict: dict, Reliable: opts.Reliable, Stats: stats, EmitBatch: opts.EmitBatch}
+	}, opts.Spouts).OutputFields("word")
+	b.SetBolt("count", func() api.Bolt {
+		return &CountBolt{Stats: stats}
+	}, opts.Bolts).FieldsGrouping("word", "", "word")
+	spec, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, stats, nil
+}

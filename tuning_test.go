@@ -1,0 +1,101 @@
+package heron
+
+import (
+	"testing"
+	"time"
+
+	"heron/internal/tuning"
+)
+
+// TestDynamicMaxSpoutPending verifies the live-retune control path: a
+// spout gated at a tiny window speeds up when the window is raised
+// through the TMaster broadcast.
+func TestDynamicMaxSpoutPending(t *testing.T) {
+	var f fixture
+	spec := f.buildWordCount(t, 2, 2, -1, true)
+	cfg := testConfig(t)
+	cfg.AckingEnabled = true
+	cfg.MaxSpoutPending = 2 // nearly stalled
+	cfg.MessageTimeout = 10 * time.Second
+
+	h, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	slowStart := f.acked.Load()
+	time.Sleep(time.Second)
+	slowRate := f.acked.Load() - slowStart
+
+	if err := h.SetMaxSpoutPending(500); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond) // let the broadcast land
+	fastStart := f.acked.Load()
+	time.Sleep(time.Second)
+	fastRate := f.acked.Load() - fastStart
+
+	t.Logf("acked/sec: window=2 → %d, window=500 → %d", slowRate, fastRate)
+	if fastRate < slowRate*3 {
+		t.Errorf("retune had no effect: %d → %d", slowRate, fastRate)
+	}
+}
+
+// TestAutoTunerDrivesLiveTopology runs the observation-driven controller
+// (the paper's §V-B future work) against a real topology: starting from a
+// stalling window, it must grow the window and multiply throughput while
+// keeping latency near the target.
+func TestAutoTunerDrivesLiveTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autotuner end-to-end")
+	}
+	var f fixture
+	spec := f.buildWordCount(t, 2, 2, -1, true)
+	cfg := testConfig(t)
+	cfg.AckingEnabled = true
+	cfg.MaxSpoutPending = 2
+	cfg.MessageTimeout = 10 * time.Second
+
+	h, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	base := f.acked.Load()
+	time.Sleep(700 * time.Millisecond)
+	baseRate := f.acked.Load() - base
+
+	tuner, err := tuning.New(tuning.NewHandleTarget(h), tuning.Options{
+		LatencyTarget: 50 * time.Millisecond,
+		Period:        250 * time.Millisecond,
+		Initial:       4,
+		Step:          16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Stop()
+	time.Sleep(3 * time.Second)
+
+	tuned := f.acked.Load()
+	time.Sleep(700 * time.Millisecond)
+	tunedRate := f.acked.Load() - tuned
+	t.Logf("acked/sec: initial %d → tuned %d (window now %d)", baseRate, tunedRate, tuner.Window())
+	if tunedRate < baseRate*2 {
+		t.Errorf("autotuner did not improve throughput: %d → %d", baseRate, tunedRate)
+	}
+	if w := tuner.Window(); w <= 4 {
+		t.Errorf("window never grew: %d", w)
+	}
+}

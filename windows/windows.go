@@ -1,0 +1,189 @@
+// Package windows provides windowed-aggregation bolts on top of the api
+// package: count-based and time-based windows, tumbling or sliding — the
+// building blocks of the real-time analytics workloads the paper's
+// introduction motivates.
+//
+// A window bolt buffers input tuples and invokes a user handler with each
+// completed window. Tuples are acknowledged only when they leave their
+// last window, so under acking (at-least-once) a failure replays every
+// tuple whose windows had not been fully processed.
+//
+// Time-based windows rely on the engine's tick mechanism: declare the
+// bolt with `.TickEvery(period)` where period ≤ the window's slide.
+//
+//	b.SetBolt("avg", func() api.Bolt {
+//	    return windows.NewTimeWindow(10*time.Second, 2*time.Second, onWindow)
+//	}, 4).FieldsGrouping("trades", "", "symbol").TickEvery(500 * time.Millisecond)
+package windows
+
+import (
+	"errors"
+	"time"
+
+	"heron/api"
+)
+
+// Window is one completed window handed to the Handler.
+type Window struct {
+	// Tuples are the window's contents in arrival order.
+	Tuples []api.Tuple
+	// Start and End bound the window (time windows only; zero for count
+	// windows).
+	Start, End time.Time
+}
+
+// Handler processes one completed window; it may emit through the
+// collector (emissions are anchored to every tuple in the window, so
+// downstream failures replay the whole window's inputs).
+type Handler func(w Window, out api.BoltCollector)
+
+// NewCountWindow returns a bolt that windows its input by tuple count:
+// a window completes every slide tuples and contains the latest size
+// tuples. slide == size gives tumbling windows; slide < size sliding
+// ones.
+func NewCountWindow(size, slide int, h Handler) api.Bolt {
+	return &countWindowBolt{size: size, slide: slide, handler: h}
+}
+
+// NewTumblingCountWindow is NewCountWindow(size, size, h).
+func NewTumblingCountWindow(size int, h Handler) api.Bolt {
+	return NewCountWindow(size, size, h)
+}
+
+type countWindowBolt struct {
+	size, slide int
+	handler     Handler
+	out         api.BoltCollector
+	buf         []api.Tuple
+}
+
+// Prepare implements api.Bolt.
+func (b *countWindowBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	if b.size <= 0 || b.slide <= 0 || b.slide > b.size {
+		return errors.New("windows: need 0 < slide <= size")
+	}
+	if b.handler == nil {
+		return errors.New("windows: nil handler")
+	}
+	b.out = out
+	return nil
+}
+
+// Execute implements api.Bolt.
+func (b *countWindowBolt) Execute(t api.Tuple) error {
+	b.buf = append(b.buf, t)
+	if len(b.buf) < b.size {
+		return nil
+	}
+	b.handler(Window{Tuples: b.buf}, b.out)
+	// Tuples sliding out of the window have been fully processed.
+	for _, old := range b.buf[:b.slide] {
+		b.out.Ack(old)
+	}
+	b.buf = append(b.buf[:0], b.buf[b.slide:]...)
+	return nil
+}
+
+// Cleanup implements api.Bolt: a partial window is NOT flushed — its
+// tuples stay un-acked and will replay after recovery, preserving
+// at-least-once window processing.
+func (b *countWindowBolt) Cleanup() error { return nil }
+
+// NewTimeWindow returns a bolt that windows its input by time: every
+// slide, a window covering the last size of wall time completes.
+// slide == size gives tumbling windows. The bolt must be declared with
+// TickEvery(p) for some p ≤ slide; windows complete on ticks, so window
+// boundaries are quantized to the tick period.
+func NewTimeWindow(size, slide time.Duration, h Handler) api.Bolt {
+	return &timeWindowBolt{size: size, slide: slide, handler: h}
+}
+
+// NewTumblingTimeWindow is NewTimeWindow(size, size, h).
+func NewTumblingTimeWindow(size time.Duration, h Handler) api.Bolt {
+	return NewTimeWindow(size, size, h)
+}
+
+type timed struct {
+	t  api.Tuple
+	at time.Time
+}
+
+type timeWindowBolt struct {
+	size, slide time.Duration
+	handler     Handler
+	out         api.BoltCollector
+	buf         []timed
+	nextFlush   time.Time
+	// lastEnd is the end of the last flushed window; late ticks extend the
+	// next window backward to it so no tuple falls between windows.
+	lastEnd time.Time
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// Prepare implements api.Bolt.
+func (b *timeWindowBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	if b.size <= 0 || b.slide <= 0 || b.slide > b.size {
+		return errors.New("windows: need 0 < slide <= size")
+	}
+	if b.handler == nil {
+		return errors.New("windows: nil handler")
+	}
+	b.out = out
+	if b.now == nil {
+		b.now = time.Now
+	}
+	start := b.now()
+	b.nextFlush = start.Add(b.slide)
+	b.lastEnd = start
+	return nil
+}
+
+// Execute implements api.Bolt.
+func (b *timeWindowBolt) Execute(t api.Tuple) error {
+	b.buf = append(b.buf, timed{t: t, at: b.now()})
+	return nil
+}
+
+// Tick implements api.Ticker: completed windows flush here.
+func (b *timeWindowBolt) Tick() error {
+	now := b.now()
+	if now.Before(b.nextFlush) {
+		return nil
+	}
+	b.nextFlush = now.Add(b.slide)
+	// Windows are half-open (start, end]. The nominal start is now-size,
+	// extended backward to the previous window's end when ticks arrive
+	// late, so consecutive windows always cover the stream with no gap.
+	start := now.Add(-b.size)
+	if start.After(b.lastEnd) {
+		start = b.lastEnd
+	}
+	w := Window{Start: start, End: now}
+	for _, e := range b.buf {
+		if e.at.After(start) {
+			w.Tuples = append(w.Tuples, e.t)
+		}
+	}
+	b.handler(w, b.out)
+	b.lastEnd = now
+	// Evict and ack tuples that can no longer appear in any future window
+	// (the next window starts no earlier than min(now+slide-size, now)).
+	horizon := now.Add(b.slide - b.size)
+	if horizon.After(now) {
+		horizon = now
+	}
+	kept := b.buf[:0]
+	for _, e := range b.buf {
+		if !e.at.After(horizon) {
+			b.out.Ack(e.t)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	b.buf = kept
+	return nil
+}
+
+// Cleanup implements api.Bolt (see countWindowBolt.Cleanup).
+func (b *timeWindowBolt) Cleanup() error { return nil }

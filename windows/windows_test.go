@@ -1,0 +1,198 @@
+package windows
+
+import (
+	"testing"
+	"time"
+
+	"heron/api"
+)
+
+// fakeTuple is a minimal api.Tuple.
+type fakeTuple struct{ v int64 }
+
+func (f *fakeTuple) Values() api.Values      { return api.Values{f.v} }
+func (f *fakeTuple) SourceComponent() string { return "src" }
+func (f *fakeTuple) Stream() string          { return "default" }
+func (f *fakeTuple) String(i int) string     { panic("not a string") }
+func (f *fakeTuple) Int(i int) int64         { return f.v }
+func (f *fakeTuple) Float(i int) float64     { panic("not a float") }
+func (f *fakeTuple) Bool(i int) bool         { panic("not a bool") }
+func (f *fakeTuple) Bytes(i int) []byte      { panic("not bytes") }
+
+// fakeCollector records acks and emissions.
+type fakeCollector struct {
+	acked   []api.Tuple
+	emitted [][]any
+}
+
+func (c *fakeCollector) Emit(_ string, _ []api.Tuple, values ...any) {
+	c.emitted = append(c.emitted, values)
+}
+func (c *fakeCollector) Ack(t api.Tuple)  { c.acked = append(c.acked, t) }
+func (c *fakeCollector) Fail(t api.Tuple) {}
+
+func feed(t *testing.T, b api.Bolt, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := b.Execute(&fakeTuple{v: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTumblingCountWindow(t *testing.T) {
+	var windows []Window
+	b := NewTumblingCountWindow(5, func(w Window, _ api.BoltCollector) {
+		cp := w
+		cp.Tuples = append([]api.Tuple(nil), w.Tuples...)
+		windows = append(windows, cp)
+	})
+	col := &fakeCollector{}
+	if err := b.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, b, 12)
+	if len(windows) != 2 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	for wi, w := range windows {
+		if len(w.Tuples) != 5 {
+			t.Errorf("window %d size = %d", wi, len(w.Tuples))
+		}
+	}
+	// First window: 0..4, second: 5..9; 2 tuples still buffered un-acked.
+	if windows[1].Tuples[0].Int(0) != 5 {
+		t.Errorf("second window starts at %d", windows[1].Tuples[0].Int(0))
+	}
+	if len(col.acked) != 10 {
+		t.Errorf("acked = %d, want 10 (partial window held)", len(col.acked))
+	}
+}
+
+func TestSlidingCountWindow(t *testing.T) {
+	var sizes []int
+	var firsts []int64
+	b := NewCountWindow(4, 2, func(w Window, _ api.BoltCollector) {
+		sizes = append(sizes, len(w.Tuples))
+		firsts = append(firsts, w.Tuples[0].Int(0))
+	})
+	col := &fakeCollector{}
+	if err := b.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, b, 8)
+	// Windows: [0..3], [2..5], [4..7] — every 2 tuples once 4 are buffered.
+	if len(sizes) != 3 {
+		t.Fatalf("windows = %d", len(sizes))
+	}
+	for i, want := range []int64{0, 2, 4} {
+		if firsts[i] != want {
+			t.Errorf("window %d starts at %d, want %d", i, firsts[i], want)
+		}
+	}
+	// Each flush acks the 2 tuples sliding out: 6 acked after 3 windows.
+	if len(col.acked) != 6 {
+		t.Errorf("acked = %d", len(col.acked))
+	}
+}
+
+func TestCountWindowValidation(t *testing.T) {
+	cases := []api.Bolt{
+		NewCountWindow(0, 1, func(Window, api.BoltCollector) {}),
+		NewCountWindow(4, 0, func(Window, api.BoltCollector) {}),
+		NewCountWindow(2, 4, func(Window, api.BoltCollector) {}), // slide > size
+		NewCountWindow(4, 2, nil),
+	}
+	for i, b := range cases {
+		if err := b.Prepare(nil, &fakeCollector{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTumblingTimeWindow(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := NewTumblingTimeWindow(time.Second, nil).(*timeWindowBolt)
+	var windows []Window
+	b.handler = func(w Window, _ api.BoltCollector) {
+		cp := w
+		cp.Tuples = append([]api.Tuple(nil), w.Tuples...)
+		windows = append(windows, cp)
+	}
+	b.now = func() time.Time { return clock }
+	col := &fakeCollector{}
+	if err := b.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	// Three tuples inside the first second.
+	for i := 0; i < 3; i++ {
+		clock = clock.Add(200 * time.Millisecond)
+		if err := b.Execute(&fakeTuple{v: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tick before the window closes: nothing.
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 0 {
+		t.Fatal("window flushed early")
+	}
+	// Advance past the slide boundary.
+	clock = clock.Add(600 * time.Millisecond)
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 1 || len(windows[0].Tuples) != 3 {
+		t.Fatalf("windows = %+v", windows)
+	}
+	// Tumbling: everything evicted and acked after the flush.
+	if len(col.acked) != 3 {
+		t.Errorf("acked = %d", len(col.acked))
+	}
+	// Next window sees only newer tuples.
+	clock = clock.Add(500 * time.Millisecond)
+	if err := b.Execute(&fakeTuple{v: 9}); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(600 * time.Millisecond)
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 || len(windows[1].Tuples) != 1 || windows[1].Tuples[0].Int(0) != 9 {
+		t.Fatalf("second window = %+v", windows[len(windows)-1])
+	}
+}
+
+func TestSlidingTimeWindowKeepsOverlap(t *testing.T) {
+	clock := time.Unix(2000, 0)
+	b := NewTimeWindow(2*time.Second, time.Second, nil).(*timeWindowBolt)
+	var sizes []int
+	b.handler = func(w Window, _ api.BoltCollector) { sizes = append(sizes, len(w.Tuples)) }
+	b.now = func() time.Time { return clock }
+	col := &fakeCollector{}
+	if err := b.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	// One tuple per 500ms for 3 seconds; flush every second.
+	for i := 0; i < 6; i++ {
+		clock = clock.Add(500 * time.Millisecond)
+		if err := b.Execute(&fakeTuple{v: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flushes at t+1s (2 tuples), t+2s (4), t+3s (4, sliding).
+	if len(sizes) != 3 {
+		t.Fatalf("flushes = %d (%v)", len(sizes), sizes)
+	}
+	if sizes[2] != 4 {
+		t.Errorf("third window = %d tuples, want 4 (2s window, 500ms spacing)", sizes[2])
+	}
+	// Overlap retained: acked < executed.
+	if len(col.acked) >= 6 {
+		t.Errorf("acked = %d, overlap not retained", len(col.acked))
+	}
+}
