@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the pre-submit gate: vet, build, and the full suite under the
+# race detector (tier-1 plus -race).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

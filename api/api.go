@@ -55,6 +55,40 @@ type TopologyContext interface {
 	// ComponentParallelism returns the current parallelism of any
 	// component in the topology.
 	ComponentParallelism(component string) int
+	// Metrics is this instance's metric registration surface: metrics
+	// created here are automatically tagged with the component and task,
+	// collected by the container's Metrics Manager, and aggregated into
+	// the Topology Master's topology-wide view alongside the engine's own
+	// metrics (heron.Handle.Metrics(), the HTTP /metrics endpoint).
+	Metrics() ComponentMetrics
+}
+
+// ComponentMetrics registers custom metrics for one component instance.
+// Names are free-form ("words-counted"); the engine namespaces them under
+// a user prefix so they can never collide with engine metrics. Repeated
+// calls with the same name return the same metric.
+type ComponentMetrics interface {
+	// Counter returns a monotonically increasing counter.
+	Counter(name string) MetricCounter
+	// Gauge returns a set-to-latest gauge.
+	Gauge(name string) MetricGauge
+	// Histogram returns a sampling histogram (for latencies, sizes, ...).
+	Histogram(name string) MetricHistogram
+}
+
+// MetricCounter is a monotonically increasing user metric.
+type MetricCounter interface {
+	Inc(delta int64)
+}
+
+// MetricGauge is a set-to-latest user metric.
+type MetricGauge interface {
+	Set(v int64)
+}
+
+// MetricHistogram records a stream of values with quantile summaries.
+type MetricHistogram interface {
+	Observe(v int64)
 }
 
 // SpoutCollector is how a spout emits tuples.

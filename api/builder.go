@@ -1,6 +1,7 @@
 package api
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -16,7 +17,8 @@ type Spec struct {
 }
 
 // TopologyBuilder assembles a topology from spouts, bolts and groupings.
-// All methods record state; errors surface from Build.
+// All methods record state; errors accumulate and surface together from
+// Build (joined with errors.Join).
 type TopologyBuilder struct {
 	name   string
 	order  []string
@@ -36,7 +38,9 @@ func NewTopologyBuilder(name string) *TopologyBuilder {
 
 // SetSpout adds a spout with the given factory and parallelism.
 func (b *TopologyBuilder) SetSpout(name string, f SpoutFactory, parallelism int) *SpoutDeclarer {
-	d := &SpoutDeclarer{common: common{name: name, parallelism: parallelism, outputs: map[string][]string{}}, factory: f}
+	d := &SpoutDeclarer{factory: f}
+	d.declarer = declarer[*SpoutDeclarer]{self: d, b: b, name: name,
+		parallelism: parallelism, outputs: map[string][]string{}}
 	if _, dup := b.spouts[name]; dup {
 		b.errs = append(b.errs, fmt.Errorf("api: duplicate spout %q", name))
 		return d
@@ -52,7 +56,9 @@ func (b *TopologyBuilder) SetSpout(name string, f SpoutFactory, parallelism int)
 
 // SetBolt adds a bolt with the given factory and parallelism.
 func (b *TopologyBuilder) SetBolt(name string, f BoltFactory, parallelism int) *BoltDeclarer {
-	d := &BoltDeclarer{common: common{name: name, parallelism: parallelism, outputs: map[string][]string{}}, factory: f}
+	d := &BoltDeclarer{factory: f}
+	d.declarer = declarer[*BoltDeclarer]{self: d, b: b, name: name,
+		parallelism: parallelism, outputs: map[string][]string{}}
 	if _, dup := b.bolts[name]; dup {
 		b.errs = append(b.errs, fmt.Errorf("api: duplicate bolt %q", name))
 		return d
@@ -66,36 +72,52 @@ func (b *TopologyBuilder) SetBolt(name string, f BoltFactory, parallelism int) *
 	return d
 }
 
-type common struct {
+// declarer is the chainable configuration shared by spout and bolt
+// declarers. D is the concrete declarer type, so shared methods return
+// the right type for further chaining.
+type declarer[D any] struct {
+	self        D
+	b           *TopologyBuilder
 	name        string
 	parallelism int
 	outputs     map[string][]string
 	resources   core.Resource
 }
 
-// SpoutDeclarer configures one spout; methods chain.
-type SpoutDeclarer struct {
-	common
-	factory SpoutFactory
-}
-
 // OutputFields declares the default stream's field names.
-func (d *SpoutDeclarer) OutputFields(fields ...string) *SpoutDeclarer {
-	d.outputs[core.DefaultStream] = fields
-	return d
+func (d *declarer[D]) OutputFields(fields ...string) D {
+	return d.declareStream(core.DefaultStream, fields)
 }
 
 // OutputStream declares a named stream and its field names.
-func (d *SpoutDeclarer) OutputStream(stream string, fields ...string) *SpoutDeclarer {
+func (d *declarer[D]) OutputStream(stream string, fields ...string) D {
+	if stream == "" {
+		stream = core.DefaultStream
+	}
+	return d.declareStream(stream, fields)
+}
+
+func (d *declarer[D]) declareStream(stream string, fields []string) D {
+	if _, dup := d.outputs[stream]; dup {
+		d.b.errs = append(d.b.errs,
+			fmt.Errorf("api: component %q declares output stream %q twice", d.name, stream))
+		return d.self
+	}
 	d.outputs[stream] = fields
-	return d
+	return d.self
 }
 
 // Resources sets the per-instance resource request (cpu cores, ram MB,
 // disk MB). Unset components use the configured default.
-func (d *SpoutDeclarer) Resources(cpu float64, ramMB, diskMB int64) *SpoutDeclarer {
+func (d *declarer[D]) Resources(cpu float64, ramMB, diskMB int64) D {
 	d.resources = core.Resource{CPU: cpu, RAMMB: ramMB, DiskMB: diskMB}
-	return d
+	return d.self
+}
+
+// SpoutDeclarer configures one spout; methods chain.
+type SpoutDeclarer struct {
+	declarer[*SpoutDeclarer]
+	factory SpoutFactory
 }
 
 type inputDecl struct {
@@ -107,28 +129,10 @@ type inputDecl struct {
 
 // BoltDeclarer configures one bolt; methods chain.
 type BoltDeclarer struct {
-	common
+	declarer[*BoltDeclarer]
 	factory   BoltFactory
 	inputs    []inputDecl
 	tickEvery time.Duration
-}
-
-// OutputFields declares the default stream's field names.
-func (d *BoltDeclarer) OutputFields(fields ...string) *BoltDeclarer {
-	d.outputs[core.DefaultStream] = fields
-	return d
-}
-
-// OutputStream declares a named stream and its field names.
-func (d *BoltDeclarer) OutputStream(stream string, fields ...string) *BoltDeclarer {
-	d.outputs[stream] = fields
-	return d
-}
-
-// Resources sets the per-instance resource request.
-func (d *BoltDeclarer) Resources(cpu float64, ramMB, diskMB int64) *BoltDeclarer {
-	d.resources = core.Resource{CPU: cpu, RAMMB: ramMB, DiskMB: diskMB}
-	return d
 }
 
 // TickEvery delivers periodic Tick calls to instances of this bolt (the
@@ -165,11 +169,12 @@ func (d *BoltDeclarer) GlobalGrouping(component, stream string) *BoltDeclarer {
 	return d
 }
 
-// Build validates the assembled topology and returns its Spec.
+// Build validates the assembled topology and returns its Spec. Every
+// declaration problem is reported, not just the first: the returned error
+// joins them all (errors.Join), so callers can fix a topology in one
+// pass.
 func (b *TopologyBuilder) Build() (*Spec, error) {
-	if len(b.errs) > 0 {
-		return nil, b.errs[0]
-	}
+	errs := append([]error(nil), b.errs...)
 	t := &core.Topology{Name: b.name}
 	spec := &Spec{Topology: t, Spouts: map[string]SpoutFactory{}, Bolts: map[string]BoltFactory{}}
 	outputsOf := func(name string) map[string][]string {
@@ -184,7 +189,8 @@ func (b *TopologyBuilder) Build() (*Spec, error) {
 	for _, name := range b.order {
 		if d, ok := b.spouts[name]; ok {
 			if d.factory == nil {
-				return nil, fmt.Errorf("api: spout %q has nil factory", name)
+				errs = append(errs, fmt.Errorf("api: spout %q has nil factory", name))
+				continue
 			}
 			t.Components = append(t.Components, core.ComponentSpec{
 				Name: name, Kind: core.KindSpout, Parallelism: d.parallelism,
@@ -195,7 +201,8 @@ func (b *TopologyBuilder) Build() (*Spec, error) {
 		}
 		d := b.bolts[name]
 		if d.factory == nil {
-			return nil, fmt.Errorf("api: bolt %q has nil factory", name)
+			errs = append(errs, fmt.Errorf("api: bolt %q has nil factory", name))
+			continue
 		}
 		cs := core.ComponentSpec{
 			Name: name, Kind: core.KindBolt, Parallelism: d.parallelism,
@@ -220,8 +227,9 @@ func (b *TopologyBuilder) Build() (*Spec, error) {
 						}
 					}
 					if idx < 0 {
-						return nil, fmt.Errorf("api: bolt %q keys on unknown field %q of %s.%s (fields: %v)",
-							name, key, in.component, stream, fields)
+						errs = append(errs, fmt.Errorf("api: bolt %q keys on unknown field %q of %s.%s (fields: %v)",
+							name, key, in.component, stream, fields))
+						continue
 					}
 					is.FieldIdx = append(is.FieldIdx, idx)
 				}
@@ -230,6 +238,9 @@ func (b *TopologyBuilder) Build() (*Spec, error) {
 		}
 		t.Components = append(t.Components, cs)
 		spec.Bolts[name] = d.factory
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -122,4 +122,54 @@ func TestBuildErrors(t *testing.T) {
 			t.Error("want error")
 		}
 	})
+	t.Run("duplicate output stream", func(t *testing.T) {
+		b := NewTopologyBuilder("x")
+		b.SetSpout("s", newNopSpout, 1).
+			OutputFields("f").
+			OutputStream("", "g") // same as the default stream: rejected
+		b.SetBolt("c", newNopBolt, 1).ShuffleGrouping("s", "")
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("duplicate named output stream on bolt", func(t *testing.T) {
+		b := NewTopologyBuilder("x")
+		b.SetSpout("s", newNopSpout, 1).OutputFields("f")
+		b.SetBolt("c", newNopBolt, 1).
+			ShuffleGrouping("s", "").
+			OutputStream("side", "a").
+			OutputStream("side", "b")
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), `"side" twice`) {
+			t.Errorf("got %v", err)
+		}
+	})
+}
+
+func TestBuildReportsAllErrors(t *testing.T) {
+	// One broken topology, three distinct mistakes: Build must report
+	// every one of them in a single joined error.
+	b := NewTopologyBuilder("x")
+	b.SetSpout("s", newNopSpout, 1).
+		OutputFields("word").
+		OutputStream("", "again") // (1) duplicate output stream
+	b.SetSpout("s", newNopSpout, 1).OutputFields("word") // (2) duplicate spout
+	b.SetBolt("c", newNopBolt, 1).
+		FieldsGrouping("s", "", "nope") // (3) unknown key field
+	b.SetBolt("d", nil, 1).ShuffleGrouping("s", "") // (4) nil factory
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{
+		`output stream "default" twice`,
+		`duplicate spout "s"`,
+		`unknown field "nope"`,
+		`bolt "d" has nil factory`,
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
 }

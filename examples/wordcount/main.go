@@ -12,6 +12,7 @@ import (
 	"time"
 
 	heron "heron"
+	"heron/internal/metrics"
 	"heron/internal/workloads"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	cfg.AckingEnabled = true
 	cfg.MaxSpoutPending = 500
 	cfg.NumContainers = 3
+	cfg.HTTPAddr = "127.0.0.1:0" // observability: /metrics + /topology
 
 	h, err := heron.Submit(spec, cfg)
 	if err != nil {
@@ -37,12 +39,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("wordcount running (10s)...")
+	fmt.Printf("wordcount running (10s)... metrics at http://%s/metrics\n", h.ObservabilityAddr())
 	var last int64
 	for i := 0; i < 10; i++ {
 		time.Sleep(time.Second)
 		executed := stats.Executed.Load()
-		lat := h.LatencySnapshots("complete_latency_ns")
+		lat := h.LatencySnapshots(metrics.MCompleteLatency)
 		var count, sum int64
 		for _, s := range lat {
 			count += s.Count

@@ -24,6 +24,7 @@ import (
 	"heron/api"
 	"heron/internal/core"
 	"heron/internal/metrics"
+	"heron/internal/observability"
 	"heron/internal/packing"
 	"heron/internal/runtime"
 
@@ -51,6 +52,7 @@ type Handle struct {
 	rm     core.ResourceManager
 	sched  core.Scheduler
 	engine *runtime.Engine
+	obs    *observability.Server
 	killed bool
 }
 
@@ -133,10 +135,24 @@ func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
 	_ = state.SetSchedulerLocation(core.SchedulerLocation{
 		Topology: spec.Topology.Name, Kind: cfg.SchedulerName,
 	})
-	return &Handle{
+	h := &Handle{
 		name: spec.Topology.Name, cfg: cfg, spec: spec,
 		state: state, rm: rm, sched: sched, engine: engine,
-	}, nil
+	}
+	if cfg.HTTPAddr != "" {
+		obs, err := observability.Start(observability.Options{
+			Addr:     cfg.HTTPAddr,
+			Topology: h.name,
+			View:     h.Metrics,
+			Pprof:    cfg.HTTPPprof,
+		})
+		if err != nil {
+			_ = h.Kill()
+			return nil, fmt.Errorf("heron: observability server: %w", err)
+		}
+		h.obs = obs
+	}
+	return h, nil
 }
 
 // WaitRunning blocks until the topology's plan has been broadcast to
@@ -218,6 +234,9 @@ func (h *Handle) Kill() error {
 		return nil
 	}
 	h.killed = true
+	if h.obs != nil {
+		_ = h.obs.Close()
+	}
 	err := h.sched.OnKill(core.KillRequest{Topology: h.name})
 	_ = h.sched.Close()
 	_ = h.rm.Close()
@@ -253,39 +272,56 @@ func (h *Handle) SetMaxSpoutPending(n int) error {
 	return nil
 }
 
+// Metrics returns the topology-wide metrics view: the Topology Master's
+// merge of every container's latest pushed snapshot, keyed by the engine
+// taxonomy (metrics.MExecuteCount, ...) plus any "user."-prefixed metrics
+// registered through api.TopologyContext.Metrics(). The view is a copy —
+// safe to read without further synchronization — and reflects the last
+// export round (see Config.MetricsExportInterval).
+func (h *Handle) Metrics() *metrics.TopologyView {
+	if tm := h.engine.TMaster(); tm != nil {
+		return tm.MetricsView()
+	}
+	return metrics.NewView()
+}
+
+// ObservabilityAddr returns the HTTP introspection server's bound address
+// ("" when Config.HTTPAddr was not set).
+func (h *Handle) ObservabilityAddr() string {
+	if h.obs == nil {
+		return ""
+	}
+	return h.obs.Addr()
+}
+
 // Registries exposes the per-container metric registries for measurement
 // harnesses (same-process observation; not part of the engine protocol).
 func (h *Handle) Registries() map[int32]*metrics.Registry { return h.engine.Registries() }
 
-// SumCounter sums a counter across all containers, matching by suffix
-// when exact names differ per instance (e.g. "count.3.executed").
-func (h *Handle) SumCounter(suffix string) int64 {
+// SumCounter sums the named taxonomy counter across every task in every
+// container, reading the live registries (no export-interval lag).
+func (h *Handle) SumCounter(name string) int64 {
 	var total int64
 	for _, r := range h.engine.Registries() {
-		s := r.Snapshot(0)
-		for name, v := range s.Counters {
-			if name == suffix || hasSuffix(name, suffix) {
-				total += v
+		for _, p := range r.Snapshot(0).Counters {
+			if p.Name == name {
+				total += p.Value
 			}
 		}
 	}
 	return total
 }
 
-// LatencySnapshots returns every histogram whose name ends in suffix.
-func (h *Handle) LatencySnapshots(suffix string) []metrics.HistogramSnapshot {
+// LatencySnapshots returns every task's snapshot of the named histogram,
+// reading the live registries.
+func (h *Handle) LatencySnapshots(name string) []metrics.HistogramSnapshot {
 	var out []metrics.HistogramSnapshot
 	for _, r := range h.engine.Registries() {
-		s := r.Snapshot(0)
-		for name, hs := range s.Histos {
-			if name == suffix || hasSuffix(name, suffix) {
-				out = append(out, hs)
+		for _, p := range r.Snapshot(0).Histograms {
+			if p.Name == name {
+				out = append(out, p.HistogramSnapshot)
 			}
 		}
 	}
 	return out
-}
-
-func hasSuffix(s, suffix string) bool {
-	return len(s) > len(suffix) && s[len(s)-len(suffix):] == suffix && s[len(s)-len(suffix)-1] == '.'
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"heron/api"
+	"heron/internal/metrics"
 	"heron/internal/statemgr"
 )
 
@@ -224,7 +225,7 @@ func TestWordCountEndToEndWithoutAcks(t *testing.T) {
 	waitFor(t, 120*time.Second, "all tuples counted", func() bool {
 		return f.table.total.Load() >= total
 	})
-	if got := h.SumCounter("executed"); got < total {
+	if got := h.SumCounter(metrics.MExecuteCount); got < total {
 		t.Errorf("metrics executed = %d < %d", got, total)
 	}
 }

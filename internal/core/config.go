@@ -48,6 +48,18 @@ type Config struct {
 	// for the gateway-side batching).
 	InstanceBatchTuples int
 
+	// MetricsExportInterval is how often each container's Metrics Manager
+	// pushes a snapshot to the Topology Master (0 selects the default).
+	MetricsExportInterval time.Duration
+
+	// HTTPAddr, when non-empty, starts the observability HTTP server on
+	// this address ("127.0.0.1:0" picks a free port). It serves /metrics
+	// (Prometheus text) and /topology (JSON).
+	HTTPAddr string
+	// HTTPPprof additionally mounts net/http/pprof handlers under
+	// /debug/pprof/ on the observability server.
+	HTTPPprof bool
+
 	// StateRoot is the root path/znode for the State Manager tree.
 	StateRoot string
 
@@ -68,6 +80,8 @@ const (
 	DefaultCacheDrainFrequency = 5 * time.Millisecond
 	DefaultCacheMaxBatchTuples = 1024
 	DefaultMessageTimeout      = 30 * time.Second
+	// DefaultMetricsExportInterval paces the Metrics Manager push loop.
+	DefaultMetricsExportInterval = 250 * time.Millisecond
 )
 
 // DefaultInstanceResources is the per-instance ask used when a component
@@ -121,6 +135,9 @@ func (c *Config) Validate() error {
 	}
 	if c.CacheDrainFrequency < 0 {
 		return fmt.Errorf("core: negative CacheDrainFrequency")
+	}
+	if c.MetricsExportInterval < 0 {
+		return fmt.Errorf("core: negative MetricsExportInterval")
 	}
 	if c.MaxSpoutPending > 0 && !c.AckingEnabled {
 		return fmt.Errorf("core: MaxSpoutPending requires AckingEnabled")

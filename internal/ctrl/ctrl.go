@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"heron/internal/core"
+	"heron/internal/metrics"
 )
 
 // Op names a control operation.
@@ -59,8 +60,9 @@ type Message struct {
 	// OpTune.
 	MaxSpoutPending int `json:"maxSpoutPending,omitempty"`
 
-	// OpMetrics: an opaque JSON snapshot (the TMaster stores it as-is).
-	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// OpMetrics: the container's typed metrics snapshot (named, tagged
+	// points — the TMaster merges these into the topology-wide view).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // PlanPayload carries everything a container needs to (re)build its

@@ -210,7 +210,7 @@ func RunHeronWordCount(o WCOptions) (Result, error) {
 	}
 	if o.Acks {
 		res.LatencyMeanMs, res.LatencyP50Ms, res.LatencyP99Ms =
-			latencyMs(h.LatencySnapshots("complete_latency_ns"))
+			latencyMs(h.LatencySnapshots(metrics.MCompleteLatency))
 	}
 	return res, nil
 }

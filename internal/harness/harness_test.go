@@ -66,6 +66,9 @@ func TestShapeHeronBeatsStorm(t *testing.T) {
 	if testing.Short() {
 		t.Skip("comparative shape test")
 	}
+	if raceEnabled {
+		t.Skip("race detector overhead swamps the throughput comparison")
+	}
 	o := quick(8)
 	o.Measure = 1500 * time.Millisecond
 	o.Acks = false
@@ -90,6 +93,9 @@ func TestShapeHeronBeatsStorm(t *testing.T) {
 func TestShapeOptimizationsHelp(t *testing.T) {
 	if testing.Short() {
 		t.Skip("comparative shape test")
+	}
+	if raceEnabled {
+		t.Skip("race detector overhead swamps the throughput comparison")
 	}
 	o := quick(8)
 	o.Measure = 1500 * time.Millisecond

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose per-access overhead invalidates comparative
+// throughput measurements.
+const raceEnabled = true

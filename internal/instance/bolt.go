@@ -247,8 +247,20 @@ func (in *Instance) executeFrame(frame []byte, dt *tuple.DataTuple, col *boltCol
 			bt.source, bt.stream = si.SrcComponent, si.Stream
 		}
 		in.mExecuted.Inc(1)
+		// Clocking every execution costs two time reads per tuple on the
+		// hottest path in the engine; 1-in-execLatSampleEvery is plenty
+		// for the reservoir quantiles while mExecuted stays exact.
+		sampled := in.execSeq&(execLatSampleEvery-1) == 0
+		in.execSeq++
+		var start time.Time
+		if sampled {
+			start = time.Now()
+		}
 		if err := in.opts.Bolt.Execute(bt); err != nil {
 			log.Printf("instance %v: execute: %v", in.opts.ID, err)
+		}
+		if sampled {
+			in.mExecLat.Observe(time.Since(start).Nanoseconds())
 		}
 		return nil
 	})

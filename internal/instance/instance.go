@@ -95,14 +95,20 @@ type Instance struct {
 	outAcks     []byte
 	outAckCnt   int
 
-	// Metrics.
+	// Metrics (engine taxonomy, tagged with component + task).
 	mEmitted  *metrics.Counter
 	mExecuted *metrics.Counter
 	mAcked    *metrics.Counter
 	mFailed   *metrics.Counter
-	mLatency  *metrics.Histogram
-	mInflight *metrics.Gauge
+	mLatency  *metrics.Histogram // spout: emit → tree completion
+	mExecLat  *metrics.Histogram // bolt: time inside Execute, sampled
+	mPending  *metrics.Gauge     // spout: un-acked tuples in flight
+	execSeq   uint64             // executor goroutine only; drives sampling
 }
+
+// execLatSampleEvery is the execute-latency sampling interval: one in
+// this many executions is clocked. Must be a power of two.
+const execLatSampleEvery = 8
 
 type pendingEmit struct {
 	msgID  any
@@ -142,7 +148,7 @@ func New(opts Options) (*Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("instance %v: dialing stmgr: %w", opts.ID, err)
 	}
-	prefix := fmt.Sprintf("%s.%d.", opts.ID.Component, opts.ID.ComponentIndex)
+	tags := metrics.Tags{Component: opts.ID.Component, Task: opts.ID.TaskID}
 	inst := &Instance{
 		opts:      opts,
 		conn:      conn,
@@ -157,12 +163,17 @@ func New(opts Options) (*Instance, error) {
 
 		batchOut: opts.Cfg.StreamManagerOptimized && codec.Pooled(),
 
-		mEmitted:  opts.Registry.Counter(prefix + "emitted"),
-		mExecuted: opts.Registry.Counter(prefix + "executed"),
-		mAcked:    opts.Registry.Counter(prefix + "acked"),
-		mFailed:   opts.Registry.Counter(prefix + "failed"),
-		mLatency:  opts.Registry.Histogram(prefix + "complete_latency_ns"),
-		mInflight: opts.Registry.Gauge(prefix + "inflight"),
+		mEmitted:  opts.Registry.Counter(metrics.MEmitCount, tags),
+		mAcked:    opts.Registry.Counter(metrics.MAckCount, tags),
+		mFailed:   opts.Registry.Counter(metrics.MFailCount, tags),
+	}
+	switch opts.Kind {
+	case core.KindSpout:
+		inst.mLatency = opts.Registry.Histogram(metrics.MCompleteLatency, tags)
+		inst.mPending = opts.Registry.Gauge(metrics.MSpoutPending, tags)
+	case core.KindBolt:
+		inst.mExecuted = opts.Registry.Counter(metrics.MExecuteCount, tags)
+		inst.mExecLat = opts.Registry.Histogram(metrics.MExecuteLatency, tags)
 	}
 	conn.Start(inst.onFrame)
 	reg, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpRegisterInstance, Topology: opts.Topology, TaskID: opts.ID.TaskID})
@@ -303,6 +314,38 @@ func (c context) ComponentParallelism(component string) int {
 		return 0
 	}
 	return len(ps.pp.ComponentTasks(component))
+}
+
+// Metrics implements api.TopologyContext: user metrics land in the same
+// container registry as the engine's own, tagged with this instance's
+// component and task and namespaced under the user prefix — so they ride
+// the Metrics Manager → Topology Master pipeline unchanged.
+func (c context) Metrics() api.ComponentMetrics {
+	return userMetrics{
+		reg:  c.in.opts.Registry,
+		tags: metrics.Tags{Component: c.in.opts.ID.Component, Task: c.in.opts.ID.TaskID},
+	}
+}
+
+// userMetrics implements api.ComponentMetrics over a registry.
+type userMetrics struct {
+	reg  *metrics.Registry
+	tags metrics.Tags
+}
+
+// Counter implements api.ComponentMetrics.
+func (u userMetrics) Counter(name string) api.MetricCounter {
+	return u.reg.Counter(metrics.UserPrefix+name, u.tags)
+}
+
+// Gauge implements api.ComponentMetrics.
+func (u userMetrics) Gauge(name string) api.MetricGauge {
+	return u.reg.Gauge(metrics.UserPrefix+name, u.tags)
+}
+
+// Histogram implements api.ComponentMetrics.
+func (u userMetrics) Histogram(name string) api.MetricHistogram {
+	return u.reg.Histogram(metrics.UserPrefix+name, u.tags)
 }
 
 // defaultOutBatchTuples flushes the instance's output buffer once this

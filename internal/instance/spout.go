@@ -72,7 +72,7 @@ func (c *spoutCollector) Emit(stream string, msgID any, values ...any) {
 	if reliable {
 		in.pending[root] = pendingEmit{msgID: msgID, emitNs: time.Now().UnixNano()}
 		in.inflight++
-		in.mInflight.Set(int64(in.inflight))
+		in.mPending.Set(int64(in.inflight))
 		in.sendAck(&tuple.AckTuple{
 			Kind: tuple.AckAnchor, SpoutTask: in.opts.ID.TaskID,
 			Root: root, Delta: anchorXor,
@@ -178,7 +178,7 @@ func (in *Instance) spoutAck(a *tuple.AckTuple) {
 	}
 	delete(in.pending, a.Root)
 	in.inflight--
-	in.mInflight.Set(int64(in.inflight))
+	in.mPending.Set(int64(in.inflight))
 	switch a.Kind {
 	case tuple.AckAck:
 		in.mAcked.Inc(1)

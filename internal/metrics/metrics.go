@@ -1,7 +1,13 @@
 // Package metrics implements the Metrics Manager module: per-container
 // collection of counters, gauges and latency histograms from the
 // processes in the container (the paper's Section II), periodically
-// exported to the Topology Master.
+// exported to the Topology Master as a typed, tagged Snapshot.
+//
+// Every metric has an identity: a taxonomy name ("instance.execute-count",
+// "stmgr.cache-drain-count", ...) plus Tags locating it in the topology
+// (component, task, stream). The Topology Master merges the per-container
+// snapshots into a TopologyView (view.go), which is what the public
+// heron.Handle.Metrics() API and the HTTP /metrics endpoint expose.
 package metrics
 
 import (
@@ -11,6 +17,30 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// Tags locate a metric in the topology. The zero value means
+// "container-scoped, no particular component".
+type Tags struct {
+	// Component is the logical component name; stream managers use the
+	// reserved StmgrComponent.
+	Component string `json:"component,omitempty"`
+	// Task is the instance's task id, or the container id for
+	// container-scoped metrics. Task ids start at 0, so it is never
+	// omitted from JSON.
+	Task int32 `json:"task"`
+	// Stream is set on per-stream metrics only.
+	Stream string `json:"stream,omitempty"`
+}
+
+// StmgrComponent is the reserved component tag of Stream Manager metrics.
+const StmgrComponent = "__stmgr__"
+
+// ID is a metric's full identity: taxonomy name plus tags. It is
+// comparable and used as the registry key.
+type ID struct {
+	Name string `json:"name"`
+	Tags
+}
 
 // Counter is a monotonically increasing metric.
 type Counter struct {
@@ -84,13 +114,16 @@ func (h *Histogram) Observe(v int64) {
 	h.mu.Unlock()
 }
 
-// HistogramSnapshot is a point-in-time summary.
+// HistogramSnapshot is a point-in-time summary. Sample is the sorted
+// reservoir; it is exported so snapshots survive the control-plane wire
+// format and the Topology Master can merge quantiles across containers.
 type HistogramSnapshot struct {
-	Count    int64
-	Sum      int64
-	Min, Max int64
-	// sorted reservoir for quantiles
-	sample []int64
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// Sample is the sorted reservoir used for quantiles.
+	Sample []int64 `json:"sample,omitempty"`
 }
 
 // Mean returns the exact mean of all observed values.
@@ -103,17 +136,38 @@ func (s HistogramSnapshot) Mean() float64 {
 
 // Quantile returns the approximate p-quantile (0 ≤ p ≤ 1).
 func (s HistogramSnapshot) Quantile(p float64) int64 {
-	if len(s.sample) == 0 {
+	if len(s.Sample) == 0 {
 		return 0
 	}
-	idx := int(p * float64(len(s.sample)-1))
+	idx := int(p * float64(len(s.Sample)-1))
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(s.sample) {
-		idx = len(s.sample) - 1
+	if idx >= len(s.Sample) {
+		idx = len(s.Sample) - 1
 	}
-	return s.sample[idx]
+	return s.Sample[idx]
+}
+
+// merge folds another snapshot of the same metric into s (counts and sums
+// add, samples concatenate; caller re-sorts).
+func (s *HistogramSnapshot) merge(o HistogramSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = o.Min, o.Max
+	} else {
+		if o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	s.Sample = append(s.Sample, o.Sample...)
 }
 
 // Snapshot summarizes the histogram.
@@ -121,93 +175,144 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := HistogramSnapshot{Count: h.seen, Sum: h.sum, Min: h.min, Max: h.max,
-		sample: append([]int64(nil), h.rsv...)}
+		Sample: append([]int64(nil), h.rsv...)}
 	if s.Count == 0 {
 		s.Min, s.Max = 0, 0
 	}
-	sort.Slice(s.sample, func(i, j int) bool { return s.sample[i] < s.sample[j] })
+	sort.Slice(s.Sample, func(i, j int) bool { return s.Sample[i] < s.Sample[j] })
 	return s
 }
 
 // Registry is one container's metric namespace. Components create metrics
-// lazily by name; the Metrics Manager snapshots the whole registry.
+// lazily by (name, tags); the Metrics Manager snapshots the whole
+// registry.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	histos   map[string]*Histogram
+	counters map[ID]*Counter
+	gauges   map[ID]*Gauge
+	histos   map[ID]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}, histos: map[string]*Histogram{}}
+	return &Registry{counters: map[ID]*Counter{}, gauges: map[ID]*Gauge{}, histos: map[ID]*Histogram{}}
 }
 
-// Counter returns (creating if needed) the named counter.
-func (r *Registry) Counter(name string) *Counter {
+// Counter returns (creating if needed) the named, tagged counter.
+func (r *Registry) Counter(name string, tags Tags) *Counter {
+	id := ID{Name: name, Tags: tags}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	c, ok := r.counters[id]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[id] = c
 	}
 	return c
 }
 
-// Gauge returns (creating if needed) the named gauge.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns (creating if needed) the named, tagged gauge.
+func (r *Registry) Gauge(name string, tags Tags) *Gauge {
+	id := ID{Name: name, Tags: tags}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[id]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[id] = g
 	}
 	return g
 }
 
-// Histogram returns (creating if needed) the named histogram.
-func (r *Registry) Histogram(name string) *Histogram {
+// Histogram returns (creating if needed) the named, tagged histogram.
+func (r *Registry) Histogram(name string, tags Tags) *Histogram {
+	id := ID{Name: name, Tags: tags}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.histos[name]
+	h, ok := r.histos[id]
 	if !ok {
 		h = NewHistogram(0)
-		r.histos[name] = h
+		r.histos[id] = h
 	}
 	return h
 }
 
-// Snapshot is one registry export.
+// CounterPoint is one counter's identity and value in a snapshot.
+type CounterPoint struct {
+	ID
+	Value int64 `json:"value"`
+}
+
+// GaugePoint is one gauge's identity and value in a snapshot.
+type GaugePoint struct {
+	ID
+	Value int64 `json:"value"`
+}
+
+// HistogramPoint is one histogram's identity and summary in a snapshot.
+type HistogramPoint struct {
+	ID
+	HistogramSnapshot
+}
+
+// Snapshot is one registry export: the typed wire form pushed over
+// ctrl.OpMetrics (replacing the former opaque JSON blob). Points are
+// sorted by identity so output is deterministic.
 type Snapshot struct {
-	Container int32
-	TakenAt   time.Time
-	Counters  map[string]int64
-	Gauges    map[string]int64
-	Histos    map[string]HistogramSnapshot
+	Container     int32            `json:"container"`
+	TakenAtUnixNs int64            `json:"takenAtUnixNs"`
+	Counters      []CounterPoint   `json:"counters,omitempty"`
+	Gauges        []GaugePoint     `json:"gauges,omitempty"`
+	Histograms    []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// less orders metric identities: by name, component, task, stream.
+func (a ID) less(b ID) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.Component != b.Component {
+		return a.Component < b.Component
+	}
+	if a.Task != b.Task {
+		return a.Task < b.Task
+	}
+	return a.Stream < b.Stream
 }
 
 // Snapshot captures every metric's current value.
 func (r *Registry) Snapshot(container int32) Snapshot {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := Snapshot{
-		Container: container,
-		TakenAt:   time.Now(),
-		Counters:  make(map[string]int64, len(r.counters)),
-		Gauges:    make(map[string]int64, len(r.gauges)),
-		Histos:    make(map[string]HistogramSnapshot, len(r.histos)),
+		Container:     container,
+		TakenAtUnixNs: time.Now().UnixNano(),
+		Counters:      make([]CounterPoint, 0, len(r.counters)),
+		Gauges:        make([]GaugePoint, 0, len(r.gauges)),
+		Histograms:    make([]HistogramPoint, 0, len(r.histos)),
 	}
-	for n, c := range r.counters {
-		s.Counters[n] = c.Value()
+	for id, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{ID: id, Value: c.Value()})
 	}
-	for n, g := range r.gauges {
-		s.Gauges[n] = g.Value()
+	for id, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{ID: id, Value: g.Value()})
 	}
-	for n, h := range r.histos {
-		s.Histos[n] = h.Snapshot()
+	type hpair struct {
+		id ID
+		h  *Histogram
 	}
+	hs := make([]hpair, 0, len(r.histos))
+	for id, h := range r.histos {
+		hs = append(hs, hpair{id, h})
+	}
+	r.mu.Unlock()
+	// Histogram snapshots take per-histogram locks; do it outside the
+	// registry lock so Observe never contends with a whole-registry export.
+	for _, p := range hs {
+		s.Histograms = append(s.Histograms, HistogramPoint{ID: p.id, HistogramSnapshot: p.h.Snapshot()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].ID.less(s.Counters[j].ID) })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].ID.less(s.Gauges[j].ID) })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].ID.less(s.Histograms[j].ID) })
 	return s
 }
 

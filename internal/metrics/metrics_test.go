@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -8,16 +9,20 @@ import (
 
 func TestCounterAndGauge(t *testing.T) {
 	r := NewRegistry()
-	c := r.Counter("tuples")
+	tags := Tags{Component: "word", Task: 3}
+	c := r.Counter("tuples", tags)
 	c.Inc(5)
 	c.Inc(2)
 	if c.Value() != 7 {
 		t.Errorf("counter = %d", c.Value())
 	}
-	if r.Counter("tuples") != c {
+	if r.Counter("tuples", tags) != c {
 		t.Error("counter not memoized")
 	}
-	g := r.Gauge("queue")
+	if r.Counter("tuples", Tags{Component: "word", Task: 4}) == c {
+		t.Error("distinct tags must give distinct counters")
+	}
+	g := r.Gauge("queue", tags)
 	g.Set(10)
 	g.Set(3)
 	if g.Value() != 3 {
@@ -58,8 +63,8 @@ func TestHistogramReservoirBounded(t *testing.T) {
 		h.Observe(i)
 	}
 	s := h.Snapshot()
-	if s.Count != 10000 || len(s.sample) != 32 {
-		t.Errorf("count=%d sample=%d", s.Count, len(s.sample))
+	if s.Count != 10000 || len(s.Sample) != 32 {
+		t.Errorf("count=%d sample=%d", s.Count, len(s.Sample))
 	}
 	if s.Min != 0 || s.Max != 9999 {
 		t.Errorf("min/max = %d/%d", s.Min, s.Max)
@@ -71,38 +76,187 @@ func TestHistogramReservoirBounded(t *testing.T) {
 	}
 }
 
-func TestHistogramConcurrent(t *testing.T) {
+// TestHistogramReservoirAtCapacityBoundary pins the reservoir behaviour at
+// exactly the capacity boundary: with exactly cap observations the sample
+// is the complete, exact data set; one more observation must keep the
+// sample at cap while count/sum stay exact.
+func TestHistogramReservoirAtCapacityBoundary(t *testing.T) {
+	const capacity = 64
+	h := NewHistogram(capacity)
+	for i := int64(1); i <= capacity; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	if s.Count != capacity || len(s.Sample) != capacity {
+		t.Fatalf("at capacity: count=%d sample=%d", s.Count, len(s.Sample))
+	}
+	// Exactly at capacity the sample is exact and sorted: 1..cap.
+	for i, v := range s.Sample {
+		if v != int64(i+1) {
+			t.Fatalf("sample[%d] = %d, want %d (exact below capacity)", i, v, i+1)
+		}
+	}
+	if q := s.Quantile(1); q != capacity {
+		t.Errorf("q1 = %d, want %d", q, capacity)
+	}
+
+	h.Observe(capacity + 1)
+	s = h.Snapshot()
+	if s.Count != capacity+1 || len(s.Sample) != capacity {
+		t.Errorf("past capacity: count=%d sample=%d", s.Count, len(s.Sample))
+	}
+	if want := int64(capacity+1) * (capacity + 2) / 2; s.Sum != want {
+		t.Errorf("sum = %d, want %d (sum stays exact past capacity)", s.Sum, want)
+	}
+	if s.Max != capacity+1 {
+		t.Errorf("max = %d, want %d", s.Max, capacity+1)
+	}
+}
+
+// TestHistogramConcurrentObserveQuantile hammers Observe from several
+// goroutines while others continuously snapshot and read quantiles; run
+// with -race this doubles as the data-race check for the reservoir.
+func TestHistogramConcurrentObserveQuantile(t *testing.T) {
 	h := NewHistogram(64)
+	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
+	for w := 0; w < 4; w++ {
 		wg.Add(1)
-		go func() {
+		go func(seed int64) {
 			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				h.Observe(int64(i))
+			for i := int64(0); i < 5000; i++ {
+				h.Observe(seed*10_000 + i)
+			}
+		}(int64(w))
+	}
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				if q := s.Quantile(0.99); q < 0 {
+					t.Error("negative quantile")
+					return
+				}
+				if int64(len(s.Sample)) > s.Count {
+					t.Errorf("sample %d > count %d", len(s.Sample), s.Count)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	if got := h.Snapshot().Count; got != 8000 {
+	close(stop)
+	readers.Wait()
+	if got := h.Snapshot().Count; got != 20000 {
 		t.Errorf("count = %d", got)
 	}
 }
 
 func TestRegistrySnapshot(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("a").Inc(1)
-	r.Gauge("b").Set(2)
-	r.Histogram("c").Observe(3)
+	tags := Tags{Component: "c", Task: 1}
+	r.Counter("a", tags).Inc(1)
+	r.Gauge("b", tags).Set(2)
+	r.Histogram("h", tags).Observe(3)
 	s := r.Snapshot(7)
-	if s.Container != 7 || s.Counters["a"] != 1 || s.Gauges["b"] != 2 || s.Histos["c"].Count != 1 {
-		t.Errorf("snapshot = %+v", s)
+	if s.Container != 7 || len(s.Counters) != 1 || len(s.Gauges) != 1 || len(s.Histograms) != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Counters[0].Name != "a" || s.Counters[0].Component != "c" || s.Counters[0].Value != 1 {
+		t.Errorf("counter point = %+v", s.Counters[0])
+	}
+	if s.Gauges[0].Value != 2 || s.Histograms[0].Count != 1 {
+		t.Errorf("points = %+v %+v", s.Gauges[0], s.Histograms[0])
+	}
+	if s.TakenAtUnixNs == 0 {
+		t.Error("snapshot not timestamped")
+	}
+}
+
+func TestViewMergesAcrossContainers(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter(MExecuteCount, Tags{Component: "count", Task: 1}).Inc(10)
+	r2.Counter(MExecuteCount, Tags{Component: "count", Task: 2}).Inc(32)
+	r2.Counter(MExecuteCount, Tags{Component: "other", Task: 3}).Inc(5)
+	r1.Gauge(MSpoutPending, Tags{Component: "word", Task: 0}).Set(7)
+	r2.Gauge(MSpoutPending, Tags{Component: "word", Task: 4}).Set(9)
+	for i := int64(1); i <= 100; i++ {
+		r1.Histogram(MExecuteLatency, Tags{Component: "count", Task: 1}).Observe(i)
+		r2.Histogram(MExecuteLatency, Tags{Component: "count", Task: 2}).Observe(1000 + i)
+	}
+	s1, s2 := r1.Snapshot(1), r2.Snapshot(2)
+
+	v := MergeSnapshots(&s1, &s2)
+	if got := v.Counter(MExecuteCount, "count"); got != 42 {
+		t.Errorf("component counter = %d, want 42", got)
+	}
+	if got := v.Counter(MExecuteCount, ""); got != 47 {
+		t.Errorf("topology counter = %d, want 47", got)
+	}
+	if got, ok := v.TaskCounter(MExecuteCount, "count", 2); !ok || got != 32 {
+		t.Errorf("task counter = %d,%v", got, ok)
+	}
+	if got := v.Gauge(MSpoutPending, "word"); got != 16 {
+		t.Errorf("gauge sum = %d, want 16", got)
+	}
+	hs := v.Histogram(MExecuteLatency, "count")
+	if hs.Count != 200 || hs.Min != 1 || hs.Max != 1100 {
+		t.Errorf("merged histogram = %+v", hs)
+	}
+	// Quantiles span both containers' reservoirs.
+	if q := hs.Quantile(0.99); q < 1000 {
+		t.Errorf("p99 = %d, should land in the slow container's range", q)
+	}
+	if comps := v.Components(); len(comps) != 3 {
+		t.Errorf("components = %v", comps)
+	}
+	// Re-adding a newer snapshot replaces, never double-counts.
+	r1.Counter(MExecuteCount, Tags{Component: "count", Task: 1}).Inc(1)
+	s1b := r1.Snapshot(1)
+	v.Add(&s1b)
+	if got := v.Counter(MExecuteCount, "count"); got != 43 {
+		t.Errorf("after re-add = %d, want 43", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MExecuteCount, Tags{Component: "count", Task: 3}).Inc(9)
+	r.Gauge(MSpoutPending, Tags{Component: "word", Task: 1}).Set(4)
+	r.Histogram(MExecuteLatency, Tags{Component: "count", Task: 3}).Observe(100)
+	s := r.Snapshot(1)
+	v := MergeSnapshots(&s)
+
+	var b strings.Builder
+	v.WritePrometheus(&b, "heron")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE heron_instance_execute_count counter",
+		`heron_instance_execute_count{component="count",task="3"} 9`,
+		"# TYPE heron_spout_pending gauge",
+		`heron_spout_pending{component="word",task="1"} 4`,
+		"# TYPE heron_instance_execute_latency summary",
+		`heron_instance_execute_latency{component="count",task="3",quantile="0.99"} 100`,
+		`heron_instance_execute_latency_count{component="count",task="3"} 1`,
+		`heron_instance_execute_latency_sum{component="count",task="3"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
 	}
 }
 
 func TestManagerExports(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("x").Inc(1)
+	r.Counter("x", Tags{}).Inc(1)
 	var mu sync.Mutex
 	var got []Snapshot
 	m := NewManager(3, r, 10*time.Millisecond, func(s Snapshot) {
@@ -119,7 +273,7 @@ func TestManagerExports(t *testing.T) {
 		t.Fatalf("exports = %d", len(got))
 	}
 	last := got[len(got)-1]
-	if last.Container != 3 || last.Counters["x"] != 1 {
+	if last.Container != 3 || len(last.Counters) != 1 || last.Counters[0].Value != 1 {
 		t.Errorf("last = %+v", last)
 	}
 }

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the view in the Prometheus text exposition
+// format (version 0.0.4). Metric names are sanitized into the Prometheus
+// alphabet and prefixed with namespace (e.g. "heron"); tags become the
+// component/task/stream labels. Counters and gauges map directly;
+// histograms are rendered as summaries with 0.5/0.9/0.99/1.0 quantiles
+// plus _sum and _count series.
+func (v *TopologyView) WritePrometheus(w io.Writer, namespace string) {
+	type series struct {
+		id   ID
+		kind string // "counter" | "gauge" | "summary"
+	}
+	all := make([]series, 0, len(v.Counters)+len(v.Gauges)+len(v.Histograms))
+	for id := range v.Counters {
+		all = append(all, series{id, "counter"})
+	}
+	for id := range v.Gauges {
+		all = append(all, series{id, "gauge"})
+	}
+	for id := range v.Histograms {
+		all = append(all, series{id, "summary"})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id.less(all[j].id) })
+
+	lastTyped := ""
+	for _, s := range all {
+		name := promName(namespace, s.id.Name)
+		if name != lastTyped {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, s.kind)
+			lastTyped = name
+		}
+		switch s.kind {
+		case "counter":
+			fmt.Fprintf(w, "%s%s %d\n", name, promLabels(s.id.Tags, "", 0), v.Counters[s.id])
+		case "gauge":
+			fmt.Fprintf(w, "%s%s %d\n", name, promLabels(s.id.Tags, "", 0), v.Gauges[s.id])
+		case "summary":
+			hs := v.Histograms[s.id]
+			for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+				fmt.Fprintf(w, "%s%s %d\n", name, promLabels(s.id.Tags, "quantile", q), hs.Quantile(q))
+			}
+			fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(s.id.Tags, "", 0), hs.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(s.id.Tags, "", 0), hs.Count)
+		}
+	}
+}
+
+// promName sanitizes a taxonomy name into the Prometheus metric-name
+// alphabet: "instance.execute-count" → "<ns>_instance_execute_count".
+func promName(namespace, name string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders the label set for one series; extraKey (when
+// non-empty) appends a float label such as quantile="0.99".
+func promLabels(t Tags, extraKey string, extraVal float64) string {
+	var parts []string
+	if t.Component != "" {
+		parts = append(parts, fmt.Sprintf("component=%q", t.Component))
+	}
+	// Task 0 is a valid task id; emit the label whenever the metric is
+	// component-scoped so per-task series stay distinguishable.
+	if t.Component != "" {
+		parts = append(parts, fmt.Sprintf("task=\"%d\"", t.Task))
+	}
+	if t.Stream != "" {
+		parts = append(parts, fmt.Sprintf("stream=%q", t.Stream))
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf("%s=\"%g\"", extraKey, extraVal))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

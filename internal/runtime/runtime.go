@@ -7,10 +7,8 @@
 package runtime
 
 import (
-	"encoding/json"
 	"fmt"
 	"sync"
-	"time"
 
 	"heron/api"
 	"heron/internal/core"
@@ -154,7 +152,11 @@ func (e *Engine) launchWorker(topology string, containerID int32) (func(), error
 	}
 
 	// The container's Metrics Manager pushes snapshots to the TMaster.
-	mm := metrics.NewManager(containerID, registry, time.Second, e.metricsSink(topology, containerID, state))
+	interval := e.cfg.MetricsExportInterval
+	if interval <= 0 {
+		interval = core.DefaultMetricsExportInterval
+	}
+	mm := metrics.NewManager(containerID, registry, interval, e.metricsSink(topology, containerID, state))
 
 	mm.Start()
 	return func() {
@@ -168,21 +170,14 @@ func (e *Engine) launchWorker(topology string, containerID int32) (func(), error
 }
 
 // metricsSink returns the Metrics Manager's export function: it dials the
-// TMaster lazily and pushes JSON snapshots over a control connection.
+// TMaster lazily and pushes typed snapshots over a control connection.
 func (e *Engine) metricsSink(topology string, containerID int32, state core.StateManager) func(metrics.Snapshot) {
 	var mu sync.Mutex
 	var conn network.Conn
 	return func(s metrics.Snapshot) {
-		raw, err := json.Marshal(struct {
-			Counters map[string]int64 `json:"counters"`
-			Gauges   map[string]int64 `json:"gauges"`
-		}{s.Counters, s.Gauges})
-		if err != nil {
-			return
-		}
 		msg, err := ctrl.Encode(&ctrl.Message{
 			Op: ctrl.OpMetrics, Topology: topology,
-			Container: containerID, Metrics: raw,
+			Container: containerID, Metrics: &s,
 		})
 		if err != nil {
 			return

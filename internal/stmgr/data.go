@@ -135,9 +135,26 @@ func (s *StreamManager) deliverLocal(dest int32, frame []byte, owned bool) bool 
 	return true
 }
 
+// buffered counts the tuples currently parked in the cache by walking
+// the shards. It is called once per drain tick (not per tuple), so the
+// hot add path carries no shared depth counter.
+func (c *tupleCache) buffered() int64 {
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, b := range sh.batches {
+			n += int64(b.count)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // routeFrame is the Stream Manager's data path: every MsgData and MsgAck
 // frame from instances and peers lands here.
 func (s *StreamManager) routeFrame(kind network.MsgKind, payload []byte) {
+	s.mBytesRecv.Inc(int64(len(payload)))
 	switch kind {
 	case network.MsgData:
 		s.routeData(payload)

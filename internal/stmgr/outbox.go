@@ -24,6 +24,9 @@ type outbox struct {
 	// onDepth, when set, observes queue depth after every enqueue/dequeue
 	// so the owner can trigger backpressure transitions.
 	onDepth func(depth int)
+	// onSent, when set, observes the payload size of every delivered
+	// frame (the stmgr.bytes-sent counter).
+	onSent func(bytes int)
 
 	wg sync.WaitGroup
 }
@@ -33,8 +36,8 @@ type frame struct {
 	data []byte // owned by the outbox
 }
 
-func newOutbox(conn network.Conn, onDepth func(int)) *outbox {
-	o := &outbox{conn: conn, onDepth: onDepth}
+func newOutbox(conn network.Conn, onDepth, onSent func(int)) *outbox {
+	o := &outbox{conn: conn, onDepth: onDepth, onSent: onSent}
 	o.cond = sync.NewCond(&o.mu)
 	o.wg.Add(1)
 	go o.run()
@@ -81,6 +84,9 @@ func (o *outbox) run() {
 		o.queue = nil
 		o.mu.Unlock()
 		for _, f := range batch {
+			if o.onSent != nil {
+				o.onSent(len(f.data))
+			}
 			if err := o.conn.Send(f.kind, f.data); err != nil {
 				// Receiver gone: drop the rest and park until closed.
 				o.mu.Lock()

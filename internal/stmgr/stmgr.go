@@ -82,6 +82,7 @@ type StreamManager struct {
 	ack         *acker.Acker
 	rootSpout   map[uint64]int32 // root id → local spout task
 	bpActive    bool
+	bpSince     time.Time // when the current assertion began
 	stopCh      chan struct{}
 	stopOnce    sync.Once
 	wg          sync.WaitGroup
@@ -89,11 +90,15 @@ type StreamManager struct {
 	tmaster     network.Conn
 	cancelWatch func()
 
-	mCacheFlush *metrics.Counter
-	mTuplesIn   *metrics.Counter
-	mTuplesFwd  *metrics.Counter
-	mAcksRouted *metrics.Counter
-	mBPTransit  *metrics.Counter
+	mCacheDrains *metrics.Counter
+	mCacheDepth  *metrics.Gauge
+	mTuplesIn    *metrics.Counter
+	mTuplesFwd   *metrics.Counter
+	mAcksRouted  *metrics.Counter
+	mBPTransit   *metrics.Counter
+	mBPTime      *metrics.Counter
+	mBytesSent   *metrics.Counter
+	mBytesRecv   *metrics.Counter
 }
 
 // New creates and starts a Stream Manager: it listens for data
@@ -135,12 +140,17 @@ func New(opts Options) (*StreamManager, error) {
 		rootSpout: map[uint64]int32{},
 		stopCh:    make(chan struct{}),
 
-		mCacheFlush: opts.Registry.Counter("stmgr.cache_flushes"),
-		mTuplesIn:   opts.Registry.Counter("stmgr.tuples_in"),
-		mTuplesFwd:  opts.Registry.Counter("stmgr.tuples_forwarded"),
-		mAcksRouted: opts.Registry.Counter("stmgr.acks_routed"),
-		mBPTransit:  opts.Registry.Counter("stmgr.backpressure_transitions"),
 	}
+	tags := metrics.Tags{Component: metrics.StmgrComponent, Task: opts.Container}
+	s.mCacheDrains = opts.Registry.Counter(metrics.MStmgrCacheDrains, tags)
+	s.mCacheDepth = opts.Registry.Gauge(metrics.MStmgrCacheDepth, tags)
+	s.mTuplesIn = opts.Registry.Counter(metrics.MStmgrTuplesIn, tags)
+	s.mTuplesFwd = opts.Registry.Counter(metrics.MStmgrTuplesFwd, tags)
+	s.mAcksRouted = opts.Registry.Counter(metrics.MStmgrAcksRouted, tags)
+	s.mBPTransit = opts.Registry.Counter(metrics.MStmgrBPTransitions, tags)
+	s.mBPTime = opts.Registry.Counter(metrics.MStmgrBPAssertedTime, tags)
+	s.mBytesSent = opts.Registry.Counter(metrics.MStmgrBytesSent, tags)
+	s.mBytesRecv = opts.Registry.Counter(metrics.MStmgrBytesReceived, tags)
 	s.ack = acker.New(acker.DefaultBuckets, s.onTreeDone)
 	s.acks = newAckCache()
 	if s.optimized {
@@ -300,7 +310,7 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 		// their accepted side normally) go through the same router.
 		conn.Start(s.routeFrame)
 		s.mu.Lock()
-		s.peers[d.container] = newOutbox(conn, nil)
+		s.peers[d.container] = newOutbox(conn, nil, s.onBytesSent)
 		s.peerConns[d.container] = conn
 		s.peerAddrs[d.container] = d.addr
 		s.mu.Unlock()
@@ -374,7 +384,7 @@ func (s *StreamManager) forwardToSpouts(m *ctrl.Message) {
 // current plan.
 func (s *StreamManager) registerInstance(conn network.Conn, task int32) {
 	onDepth := func(depth int) { s.observeDepth(depth) }
-	o := newOutbox(conn, onDepth)
+	o := newOutbox(conn, onDepth, s.onBytesSent)
 
 	s.mu.Lock()
 	if old := s.instances[task]; old != nil {
@@ -419,6 +429,9 @@ func (s *StreamManager) payloadLocked() *ctrl.PlanPayload {
 	}
 }
 
+// onBytesSent feeds the bytes-sent counter from every outbox delivery.
+func (s *StreamManager) onBytesSent(n int) { s.mBytesSent.Inc(int64(n)) }
+
 // observeDepth drives the backpressure state machine from instance queue
 // depths.
 func (s *StreamManager) observeDepth(depth int) {
@@ -426,6 +439,9 @@ func (s *StreamManager) observeDepth(depth int) {
 		s.mu.Lock()
 		trigger := !s.bpActive
 		s.bpActive = true
+		if trigger {
+			s.bpSince = time.Now()
+		}
 		s.mu.Unlock()
 		if trigger {
 			s.mBPTransit.Inc(1)
@@ -448,6 +464,7 @@ func (s *StreamManager) observeDepth(depth int) {
 		}
 		if release {
 			s.bpActive = false
+			s.mBPTime.Inc(time.Since(s.bpSince).Nanoseconds())
 		}
 	}
 	s.mu.Unlock()
@@ -519,9 +536,10 @@ func (s *StreamManager) drainLoop() {
 			s.drainAcks()
 			return
 		case <-t.C:
+			s.mCacheDepth.Set(s.cache.buffered())
 			s.cache.drainAll()
 			s.drainAcks()
-			s.mCacheFlush.Inc(1)
+			s.mCacheDrains.Inc(1)
 		}
 	}
 }

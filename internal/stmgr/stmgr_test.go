@@ -348,7 +348,7 @@ func TestOutbox(t *testing.T) {
 		mu.Lock()
 		depths = append(depths, d)
 		mu.Unlock()
-	})
+	}, nil)
 	for i := 0; i < 100; i++ {
 		o.enqueue(network.MsgData, []byte{byte(i)})
 	}

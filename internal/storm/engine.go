@@ -157,11 +157,11 @@ func Run(spec *api.Spec, cfg *Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg: cfg, plan: p, spec: spec, reg: reg,
 		stop:      make(chan struct{}),
-		mEmitted:  reg.Counter("storm.emitted"),
-		mExecuted: reg.Counter("storm.executed"),
-		mAcked:    reg.Counter("storm.acked"),
-		mFailed:   reg.Counter("storm.failed"),
-		mLatency:  reg.Histogram("storm.complete_latency_ns"),
+		mEmitted:  reg.Counter("storm.emitted", metrics.Tags{}),
+		mExecuted: reg.Counter("storm.executed", metrics.Tags{}),
+		mAcked:    reg.Counter("storm.acked", metrics.Tags{}),
+		mFailed:   reg.Counter("storm.failed", metrics.Tags{}),
+		mLatency:  reg.Histogram("storm.complete_latency_ns", metrics.Tags{}),
 	}
 	qs := cfg.QueueSize
 	if qs < 64 {

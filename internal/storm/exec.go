@@ -6,6 +6,7 @@ import (
 	"heron/api"
 	"heron/internal/acker"
 	"heron/internal/core"
+	"heron/internal/metrics"
 	"heron/internal/tuple"
 )
 
@@ -30,6 +31,35 @@ func (x taskContext) TaskID() int32 { return x.t.info.id }
 // ComponentParallelism implements api.TopologyContext.
 func (x taskContext) ComponentParallelism(component string) int {
 	return len(x.c.plan.compTasks[component])
+}
+
+// Metrics implements api.TopologyContext: user metrics land in the
+// cluster's registry under the "user." namespace, tagged with the task's
+// identity.
+func (x taskContext) Metrics() api.ComponentMetrics {
+	return userMetrics{
+		reg:  x.c.reg,
+		tags: metrics.Tags{Component: x.t.info.component, Task: x.t.info.id},
+	}
+}
+
+// userMetrics adapts the registry to the narrow api.ComponentMetrics
+// registration interface.
+type userMetrics struct {
+	reg  *metrics.Registry
+	tags metrics.Tags
+}
+
+func (u userMetrics) Counter(name string) api.MetricCounter {
+	return u.reg.Counter(metrics.UserPrefix+name, u.tags)
+}
+
+func (u userMetrics) Gauge(name string) api.MetricGauge {
+	return u.reg.Gauge(metrics.UserPrefix+name, u.tags)
+}
+
+func (u userMetrics) Histogram(name string) api.MetricHistogram {
+	return u.reg.Histogram(metrics.UserPrefix+name, u.tags)
 }
 
 // destinations computes the destination tasks for one emit, mirroring the

@@ -7,13 +7,13 @@
 package tmaster
 
 import (
-	"encoding/json"
 	"errors"
 	"sync"
 	"time"
 
 	"heron/internal/core"
 	"heron/internal/ctrl"
+	"heron/internal/metrics"
 	"heron/internal/network"
 )
 
@@ -35,7 +35,7 @@ type TMaster struct {
 	mu      sync.Mutex
 	epoch   int64
 	stmgrs  map[int32]*stmgrEntry
-	metrics map[int32]json.RawMessage
+	metrics map[int32]*metrics.Snapshot // latest snapshot per container
 	ready   chan struct{}
 	readyOK sync.Once
 
@@ -66,7 +66,7 @@ func New(opts Options) (*TMaster, error) {
 		opts:     opts,
 		listener: l,
 		stmgrs:   map[int32]*stmgrEntry{},
-		metrics:  map[int32]json.RawMessage{},
+		metrics:  map[int32]*metrics.Snapshot{},
 		ready:    make(chan struct{}),
 	}
 	tm.wg.Add(1)
@@ -109,9 +109,11 @@ func (tm *TMaster) acceptLoop() {
 			case ctrl.OpRefresh:
 				tm.Refresh()
 			case ctrl.OpMetrics:
-				tm.mu.Lock()
-				tm.metrics[m.Container] = append(json.RawMessage(nil), m.Metrics...)
-				tm.mu.Unlock()
+				if m.Metrics != nil {
+					tm.mu.Lock()
+					tm.metrics[m.Container] = m.Metrics
+					tm.mu.Unlock()
+				}
 			}
 		})
 	}
@@ -188,16 +190,29 @@ func (tm *TMaster) broadcastIfComplete() {
 // is fully wired.
 func (tm *TMaster) Ready() <-chan struct{} { return tm.ready }
 
-// MetricsSnapshot returns the latest snapshot pushed by each container's
-// Metrics Manager.
-func (tm *TMaster) MetricsSnapshot() map[int32]json.RawMessage {
+// MetricsSnapshots returns the latest typed snapshot pushed by each
+// container's Metrics Manager.
+func (tm *TMaster) MetricsSnapshots() map[int32]*metrics.Snapshot {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
-	out := make(map[int32]json.RawMessage, len(tm.metrics))
+	out := make(map[int32]*metrics.Snapshot, len(tm.metrics))
 	for c, m := range tm.metrics {
 		out[c] = m
 	}
 	return out
+}
+
+// MetricsView merges the containers' latest snapshots into the
+// topology-wide typed view with per-component quantile summaries — the
+// aggregation behind heron.Handle.Metrics() and the HTTP endpoints.
+func (tm *TMaster) MetricsView() *metrics.TopologyView {
+	tm.mu.Lock()
+	snaps := make([]*metrics.Snapshot, 0, len(tm.metrics))
+	for _, m := range tm.metrics {
+		snaps = append(snaps, m)
+	}
+	tm.mu.Unlock()
+	return metrics.MergeSnapshots(snaps...)
 }
 
 // Tune broadcasts a max-spout-pending adjustment to every registered

@@ -1,12 +1,12 @@
 package tmaster
 
 import (
-	"encoding/json"
 	"testing"
 	"time"
 
 	"heron/internal/core"
 	"heron/internal/ctrl"
+	"heron/internal/metrics"
 	"heron/internal/network"
 	"heron/internal/statemgr"
 )
@@ -199,21 +199,30 @@ func TestRefreshAfterScaling(t *testing.T) {
 func TestMetricsCollection(t *testing.T) {
 	tm, _, _ := newTM(t)
 	s1 := connectStmgr(t, tm, 1, "addr-1")
-	raw := json.RawMessage(`{"counters":{"x":1}}`)
-	msg, _ := ctrl.Encode(&ctrl.Message{Op: ctrl.OpMetrics, Topology: "t", Container: 1, Metrics: raw})
+	snap := &metrics.Snapshot{
+		Container: 1, TakenAtUnixNs: 42,
+		Counters: []metrics.CounterPoint{{
+			ID:    metrics.ID{Name: metrics.MExecuteCount, Tags: metrics.Tags{Component: "s", Task: 0}},
+			Value: 7,
+		}},
+	}
+	msg, _ := ctrl.Encode(&ctrl.Message{Op: ctrl.OpMetrics, Topology: "t", Container: 1, Metrics: snap})
 	if err := s1.conn.Send(network.MsgControl, msg); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		snap := tm.MetricsSnapshot()
-		if len(snap) == 1 && string(snap[1]) == string(raw) {
+		got := tm.MetricsSnapshots()
+		if len(got) == 1 && got[1] != nil && len(got[1].Counters) == 1 && got[1].Counters[0].Value == 7 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("metrics = %v", snap)
+			t.Fatalf("metrics = %v", got)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	if n := tm.MetricsView().Counter(metrics.MExecuteCount, "s"); n != 7 {
+		t.Errorf("merged view execute-count = %d, want 7", n)
 	}
 }
 

@@ -9,11 +9,11 @@ import (
 // TopologyStats is the slice of a topology handle the tuner needs; the
 // root package's *heron.Handle satisfies it.
 type TopologyStats interface {
-	// SumCounter sums a counter across containers by suffix.
-	SumCounter(suffix string) int64
-	// LatencySnapshots returns the cumulative latency histograms whose
-	// name ends in suffix.
-	LatencySnapshots(suffix string) []metrics.HistogramSnapshot
+	// SumCounter sums the named taxonomy counter across all containers.
+	SumCounter(name string) int64
+	// LatencySnapshots returns every task's snapshot of the named
+	// histogram.
+	LatencySnapshots(name string) []metrics.HistogramSnapshot
 	// SetMaxSpoutPending retunes the live window.
 	SetMaxSpoutPending(n int) error
 }
@@ -42,9 +42,9 @@ func (h *HandleTarget) SetMaxSpoutPending(n int) error {
 // Observe implements Target: rates and mean latency since the last call.
 func (h *HandleTarget) Observe() (Observation, error) {
 	now := time.Now()
-	acked := h.stats.SumCounter("acked")
+	acked := h.stats.SumCounter(metrics.MAckCount)
 	var count, sum int64
-	for _, s := range h.stats.LatencySnapshots("complete_latency_ns") {
+	for _, s := range h.stats.LatencySnapshots(metrics.MCompleteLatency) {
 		count += s.Count
 		sum += s.Sum
 	}

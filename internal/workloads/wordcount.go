@@ -85,17 +85,26 @@ func (s *WordSpout) Fail(msgID any) {
 // Close implements api.Spout.
 func (s *WordSpout) Close() error { return nil }
 
-// CountBolt counts word occurrences, the paper's WordCount sink.
+// CountBolt counts word occurrences, the paper's WordCount sink. It also
+// registers custom metrics through the public TopologyContext.Metrics()
+// API — "words-counted" and "distinct-words" land in the aggregated
+// topology view under the "user." namespace.
 type CountBolt struct {
 	Stats  *WordCountStats
 	counts map[string]int64
 	out    api.BoltCollector
+
+	mWords    api.MetricCounter
+	mDistinct api.MetricGauge
 }
 
 // Prepare implements api.Bolt.
-func (b *CountBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+func (b *CountBolt) Prepare(ctx api.TopologyContext, out api.BoltCollector) error {
 	b.counts = make(map[string]int64, 1024)
 	b.out = out
+	m := ctx.Metrics()
+	b.mWords = m.Counter("words-counted")
+	b.mDistinct = m.Gauge("distinct-words")
 	return nil
 }
 
@@ -105,6 +114,8 @@ func (b *CountBolt) Execute(t api.Tuple) error {
 	if b.Stats != nil {
 		b.Stats.Executed.Add(1)
 	}
+	b.mWords.Inc(1)
+	b.mDistinct.Set(int64(len(b.counts)))
 	b.out.Ack(t)
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"heron/api"
 	"heron/internal/extsvc/kafkasim"
 	"heron/internal/extsvc/redissim"
 )
@@ -92,11 +93,25 @@ func TestBuildETLSpec(t *testing.T) {
 // fakeSpoutCtx lets us drive spout/bolt components without an engine.
 type fakeCtx struct{ task, par int32 }
 
-func (f fakeCtx) TopologyName() string            { return "test" }
-func (f fakeCtx) ComponentName() string           { return "c" }
-func (f fakeCtx) ComponentIndex() int32           { return f.task }
-func (f fakeCtx) TaskID() int32                   { return f.task }
-func (f fakeCtx) ComponentParallelism(string) int { return int(f.par) }
+func (f fakeCtx) TopologyName() string             { return "test" }
+func (f fakeCtx) ComponentName() string            { return "c" }
+func (f fakeCtx) ComponentIndex() int32            { return f.task }
+func (f fakeCtx) TaskID() int32                    { return f.task }
+func (f fakeCtx) ComponentParallelism(string) int  { return int(f.par) }
+func (f fakeCtx) Metrics() api.ComponentMetrics    { return nopMetrics{} }
+
+// nopMetrics satisfies api.ComponentMetrics for engine-less tests.
+type nopMetrics struct{}
+
+func (nopMetrics) Counter(string) api.MetricCounter     { return nopMetric{} }
+func (nopMetrics) Gauge(string) api.MetricGauge         { return nopMetric{} }
+func (nopMetrics) Histogram(string) api.MetricHistogram { return nopMetric{} }
+
+type nopMetric struct{}
+
+func (nopMetric) Inc(int64)     {}
+func (nopMetric) Set(int64)     {}
+func (nopMetric) Observe(int64) {}
 
 type capturingSpoutCollector struct{ emitted [][]any }
 
