@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,15 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json refreshes the "after" column of the data-path microbenchmark
+# ledger. Deliberately NOT part of verify: benchmark numbers are
+# machine-dependent and take minutes; run it by hand when the data path
+# changes.
+bench-json:
+	$(GO) test -run XX -bench 'BenchmarkRouteLazy|BenchmarkOutboxDrain' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR2.json
+	$(GO) test -run XX -bench 'BenchmarkEncodeFast|BenchmarkPeekDestVsFullDecode' \
+		-benchmem -benchtime 2s ./internal/tuple/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR2.json

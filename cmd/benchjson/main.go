@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// small JSON ledger of benchmark results, keeping a "before" and "after"
+// column per benchmark so a PR can check in its measured effect.
+//
+// Usage:
+//
+//	go test -bench X -benchmem ./pkg/ | benchjson -label after -out BENCH.json
+//
+// The file is read-modified-written: running with -label before and then
+// -label after against the same -out merges both columns. Benchmarks are
+// keyed by name with the -<GOMAXPROCS> suffix stripped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one measured column of one benchmark.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Entry is one benchmark with its before/after columns.
+type Entry struct {
+	Name   string  `json:"name"`
+	Before *Result `json:"before,omitempty"`
+	After  *Result `json:"after,omitempty"`
+}
+
+// ledger is the file schema.
+type ledger struct {
+	Benchmarks []*Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkRouteLazy/prebatched-local-8   4496418   534.8 ns/op   512.31 MB/s   460 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	label := flag.String("label", "after", `which column to fill: "before" or "after"`)
+	out := flag.String("out", "BENCH.json", "ledger file to merge into")
+	flag.Parse()
+	if *label != "before" && *label != "after" {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -label %q\n", *label)
+		os.Exit(2)
+	}
+
+	led := &ledger{}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, led); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	byName := map[string]*Entry{}
+	for _, e := range led.Benchmarks {
+		byName[e.Name] = e
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	seen := 0
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		bs, _ := strconv.ParseInt(m[3], 10, 64)
+		al, _ := strconv.ParseInt(m[4], 10, 64)
+		e := byName[m[1]]
+		if e == nil {
+			e = &Entry{Name: m[1]}
+			byName[e.Name] = e
+			led.Benchmarks = append(led.Benchmarks, e)
+		}
+		r := &Result{NsPerOp: ns, BytesPerOp: bs, AllocsPerOp: al}
+		if *label == "before" {
+			e.Before = r
+		} else {
+			e.After = r
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if seen == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (need -benchmem output)")
+		os.Exit(1)
+	}
+
+	sort.Slice(led.Benchmarks, func(i, j int) bool {
+		return led.Benchmarks[i].Name < led.Benchmarks[j].Name
+	})
+	enc, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: merged %d %s results into %s\n", seen, *label, *out)
+}

@@ -16,6 +16,18 @@ func (b *Buffer) Reset() { b.B = b.B[:0] }
 // Bytes returns the encoded contents. The slice aliases the buffer.
 func (b *Buffer) Bytes() []byte { return b.B }
 
+// Sized resizes the buffer to exactly n bytes, growing the capacity if
+// needed, and returns the backing slice. Contents are unspecified; use it
+// as a read target (e.g. a framed transport read).
+func (b *Buffer) Sized(n int) []byte {
+	if cap(b.B) < n {
+		b.B = make([]byte, n)
+	} else {
+		b.B = b.B[:n]
+	}
+	return b.B
+}
+
 // Len returns the number of encoded bytes.
 func (b *Buffer) Len() int { return len(b.B) }
 

@@ -79,6 +79,20 @@ func Uvarint(b []byte) (uint64, int, error) {
 	return 0, 0, ErrTruncated
 }
 
+// PutUvarintFixed writes v into dst as a fixed-width varint: every byte
+// but the last carries a continuation bit, padding the encoding to exactly
+// len(dst) bytes. Decoders read it like any varint. Fixed-width headers
+// can be reserved before their value is known and patched in place — the
+// mechanism behind building a batch frame directly in its send buffer.
+// v must fit in 7*len(dst) bits.
+func PutUvarintFixed(dst []byte, v uint64) {
+	for i := 0; i < len(dst)-1; i++ {
+		dst[i] = byte(v) | 0x80
+		v >>= 7
+	}
+	dst[len(dst)-1] = byte(v) & 0x7f
+}
+
 // Zigzag encodes a signed integer so that small magnitudes of either sign
 // produce small varints.
 func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }

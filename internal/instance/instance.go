@@ -22,6 +22,7 @@ import (
 	"heron/api"
 	"heron/internal/core"
 	"heron/internal/ctrl"
+	"heron/internal/encoding/wire"
 	"heron/internal/metrics"
 	"heron/internal/network"
 	"heron/internal/tuple"
@@ -85,14 +86,17 @@ type Instance struct {
 	encBuf2  []byte
 
 	// Output batching (executor goroutine only): emitted tuples and acks
-	// accumulate and leave in one frame per flush — the gateway-side
-	// batching of Heron's instances. Disabled with the naive codec so the
-	// unoptimized arm stays per-tuple end to end.
+	// accumulate directly in pooled frame buffers (header space reserved up
+	// front) and leave in one frame per flush — the gateway-side batching
+	// of Heron's instances. Ownership of the buffers transfers to the
+	// connection on flush (SendOwned), so a flush is copy-free. Disabled
+	// with the naive codec so the unoptimized arm stays per-tuple end to
+	// end.
 	batchOut    bool
 	outBatchMax int
-	outData     []byte
+	outData     *wire.Buffer // nil between batches
 	outCount    int
-	outAcks     []byte
+	outAcks     *wire.Buffer // nil between batches
 	outAckCnt   int
 
 	// Metrics (engine taxonomy, tagged with component + task).
@@ -185,6 +189,7 @@ func New(opts Options) (*Instance, error) {
 		conn.Close()
 		return nil, fmt.Errorf("instance %v: registering: %w", opts.ID, err)
 	}
+	inst.outBatchMax = opts.Cfg.InstanceBatchTuples
 	if inst.outBatchMax <= 0 {
 		inst.outBatchMax = defaultOutBatchTuples
 	}
@@ -357,7 +362,11 @@ const defaultOutBatchTuples = 64
 // by flushOut; otherwise each tuple leaves as its own frame.
 func (in *Instance) sendData(dest int32, encoded []byte) {
 	if in.batchOut {
-		in.outData = tuple.AppendFrameEntry(in.outData, encoded)
+		if in.outData == nil {
+			in.outData = wire.GetBuffer()
+			in.outData.B = tuple.BeginFrame(in.outData.B)
+		}
+		in.outData.B = tuple.AppendFrameEntry(in.outData.B, encoded)
 		in.outCount++
 		if in.outCount >= in.outBatchMax {
 			in.flushOut()
@@ -374,7 +383,11 @@ func (in *Instance) sendData(dest int32, encoded []byte) {
 func (in *Instance) sendAck(a *tuple.AckTuple) {
 	in.encBuf2 = tuple.EncodeAck(in.encBuf2[:0], a)
 	if in.batchOut {
-		in.outAcks = tuple.AppendFrameEntry(in.outAcks, in.encBuf2)
+		if in.outAcks == nil {
+			in.outAcks = wire.GetBuffer()
+			in.outAcks.B = tuple.BeginAckFrame(in.outAcks.B)
+		}
+		in.outAcks.B = tuple.AppendFrameEntry(in.outAcks.B, in.encBuf2)
 		in.outAckCnt++
 		if in.outAckCnt >= in.outBatchMax {
 			in.flushOut()
@@ -387,21 +400,27 @@ func (in *Instance) sendAck(a *tuple.AckTuple) {
 }
 
 // flushOut sends everything buffered since the last flush: at most one
-// mixed-destination data frame and one ack frame.
+// mixed-destination data frame and one ack frame. The frames were built
+// in place inside pooled buffers, so flushing is patch-header + hand the
+// buffer to the connection (SendOwned) + one Flush — no copy.
 func (in *Instance) flushOut() {
+	flushed := false
 	if in.outCount > 0 {
-		in.frameBuf = tuple.AppendFrameHeader(in.frameBuf[:0], tuple.MixedFrameDest, in.outCount)
-		in.frameBuf = append(in.frameBuf, in.outData...)
-		_ = in.conn.Send(network.MsgData, in.frameBuf)
-		in.outData = in.outData[:0]
-		in.outCount = 0
+		tuple.PatchFrameHeader(in.outData.B, tuple.MixedFrameDest, in.outCount)
+		buf := in.outData
+		in.outData, in.outCount = nil, 0
+		_ = in.conn.SendOwned(network.MsgData, buf)
+		flushed = true
 	}
 	if in.outAckCnt > 0 {
-		in.ackBuf = tuple.AppendAckFrameHeader(in.ackBuf[:0], in.outAckCnt)
-		in.ackBuf = append(in.ackBuf, in.outAcks...)
-		_ = in.conn.Send(network.MsgAck, in.ackBuf)
-		in.outAcks = in.outAcks[:0]
-		in.outAckCnt = 0
+		tuple.PatchAckFrameHeader(in.outAcks.B, in.outAckCnt)
+		buf := in.outAcks
+		in.outAcks, in.outAckCnt = nil, 0
+		_ = in.conn.SendOwned(network.MsgAck, buf)
+		flushed = true
+	}
+	if flushed {
+		_ = in.conn.Flush()
 	}
 }
 

@@ -424,3 +424,77 @@ func TestStalePlanIgnored(t *testing.T) {
 		t.Errorf("epoch = %d, stale plan applied", got)
 	}
 }
+
+// TestInstanceBatchTuplesConfig is a regression test for the
+// instance_batch_tuples knob being silently ignored (outBatchMax was
+// hard-coded): size 1 must disable gateway batching so every tuple
+// leaves as its own concretely-addressed frame, and a custom size must
+// actually bound the mixed-destination batches.
+func TestInstanceBatchTuplesConfig(t *testing.T) {
+	collect := func(batch int, wantTuples int) (frames []struct {
+		dest  int32
+		count int
+	}) {
+		sim := newStmgrSim(t)
+		cfg := core.NewConfig()
+		cfg.InstanceBatchTuples = batch
+		sp := &testSpout{limit: int64(wantTuples)}
+		startSpout(t, sim, cfg, sp)
+		sim.waitRegistered(t, 1)
+		sim.sendPlan(t, 1)
+		seen := 0
+		deadline := time.Now().Add(5 * time.Second)
+		for seen < wantTuples {
+			select {
+			case f := <-sim.frames:
+				if f.kind != network.MsgData {
+					continue
+				}
+				dest, n, err := tuple.WalkFrame(f.data, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				frames = append(frames, struct {
+					dest  int32
+					count int
+				}{dest, n})
+				seen += n
+			default:
+				if time.Now().After(deadline) {
+					t.Fatalf("saw %d of %d tuples", seen, wantTuples)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return frames
+	}
+
+	// Size 1: batching off, per-tuple frames with a concrete destination.
+	for _, f := range collect(1, 6) {
+		if f.dest == tuple.MixedFrameDest {
+			t.Errorf("batch=1: got mixed-destination frame of %d tuples", f.count)
+		}
+		if f.count != 1 {
+			t.Errorf("batch=1: frame carries %d tuples, want 1", f.count)
+		}
+	}
+
+	// Size 4: mixed frames, none above the configured bound, and the
+	// bound actually reached (the default of 64 would never fill at 6
+	// emitted tuples, so a full frame proves the knob took effect).
+	sawFull := false
+	for _, f := range collect(4, 6) {
+		if f.count > 4 {
+			t.Errorf("batch=4: frame carries %d tuples, want <= 4", f.count)
+		}
+		if f.count == 4 {
+			sawFull = true
+			if f.dest != tuple.MixedFrameDest {
+				t.Errorf("batch=4: full frame has dest %d, want mixed", f.dest)
+			}
+		}
+	}
+	if !sawFull {
+		t.Error("batch=4: no full 4-tuple frame observed")
+	}
+}

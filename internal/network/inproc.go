@@ -8,9 +8,13 @@ import (
 )
 
 // InprocTransport connects components inside one process through buffered
-// channels. Payloads are copied on Send so the cost model of a process
+// channels. Send copies its payload so the cost model of a process
 // boundary (serialize, copy, deserialize) is preserved; benchmarks that
 // compare codecs and batching remain honest under this transport.
+// SendOwned, by contrast, hands the pooled frame buffer itself to the
+// receiver — the zero-copy leg the optimized Stream Manager data path
+// relies on: the buffer crosses the "boundary" untouched and is recycled
+// after the receiving handler returns.
 type InprocTransport struct{}
 
 // Name implements Transport.
@@ -22,7 +26,7 @@ const inprocBufferedFrames = 1024
 
 type inprocFrame struct {
 	kind MsgKind
-	data []byte // pooled; returned to the pool after the handler runs
+	buf  *wire.Buffer // pooled; recycled after the handler runs
 }
 
 type inprocConn struct {
@@ -40,22 +44,39 @@ func newInprocPair() (*inprocConn, *inprocConn) {
 	return a, b
 }
 
-// Send implements Conn. The payload is copied into a pooled slice and
+// Send implements Conn. The payload is copied into a pooled buffer and
 // handed to the peer's inbox.
 func (c *inprocConn) Send(kind MsgKind, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooBig
 	}
-	buf := wire.GetSlice(len(payload))
-	copy(buf, payload)
+	buf := wire.GetBuffer()
+	buf.B = append(buf.B, payload...)
+	return c.deliver(kind, buf)
+}
+
+// SendOwned implements Conn: the pooled buffer crosses to the peer
+// without a copy and is recycled once the receiving handler returns.
+func (c *inprocConn) SendOwned(kind MsgKind, buf *wire.Buffer) error {
+	if len(buf.B) > MaxFrameSize {
+		wire.PutBuffer(buf)
+		return ErrFrameTooBig
+	}
+	return c.deliver(kind, buf)
+}
+
+// Flush implements Conn: inproc delivery is immediate, nothing to flush.
+func (c *inprocConn) Flush() error { return nil }
+
+func (c *inprocConn) deliver(kind MsgKind, buf *wire.Buffer) error {
 	select {
-	case c.peer.inbox <- inprocFrame{kind: kind, data: buf}:
+	case c.peer.inbox <- inprocFrame{kind: kind, buf: buf}:
 		return nil
 	case <-c.closed:
-		wire.PutSlice(buf)
+		wire.PutBuffer(buf)
 		return ErrClosed
 	case <-c.peer.closed:
-		wire.PutSlice(buf)
+		wire.PutBuffer(buf)
 		return ErrClosed
 	}
 }
@@ -70,8 +91,8 @@ func (c *inprocConn) Start(h Handler) {
 		for {
 			select {
 			case f := <-c.inbox:
-				h(f.kind, f.data)
-				wire.PutSlice(f.data)
+				h(f.kind, f.buf.B)
+				wire.PutBuffer(f.buf)
 			case <-c.closed:
 				return
 			}

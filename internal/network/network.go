@@ -15,12 +15,23 @@
 // Handlers receive payload slices that are valid only for the duration of
 // the call; receivers must copy anything they retain. This allows both
 // transports to recycle receive buffers through the wire package's pools.
+//
+// Conn carries two send disciplines. Send copies and flushes: the frame
+// departs before the call returns, which is right for control traffic and
+// for callers that reuse their scratch buffer. SendOwned transfers
+// ownership of a pooled wire.Buffer to the connection and may coalesce
+// the frame with neighbours until Flush — the Stream Manager's outbox
+// drains N frames through SendOwned and ends the drain with a single
+// Flush, so a batch crosses TCP as one buffered write + one flush instead
+// of N per-frame flushes, and crosses inproc with no copy at all.
 package network
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"heron/internal/encoding/wire"
 )
 
 // MsgKind tags the content of a frame so a single connection can carry
@@ -54,6 +65,17 @@ type Conn interface {
 	// blocks when the peer is slower than the sender — this blocking is
 	// the engine's backpressure primitive. Returns ErrClosed after Close.
 	Send(kind MsgKind, payload []byte) error
+	// SendOwned transfers ownership of buf (a pooled frame buffer) to the
+	// connection: the buffer is recycled via wire.PutBuffer once the frame
+	// has been handed off — after the buffered write on TCP, after the
+	// receiving handler returns on inproc. The caller must not touch buf
+	// after the call, even on error. Unlike Send, the frame may sit in a
+	// write buffer until Flush; callers streaming a batch end it with one
+	// Flush. This is the zero-copy leg of the data path.
+	SendOwned(kind MsgKind, buf *wire.Buffer) error
+	// Flush pushes any frames coalesced by SendOwned onto the wire. It is
+	// a no-op on transports that deliver immediately (inproc).
+	Flush() error
 	// Start begins delivering received frames to h from a dedicated
 	// goroutine. It must be called exactly once.
 	Start(h Handler)

@@ -17,6 +17,11 @@ type TCPTransport struct{}
 // Name implements Transport.
 func (TCPTransport) Name() string { return "tcp" }
 
+// tcpWriterSize is the bufio coalescing window. Frames whose header +
+// payload exceed it bypass the copy into bufio entirely and go out as one
+// vectored write (net.Buffers → writev on *net.TCPConn).
+const tcpWriterSize = 64 << 10
+
 type tcpConn struct {
 	c  net.Conn
 	mu sync.Mutex // serializes writers
@@ -25,26 +30,63 @@ type tcpConn struct {
 	closeOnce sync.Once
 	closeErr  error
 	hdr       [headerSize]byte
+	vec       net.Buffers // scratch for the vectored large-frame path
 }
 
 // Send implements Conn. Frames from concurrent senders are serialized by
-// a mutex; the bufio layer coalesces small frames into fewer syscalls.
+// a mutex; the frame is flushed before returning so it departs now.
+// Batch-aware callers use SendOwned + Flush instead.
 func (t *tcpConn) Send(kind MsgKind, payload []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.writeFrame(kind, payload); err != nil {
+		return err
+	}
+	return t.mapErr(t.w.Flush())
+}
+
+// SendOwned implements Conn: the frame is written into the outgoing
+// buffer without a flush, and buf is recycled immediately after (a TCP
+// write never retains the payload). An outbox draining N frames performs
+// N buffered writes and one Flush.
+func (t *tcpConn) SendOwned(kind MsgKind, buf *wire.Buffer) error {
+	t.mu.Lock()
+	err := t.writeFrame(kind, buf.B)
+	t.mu.Unlock()
+	wire.PutBuffer(buf)
+	return err
+}
+
+// Flush implements Conn.
+func (t *tcpConn) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mapErr(t.w.Flush())
+}
+
+// writeFrame stages one frame; the caller holds t.mu and decides when to
+// flush. Frames larger than the bufio window are sent as a single
+// vectored write (header + payload, writev on TCP) instead of being
+// chunk-copied through the buffer.
+func (t *tcpConn) writeFrame(kind MsgKind, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooBig
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	putHeader(t.hdr[:], kind, len(payload))
+	if headerSize+len(payload) > tcpWriterSize {
+		if err := t.w.Flush(); err != nil {
+			return t.mapErr(err)
+		}
+		t.vec = append(t.vec[:0], t.hdr[:], payload)
+		if _, err := t.vec.WriteTo(t.c); err != nil {
+			return t.mapErr(err)
+		}
+		return nil
+	}
 	if _, err := t.w.Write(t.hdr[:]); err != nil {
 		return t.mapErr(err)
 	}
 	if _, err := t.w.Write(payload); err != nil {
-		return t.mapErr(err)
-	}
-	// Flush per Send: batching happens above this layer (the Stream
-	// Manager's tuple cache), so a frame on the wire should depart now.
-	if err := t.w.Flush(); err != nil {
 		return t.mapErr(err)
 	}
 	return nil
@@ -74,13 +116,13 @@ func (t *tcpConn) Start(h Handler) {
 				_ = t.Close()
 				return
 			}
-			buf := wire.GetSlice(n)
-			if _, err := io.ReadFull(r, buf); err != nil {
-				wire.PutSlice(buf)
+			buf := wire.GetBuffer()
+			if _, err := io.ReadFull(r, buf.Sized(n)); err != nil {
+				wire.PutBuffer(buf)
 				return
 			}
-			h(kind, buf)
-			wire.PutSlice(buf)
+			h(kind, buf.B)
+			wire.PutBuffer(buf)
 		}
 	}()
 }
@@ -117,7 +159,7 @@ func wrapTCP(c net.Conn) *tcpConn {
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // latency matters more than tinygram avoidance
 	}
-	return &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+	return &tcpConn{c: c, w: bufio.NewWriterSize(c, tcpWriterSize)}
 }
 
 // Listen implements Transport. Use "127.0.0.1:0" for an ephemeral port.

@@ -16,26 +16,34 @@ import (
 // (cache_drain_frequency). Batching amortizes the per-frame cost of the
 // IPC layer at the price of queueing latency — the tradeoff Figures 12
 // and 13 sweep.
+//
+// Batches build directly inside pooled wire.Buffers with a reserved
+// fixed-width header (tuple.BeginFrame / PatchFrameHeader): each tuple is
+// appended once and never moved again. Sealing a batch transfers the
+// buffer's ownership to the flush callback, which hands it down the
+// outbox → Conn.SendOwned → pool chain. Neither the size-triggered nor
+// the timer-triggered flush copies or allocates a frame.
 const cacheShards = 16
 
 type tupleCache struct {
 	shards    [cacheShards]cacheShard
 	maxTuples int
-	flush     func(dest int32, frame []byte, owned bool)
+	flush     func(dest int32, count int, buf *wire.Buffer)
 }
 
 type cacheShard struct {
 	mu      sync.Mutex
 	batches map[int32]*batchBuf
-	scratch []byte
 }
 
+// batchBuf is a frame under construction: a pooled buffer whose first
+// bytes are a reserved header, patched when the batch seals.
 type batchBuf struct {
-	tuples []byte // concatenated length-prefixed tuples
-	count  int
+	buf   *wire.Buffer // nil between batches
+	count int
 }
 
-func newTupleCache(cfg *core.Config, flush func(dest int32, frame []byte, owned bool)) *tupleCache {
+func newTupleCache(cfg *core.Config, flush func(dest int32, count int, buf *wire.Buffer)) *tupleCache {
 	max := cfg.CacheMaxBatchTuples
 	if max <= 0 {
 		max = core.DefaultCacheMaxBatchTuples
@@ -45,6 +53,15 @@ func newTupleCache(cfg *core.Config, flush func(dest int32, frame []byte, owned 
 		c.shards[i].batches = map[int32]*batchBuf{}
 	}
 	return c
+}
+
+// seal patches the reserved header and releases the finished frame,
+// leaving the batchBuf empty for the next tuple.
+func (b *batchBuf) seal(dest int32) (*wire.Buffer, int) {
+	tuple.PatchFrameHeader(b.buf.B, dest, b.count)
+	buf, count := b.buf, b.count
+	b.buf, b.count = nil, 0
+	return buf, count
 }
 
 // add caches one encoded tuple for dest, flushing if the batch is full.
@@ -58,29 +75,26 @@ func (c *tupleCache) add(dest int32, tupleBytes []byte) {
 		b = &batchBuf{}
 		sh.batches[dest] = b
 	}
-	b.tuples = tuple.AppendFrameEntry(b.tuples, tupleBytes)
+	if b.buf == nil {
+		b.buf = wire.GetBuffer()
+		b.buf.B = tuple.BeginFrame(b.buf.B)
+	}
+	b.buf.B = tuple.AppendFrameEntry(b.buf.B, tupleBytes)
 	b.count++
 	if b.count >= c.maxTuples {
-		sh.scratch = sh.scratch[:0]
-		sh.scratch = tuple.AppendFrameHeader(sh.scratch, dest, b.count)
-		sh.scratch = append(sh.scratch, b.tuples...)
-		b.tuples = b.tuples[:0]
-		b.count = 0
-		// Flush under the shard lock: the frame aliases scratch, and the
-		// receiving outbox copies without blocking, so holding the lock is
-		// both required for safety and cheap.
-		c.flush(dest, sh.scratch, false)
+		buf, count := b.seal(dest)
+		// Flush under the shard lock: ownership has already transferred and
+		// the receiving outbox enqueues without blocking, so holding the
+		// lock is cheap and keeps per-destination frame order.
+		c.flush(dest, count, buf)
 	}
 	sh.mu.Unlock()
 }
 
-// drainAll flushes every non-empty batch (the timer path).
+// drainAll flushes every non-empty batch (the timer path), reusing the
+// same seal-and-hand-off as the size trigger: no per-destination frame is
+// allocated or copied here.
 func (c *tupleCache) drainAll() {
-	type out struct {
-		dest  int32
-		frame []byte
-	}
-	var outs []out
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -88,51 +102,11 @@ func (c *tupleCache) drainAll() {
 			if b.count == 0 {
 				continue
 			}
-			var frame []byte
-			frame = tuple.AppendFrameHeader(frame, dest, b.count)
-			frame = append(frame, b.tuples...)
-			b.tuples = b.tuples[:0]
-			b.count = 0
-			outs = append(outs, out{dest, frame})
+			buf, count := b.seal(dest)
+			c.flush(dest, count, buf)
 		}
 		sh.mu.Unlock()
 	}
-	for _, o := range outs {
-		c.flush(o.dest, o.frame, true) // freshly built: ownership transfers
-	}
-}
-
-// pendingFrameCap bounds how many early frames are parked per local task
-// awaiting its instance registration.
-const pendingFrameCap = 8192
-
-// deliverLocal hands a data frame to a registered local instance, or
-// parks it until the instance registers. The copy is owned by the parked
-// queue. Returns false only when the park cap is exceeded (frame dropped).
-func (s *StreamManager) deliverLocal(dest int32, frame []byte, owned bool) bool {
-	s.mu.Lock()
-	o := s.instances[dest]
-	if o == nil {
-		if len(s.pending[dest]) >= pendingFrameCap {
-			s.mu.Unlock()
-			return false
-		}
-		cp := frame
-		if !owned {
-			cp = append([]byte(nil), frame...)
-		}
-		s.pending[dest] = append(s.pending[dest], cp)
-		s.mu.Unlock()
-		return true
-	}
-	s.mu.Unlock()
-	s.countFrame(frame, s.mTuplesFwd)
-	if owned {
-		o.enqueueOwned(network.MsgData, frame)
-	} else {
-		o.enqueue(network.MsgData, frame)
-	}
-	return true
 }
 
 // buffered counts the tuples currently parked in the cache by walking
@@ -149,6 +123,59 @@ func (c *tupleCache) buffered() int64 {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// pendingFrameCap bounds how many early frames are parked per local task
+// awaiting its instance registration.
+const pendingFrameCap = 8192
+
+// deliverOwned hands an owned data frame to a registered local instance
+// (the common case: one map lookup on the routing snapshot, no lock), or
+// parks it for a not-yet-registered instance. count is the frame's tuple
+// count, from its header. Returns false only when the park cap is
+// exceeded (frame dropped and recycled).
+func (s *StreamManager) deliverOwned(rt *routeTable, dest int32, count int, buf *wire.Buffer) bool {
+	if o := rt.instances[dest]; o != nil {
+		s.mTuplesFwd.Inc(int64(count))
+		o.enqueueOwned(network.MsgData, buf)
+		return true
+	}
+	return s.parkOrDeliver(dest, count, buf)
+}
+
+// deliverCopy is deliverOwned for borrowed frames (receive buffers owned
+// by the transport): the outbox copies into a pooled buffer on enqueue.
+func (s *StreamManager) deliverCopy(rt *routeTable, dest int32, count int, frame []byte) bool {
+	if o := rt.instances[dest]; o != nil {
+		s.mTuplesFwd.Inc(int64(count))
+		o.enqueue(network.MsgData, frame)
+		return true
+	}
+	buf := wire.GetBuffer()
+	buf.B = append(buf.B, frame...)
+	return s.parkOrDeliver(dest, count, buf)
+}
+
+// parkOrDeliver is the registration-race slow path, under s.mu. The
+// snapshot showed no instance for dest; re-check the master map (the
+// instance may have registered — and replayed pending — after the
+// snapshot was taken) before parking the owned frame.
+func (s *StreamManager) parkOrDeliver(dest int32, count int, buf *wire.Buffer) bool {
+	s.mu.Lock()
+	if o := s.instances[dest]; o != nil {
+		s.mu.Unlock()
+		s.mTuplesFwd.Inc(int64(count))
+		o.enqueueOwned(network.MsgData, buf)
+		return true
+	}
+	if len(s.pending[dest]) >= pendingFrameCap {
+		s.mu.Unlock()
+		wire.PutBuffer(buf)
+		return false
+	}
+	s.pending[dest] = append(s.pending[dest], buf)
+	s.mu.Unlock()
+	return true
 }
 
 // routeFrame is the Stream Manager's data path: every MsgData and MsgAck
@@ -174,16 +201,15 @@ func (s *StreamManager) routeData(payload []byte) {
 
 // routeDataLazy is the Section V-A fast path: only the frame header (and,
 // for mixed frames, each tuple's destination prefix) is parsed; tuple
-// payloads cross this router untouched.
+// payloads cross this router untouched. Routing state is one atomic
+// snapshot load — no lock, no allocation.
 func (s *StreamManager) routeDataLazy(payload []byte) {
-	dest, err := tuple.FrameDest(payload)
+	dest, count, rest, err := tuple.FrameHeader(payload)
 	if err != nil {
 		return
 	}
-	s.mu.Lock()
-	plan := s.plan
-	s.mu.Unlock()
-	if plan == nil {
+	rt := s.routes.Load()
+	if rt == nil || rt.plan == nil {
 		return
 	}
 	if dest == tuple.MixedFrameDest {
@@ -198,41 +224,30 @@ func (s *StreamManager) routeDataLazy(payload []byte) {
 		})
 		return
 	}
-	container := plan.TaskContainer(dest)
+	// The tuple count comes straight from the frame header: uniform frames
+	// are routed without walking their entries.
+	s.mTuplesIn.Inc(int64(count))
+	if count == 1 {
+		// Single-tuple frames (fresh from a local instance) enter the tuple
+		// cache — the cache batches incoming and outgoing tuples alike, as
+		// the paper describes.
+		if tb, err := tuple.FrameFirstEntry(rest); err == nil {
+			s.cache.add(dest, tb)
+		}
+		return
+	}
+	// Pre-batched frames are forwarded whole: to the local instance for
+	// local destinations (true lazy forwarding: the payload is never
+	// decoded here), or re-routed to a peer if the plan moved the task.
+	container := rt.plan.TaskContainer(dest)
 	if container < 0 {
 		return // task no longer in the plan (scaled away)
 	}
-	// Single-tuple frames (fresh from a local instance) enter the tuple
-	// cache — the cache batches incoming and outgoing tuples alike, as the
-	// paper describes. Pre-batched frames are forwarded whole: to the
-	// local instance for local destinations (true lazy forwarding: the
-	// payload is never decoded here), or re-routed to a peer if the plan
-	// moved the task.
-	var count int
-	var first []byte
-	if _, c, err := tuple.WalkFrame(payload, func(tb []byte) error {
-		if first == nil {
-			first = tb
-		}
-		return nil
-	}); err != nil {
-		return
-	} else {
-		count = c
-	}
-	s.mTuplesIn.Inc(int64(count))
-	if count == 1 {
-		s.cache.add(dest, first)
-		return
-	}
 	if container == s.opts.Container {
-		s.deliverLocal(dest, payload, false)
+		s.deliverCopy(rt, dest, count, payload)
 		return
 	}
-	s.mu.Lock()
-	peer := s.peers[container]
-	s.mu.Unlock()
-	if peer != nil {
+	if peer := rt.peers[container]; peer != nil {
 		peer.enqueue(network.MsgData, payload)
 	}
 }
@@ -241,10 +256,8 @@ func (s *StreamManager) routeDataLazy(payload []byte) {
 // every tuple is fully decoded and re-encoded at every hop, nothing is
 // pooled, and no batching happens — each tuple leaves as its own frame.
 func (s *StreamManager) routeDataNaive(payload []byte) {
-	s.mu.Lock()
-	plan := s.plan
-	s.mu.Unlock()
-	if plan == nil {
+	rt := s.routes.Load()
+	if rt == nil || rt.plan == nil {
 		return
 	}
 	codec := tuple.NaiveCodec{}
@@ -257,37 +270,26 @@ func (s *StreamManager) routeDataNaive(payload []byte) {
 		reenc := codec.EncodeData(nil, &t)
 		frame := tuple.AppendFrameHeader(nil, t.DestTask, 1)
 		frame = tuple.AppendFrameEntry(frame, reenc)
-		container := plan.TaskContainer(t.DestTask)
+		container := rt.plan.TaskContainer(t.DestTask)
 		if container < 0 {
 			return nil
 		}
 		if container == s.opts.Container {
-			s.deliverLocal(t.DestTask, frame, true)
+			s.deliverOwned(rt, t.DestTask, 1, &wire.Buffer{B: frame})
 			return nil
 		}
-		s.mu.Lock()
-		peer := s.peers[container]
-		s.mu.Unlock()
-		if peer != nil {
-			peer.enqueue(network.MsgData, frame)
+		if peer := rt.peers[container]; peer != nil {
+			peer.enqueueOwned(network.MsgData, &wire.Buffer{B: frame})
 		}
 		return nil
 	})
 }
 
-// countFrame adds a frame's tuple count to a counter (header parse only).
-func (s *StreamManager) countFrame(payload []byte, c interface{ Inc(int64) }) {
-	b := payload
-	if _, n, err := wire.Uvarint(b); err == nil {
-		if cnt, _, err := wire.Uvarint(b[n:]); err == nil {
-			c.Inc(int64(cnt))
-		}
-	}
-}
-
 // ackCache batches control tuples bound for peer stream managers; it is
 // drained on the same cycle as the tuple cache, so ack traffic shares the
 // batching optimization (as in Heron, where acks travel the same streams).
+// Like the tuple cache, batches build in pooled buffers with a reserved
+// header and transfer ownership on drain.
 type ackCache struct {
 	mu      sync.Mutex
 	batches map[int32]*batchBuf // peer container → pending acks
@@ -302,28 +304,31 @@ func (c *ackCache) add(container int32, ackBytes []byte) {
 		b = &batchBuf{}
 		c.batches[container] = b
 	}
-	b.tuples = tuple.AppendFrameEntry(b.tuples, ackBytes)
+	if b.buf == nil {
+		b.buf = wire.GetBuffer()
+		b.buf.B = tuple.BeginAckFrame(b.buf.B)
+	}
+	b.buf.B = tuple.AppendFrameEntry(b.buf.B, ackBytes)
 	b.count++
 	c.mu.Unlock()
 }
 
-// drain returns one frame per destination container and resets the cache.
-func (c *ackCache) drain() map[int32][]byte {
+// drain returns one owned frame per destination container and resets the
+// cache.
+func (c *ackCache) drain() map[int32]*wire.Buffer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var out map[int32][]byte
+	var out map[int32]*wire.Buffer
 	for container, b := range c.batches {
 		if b.count == 0 {
 			continue
 		}
-		frame := tuple.AppendAckFrameHeader(nil, b.count)
-		frame = append(frame, b.tuples...)
-		b.tuples = b.tuples[:0]
-		b.count = 0
+		tuple.PatchAckFrameHeader(b.buf.B, b.count)
 		if out == nil {
-			out = map[int32][]byte{}
+			out = map[int32]*wire.Buffer{}
 		}
-		out[container] = frame
+		out[container] = b.buf
+		b.buf, b.count = nil, 0
 	}
 	return out
 }
@@ -333,10 +338,8 @@ func (c *ackCache) drain() map[int32][]byte {
 // local ones directly. In optimized mode remote acks are re-batched per
 // peer; in naive mode each is forwarded as its own frame immediately.
 func (s *StreamManager) routeAck(payload []byte) {
-	s.mu.Lock()
-	plan := s.plan
-	s.mu.Unlock()
-	if plan == nil {
+	rt := s.routes.Load()
+	if rt == nil || rt.plan == nil {
 		return
 	}
 	_ = tuple.WalkAckFrame(payload, func(ab []byte) error {
@@ -344,7 +347,7 @@ func (s *StreamManager) routeAck(payload []byte) {
 		if err := tuple.DecodeAck(ab, &a); err != nil {
 			return nil
 		}
-		container := plan.TaskContainer(a.SpoutTask)
+		container := rt.plan.TaskContainer(a.SpoutTask)
 		if container < 0 {
 			return nil
 		}
@@ -357,13 +360,10 @@ func (s *StreamManager) routeAck(payload []byte) {
 			s.acks.add(container, ab)
 			return nil
 		}
-		s.mu.Lock()
-		peer := s.peers[container]
-		s.mu.Unlock()
-		if peer != nil {
+		if peer := rt.peers[container]; peer != nil {
 			frame := tuple.AppendAckFrameHeader(nil, 1)
 			frame = tuple.AppendFrameEntry(frame, ab)
-			peer.enqueueOwned(network.MsgAck, frame)
+			peer.enqueueOwned(network.MsgAck, &wire.Buffer{B: frame})
 		}
 		return nil
 	})
@@ -371,13 +371,19 @@ func (s *StreamManager) routeAck(payload []byte) {
 
 // drainAcks flushes the ack cache to peers (optimized mode only).
 func (s *StreamManager) drainAcks() {
-	for container, frame := range s.acks.drain() {
-		s.mu.Lock()
-		peer := s.peers[container]
-		s.mu.Unlock()
-		if peer != nil {
-			peer.enqueueOwned(network.MsgAck, frame)
+	drained := s.acks.drain()
+	if drained == nil {
+		return
+	}
+	rt := s.routes.Load()
+	for container, buf := range drained {
+		if rt != nil {
+			if peer := rt.peers[container]; peer != nil {
+				peer.enqueueOwned(network.MsgAck, buf)
+				continue
+			}
 		}
+		wire.PutBuffer(buf)
 	}
 }
 
@@ -385,9 +391,9 @@ func (s *StreamManager) drainAcks() {
 func (s *StreamManager) handleAck(a *tuple.AckTuple) {
 	switch a.Kind {
 	case tuple.AckAnchor:
-		s.mu.Lock()
+		s.rootMu.Lock()
 		s.rootSpout[a.Root] = a.SpoutTask
-		s.mu.Unlock()
+		s.rootMu.Unlock()
 		s.ack.Anchor(a.Root, a.Delta)
 	case tuple.AckAck:
 		s.ack.Ack(a.Root, a.Delta)
@@ -398,14 +404,21 @@ func (s *StreamManager) handleAck(a *tuple.AckTuple) {
 
 // onTreeDone notifies the owning spout instance of a finished tree.
 func (s *StreamManager) onTreeDone(root uint64, r acker.Result) {
-	s.mu.Lock()
+	s.rootMu.Lock()
 	spout, ok := s.rootSpout[root]
 	if ok {
 		delete(s.rootSpout, root)
 	}
-	o := s.instances[spout]
-	s.mu.Unlock()
-	if !ok || o == nil {
+	s.rootMu.Unlock()
+	if !ok {
+		return
+	}
+	rt := s.routes.Load()
+	if rt == nil {
+		return
+	}
+	o := rt.instances[spout]
+	if o == nil {
 		return
 	}
 	kind := tuple.AckAck
@@ -415,38 +428,35 @@ func (s *StreamManager) onTreeDone(root uint64, r acker.Result) {
 	case acker.TimedOut:
 		kind = tuple.AckExpired
 	}
+	buf := wire.GetBuffer()
+	buf.B = tuple.BeginAckFrame(buf.B)
 	enc := tuple.EncodeAck(nil, &tuple.AckTuple{Kind: kind, SpoutTask: spout, Root: root})
-	frame := tuple.AppendAckFrameHeader(nil, 1)
-	frame = tuple.AppendFrameEntry(frame, enc)
-	o.enqueueOwned(network.MsgAck, frame)
+	buf.B = tuple.AppendFrameEntry(buf.B, enc)
+	tuple.PatchAckFrameHeader(buf.B, 1)
+	o.enqueueOwned(network.MsgAck, buf)
 }
 
-// flushBatch delivers one cache batch to its destination (local instance
-// or peer stream manager). owned reports whether the frame's buffer may be
-// retained without copying.
-func (s *StreamManager) flushBatch(dest int32, frame []byte, owned bool) {
-	s.mu.Lock()
-	plan := s.plan
-	s.mu.Unlock()
-	if plan == nil {
+// flushBatch delivers one sealed cache batch to its destination (local
+// instance or peer stream manager). Ownership of buf always transfers
+// here; every drop path recycles it.
+func (s *StreamManager) flushBatch(dest int32, count int, buf *wire.Buffer) {
+	rt := s.routes.Load()
+	if rt == nil || rt.plan == nil {
+		wire.PutBuffer(buf)
 		return
 	}
-	container := plan.TaskContainer(dest)
+	container := rt.plan.TaskContainer(dest)
 	if container < 0 {
+		wire.PutBuffer(buf)
 		return
 	}
 	if container == s.opts.Container {
-		s.deliverLocal(dest, frame, owned)
+		s.deliverOwned(rt, dest, count, buf)
 		return
 	}
-	s.mu.Lock()
-	peer := s.peers[container]
-	s.mu.Unlock()
-	if peer != nil {
-		if owned {
-			peer.enqueueOwned(network.MsgData, frame)
-		} else {
-			peer.enqueue(network.MsgData, frame)
-		}
+	if peer := rt.peers[container]; peer != nil {
+		peer.enqueueOwned(network.MsgData, buf)
+		return
 	}
+	wire.PutBuffer(buf)
 }

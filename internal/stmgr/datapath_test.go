@@ -1,0 +1,288 @@
+package stmgr
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"heron/internal/encoding/wire"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// countingConn records every delivered frame in order and counts flushes.
+// A gate channel, when set, blocks the first SendOwned until released so a
+// test can pile frames into the outbox queue and observe them drain as one
+// batch. Setting failAfter >= 0 makes the (failAfter+1)-th SendOwned fail.
+type countingConn struct {
+	mu        sync.Mutex
+	frames    [][]byte
+	kinds     []network.MsgKind
+	flushes   int
+	gate      chan struct{}
+	gateOnce  sync.Once
+	failAfter int
+
+	sent chan struct{} // signaled once per accepted frame
+}
+
+func newCountingConn() *countingConn {
+	return &countingConn{failAfter: -1, sent: make(chan struct{}, 4096)}
+}
+
+var errConnDown = errors.New("countingConn: down")
+
+func (c *countingConn) Send(kind network.MsgKind, payload []byte) error {
+	buf := wire.GetBuffer()
+	buf.B = append(buf.B, payload...)
+	return c.SendOwned(kind, buf)
+}
+
+func (c *countingConn) SendOwned(kind network.MsgKind, buf *wire.Buffer) error {
+	if c.gate != nil {
+		c.gateOnce.Do(func() { <-c.gate })
+	}
+	c.mu.Lock()
+	if c.failAfter >= 0 && len(c.frames) >= c.failAfter {
+		c.mu.Unlock()
+		wire.PutBuffer(buf)
+		return errConnDown
+	}
+	c.frames = append(c.frames, append([]byte(nil), buf.B...))
+	c.kinds = append(c.kinds, kind)
+	c.mu.Unlock()
+	wire.PutBuffer(buf)
+	c.sent <- struct{}{}
+	return nil
+}
+
+func (c *countingConn) Flush() error {
+	c.mu.Lock()
+	c.flushes++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *countingConn) Start(network.Handler) {}
+func (c *countingConn) Close() error         { return nil }
+
+func (c *countingConn) snapshot() (frames [][]byte, flushes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([][]byte(nil), c.frames...), c.flushes
+}
+
+func waitFrames(t *testing.T, c *countingConn, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.sent:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for frame %d of %d", i+1, n)
+		}
+	}
+}
+
+// TestOutboxDrainCoalescesFlushes checks the vectored-send contract: a
+// queue of N frames drains through SendOwned in order and ends with a
+// single Flush for the whole batch, not one per frame.
+func TestOutboxDrainCoalescesFlushes(t *testing.T) {
+	conn := newCountingConn()
+	conn.gate = make(chan struct{})
+	o := newOutbox(conn, nil, nil)
+	defer o.close()
+
+	// First frame occupies the sender (blocked on the gate); the rest
+	// accumulate in the queue and must drain as one batch.
+	const queued = 16
+	var want [][]byte
+	for i := 0; i < queued+1; i++ {
+		buf := wire.GetBuffer()
+		buf.B = append(buf.B, byte(i), byte(i>>8))
+		want = append(want, append([]byte(nil), buf.B...))
+		o.enqueueOwned(network.MsgData, buf)
+	}
+	close(conn.gate)
+	waitFrames(t, conn, queued+1)
+
+	frames, flushes := conn.snapshot()
+	if len(frames) != queued+1 {
+		t.Fatalf("delivered %d frames, want %d", len(frames), queued+1)
+	}
+	for i, f := range frames {
+		if string(f) != string(want[i]) {
+			t.Fatalf("frame %d out of order or corrupted", i)
+		}
+	}
+	// Two drains happened (the gated single frame, then the batch): at
+	// most one flush each.
+	if flushes > 2 {
+		t.Errorf("drained %d frames with %d flushes, want <= 2", queued+1, flushes)
+	}
+}
+
+// TestOutboxSendErrorParksAndDrops drives the send-error branch: the
+// sender must recycle everything still queued, stay closed, and drop (not
+// deadlock on) later enqueues.
+func TestOutboxSendErrorParksAndDrops(t *testing.T) {
+	conn := newCountingConn()
+	conn.gate = make(chan struct{})
+	conn.failAfter = 1 // second SendOwned fails
+	o := newOutbox(conn, nil, nil)
+
+	for i := 0; i < 8; i++ {
+		buf := wire.GetBuffer()
+		buf.B = append(buf.B, byte(i))
+		o.enqueueOwned(network.MsgData, buf)
+	}
+	close(conn.gate)
+	waitFrames(t, conn, 1) // only the first frame lands
+
+	// The sender parks after the error; queue must empty without delivery.
+	deadline := time.Now().Add(5 * time.Second)
+	for o.depth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d after send error, want 0", o.depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Later enqueues are dropped and recycled, not queued.
+	buf := wire.GetBuffer()
+	buf.B = append(buf.B, 0xff)
+	o.enqueueOwned(network.MsgData, buf)
+	if d := o.depth(); d != 0 {
+		t.Errorf("enqueue after park queued %d frames, want 0", d)
+	}
+	frames, _ := conn.snapshot()
+	if len(frames) != 1 {
+		t.Errorf("delivered %d frames, want 1 (rest dropped on error)", len(frames))
+	}
+	o.close() // must not hang on a parked sender
+}
+
+// TestRouteSnapshotRace hammers the lock-free data path while the
+// control plane keeps republishing the routing snapshot; the race
+// detector (make verify runs -race) is the assertion.
+func TestRouteSnapshotRace(t *testing.T) {
+	s := newBenchSM(t)
+	local := benchFrame(2, 8)
+	remote := benchFrame(3, 8)
+	single := benchFrame(2, 1)
+	ack := tuple.AppendAckFrameHeader(nil, 1)
+	ack = tuple.AppendFrameEntry(ack, tuple.EncodeAck(nil, &tuple.AckTuple{
+		Kind: tuple.AckAck, SpoutTask: 1, Root: 42,
+	}))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.routeDataLazy(local)
+				s.routeDataLazy(remote)
+				s.routeDataLazy(single)
+				s.routeAck(ack)
+				s.flushBatchProbe()
+			}
+		}()
+	}
+	// Control plane: churn the snapshot — plan flaps, an instance comes
+	// and goes — exactly as applyPlan/registerInstance would.
+	plan := s.plan
+	inst := s.instances[2]
+	for i := 0; i < 2000; i++ {
+		s.mu.Lock()
+		if i%2 == 0 {
+			s.plan = nil
+			delete(s.instances, 2)
+		} else {
+			s.plan = plan
+			s.instances[2] = inst
+		}
+		s.publishRoutesLocked()
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.plan = plan
+	s.instances[2] = inst
+	s.publishRoutesLocked()
+	s.mu.Unlock()
+	close(stop)
+	wg.Wait()
+}
+
+// flushBatchProbe exercises the cache-flush entry point with an owned
+// buffer, as the drain timer would.
+func (s *StreamManager) flushBatchProbe() {
+	buf := wire.GetBuffer()
+	buf.B = tuple.BeginFrame(buf.B)
+	buf.B = tuple.AppendFrameEntry(buf.B, []byte{1, 2, 3})
+	tuple.PatchFrameHeader(buf.B, 3, 1)
+	s.flushBatch(3, 1, buf)
+}
+
+// TestRouteLazyPrebatchedZeroAlloc asserts the tentpole's headline
+// number: once the pools and outbox arrays are warm, routing a
+// pre-batched frame to a local instance allocates nothing — the payload
+// is copied once into a pooled buffer whose ownership rides the outbox to
+// the transport and back to the pool.
+func TestRouteLazyPrebatchedZeroAlloc(t *testing.T) {
+	s := newBenchSM(t)
+	conn := s.instances[2].conn.(*nullConn)
+	frame := benchFrame(2, 8)
+	waitSends := func(want int64) {
+		for conn.sends.Load() < want {
+			runtime.Gosched()
+		}
+	}
+	// Warm up the buffer pool and the outbox's ping-pong batch arrays.
+	for i := 0; i < 256; i++ {
+		s.routeDataLazy(frame)
+	}
+	waitSends(256)
+	sent := int64(256)
+	avg := testing.AllocsPerRun(512, func() {
+		s.routeDataLazy(frame)
+		sent++
+		waitSends(sent) // keep the queue at steady-state depth
+	})
+	if avg != 0 {
+		t.Errorf("routeDataLazy allocates %.3f per op in steady state, want 0", avg)
+	}
+}
+
+// TestRemoteBatchZeroAlloc is the same assertion for the cache → peer
+// leg: sealed batches hand their pooled buffer straight to the peer
+// outbox.
+func TestRemoteBatchZeroAlloc(t *testing.T) {
+	s := newBenchSM(t)
+	conn := s.peers[2].conn.(*nullConn)
+	frame := benchFrame(3, 8) // task 3 lives on container 2 (the peer)
+	waitSends := func(want int64) {
+		for conn.sends.Load() < want {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < 256; i++ {
+		s.routeDataLazy(frame)
+	}
+	waitSends(256)
+	sent := int64(256)
+	avg := testing.AllocsPerRun(512, func() {
+		s.routeDataLazy(frame)
+		sent++
+		waitSends(sent)
+	})
+	if avg != 0 {
+		t.Errorf("remote routeDataLazy allocates %.3f per op in steady state, want 0", avg)
+	}
+}

@@ -3,6 +3,7 @@ package stmgr
 import (
 	"sync"
 
+	"heron/internal/encoding/wire"
 	"heron/internal/network"
 )
 
@@ -13,12 +14,19 @@ import (
 // by the backpressure watermark (the Stream Manager pauses spouts when
 // any outbox grows past the high-water mark, Heron's spout-based
 // backpressure).
+//
+// The queue is allocation-free in steady state: payloads live in pooled
+// wire.Buffers whose ownership flows enqueue → sender → Conn.SendOwned →
+// pool, and the two batch arrays ping-pong between the producer and the
+// sender. A drained batch of N frames ends with exactly one Conn.Flush,
+// so a burst crosses TCP as one buffered write sequence + one flush.
 type outbox struct {
 	conn network.Conn
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []frame
+	spare  []frame // recycled batch array, swapped back in by the sender
 	closed bool
 
 	// onDepth, when set, observes queue depth after every enqueue/dequeue
@@ -33,7 +41,7 @@ type outbox struct {
 
 type frame struct {
 	kind network.MsgKind
-	data []byte // owned by the outbox
+	buf  *wire.Buffer // owned by the outbox until handed to the conn
 }
 
 func newOutbox(conn network.Conn, onDepth, onSent func(int)) *outbox {
@@ -44,22 +52,28 @@ func newOutbox(conn network.Conn, onDepth, onSent func(int)) *outbox {
 	return o
 }
 
-// enqueue copies payload and schedules it for delivery.
+// enqueue copies payload into a pooled buffer and schedules it for
+// delivery.
 func (o *outbox) enqueue(kind network.MsgKind, payload []byte) {
-	data := make([]byte, len(payload))
-	copy(data, payload)
-	o.enqueueOwned(kind, data)
+	buf := wire.GetBuffer()
+	buf.B = append(buf.B, payload...)
+	o.enqueueOwned(kind, buf)
 }
 
-// enqueueOwned schedules a payload whose ownership transfers to the
-// outbox — the zero-copy path for freshly built batch frames.
-func (o *outbox) enqueueOwned(kind network.MsgKind, data []byte) {
+// enqueueOwned schedules a frame whose buffer ownership transfers to the
+// outbox — the zero-copy path for freshly built batch frames. The buffer
+// is recycled after delivery (or immediately if the outbox is closed).
+func (o *outbox) enqueueOwned(kind network.MsgKind, buf *wire.Buffer) {
 	o.mu.Lock()
 	if o.closed {
 		o.mu.Unlock()
+		wire.PutBuffer(buf)
 		return
 	}
-	o.queue = append(o.queue, frame{kind, data})
+	if o.queue == nil && o.spare != nil {
+		o.queue, o.spare = o.spare, nil
+	}
+	o.queue = append(o.queue, frame{kind, buf})
 	depth := len(o.queue)
 	o.mu.Unlock()
 	o.cond.Signal()
@@ -79,30 +93,62 @@ func (o *outbox) run() {
 			o.mu.Unlock()
 			return
 		}
-		// Take a batch to amortize lock traffic.
+		// Take the whole queue as one batch to amortize lock traffic and
+		// the transport flush.
 		batch := o.queue
 		o.queue = nil
 		o.mu.Unlock()
-		for _, f := range batch {
-			if o.onSent != nil {
-				o.onSent(len(f.data))
-			}
-			if err := o.conn.Send(f.kind, f.data); err != nil {
-				// Receiver gone: drop the rest and park until closed.
-				o.mu.Lock()
-				o.queue = nil
-				o.closed = true
-				o.mu.Unlock()
-				return
-			}
+		err := o.sendBatch(batch)
+		if err == nil {
+			err = o.conn.Flush() // one flush per drained batch
 		}
+		if err != nil {
+			o.park()
+			return
+		}
+		// Hand the drained array back for the producer to refill.
+		for i := range batch {
+			batch[i] = frame{}
+		}
+		o.mu.Lock()
+		if o.spare == nil || cap(batch) > cap(o.spare) {
+			o.spare = batch[:0]
+		}
+		depth := len(o.queue)
+		o.mu.Unlock()
 		if o.onDepth != nil {
-			o.mu.Lock()
-			depth := len(o.queue)
-			o.mu.Unlock()
 			o.onDepth(depth)
 		}
 	}
+}
+
+// sendBatch streams one batch through the conn without flushing. On error
+// the remaining buffers are recycled; the caller parks the outbox.
+func (o *outbox) sendBatch(batch []frame) error {
+	for i, f := range batch {
+		if o.onSent != nil {
+			o.onSent(len(f.buf.B))
+		}
+		if err := o.conn.SendOwned(f.kind, f.buf); err != nil {
+			for _, rest := range batch[i+1:] {
+				wire.PutBuffer(rest.buf)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// park drops everything after a send error: the receiver is gone, so the
+// queue is recycled and the outbox stays closed until its owner reaps it.
+func (o *outbox) park() {
+	o.mu.Lock()
+	for _, f := range o.queue {
+		wire.PutBuffer(f.buf)
+	}
+	o.queue = nil
+	o.closed = true
+	o.mu.Unlock()
 }
 
 // depth returns the current queue length.

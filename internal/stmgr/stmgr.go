@@ -15,6 +15,14 @@
 //   - unoptimized: allocation per message, no batching (every tuple is
 //     its own frame), and a full decode + re-encode at every hop.
 //
+// The optimized data path is lock-free with respect to the Stream
+// Manager's own state: routing decisions read an immutable routeTable
+// snapshot through one atomic pointer load, and control-plane changes
+// (plan broadcasts, registrations, peer dials) rebuild and swap the
+// snapshot under s.mu. Tuple payloads cross the router with at most one
+// copy: they are appended once into a pooled batch frame whose ownership
+// then flows cache → outbox → Conn.SendOwned → pool.
+//
 // The Stream Manager also hosts the acker state for local spouts and
 // implements spout-based backpressure: when a local delivery queue grows
 // past the high-water mark, local spouts are paused and peers are told to
@@ -26,11 +34,13 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heron/internal/acker"
 	"heron/internal/core"
 	"heron/internal/ctrl"
+	"heron/internal/encoding/wire"
 	"heron/internal/metrics"
 	"heron/internal/network"
 	"heron/internal/tuple"
@@ -54,6 +64,17 @@ type Options struct {
 	Registry *metrics.Registry
 }
 
+// routeTable is an immutable snapshot of the routing state: the physical
+// plan plus the outboxes of registered local instances and connected peer
+// Stream Managers. The data path reads it with one atomic pointer load
+// and never takes s.mu; mutators rebuild the whole table under s.mu and
+// swap it in (copy-on-write).
+type routeTable struct {
+	plan      *core.PhysicalPlan
+	instances map[int32]*outbox // local task id → delivery queue
+	peers     map[int32]*outbox // container id → peer stream manager
+}
+
 // StreamManager routes every tuple of one container.
 type StreamManager struct {
 	opts      Options
@@ -63,6 +84,11 @@ type StreamManager struct {
 
 	listener network.Listener
 
+	// routes is the data path's view of the world; see routeTable.
+	routes atomic.Pointer[routeTable]
+
+	// mu guards the control-plane master copies below. The data path
+	// (routeDataLazy, flushBatch, deliverLocal, routeAck) never takes it.
 	mu        sync.Mutex
 	plan      *core.PhysicalPlan
 	epoch     int64
@@ -70,19 +96,30 @@ type StreamManager struct {
 	instConns map[int32]network.Conn // local task id → conn (for close)
 	// pending holds data frames for local tasks whose instance has not
 	// registered yet (instances and their upstream spouts start
-	// concurrently); flushed on registration, capped per task.
-	pending   map[int32][][]byte
-	peers     map[int32]*outbox // container id → peer stream manager
+	// concurrently); flushed on registration, capped per task. Buffers are
+	// pooled and owned by the parked queue.
+	pending   map[int32][]*wire.Buffer
+	peers     map[int32]*outbox
 	peerConns map[int32]network.Conn
 	peerAddrs map[int32]string
 	spoutsUp  map[int32]bool // local spout tasks currently registered
 
-	cache       *tupleCache
-	acks        *ackCache
-	ack         *acker.Acker
-	rootSpout   map[uint64]int32 // root id → local spout task
-	bpActive    bool
-	bpSince     time.Time // when the current assertion began
+	cache *tupleCache
+	acks  *ackCache
+	ack   *acker.Acker
+
+	// rootMu guards rootSpout; acker traffic shares it with no one else,
+	// so ack handling stays off s.mu.
+	rootMu    sync.Mutex
+	rootSpout map[uint64]int32 // root id → local spout task
+
+	// Backpressure state machine. bpActive is read on every outbox depth
+	// observation (the data path), so it is an atomic; bpMu serializes the
+	// rare transitions and guards bpSince.
+	bpActive atomic.Bool
+	bpMu     sync.Mutex
+	bpSince  time.Time // when the current assertion began
+
 	stopCh      chan struct{}
 	stopOnce    sync.Once
 	wg          sync.WaitGroup
@@ -132,15 +169,15 @@ func New(opts Options) (*StreamManager, error) {
 		listener:  l,
 		instances: map[int32]*outbox{},
 		instConns: map[int32]network.Conn{},
-		pending:   map[int32][][]byte{},
+		pending:   map[int32][]*wire.Buffer{},
 		peers:     map[int32]*outbox{},
 		peerConns: map[int32]network.Conn{},
 		peerAddrs: map[int32]string{},
 		spoutsUp:  map[int32]bool{},
 		rootSpout: map[uint64]int32{},
 		stopCh:    make(chan struct{}),
-
 	}
+	s.publishRoutes()
 	tags := metrics.Tags{Component: metrics.StmgrComponent, Task: opts.Container}
 	s.mCacheDrains = opts.Registry.Counter(metrics.MStmgrCacheDrains, tags)
 	s.mCacheDepth = opts.Registry.Gauge(metrics.MStmgrCacheDepth, tags)
@@ -172,6 +209,31 @@ func New(opts Options) (*StreamManager, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// publishRoutesLocked rebuilds the immutable routing snapshot from the
+// master copies; the caller holds s.mu. Every mutation of plan,
+// instances, or peers must republish before releasing the lock.
+func (s *StreamManager) publishRoutesLocked() {
+	rt := &routeTable{
+		plan:      s.plan,
+		instances: make(map[int32]*outbox, len(s.instances)),
+		peers:     make(map[int32]*outbox, len(s.peers)),
+	}
+	for task, o := range s.instances {
+		rt.instances[task] = o
+	}
+	for c, o := range s.peers {
+		rt.peers[c] = o
+	}
+	s.routes.Store(rt)
+}
+
+// publishRoutes is publishRoutesLocked for callers not yet holding s.mu.
+func (s *StreamManager) publishRoutes() {
+	s.mu.Lock()
+	s.publishRoutesLocked()
+	s.mu.Unlock()
 }
 
 // Addr returns the data listener's address for the TMaster directory.
@@ -240,8 +302,9 @@ func (s *StreamManager) connectTMaster(loc core.TMasterLocation) {
 }
 
 // applyPlan installs a broadcast physical plan: peer connections are
-// reconciled against the new stream-manager directory and the plan is
-// pushed to every registered local instance.
+// reconciled against the new stream-manager directory, the routing
+// snapshot is republished, and the plan is pushed to every registered
+// local instance.
 func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 	if p == nil {
 		return
@@ -297,6 +360,7 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 	for _, o := range s.instances {
 		outs = append(outs, o)
 	}
+	s.publishRoutesLocked()
 	s.mu.Unlock()
 
 	for _, d := range dials {
@@ -313,6 +377,7 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 		s.peers[d.container] = newOutbox(conn, nil, s.onBytesSent)
 		s.peerConns[d.container] = conn
 		s.peerAddrs[d.container] = d.addr
+		s.publishRoutesLocked()
 		s.mu.Unlock()
 	}
 	// Forward the plan to local instances.
@@ -365,23 +430,29 @@ func (s *StreamManager) forwardToSpouts(m *ctrl.Message) {
 	if err != nil {
 		return
 	}
-	s.mu.Lock()
-	var outs []*outbox
-	if s.plan != nil {
-		for task, o := range s.instances {
-			if int(task) < len(s.plan.Tasks) && s.plan.Tasks[task].Kind == core.KindSpout {
-				outs = append(outs, o)
-			}
-		}
-	}
-	s.mu.Unlock()
-	for _, o := range outs {
+	for _, o := range s.spoutOutboxes() {
 		o.enqueue(network.MsgControl, raw)
 	}
 }
 
-// registerInstance binds a local task to its connection and hands it the
-// current plan.
+// spoutOutboxes returns the outboxes of registered local spout instances,
+// from the routing snapshot.
+func (s *StreamManager) spoutOutboxes() []*outbox {
+	rt := s.routes.Load()
+	if rt == nil || rt.plan == nil {
+		return nil
+	}
+	var outs []*outbox
+	for task, o := range rt.instances {
+		if int(task) < len(rt.plan.Tasks) && rt.plan.Tasks[task].Kind == core.KindSpout {
+			outs = append(outs, o)
+		}
+	}
+	return outs
+}
+
+// registerInstance binds a local task to its connection, republishes the
+// routing snapshot, and hands the instance the current plan.
 func (s *StreamManager) registerInstance(conn network.Conn, task int32) {
 	onDepth := func(depth int) { s.observeDepth(depth) }
 	o := newOutbox(conn, onDepth, s.onBytesSent)
@@ -403,14 +474,15 @@ func (s *StreamManager) registerInstance(conn network.Conn, task int32) {
 			s.spoutsUp[task] = true
 		}
 	}
+	s.publishRoutesLocked()
 	s.mu.Unlock()
 	if planMsg != nil {
 		o.enqueue(network.MsgControl, planMsg)
 	}
 	// Release any data that arrived before this instance came up. Done
-	// outside s.mu: enqueue triggers the depth callback, which takes s.mu.
-	for _, frame := range parked {
-		o.enqueueOwned(network.MsgData, frame)
+	// outside s.mu: enqueue triggers the depth callback.
+	for _, buf := range parked {
+		o.enqueueOwned(network.MsgData, buf)
 	}
 }
 
@@ -433,41 +505,47 @@ func (s *StreamManager) payloadLocked() *ctrl.PlanPayload {
 func (s *StreamManager) onBytesSent(n int) { s.mBytesSent.Inc(int64(n)) }
 
 // observeDepth drives the backpressure state machine from instance queue
-// depths.
+// depths. It runs on every outbox enqueue, so the steady-state path is a
+// single atomic load — s.mu is never taken here.
 func (s *StreamManager) observeDepth(depth int) {
 	if depth > backpressureHWM {
-		s.mu.Lock()
-		trigger := !s.bpActive
-		s.bpActive = true
+		if s.bpActive.Load() {
+			return // already asserted
+		}
+		s.bpMu.Lock()
+		trigger := !s.bpActive.Load()
 		if trigger {
+			s.bpActive.Store(true)
 			s.bpSince = time.Now()
 		}
-		s.mu.Unlock()
+		s.bpMu.Unlock()
 		if trigger {
 			s.mBPTransit.Inc(1)
 			s.broadcastBackpressure(true)
 		}
 		return
 	}
-	if depth > backpressureLWM {
+	if depth > backpressureLWM || !s.bpActive.Load() {
 		return
 	}
-	s.mu.Lock()
-	release := s.bpActive
+	s.bpMu.Lock()
+	release := s.bpActive.Load()
 	if release {
 		// Only release when every local queue is below the low-water mark.
-		for _, o := range s.instances {
-			if o.depth() > backpressureLWM {
-				release = false
-				break
+		if rt := s.routes.Load(); rt != nil {
+			for _, o := range rt.instances {
+				if o.depth() > backpressureLWM {
+					release = false
+					break
+				}
 			}
 		}
 		if release {
-			s.bpActive = false
+			s.bpActive.Store(false)
 			s.mBPTime.Inc(time.Since(s.bpSince).Nanoseconds())
 		}
 	}
-	s.mu.Unlock()
+	s.bpMu.Unlock()
 	if release {
 		s.mBPTransit.Inc(1)
 		s.broadcastBackpressure(false)
@@ -485,13 +563,11 @@ func (s *StreamManager) broadcastBackpressure(on bool) {
 	if err != nil {
 		return
 	}
-	s.mu.Lock()
-	peers := make([]*outbox, 0, len(s.peers))
-	for _, p := range s.peers {
-		peers = append(peers, p)
+	rt := s.routes.Load()
+	if rt == nil {
+		return
 	}
-	s.mu.Unlock()
-	for _, p := range peers {
+	for _, p := range rt.peers {
 		p.enqueue(network.MsgControl, raw)
 	}
 }
@@ -505,17 +581,7 @@ func (s *StreamManager) setSpoutPause(on bool, origin int32) {
 	if err != nil {
 		return
 	}
-	s.mu.Lock()
-	var outs []*outbox
-	if s.plan != nil {
-		for task, o := range s.instances {
-			if int(task) < len(s.plan.Tasks) && s.plan.Tasks[task].Kind == core.KindSpout {
-				outs = append(outs, o)
-			}
-		}
-	}
-	s.mu.Unlock()
-	for _, o := range outs {
+	for _, o := range s.spoutOutboxes() {
 		o.enqueue(network.MsgControl, raw)
 	}
 }
@@ -587,6 +653,7 @@ func (s *StreamManager) Stop() {
 		s.instConns = map[int32]network.Conn{}
 		s.peers = map[int32]*outbox{}
 		s.peerConns = map[int32]network.Conn{}
+		s.publishRoutesLocked()
 		s.mu.Unlock()
 		for _, c := range instConns {
 			c.Close()
