@@ -29,9 +29,9 @@ bench:
 # machine-dependent and take minutes; run it by hand when the data path
 # changes.
 bench-json:
-	$(GO) test -run XX -bench 'BenchmarkRouteLazy|BenchmarkOutboxDrain' \
+	$(GO) test -run XX -bench 'BenchmarkRouteLazy|BenchmarkOutboxDrain|BenchmarkRouteCheckpoint' \
 		-benchmem -benchtime 2s ./internal/stmgr/ | \
-		$(GO) run ./cmd/benchjson -label after -out BENCH_PR2.json
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR3.json
 	$(GO) test -run XX -bench 'BenchmarkEncodeFast|BenchmarkPeekDestVsFullDecode' \
 		-benchmem -benchtime 2s ./internal/tuple/ | \
-		$(GO) run ./cmd/benchjson -label after -out BENCH_PR2.json
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR3.json

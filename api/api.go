@@ -143,6 +143,40 @@ type Bolt interface {
 	Cleanup() error
 }
 
+// State is the key-value view a stateful component saves to and restores
+// from. Keys are strings; values are opaque byte slices owned by the
+// component (the engine copies on capture). The view is only valid for
+// the duration of the SaveState/RestoreState call that received it.
+type State interface {
+	// Set stores a value under key, replacing any previous value.
+	Set(key string, value []byte)
+	// Get returns the value under key, or nil if absent.
+	Get(key string) []byte
+	// Delete removes key.
+	Delete(key string)
+	// Range calls fn for every key/value pair until fn returns false.
+	Range(fn func(key string, value []byte) bool)
+	// Len returns the number of keys.
+	Len() int
+}
+
+// StatefulComponent is an optional extension for spouts and bolts that
+// participate in distributed checkpointing. When the topology runs with a
+// checkpoint interval, the engine periodically injects epoch markers at
+// spouts; as each instance's barrier completes it calls SaveState, and the
+// snapshot is persisted through the configured state backend. After a
+// container failure every instance is rebuilt and RestoreState is called
+// with the latest globally-committed snapshot before any new input is
+// processed, giving stateful topologies effectively-once semantics.
+type StatefulComponent interface {
+	// SaveState writes the component's state into s. Called on the
+	// executor goroutine, never concurrently with NextTuple/Execute.
+	SaveState(s State) error
+	// RestoreState rebuilds the component's state from s. Called once,
+	// after Open/Prepare and before any NextTuple/Execute.
+	RestoreState(s State) error
+}
+
 // Ticker is an optional bolt extension: bolts that also implement Ticker
 // and declare a tick interval (BoltDeclarer.TickEvery) receive periodic
 // Tick calls on the executor goroutine, interleaved with Execute — the

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"heron/api"
+	"heron/internal/checkpoint"
 	"heron/internal/core"
 	"heron/internal/metrics"
 	"heron/internal/observability"
@@ -242,6 +243,15 @@ func (h *Handle) Kill() error {
 	_ = h.rm.Close()
 	_ = h.state.DeleteTopology(h.name)
 	_ = h.state.Close()
+	if h.cfg.CheckpointInterval > 0 {
+		// A killed topology's checkpoints are unreachable; drop them.
+		if backend, berr := checkpoint.New(h.cfg.StateBackend); berr == nil {
+			if berr = backend.Initialize(h.cfg); berr == nil {
+				_ = backend.Dispose(h.name)
+				_ = backend.Close()
+			}
+		}
+	}
 	return err
 }
 

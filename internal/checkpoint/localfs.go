@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"heron/internal/core"
+)
+
+func init() {
+	Register("localfs", func() Backend { return &localFSBackend{} })
+}
+
+// localFSBackend persists snapshots as files, following the statemgr
+// localfs conventions: a root derived from Extra["checkpoint.root"] or a
+// StateRoot-scoped directory under the system temp dir, and atomic writes
+// via write-temp-then-rename.
+//
+// Layout:
+//
+//	<root>/<topology>/ckpt-<id>/task-<n>.snap
+//	<root>/<topology>/latest        (decimal id of the newest commit)
+type localFSBackend struct {
+	root string
+}
+
+func (l *localFSBackend) Initialize(cfg *core.Config) error {
+	root := cfg.Extra["checkpoint.root"]
+	if root == "" {
+		scope := filepath.Base(cfg.StateRoot)
+		if scope == "" || scope == "." || scope == string(filepath.Separator) {
+			scope = "heron"
+		}
+		root = filepath.Join(os.TempDir(), "heron-checkpoints", scope)
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: localfs root: %w", err)
+	}
+	l.root = root
+	return nil
+}
+
+func (l *localFSBackend) checkInit() error {
+	if l.root == "" {
+		return fmt.Errorf("checkpoint: localfs backend not initialized")
+	}
+	return nil
+}
+
+func (l *localFSBackend) ckptDir(topology string, id int64) string {
+	return filepath.Join(l.root, topology, "ckpt-"+strconv.FormatInt(id, 10))
+}
+
+func (l *localFSBackend) snapPath(topology string, id int64, task int32) string {
+	return filepath.Join(l.ckptDir(topology, id), "task-"+strconv.FormatInt(int64(task), 10)+".snap")
+}
+
+func (l *localFSBackend) latestPath(topology string) string {
+	return filepath.Join(l.root, topology, "latest")
+}
+
+// writeAtomic writes data via a temp file and rename, so readers never
+// observe a torn snapshot.
+func writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (l *localFSBackend) Save(topology string, checkpointID int64, task int32, data []byte) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	return writeAtomic(l.snapPath(topology, checkpointID, task), data)
+}
+
+func (l *localFSBackend) Load(topology string, checkpointID int64, task int32) ([]byte, error) {
+	if err := l.checkInit(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(l.snapPath(topology, checkpointID, task))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, core.ErrNotFound
+	}
+	return data, err
+}
+
+func (l *localFSBackend) Commit(topology string, checkpointID int64) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	latest, err := l.LatestCommitted(topology)
+	if err != nil {
+		return err
+	}
+	if checkpointID <= latest {
+		return nil
+	}
+	if err := writeAtomic(l.latestPath(topology), []byte(strconv.FormatInt(checkpointID, 10))); err != nil {
+		return err
+	}
+	// Retire superseded checkpoint directories.
+	entries, err := os.ReadDir(filepath.Join(l.root, topology))
+	if err != nil {
+		return nil
+	}
+	for _, e := range entries {
+		var old int64
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%d", &old); err == nil && old < checkpointID {
+			_ = os.RemoveAll(l.ckptDir(topology, old))
+		}
+	}
+	return nil
+}
+
+func (l *localFSBackend) LatestCommitted(topology string) (int64, error) {
+	if err := l.checkInit(); err != nil {
+		return 0, err
+	}
+	raw, err := os.ReadFile(l.latestPath(topology))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	id, err := strconv.ParseInt(string(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: corrupt latest record: %w", err)
+	}
+	return id, nil
+}
+
+func (l *localFSBackend) Dispose(topology string) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	return os.RemoveAll(filepath.Join(l.root, topology))
+}
+
+func (l *localFSBackend) Close() error {
+	l.root = ""
+	return nil
+}

@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"heron/internal/core"
+	"heron/internal/extsvc/redissim"
+)
+
+func init() {
+	Register("redis", func() Backend { return &redisBackend{} })
+}
+
+// Process-global simulated Redis servers keyed by Config.StateRoot: one
+// "deployment" per topology namespace, shared by every container session,
+// like the shared memory/localfs stores.
+var (
+	redisMu      sync.Mutex
+	redisServers = map[string]*redissim.Server{}
+)
+
+func sharedRedisServer(root string) *redissim.Server {
+	redisMu.Lock()
+	defer redisMu.Unlock()
+	s, ok := redisServers[root]
+	if !ok {
+		s = redissim.NewServer(8)
+		redisServers[root] = s
+	}
+	return s
+}
+
+// ResetSharedRedis drops the simulated server for a root (test isolation).
+func ResetSharedRedis(root string) {
+	redisMu.Lock()
+	defer redisMu.Unlock()
+	delete(redisServers, root)
+}
+
+// redisBackend stores snapshots as blobs in the simulated Redis, paying
+// the RESP encode/parse cost per operation like the ETL workload does.
+//
+// Keys: ckpt/<topology>/<id>/<task> for snapshots, ckpt/<topology>/latest
+// for the commit record.
+type redisBackend struct {
+	mu sync.Mutex // serializes the client (shared scratch buffer)
+	cl *redissim.Client
+}
+
+func (r *redisBackend) Initialize(cfg *core.Config) error {
+	root := cfg.StateRoot
+	if root == "" {
+		root = "/heron"
+	}
+	r.cl = redissim.NewClient(sharedRedisServer(root))
+	return nil
+}
+
+func (r *redisBackend) checkInit() error {
+	if r.cl == nil {
+		return fmt.Errorf("checkpoint: redis backend not initialized")
+	}
+	return nil
+}
+
+func snapKey(topology string, id int64, task int32) string {
+	return "ckpt/" + topology + "/" + strconv.FormatInt(id, 10) + "/" + strconv.FormatInt(int64(task), 10)
+}
+
+func latestKey(topology string) string { return "ckpt/" + topology + "/latest" }
+
+func (r *redisBackend) Save(topology string, checkpointID int64, task int32, data []byte) error {
+	if err := r.checkInit(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cl.SetBlob(snapKey(topology, checkpointID, task), data)
+}
+
+func (r *redisBackend) Load(topology string, checkpointID int64, task int32) ([]byte, error) {
+	if err := r.checkInit(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data, ok, err := r.cl.GetBlob(snapKey(topology, checkpointID, task))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	return data, nil
+}
+
+func (r *redisBackend) Commit(topology string, checkpointID int64) error {
+	if err := r.checkInit(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	latest, err := r.latestLocked(topology)
+	if err != nil {
+		return err
+	}
+	if checkpointID <= latest {
+		return nil
+	}
+	return r.cl.SetBlob(latestKey(topology), []byte(strconv.FormatInt(checkpointID, 10)))
+}
+
+func (r *redisBackend) latestLocked(topology string) (int64, error) {
+	raw, ok, err := r.cl.GetBlob(latestKey(topology))
+	if err != nil || !ok {
+		return 0, err
+	}
+	id, err := strconv.ParseInt(string(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: corrupt latest record: %w", err)
+	}
+	return id, nil
+}
+
+func (r *redisBackend) LatestCommitted(topology string) (int64, error) {
+	if err := r.checkInit(); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.latestLocked(topology)
+}
+
+func (r *redisBackend) Dispose(topology string) error {
+	if err := r.checkInit(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cl.DeleteBlobs("ckpt/" + topology + "/")
+}
+
+func (r *redisBackend) Close() error {
+	r.cl = nil
+	return nil
+}

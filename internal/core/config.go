@@ -52,6 +52,18 @@ type Config struct {
 	// pushes a snapshot to the Topology Master (0 selects the default).
 	MetricsExportInterval time.Duration
 
+	// CheckpointInterval enables distributed checkpointing: the Topology
+	// Master injects epoch markers at spouts this often, and components
+	// implementing api.StatefulComponent are snapshotted and restored from
+	// the latest committed checkpoint after a container failure. 0 (the
+	// default) disables checkpointing. Mutually exclusive with
+	// AckingEnabled: ack-driven replay would re-apply pre-checkpoint
+	// tuples and duplicate state updates.
+	CheckpointInterval time.Duration
+	// StateBackend names the snapshot store: "memory" (default),
+	// "localfs", or "redis" (the simulated Redis in extsvc/redissim).
+	StateBackend string
+
 	// HTTPAddr, when non-empty, starts the observability HTTP server on
 	// this address ("127.0.0.1:0" picks a free port). It serves /metrics
 	// (Prometheus text) and /topology (JSON).
@@ -110,6 +122,7 @@ func NewConfig() *Config {
 		MessageTimeout:         DefaultMessageTimeout,
 		CacheDrainFrequency:    DefaultCacheDrainFrequency,
 		CacheMaxBatchTuples:    DefaultCacheMaxBatchTuples,
+		StateBackend:           "memory",
 		StateRoot:              "/heron",
 		Extra:                  map[string]string{},
 	}
@@ -141,6 +154,12 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxSpoutPending > 0 && !c.AckingEnabled {
 		return fmt.Errorf("core: MaxSpoutPending requires AckingEnabled")
+	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("core: negative CheckpointInterval")
+	}
+	if c.CheckpointInterval > 0 && c.AckingEnabled {
+		return fmt.Errorf("core: CheckpointInterval and AckingEnabled are mutually exclusive")
 	}
 	return nil
 }

@@ -37,6 +37,15 @@ const (
 	// max-spout-pending window of a running topology (the paper's §V-B
 	// future work: automated, observation-driven parameter tuning).
 	OpTune Op = "tune"
+	// OpCheckpointTrigger: TMaster → stream managers; start checkpoint
+	// CheckpointID by injecting markers at the local spouts.
+	OpCheckpointTrigger Op = "checkpoint_trigger"
+	// OpCheckpointSaved: instance → stream manager → TMaster; task TaskID
+	// persisted its snapshot for checkpoint CheckpointID.
+	OpCheckpointSaved Op = "checkpoint_saved"
+	// OpCheckpointCommitted: TMaster → stream managers; every task saved,
+	// the checkpoint is globally committed and restorable.
+	OpCheckpointCommitted Op = "checkpoint_committed"
 )
 
 // Message is the envelope for every control frame.
@@ -59,6 +68,9 @@ type Message struct {
 
 	// OpTune.
 	MaxSpoutPending int `json:"maxSpoutPending,omitempty"`
+
+	// OpCheckpointTrigger / OpCheckpointSaved / OpCheckpointCommitted.
+	CheckpointID int64 `json:"checkpointId,omitempty"`
 
 	// OpMetrics: the container's typed metrics snapshot (named, tagged
 	// points — the TMaster merges these into the topology-wide view).

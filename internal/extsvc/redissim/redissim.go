@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -22,6 +23,9 @@ type Server struct {
 type shard struct {
 	mu   sync.Mutex
 	data map[string]int64
+	// blobs is the binary namespace used by the checkpoint backend
+	// (BSET/BGET/BKEYS/BDEL); disjoint from the counter namespace.
+	blobs map[string][]byte
 }
 
 // NewServer creates a server with n shards.
@@ -31,7 +35,7 @@ func NewServer(n int) *Server {
 	}
 	s := &Server{shards: make([]*shard, n)}
 	for i := range s.shards {
-		s.shards[i] = &shard{data: map[string]int64{}}
+		s.shards[i] = &shard{data: map[string]int64{}, blobs: map[string][]byte{}}
 	}
 	return s
 }
@@ -101,6 +105,88 @@ func (s *Server) execRESP(cmd []byte) error {
 		return fmt.Errorf("redissim: unknown command %q", args[0])
 	}
 	return nil
+}
+
+// execRESPReply parses one RESP command array, applies it and returns the
+// RESP-encoded reply. It carries the blob commands the checkpoint backend
+// needs; the fire-and-forget counter pipeline keeps using execRESP.
+func (s *Server) execRESPReply(cmd []byte) ([]byte, error) {
+	args, err := parseRESP(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return nil, fmt.Errorf("redissim: empty command")
+	}
+	switch args[0] {
+	case "BSET":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("redissim: BSET arity")
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		sh.blobs[args[1]] = []byte(args[2])
+		sh.mu.Unlock()
+		return []byte("+OK\r\n"), nil
+	case "BGET":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("redissim: BGET arity")
+		}
+		sh := s.shardOf(args[1])
+		sh.mu.Lock()
+		v, ok := sh.blobs[args[1]]
+		if ok {
+			v = append([]byte(nil), v...)
+		}
+		sh.mu.Unlock()
+		if !ok {
+			return []byte("$-1\r\n"), nil
+		}
+		out := append([]byte(nil), '$')
+		out = strconv.AppendInt(out, int64(len(v)), 10)
+		out = append(out, '\r', '\n')
+		out = append(out, v...)
+		return append(out, '\r', '\n'), nil
+	case "BKEYS":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("redissim: BKEYS arity")
+		}
+		var keys []string
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for k := range sh.blobs {
+				if strings.HasPrefix(k, args[1]) {
+					keys = append(keys, k)
+				}
+			}
+			sh.mu.Unlock()
+		}
+		return appendRESP(nil, keys...), nil
+	case "BDEL":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("redissim: BDEL arity")
+		}
+		n := 0
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for k := range sh.blobs {
+				if strings.HasPrefix(k, args[1]) {
+					delete(sh.blobs, k)
+					n++
+				}
+			}
+			sh.mu.Unlock()
+		}
+		out := append([]byte(nil), ':')
+		out = strconv.AppendInt(out, int64(n), 10)
+		return append(out, '\r', '\n'), nil
+	default:
+		// Counter commands reply +OK so a caller can mix them in.
+		if err := s.execRESP(cmd); err != nil {
+			return nil, err
+		}
+		return []byte("+OK\r\n"), nil
+	}
 }
 
 // appendRESP encodes an argument list as a RESP array of bulk strings.
@@ -210,3 +296,68 @@ func (c *Client) Flush() error {
 
 // Pending returns the number of buffered commands.
 func (c *Client) Pending() int { return len(c.pending) }
+
+// Blob commands execute immediately (no pipelining): checkpoint traffic is
+// rare and needs the reply, unlike the fire-and-forget counter pipeline.
+
+// roundTrip encodes one command, runs it and returns the raw RESP reply.
+func (c *Client) roundTrip(args ...string) ([]byte, error) {
+	c.scratch = appendRESP(c.scratch[:0], args...)
+	return c.srv.execRESPReply(c.scratch)
+}
+
+// SetBlob stores a binary value.
+func (c *Client) SetBlob(key string, value []byte) error {
+	reply, err := c.roundTrip("BSET", key, string(value))
+	if err != nil {
+		return err
+	}
+	if len(reply) == 0 || reply[0] != '+' {
+		return fmt.Errorf("redissim: BSET reply %q", reply)
+	}
+	return nil
+}
+
+// GetBlob fetches a binary value; ok is false on a nil reply.
+func (c *Client) GetBlob(key string) (value []byte, ok bool, err error) {
+	reply, err := c.roundTrip("BGET", key)
+	if err != nil {
+		return nil, false, err
+	}
+	if strings.HasPrefix(string(reply), "$-1") {
+		return nil, false, nil
+	}
+	if len(reply) == 0 || reply[0] != '$' {
+		return nil, false, fmt.Errorf("redissim: BGET reply %q", reply)
+	}
+	i := strings.Index(string(reply), "\r\n")
+	if i < 0 {
+		return nil, false, fmt.Errorf("redissim: BGET reply %q", reply)
+	}
+	l, err := strconv.Atoi(string(reply[1:i]))
+	if err != nil || len(reply) < i+2+l {
+		return nil, false, fmt.Errorf("redissim: BGET reply %q", reply)
+	}
+	return reply[i+2 : i+2+l], true, nil
+}
+
+// BlobKeys lists blob keys with the given prefix.
+func (c *Client) BlobKeys(prefix string) ([]string, error) {
+	reply, err := c.roundTrip("BKEYS", prefix)
+	if err != nil {
+		return nil, err
+	}
+	return parseRESP(reply)
+}
+
+// DeleteBlobs removes every blob key with the given prefix.
+func (c *Client) DeleteBlobs(prefix string) error {
+	reply, err := c.roundTrip("BDEL", prefix)
+	if err != nil {
+		return err
+	}
+	if len(reply) == 0 || reply[0] != ':' {
+		return fmt.Errorf("redissim: BDEL reply %q", reply)
+	}
+	return nil
+}

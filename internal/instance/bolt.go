@@ -185,6 +185,7 @@ func (in *Instance) runBolt() {
 			log.Printf("instance %v: bolt cleanup: %v", in.opts.ID, err)
 		}
 	}()
+	in.maybeRestore()
 	// Bolts that implement api.Ticker and declare a tick interval get
 	// periodic Tick calls on this goroutine, interleaved with Execute.
 	var tick <-chan time.Time
@@ -200,10 +201,14 @@ func (in *Instance) runBolt() {
 	for {
 		select {
 		case f := <-in.inbox:
-			if f.kind != network.MsgData {
+			switch f.kind {
+			case network.MsgData:
+				in.boltData(f.data, &dt, col)
+			case network.MsgMarker:
+				in.boltMarker(f.data, &dt, col)
+			default:
 				continue
 			}
-			in.executeFrame(f.data, &dt, col)
 			in.flushOut() // one outbound frame per processed batch
 		case <-tick:
 			if err := ticker.Tick(); err != nil {
@@ -230,41 +235,47 @@ func (in *Instance) tickEveryMs() int64 {
 
 // executeFrame decodes and executes every tuple of one data frame.
 func (in *Instance) executeFrame(frame []byte, dt *tuple.DataTuple, col *boltCollector) {
-	ps := in.plan.Load()
 	_, _, err := tuple.WalkFrame(frame, func(tb []byte) error {
 		if err := in.codec.DecodeData(tb, dt); err != nil {
 			return nil
 		}
-		bt := &boltTuple{
-			values: append(api.Values(nil), dt.Values...),
-			key:    dt.Key,
-		}
-		if len(dt.Roots) > 0 {
-			bt.roots = append([]uint64(nil), dt.Roots...)
-		}
-		if ps != nil && int(dt.StreamID) < len(ps.pp.Streams) {
-			si := &ps.pp.Streams[dt.StreamID]
-			bt.source, bt.stream = si.SrcComponent, si.Stream
-		}
-		in.mExecuted.Inc(1)
-		// Clocking every execution costs two time reads per tuple on the
-		// hottest path in the engine; 1-in-execLatSampleEvery is plenty
-		// for the reservoir quantiles while mExecuted stays exact.
-		sampled := in.execSeq&(execLatSampleEvery-1) == 0
-		in.execSeq++
-		var start time.Time
-		if sampled {
-			start = time.Now()
-		}
-		if err := in.opts.Bolt.Execute(bt); err != nil {
-			log.Printf("instance %v: execute: %v", in.opts.ID, err)
-		}
-		if sampled {
-			in.mExecLat.Observe(time.Since(start).Nanoseconds())
-		}
+		in.execDecoded(dt, col)
 		return nil
 	})
 	if err != nil {
 		log.Printf("instance %v: bad frame: %v", in.opts.ID, err)
+	}
+}
+
+// execDecoded executes one decoded tuple (shared by the direct path, the
+// barrier filter and held-tuple replay).
+func (in *Instance) execDecoded(dt *tuple.DataTuple, col *boltCollector) {
+	ps := in.plan.Load()
+	bt := &boltTuple{
+		values: append(api.Values(nil), dt.Values...),
+		key:    dt.Key,
+	}
+	if len(dt.Roots) > 0 {
+		bt.roots = append([]uint64(nil), dt.Roots...)
+	}
+	if ps != nil && int(dt.StreamID) < len(ps.pp.Streams) {
+		si := &ps.pp.Streams[dt.StreamID]
+		bt.source, bt.stream = si.SrcComponent, si.Stream
+	}
+	in.mExecuted.Inc(1)
+	// Clocking every execution costs two time reads per tuple on the
+	// hottest path in the engine; 1-in-execLatSampleEvery is plenty
+	// for the reservoir quantiles while mExecuted stays exact.
+	sampled := in.execSeq&(execLatSampleEvery-1) == 0
+	in.execSeq++
+	var start time.Time
+	if sampled {
+		start = time.Now()
+	}
+	if err := in.opts.Bolt.Execute(bt); err != nil {
+		log.Printf("instance %v: execute: %v", in.opts.ID, err)
+	}
+	if sampled {
+		in.mExecLat.Observe(time.Since(start).Nanoseconds())
 	}
 }

@@ -1,0 +1,220 @@
+package instance
+
+import (
+	"errors"
+	"log"
+	"time"
+
+	"heron/api"
+	"heron/internal/checkpoint"
+	"heron/internal/core"
+	"heron/internal/ctrl"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// This file is the instance side of the aligned-marker checkpoint
+// protocol. A spout snapshots on first sight of a trigger marker from its
+// Stream Manager; a bolt aligns a barrier across every upstream task,
+// executing pre-barrier tuples and holding post-barrier ones until the
+// last marker arrives, then snapshots and releases the held tuples. Both
+// then forward markers downstream and ack the coordinator. Everything
+// here runs on the executor goroutine.
+
+// barrier tracks one in-progress alignment on a bolt.
+type barrier struct {
+	id      int64
+	waiting map[int32]bool // upstream tasks whose marker has not arrived
+	// held are raw encoded tuples that arrived on already-marked channels;
+	// they alias owned inbox frame slices, so no copy is needed.
+	held [][]byte
+}
+
+// statefulComponent returns the user component's StatefulComponent
+// extension, or nil.
+func (in *Instance) statefulComponent() api.StatefulComponent {
+	switch in.opts.Kind {
+	case core.KindSpout:
+		sc, _ := in.opts.Spout.(api.StatefulComponent)
+		return sc
+	case core.KindBolt:
+		sc, _ := in.opts.Bolt.(api.StatefulComponent)
+		return sc
+	}
+	return nil
+}
+
+// maybeRestore rebuilds the component's state from the restore checkpoint
+// chosen at container launch. Called after Open/Prepare, before any input
+// is processed.
+func (in *Instance) maybeRestore() {
+	if in.opts.Checkpoint == nil || in.opts.RestoreCheckpoint <= 0 {
+		return
+	}
+	// Stale markers from checkpoints attempted before the failure may
+	// still be in flight; ignore everything up to the restore point even
+	// for stateless components.
+	in.lastCkptID = in.opts.RestoreCheckpoint
+	sc := in.statefulComponent()
+	if sc == nil {
+		return
+	}
+	data, err := in.opts.Checkpoint.Load(in.opts.Topology, in.opts.RestoreCheckpoint, in.opts.ID.TaskID)
+	if err != nil {
+		if !errors.Is(err, core.ErrNotFound) {
+			log.Printf("instance %v: load checkpoint %d: %v", in.opts.ID, in.opts.RestoreCheckpoint, err)
+		}
+		return
+	}
+	st, err := checkpoint.DecodeState(data)
+	if err != nil {
+		log.Printf("instance %v: decode checkpoint %d: %v", in.opts.ID, in.opts.RestoreCheckpoint, err)
+		return
+	}
+	if err := sc.RestoreState(st); err != nil {
+		log.Printf("instance %v: restore state: %v", in.opts.ID, err)
+		return
+	}
+	in.mRestores.Inc(1)
+}
+
+// checkpointSave captures and persists the component's state for one
+// checkpoint. Stateless components skip the snapshot but still ack (the
+// coordinator waits on every task).
+func (in *Instance) checkpointSave(id int64) {
+	sc := in.statefulComponent()
+	if sc == nil || in.opts.Checkpoint == nil {
+		return
+	}
+	start := time.Now()
+	st := checkpoint.NewMapState()
+	if err := sc.SaveState(st); err != nil {
+		log.Printf("instance %v: save state: %v", in.opts.ID, err)
+		return
+	}
+	data := checkpoint.EncodeState(st)
+	if err := in.opts.Checkpoint.Save(in.opts.Topology, id, in.opts.ID.TaskID, data); err != nil {
+		log.Printf("instance %v: persist checkpoint %d: %v", in.opts.ID, id, err)
+		return
+	}
+	in.mCkptDur.Observe(time.Since(start).Nanoseconds())
+	in.mCkptSize.Observe(int64(len(data)))
+}
+
+// forwardMarkers sends this task's marker for checkpoint id to every
+// downstream task. The caller must flushOut first: the markers join the
+// same FIFO connection behind everything emitted before the barrier.
+func (in *Instance) forwardMarkers(id int64) {
+	ps := in.plan.Load()
+	if ps == nil {
+		return
+	}
+	for _, dest := range ps.downstreamTasks {
+		in.markerBuf = tuple.AppendMarker(in.markerBuf[:0], id, in.opts.ID.TaskID, dest)
+		_ = in.conn.Send(network.MsgMarker, in.markerBuf)
+	}
+}
+
+// sendCheckpointSaved acks checkpoint id to the coordinator (relayed by
+// the local Stream Manager).
+func (in *Instance) sendCheckpointSaved(id int64) {
+	raw, err := ctrl.Encode(&ctrl.Message{
+		Op: ctrl.OpCheckpointSaved, Topology: in.opts.Topology,
+		TaskID: in.opts.ID.TaskID, CheckpointID: id,
+	})
+	if err == nil {
+		_ = in.conn.Send(network.MsgControl, raw)
+	}
+}
+
+// spoutCheckpoint handles a trigger marker at a spout: flush everything
+// emitted so far, snapshot, forward markers, ack. Duplicate or stale
+// triggers (re-broadcasts, abandoned checkpoints) are ignored.
+func (in *Instance) spoutCheckpoint(id int64) {
+	if in.opts.Checkpoint == nil || id <= in.lastCkptID {
+		return
+	}
+	in.lastCkptID = id
+	in.flushOut()
+	in.forwardMarkers(id)
+	in.checkpointSave(id)
+	in.sendCheckpointSaved(id)
+}
+
+// boltMarker handles one marker frame at a bolt, advancing (or starting)
+// the barrier for its checkpoint id.
+func (in *Instance) boltMarker(data []byte, dt *tuple.DataTuple, col *boltCollector) {
+	if in.opts.Checkpoint == nil {
+		return
+	}
+	id, src, _, err := tuple.DecodeMarker(data)
+	if err != nil || id <= in.lastCkptID {
+		return
+	}
+	ps := in.plan.Load()
+	if ps == nil {
+		return
+	}
+	if in.bar != nil && in.bar.id != id {
+		// A newer checkpoint began before the old barrier completed: the
+		// coordinator abandoned the old one. Its held tuples are
+		// pre-barrier for the new checkpoint — execute them now.
+		in.releaseHeld(dt, col)
+	}
+	if in.bar == nil {
+		in.bar = &barrier{id: id, waiting: make(map[int32]bool, len(ps.upstreamTasks))}
+		for _, t := range ps.upstreamTasks {
+			in.bar.waiting[t] = true
+		}
+	}
+	delete(in.bar.waiting, src)
+	if len(in.bar.waiting) > 0 {
+		return
+	}
+	// Barrier complete: everything pre-checkpoint has been executed and
+	// everything post-checkpoint is held. Snapshot between the two.
+	in.lastCkptID = id
+	in.flushOut()
+	in.forwardMarkers(id)
+	in.checkpointSave(id)
+	in.sendCheckpointSaved(id)
+	in.releaseHeld(dt, col)
+}
+
+// releaseHeld executes the tuples deferred during alignment and drops the
+// barrier.
+func (in *Instance) releaseHeld(dt *tuple.DataTuple, col *boltCollector) {
+	bar := in.bar
+	in.bar = nil
+	if bar == nil {
+		return
+	}
+	for _, tb := range bar.held {
+		if err := in.codec.DecodeData(tb, dt); err == nil {
+			in.execDecoded(dt, col)
+		}
+	}
+}
+
+// boltData routes one data frame through the barrier filter: with no
+// barrier in progress every tuple executes; during alignment, tuples from
+// channels that already delivered their marker are post-barrier and held,
+// tuples from still-unmarked channels execute immediately. Filtering is
+// per tuple, not per frame — a frame may interleave both kinds.
+func (in *Instance) boltData(frame []byte, dt *tuple.DataTuple, col *boltCollector) {
+	if in.bar == nil {
+		in.executeFrame(frame, dt, col)
+		return
+	}
+	_, _, _ = tuple.WalkFrame(frame, func(tb []byte) error {
+		if err := in.codec.DecodeData(tb, dt); err != nil {
+			return nil
+		}
+		if !in.bar.waiting[dt.SrcTask] {
+			in.bar.held = append(in.bar.held, tb)
+			return nil
+		}
+		in.execDecoded(dt, col)
+		return nil
+	})
+}

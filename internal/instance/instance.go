@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"heron/api"
+	"heron/internal/checkpoint"
 	"heron/internal/core"
 	"heron/internal/ctrl"
 	"heron/internal/encoding/wire"
@@ -39,6 +40,13 @@ type Options struct {
 	// StmgrAddr is the local Stream Manager's data address.
 	StmgrAddr string
 	Registry  *metrics.Registry
+	// Checkpoint, when non-nil, enables the aligned-marker checkpoint
+	// protocol: the instance snapshots StatefulComponents through this
+	// backend and participates in barrier alignment.
+	Checkpoint checkpoint.Backend
+	// RestoreCheckpoint, when > 0, is the committed checkpoint id to
+	// restore from before processing any input (container relaunch).
+	RestoreCheckpoint int64
 }
 
 // inFrame is one frame queued for the executor.
@@ -80,6 +88,14 @@ type Instance struct {
 	inflight int
 	pending  map[uint64]pendingEmit
 
+	// Checkpoint state (executor goroutine only). lastCkptID is the
+	// newest checkpoint this instance completed (or restored from); older
+	// markers are stale. bar is the bolt's in-progress barrier, nil
+	// outside alignment.
+	lastCkptID int64
+	bar        *barrier
+	markerBuf  []byte
+
 	// Reusable scratch buffers (executor goroutine only; Send copies).
 	frameBuf []byte
 	ackBuf   []byte
@@ -108,6 +124,9 @@ type Instance struct {
 	mExecLat  *metrics.Histogram // bolt: time inside Execute, sampled
 	mPending  *metrics.Gauge     // spout: un-acked tuples in flight
 	execSeq   uint64             // executor goroutine only; drives sampling
+	mCkptDur  *metrics.Histogram // ns per snapshot (checkpointing only)
+	mCkptSize *metrics.Histogram // encoded snapshot bytes
+	mRestores *metrics.Counter   // restores performed after recovery
 }
 
 // execLatSampleEvery is the execute-latency sampling interval: one in
@@ -178,6 +197,11 @@ func New(opts Options) (*Instance, error) {
 	case core.KindBolt:
 		inst.mExecuted = opts.Registry.Counter(metrics.MExecuteCount, tags)
 		inst.mExecLat = opts.Registry.Histogram(metrics.MExecuteLatency, tags)
+	}
+	if opts.Checkpoint != nil {
+		inst.mCkptDur = opts.Registry.Histogram(metrics.MCheckpointDuration, tags)
+		inst.mCkptSize = opts.Registry.Histogram(metrics.MCheckpointSize, tags)
+		inst.mRestores = opts.Registry.Counter(metrics.MRestoreCount, tags)
 	}
 	conn.Start(inst.onFrame)
 	reg, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpRegisterInstance, Topology: opts.Topology, TaskID: opts.ID.TaskID})

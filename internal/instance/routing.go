@@ -2,6 +2,7 @@ package instance
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"heron/internal/core"
@@ -18,6 +19,11 @@ type planState struct {
 	routesByStream []streamRoutes
 	// streamIDByName resolves this component's output stream names.
 	streamIDByName map[string]int32
+	// upstreamTasks are the tasks that send this instance data (the
+	// channels a checkpoint barrier aligns across); downstreamTasks are
+	// the tasks this instance can emit to (where it forwards markers).
+	upstreamTasks   []int32
+	downstreamTasks []int32
 }
 
 type streamRoutes struct {
@@ -59,7 +65,41 @@ func newPlanState(p *ctrl.PlanPayload, selfTask int32) (*planState, error) {
 			ps.streamIDByName[si.Stream] = si.ID
 		}
 	}
+	// Barrier topology: which tasks feed this component (markers expected
+	// from each during alignment) and which it feeds (markers forwarded to
+	// each). Groupings don't matter here — any upstream task may route any
+	// given tuple to us, so the barrier must span every producer task.
+	up, down := map[int32]bool{}, map[int32]bool{}
+	for i := range pp.Streams {
+		si := &pp.Streams[i]
+		for _, c := range si.Consumers {
+			if c.Component == selfComponent {
+				for _, t := range pp.ComponentTasks(si.SrcComponent) {
+					up[t] = true
+				}
+			}
+			if si.SrcComponent == selfComponent {
+				for _, t := range c.Tasks {
+					down[t] = true
+				}
+			}
+		}
+	}
+	ps.upstreamTasks = sortedTasks(up)
+	ps.downstreamTasks = sortedTasks(down)
 	return ps, nil
+}
+
+func sortedTasks(set map[int32]bool) []int32 {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // destinations appends the destination tasks for one emitted tuple on a

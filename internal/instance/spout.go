@@ -96,6 +96,7 @@ func (in *Instance) runSpout() {
 		log.Printf("instance %v: spout open: %v", in.opts.ID, err)
 		return
 	}
+	in.maybeRestore()
 	defer func() {
 		if err := in.opts.Spout.Close(); err != nil {
 			log.Printf("instance %v: spout close: %v", in.opts.ID, err)
@@ -155,19 +156,23 @@ func (in *Instance) runSpout() {
 	}
 }
 
-// spoutFrame applies one queued frame (batched ack notifications) to
-// spout state.
+// spoutFrame applies one queued frame (batched ack notifications or a
+// checkpoint trigger marker) to spout state.
 func (in *Instance) spoutFrame(f inFrame) {
-	if f.kind != network.MsgAck {
-		return
-	}
-	_ = tuple.WalkAckFrame(f.data, func(ab []byte) error {
-		var a tuple.AckTuple
-		if err := tuple.DecodeAck(ab, &a); err == nil {
-			in.spoutAck(&a)
+	switch f.kind {
+	case network.MsgAck:
+		_ = tuple.WalkAckFrame(f.data, func(ab []byte) error {
+			var a tuple.AckTuple
+			if err := tuple.DecodeAck(ab, &a); err == nil {
+				in.spoutAck(&a)
+			}
+			return nil
+		})
+	case network.MsgMarker:
+		if id, _, _, err := tuple.DecodeMarker(f.data); err == nil {
+			in.spoutCheckpoint(id)
 		}
-		return nil
-	})
+	}
 }
 
 // spoutAck completes one pending emission.

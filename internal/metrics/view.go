@@ -29,6 +29,14 @@ const (
 	MStmgrBytesReceived  = "stmgr.bytes-received"           // bytes arriving at the router
 	MStmgrBPTransitions  = "stmgr.backpressure-transitions" // assert/release edges
 	MStmgrBPAssertedTime = "stmgr.backpressure-time-ns"     // total ns spent asserted
+
+	// Checkpointing. Duration/size/restore are per-instance (tags:
+	// component, task); epoch is per-Stream-Manager (tags: StmgrComponent,
+	// container id as task) and tracks the last committed checkpoint id.
+	MCheckpointDuration = "checkpoint.duration"   // ns to capture+persist one snapshot
+	MCheckpointSize     = "checkpoint.size_bytes" // encoded snapshot bytes
+	MCheckpointEpoch    = "checkpoint.epoch"      // latest globally-committed checkpoint id (gauge)
+	MRestoreCount       = "restore.count"         // state restores performed after recovery
 )
 
 // UserPrefix namespaces metrics registered by user components so they can

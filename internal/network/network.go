@@ -43,6 +43,7 @@ const (
 	MsgData    MsgKind = 1 // batch of encoded data tuples
 	MsgAck     MsgKind = 2 // batch of encoded ack/fail control tuples
 	MsgControl MsgKind = 3 // control plane (registration, plans, metrics)
+	MsgMarker  MsgKind = 4 // checkpoint epoch marker (barrier alignment)
 )
 
 // MaxFrameSize bounds a single frame; larger sends fail fast instead of

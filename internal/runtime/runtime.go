@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"heron/api"
+	"heron/internal/checkpoint"
 	"heron/internal/core"
 	"heron/internal/ctrl"
 	"heron/internal/instance"
@@ -107,6 +108,29 @@ func (e *Engine) launchWorker(topology string, containerID int32) (func(), error
 	e.registries[containerID] = registry
 	e.mu.Unlock()
 
+	// With checkpointing on, every instance of this container shares one
+	// backend session, and a (re)launched container restores from the
+	// latest globally-committed checkpoint — 0 on a fresh start.
+	var ckptBackend checkpoint.Backend
+	var restoreID int64
+	if e.cfg.CheckpointInterval > 0 {
+		ckptBackend, err = checkpoint.New(e.cfg.StateBackend)
+		if err != nil {
+			state.Close()
+			return nil, err
+		}
+		if err := ckptBackend.Initialize(e.cfg); err != nil {
+			state.Close()
+			return nil, err
+		}
+		restoreID, err = ckptBackend.LatestCommitted(topology)
+		if err != nil {
+			ckptBackend.Close()
+			state.Close()
+			return nil, err
+		}
+	}
+
 	sm, err := stmgr.New(stmgr.Options{
 		Topology:  topology,
 		Container: containerID,
@@ -115,6 +139,9 @@ func (e *Engine) launchWorker(topology string, containerID int32) (func(), error
 		Registry:  registry,
 	})
 	if err != nil {
+		if ckptBackend != nil {
+			_ = ckptBackend.Close()
+		}
 		state.Close()
 		return nil, err
 	}
@@ -126,12 +153,14 @@ func (e *Engine) launchWorker(topology string, containerID int32) (func(), error
 			continue
 		}
 		opts := instance.Options{
-			Topology:  topology,
-			ID:        placed.ID,
-			Kind:      spec.Kind,
-			Cfg:       e.cfg,
-			StmgrAddr: sm.Addr(),
-			Registry:  registry,
+			Topology:          topology,
+			ID:                placed.ID,
+			Kind:              spec.Kind,
+			Cfg:               e.cfg,
+			StmgrAddr:         sm.Addr(),
+			Registry:          registry,
+			Checkpoint:        ckptBackend,
+			RestoreCheckpoint: restoreID,
 		}
 		switch spec.Kind {
 		case core.KindSpout:
@@ -145,6 +174,9 @@ func (e *Engine) launchWorker(topology string, containerID int32) (func(), error
 				i.Stop()
 			}
 			sm.Stop()
+			if ckptBackend != nil {
+				_ = ckptBackend.Close()
+			}
 			state.Close()
 			return nil, err
 		}
@@ -165,6 +197,9 @@ func (e *Engine) launchWorker(topology string, containerID int32) (func(), error
 			i.Stop()
 		}
 		sm.Stop()
+		if ckptBackend != nil {
+			_ = ckptBackend.Close()
+		}
 		state.Close()
 	}, nil
 }

@@ -63,8 +63,26 @@ func (m *Mesos) Initialize(cfg *core.Config) error {
 			if managed {
 				res, managed = asks[ev.ContainerID]
 			}
+			var reqs map[int32]core.Resource
+			if managed && m.cfg.CheckpointInterval > 0 {
+				reqs = make(map[int32]core.Resource, len(asks))
+				for id, r := range asks {
+					reqs[id] = r
+				}
+			}
 			m.mu.Unlock()
 			if !managed {
+				continue
+			}
+			if reqs != nil {
+				// Checkpoint recovery: quiesce the whole worker set, then
+				// re-place every container on fresh offers; each relaunch
+				// restores from the last committed checkpoint.
+				for _, id := range quiesceWorkers(m.cl, ev.Topology, ev.ContainerID) {
+					if r, ok := reqs[id]; ok {
+						_ = m.placeOnOffer(ev.Topology, id, r)
+					}
+				}
 				continue
 			}
 			// Re-place on a fresh offer.

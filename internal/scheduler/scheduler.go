@@ -23,6 +23,7 @@ package scheduler
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"heron/internal/cluster"
@@ -59,6 +60,29 @@ func planByID(p *core.PackingPlan) map[int32]*core.ContainerPlan {
 		m[p.Containers[i].ID] = &p.Containers[i]
 	}
 	return m
+}
+
+// quiesceWorkers releases every still-running worker container of a
+// topology (the TMaster keeps running: it hosts the checkpoint
+// coordinator and the plan directory) and returns the sorted set of
+// container ids to relaunch — the failed one plus everything released.
+// Checkpoint-based recovery must kill the survivors before anything
+// restarts: their instance state and post-checkpoint in-flight tuples
+// are exactly what a restore from the last globally-committed checkpoint
+// must not observe. Each relaunched container then restores from that
+// checkpoint, giving effectively-once state semantics.
+func quiesceWorkers(cl *cluster.Cluster, topology string, failed int32) []int32 {
+	ids := []int32{failed}
+	for _, id := range cl.Containers(topology) {
+		if id == core.TMasterContainerID || id == failed {
+			continue
+		}
+		if err := cl.Release(topology, id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // instanceFingerprint canonically describes a container's membership so

@@ -53,8 +53,26 @@ func (y *YARN) Initialize(cfg *core.Config) error {
 			if managed {
 				res, managed = asks[ev.ContainerID]
 			}
+			var reqs map[int32]core.Resource
+			if managed && y.cfg.CheckpointInterval > 0 {
+				reqs = make(map[int32]core.Resource, len(asks))
+				for id, r := range asks {
+					reqs[id] = r
+				}
+			}
 			y.mu.Unlock()
 			if !managed {
+				continue
+			}
+			if reqs != nil {
+				// Checkpoint recovery: quiesce the whole worker set before
+				// anything restarts, then re-request every container; each
+				// relaunch restores from the last committed checkpoint.
+				for _, id := range quiesceWorkers(y.cl, ev.Topology, ev.ContainerID) {
+					if r, ok := reqs[id]; ok {
+						_ = y.cl.Allocate(ev.Topology, id, r, y.cfg.Launcher, cluster.AllocateOptions{})
+					}
+				}
 				continue
 			}
 			// Stateful recovery: re-request an equivalent container from

@@ -74,6 +74,7 @@ func newBenchSM(tb testing.TB) *StreamManager {
 	s.mBPTime = reg.Counter(metrics.MStmgrBPAssertedTime, tags)
 	s.mBytesSent = reg.Counter(metrics.MStmgrBytesSent, tags)
 	s.mBytesRecv = reg.Counter(metrics.MStmgrBytesReceived, tags)
+	s.mCkptEpoch = reg.Gauge(metrics.MCheckpointEpoch, tags)
 	s.cache = newTupleCache(cfg, s.flushBatch)
 	s.plan = pp
 	local := newOutbox(&nullConn{}, nil, s.onBytesSent)
@@ -135,6 +136,37 @@ func BenchmarkRouteLazy(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s.routeDataLazy(frame)
+		}
+	})
+}
+
+// BenchmarkRouteCheckpoint measures what checkpointing costs the hot
+// routing path. "off" is the plain data stream (checkpointing disabled is
+// the default; markers never appear, so this must match BenchmarkRouteLazy
+// and stay allocation-free). "on" interleaves a checkpoint marker every
+// 256 data frames — a far higher marker rate than any realistic interval —
+// so the per-frame delta bounds the steady-state overhead from above.
+func BenchmarkRouteCheckpoint(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		s := newBenchSM(b)
+		frame := benchFrame(2, 8)
+		b.SetBytes(int64(len(frame)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.routeDataLazy(frame)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		s := newBenchSM(b)
+		frame := benchFrame(2, 8)
+		marker := tuple.AppendMarker(nil, 1, 0, 2)
+		b.SetBytes(int64(len(frame)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.routeDataLazy(frame)
+			if i%256 == 255 {
+				s.routeMarker(marker)
+			}
 		}
 	})
 }

@@ -91,6 +91,20 @@ func (c *tupleCache) add(dest int32, tupleBytes []byte) {
 	sh.mu.Unlock()
 }
 
+// flushDest seals and flushes the partial batch for one destination, if
+// any. The marker path uses it so a checkpoint marker never overtakes
+// tuples parked in the cache for the same task: the flushed frame and the
+// marker join the same FIFO outbox in order.
+func (c *tupleCache) flushDest(dest int32) {
+	sh := &c.shards[uint32(dest)%cacheShards]
+	sh.mu.Lock()
+	if b := sh.batches[dest]; b != nil && b.count > 0 {
+		buf, count := b.seal(dest)
+		c.flush(dest, count, buf)
+	}
+	sh.mu.Unlock()
+}
+
 // drainAll flushes every non-empty batch (the timer path), reusing the
 // same seal-and-hand-off as the size trigger: no per-destination frame is
 // allocated or copied here.
@@ -187,6 +201,43 @@ func (s *StreamManager) routeFrame(kind network.MsgKind, payload []byte) {
 		s.routeData(payload)
 	case network.MsgAck:
 		s.routeAck(payload)
+	case network.MsgMarker:
+		s.routeMarker(payload)
+	}
+}
+
+// routeMarker forwards a checkpoint marker toward its destination task.
+// Markers are their own frame kind so the data fast path never pays for
+// them; they are rare (one per task pair per checkpoint interval), so
+// this path may allocate freely.
+func (s *StreamManager) routeMarker(payload []byte) {
+	_, _, dest, err := tuple.DecodeMarker(payload)
+	if err != nil {
+		return
+	}
+	rt := s.routes.Load()
+	if rt == nil || rt.plan == nil {
+		return
+	}
+	// Flush any partially built batch for the destination first; the
+	// barrier invariant is per-channel FIFO between data and markers.
+	if s.cache != nil {
+		s.cache.flushDest(dest)
+	}
+	container := rt.plan.TaskContainer(dest)
+	if container < 0 {
+		return
+	}
+	if container == s.opts.Container {
+		// Dropping a marker for an unregistered instance is safe: the
+		// barrier never completes and the checkpoint is abandoned.
+		if o := rt.instances[dest]; o != nil {
+			o.enqueue(network.MsgMarker, payload)
+		}
+		return
+	}
+	if peer := rt.peers[container]; peer != nil {
+		peer.enqueue(network.MsgMarker, payload)
 	}
 }
 

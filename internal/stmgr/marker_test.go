@@ -1,0 +1,118 @@
+package stmgr
+
+import (
+	"testing"
+
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// installRecorder swaps a counting conn in for one routing-table entry so
+// a test can observe the exact frame order an instance (or peer) would
+// receive. Returns the conn; the outbox is closed on test cleanup.
+func installRecorder(t *testing.T, s *StreamManager, task int32, peer bool) *countingConn {
+	t.Helper()
+	conn := newCountingConn()
+	o := newOutbox(conn, nil, s.onBytesSent)
+	s.mu.Lock()
+	if peer {
+		s.peers[task] = o
+	} else {
+		s.instances[task] = o
+	}
+	s.publishRoutesLocked()
+	s.mu.Unlock()
+	t.Cleanup(o.close)
+	return conn
+}
+
+// TestMarkerNeverOvertakesCachedData is the marker-vs-data ordering
+// contract on the zero-copy outbox path: a tuple parked in the batching
+// cache for a destination must be flushed and delivered BEFORE a
+// checkpoint marker for the same destination, or the snapshot would miss
+// pre-barrier tuples.
+func TestMarkerNeverOvertakesCachedData(t *testing.T) {
+	s := newBenchSM(t)
+	conn := installRecorder(t, s, 2, false)
+
+	// A single-tuple frame enters the tuple cache (not yet delivered).
+	s.routeDataLazy(benchFrame(2, 1))
+	if frames, _ := conn.snapshot(); len(frames) != 0 {
+		t.Fatalf("cached tuple delivered early: %d frames", len(frames))
+	}
+
+	s.routeMarker(tuple.AppendMarker(nil, 1, 0, 2))
+	waitFrames(t, conn, 2)
+
+	conn.mu.Lock()
+	kinds := append([]network.MsgKind(nil), conn.kinds...)
+	conn.mu.Unlock()
+	if len(kinds) != 2 || kinds[0] != network.MsgData || kinds[1] != network.MsgMarker {
+		t.Fatalf("frame order = %v, want [MsgData MsgMarker]", kinds)
+	}
+
+	frames, _ := conn.snapshot()
+	if dest, count, _, err := tuple.FrameHeader(frames[0]); err != nil || dest != 2 || count != 1 {
+		t.Fatalf("flushed frame header = dest %d count %d err %v", dest, count, err)
+	}
+	if id, src, dest, err := tuple.DecodeMarker(frames[1]); err != nil || id != 1 || src != 0 || dest != 2 {
+		t.Fatalf("marker = (%d,%d,%d) err %v", id, src, dest, err)
+	}
+}
+
+// TestMarkerForwardedToPeerAfterFlush is the same contract on the
+// stmgr→stmgr hop: data batched for a remote task flushes to the peer
+// outbox before the marker frame.
+func TestMarkerForwardedToPeerAfterFlush(t *testing.T) {
+	s := newBenchSM(t)
+	conn := installRecorder(t, s, 2, true) // container 2 hosts task 3
+
+	s.routeDataLazy(benchFrame(3, 1))
+	s.routeMarker(tuple.AppendMarker(nil, 4, 2, 3))
+	waitFrames(t, conn, 2)
+
+	conn.mu.Lock()
+	kinds := append([]network.MsgKind(nil), conn.kinds...)
+	conn.mu.Unlock()
+	if len(kinds) != 2 || kinds[0] != network.MsgData || kinds[1] != network.MsgMarker {
+		t.Fatalf("peer frame order = %v, want [MsgData MsgMarker]", kinds)
+	}
+}
+
+// TestMarkerForUnregisteredInstanceDropped: dropping is the safe outcome
+// (the barrier stays incomplete and the checkpoint is abandoned); the
+// router must not park markers like data frames nor panic.
+func TestMarkerForUnregisteredInstanceDropped(t *testing.T) {
+	s := newBenchSM(t)
+	s.mu.Lock()
+	delete(s.instances, 2)
+	s.publishRoutesLocked()
+	s.mu.Unlock()
+	s.routeMarker(tuple.AppendMarker(nil, 1, 0, 2))
+	s.mu.Lock()
+	parked := len(s.pending[2])
+	s.mu.Unlock()
+	if parked != 0 {
+		t.Fatalf("marker parked in pending queue (%d frames)", parked)
+	}
+}
+
+// TestTriggerCheckpointTargetsLocalSpouts: a TMaster trigger becomes a
+// marker on every LOCAL spout's outbox (src −1 = stmgr-injected) and
+// nothing else.
+func TestTriggerCheckpointTargetsLocalSpouts(t *testing.T) {
+	s := newBenchSM(t)
+	spoutConn := installRecorder(t, s, 0, false) // task 0: local spout
+	boltConn := installRecorder(t, s, 2, false)  // task 2: local bolt
+
+	s.triggerCheckpoint(9)
+	waitFrames(t, spoutConn, 1)
+
+	frames, _ := spoutConn.snapshot()
+	if id, src, dest, err := tuple.DecodeMarker(frames[0]); err != nil || id != 9 || src != -1 || dest != 0 {
+		t.Fatalf("spout trigger marker = (%d,%d,%d) err %v", id, src, dest, err)
+	}
+	if frames, _ := boltConn.snapshot(); len(frames) != 0 {
+		t.Fatalf("bolt received %d trigger frames, want 0", len(frames))
+	}
+}

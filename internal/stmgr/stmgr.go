@@ -136,6 +136,7 @@ type StreamManager struct {
 	mBPTime      *metrics.Counter
 	mBytesSent   *metrics.Counter
 	mBytesRecv   *metrics.Counter
+	mCkptEpoch   *metrics.Gauge
 }
 
 // New creates and starts a Stream Manager: it listens for data
@@ -188,6 +189,7 @@ func New(opts Options) (*StreamManager, error) {
 	s.mBPTime = opts.Registry.Counter(metrics.MStmgrBPAssertedTime, tags)
 	s.mBytesSent = opts.Registry.Counter(metrics.MStmgrBytesSent, tags)
 	s.mBytesRecv = opts.Registry.Counter(metrics.MStmgrBytesReceived, tags)
+	s.mCkptEpoch = opts.Registry.Gauge(metrics.MCheckpointEpoch, tags)
 	s.ack = acker.New(acker.DefaultBuckets, s.onTreeDone)
 	s.acks = newAckCache()
 	if s.optimized {
@@ -288,6 +290,10 @@ func (s *StreamManager) connectTMaster(loc core.TMasterLocation) {
 			s.applyPlan(m.Plan)
 		case ctrl.OpTune:
 			s.forwardToSpouts(m)
+		case ctrl.OpCheckpointTrigger:
+			s.triggerCheckpoint(m.CheckpointID)
+		case ctrl.OpCheckpointCommitted:
+			s.mCkptEpoch.Set(m.CheckpointID)
 		}
 	})
 	reg, err := ctrl.Encode(&ctrl.Message{
@@ -421,6 +427,37 @@ func (s *StreamManager) handleControl(conn network.Conn, payload []byte) {
 		s.setSpoutPause(m.On, m.Container)
 	case ctrl.OpTune:
 		s.forwardToSpouts(m)
+	case ctrl.OpCheckpointSaved:
+		// A local instance persisted its snapshot; relay the ack to the
+		// checkpoint coordinator on the TMaster.
+		s.relayToTMaster(payload)
+	}
+}
+
+// triggerCheckpoint starts checkpoint id on this container by injecting a
+// trigger marker (srcTask -1) at every registered local spout. A spout
+// that has not registered yet simply never sees the marker: the
+// checkpoint cannot complete and is abandoned at the next interval.
+func (s *StreamManager) triggerCheckpoint(id int64) {
+	rt := s.routes.Load()
+	if rt == nil || rt.plan == nil {
+		return
+	}
+	for task, o := range rt.instances {
+		if int(task) < len(rt.plan.Tasks) && rt.plan.Tasks[task].Kind == core.KindSpout {
+			o.enqueue(network.MsgMarker, tuple.AppendMarker(nil, id, -1, task))
+		}
+	}
+}
+
+// relayToTMaster forwards a raw control frame from a local instance up to
+// the TMaster (checkpoint acks travel instance → stmgr → coordinator).
+func (s *StreamManager) relayToTMaster(payload []byte) {
+	s.tmasterMu.Lock()
+	conn := s.tmaster
+	s.tmasterMu.Unlock()
+	if conn != nil {
+		_ = conn.Send(network.MsgControl, payload)
 	}
 }
 

@@ -8,9 +8,11 @@ package tmaster
 
 import (
 	"errors"
+	"log"
 	"sync"
 	"time"
 
+	"heron/internal/checkpoint"
 	"heron/internal/core"
 	"heron/internal/ctrl"
 	"heron/internal/metrics"
@@ -39,6 +41,11 @@ type TMaster struct {
 	ready   chan struct{}
 	readyOK sync.Once
 
+	// Checkpoint coordination (nil/zero when CheckpointInterval == 0).
+	ckpt        *checkpoint.Coordinator
+	ckptBackend checkpoint.Backend
+
+	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 }
@@ -68,6 +75,28 @@ func New(opts Options) (*TMaster, error) {
 		stmgrs:   map[int32]*stmgrEntry{},
 		metrics:  map[int32]*metrics.Snapshot{},
 		ready:    make(chan struct{}),
+		stopCh:   make(chan struct{}),
+	}
+	if opts.Cfg.CheckpointInterval > 0 {
+		backend, err := checkpoint.New(opts.Cfg.StateBackend)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		if err := backend.Initialize(opts.Cfg); err != nil {
+			l.Close()
+			return nil, err
+		}
+		tm.ckptBackend = backend
+		tm.ckpt = checkpoint.NewCoordinator(opts.Topology, backend)
+		// A TMaster restarted mid-topology must not reuse committed ids.
+		if err := tm.ckpt.InitFromBackend(); err != nil {
+			l.Close()
+			backend.Close()
+			return nil, err
+		}
+		tm.wg.Add(1)
+		go tm.checkpointLoop()
 	}
 	tm.wg.Add(1)
 	go tm.acceptLoop()
@@ -114,6 +143,8 @@ func (tm *TMaster) acceptLoop() {
 					tm.metrics[m.Container] = m.Metrics
 					tm.mu.Unlock()
 				}
+			case ctrl.OpCheckpointSaved:
+				tm.checkpointSaved(m.TaskID, m.CheckpointID)
 			}
 		})
 	}
@@ -236,6 +267,88 @@ func (tm *TMaster) Tune(maxSpoutPending int) {
 	}
 }
 
+// broadcastCtrl sends one control message to every registered stream
+// manager.
+func (tm *TMaster) broadcastCtrl(m *ctrl.Message) {
+	raw, err := ctrl.Encode(m)
+	if err != nil {
+		return
+	}
+	tm.mu.Lock()
+	conns := make([]network.Conn, 0, len(tm.stmgrs))
+	for _, e := range tm.stmgrs {
+		conns = append(conns, e.conn)
+	}
+	tm.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Send(network.MsgControl, raw)
+	}
+}
+
+// checkpointLoop drives the coordinator: once the topology is wired, it
+// begins a checkpoint every CheckpointInterval by broadcasting a trigger.
+// An incomplete checkpoint (e.g. a container died mid-barrier) is simply
+// superseded by the next Begin — no timeout machinery.
+func (tm *TMaster) checkpointLoop() {
+	defer tm.wg.Done()
+	select {
+	case <-tm.ready:
+	case <-tm.stopCh:
+		return
+	}
+	t := time.NewTicker(tm.opts.Cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-tm.stopCh:
+			return
+		case <-t.C:
+			tm.triggerCheckpoint()
+		}
+	}
+}
+
+// triggerCheckpoint begins one checkpoint over every task of the current
+// packing plan.
+func (tm *TMaster) triggerCheckpoint() {
+	packing, err := tm.opts.State.GetPackingPlan(tm.opts.Topology)
+	if err != nil {
+		return
+	}
+	var tasks []int32
+	for i := range packing.Containers {
+		for _, inst := range packing.Containers[i].Instances {
+			tasks = append(tasks, inst.ID.TaskID)
+		}
+	}
+	id, ok := tm.ckpt.Begin(tasks)
+	if !ok {
+		return
+	}
+	tm.broadcastCtrl(&ctrl.Message{
+		Op: ctrl.OpCheckpointTrigger, Topology: tm.opts.Topology, CheckpointID: id,
+	})
+}
+
+// checkpointSaved records one task's snapshot ack; when the barrier set
+// completes, the checkpoint commits and every container learns the new
+// restorable epoch.
+func (tm *TMaster) checkpointSaved(task int32, id int64) {
+	if tm.ckpt == nil {
+		return
+	}
+	complete, err := tm.ckpt.Saved(task, id)
+	if err != nil {
+		log.Printf("tmaster[%s]: commit checkpoint %d: %v", tm.opts.Topology, id, err)
+		return
+	}
+	if complete {
+		tm.broadcastCtrl(&ctrl.Message{
+			Op: ctrl.OpCheckpointCommitted, Topology: tm.opts.Topology, CheckpointID: id,
+		})
+	}
+}
+
 // Stmgrs returns the registered container → address directory.
 func (tm *TMaster) Stmgrs() map[int32]string {
 	tm.mu.Lock()
@@ -252,6 +365,7 @@ func (tm *TMaster) Stmgrs() map[int32]string {
 // TMaster-death signal).
 func (tm *TMaster) Stop() {
 	tm.stopOnce.Do(func() {
+		close(tm.stopCh)
 		tm.listener.Close()
 		tm.mu.Lock()
 		for _, e := range tm.stmgrs {
@@ -260,6 +374,9 @@ func (tm *TMaster) Stop() {
 		tm.stmgrs = map[int32]*stmgrEntry{}
 		tm.mu.Unlock()
 		tm.wg.Wait()
+		if tm.ckptBackend != nil {
+			_ = tm.ckptBackend.Close()
+		}
 		_ = tm.opts.State.Close()
 	})
 }

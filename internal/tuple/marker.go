@@ -1,0 +1,45 @@
+package tuple
+
+import (
+	"fmt"
+
+	"heron/internal/encoding/wire"
+)
+
+// Checkpoint markers ride the data plane as their own frame kind
+// (network.MsgMarker) so the zero-copy data path never inspects them. A
+// marker frame is three uvarints:
+//
+//	uvarint(checkpointID) uvarint(uint32(srcTask)) uvarint(uint32(destTask))
+//
+// srcTask is the task that forwarded the marker (barrier alignment keys on
+// it); the Stream Manager uses srcTask -1 for the trigger marker it
+// injects at a local spout. Task ids are cast through uint32 so -1 encodes
+// in 5 bytes instead of 10.
+
+// AppendMarker encodes a marker frame into b.
+func AppendMarker(b []byte, checkpointID int64, srcTask, destTask int32) []byte {
+	b = wire.AppendUvarint(b, uint64(checkpointID))
+	b = wire.AppendUvarint(b, uint64(uint32(srcTask)))
+	b = wire.AppendUvarint(b, uint64(uint32(destTask)))
+	return b
+}
+
+// DecodeMarker parses a marker frame.
+func DecodeMarker(b []byte) (checkpointID int64, srcTask, destTask int32, err error) {
+	id, n, err := wire.Uvarint(b)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("tuple: marker id: %w", err)
+	}
+	b = b[n:]
+	src, n, err := wire.Uvarint(b)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("tuple: marker src: %w", err)
+	}
+	b = b[n:]
+	dst, _, err := wire.Uvarint(b)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("tuple: marker dest: %w", err)
+	}
+	return int64(id), int32(uint32(src)), int32(uint32(dst)), nil
+}

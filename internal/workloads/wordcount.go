@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"math/rand"
+	"strconv"
 	"sync/atomic"
 
 	"heron/api"
@@ -122,6 +123,34 @@ func (b *CountBolt) Execute(t api.Tuple) error {
 
 // Cleanup implements api.Bolt.
 func (b *CountBolt) Cleanup() error { return nil }
+
+// SaveState implements api.StatefulComponent: every word's count becomes
+// one key-value pair in the checkpoint.
+func (b *CountBolt) SaveState(s api.State) error {
+	for w, n := range b.counts {
+		s.Set(w, strconv.AppendInt(nil, n, 10))
+	}
+	return nil
+}
+
+// RestoreState implements api.StatefulComponent: the count table is
+// rebuilt from the checkpointed pairs.
+func (b *CountBolt) RestoreState(s api.State) error {
+	if b.counts == nil {
+		b.counts = make(map[string]int64, s.Len())
+	}
+	var err error
+	s.Range(func(k string, v []byte) bool {
+		var n int64
+		n, err = strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return false
+		}
+		b.counts[k] = n
+		return true
+	})
+	return err
+}
 
 // WordCountOptions parameterize BuildWordCount.
 type WordCountOptions struct {
