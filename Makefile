@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-json
+.PHONY: build test race vet verify bench bench-json bench-health
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,13 @@ bench-json:
 	$(GO) test -run XX -bench 'BenchmarkEncodeFast|BenchmarkPeekDestVsFullDecode' \
 		-benchmem -benchtime 2s ./internal/tuple/ | \
 		$(GO) run ./cmd/benchjson -label after -out BENCH_PR3.json
+	$(MAKE) bench-health
+
+# bench-health refreshes BENCH_PR5.json: the idle health manager's cost
+# on the routing hot path. The off/on columns must agree within noise
+# (<1% ns/op) and routing must stay at 0 allocs/op. Cheap enough that CI
+# runs it on every push.
+bench-health:
+	$(GO) test -run XX -bench 'BenchmarkRouteHealthIdle' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR5.json

@@ -177,6 +177,26 @@ type StatefulComponent interface {
 	RestoreState(s State) error
 }
 
+// StateRepartitioner is an optional extension for stateful components of
+// topologies that rescale at runtime. When a component's parallelism
+// changes (heron.Handle.ScaleComponent, or the health manager acting on a
+// diagnosis), the engine redistributes the component's last committed
+// checkpoint across the new task set before relaunching. A component that
+// implements StateRepartitioner controls that redistribution; one that
+// does not gets the engine default: every bolt-state key moves to the
+// instance the fields-grouping hash of the key routes to (so state and
+// traffic land together), and spout state stays aligned by component
+// index.
+type StateRepartitioner interface {
+	// RepartitionState redistributes checkpointed state across a new
+	// parallelism. old holds the previous instances' states indexed by
+	// component index; fresh holds one empty state per new instance, also
+	// indexed by component index. The engine persists fresh as the
+	// post-rescale snapshot, so every key that should survive must be
+	// written into some fresh state.
+	RepartitionState(old []State, fresh []State) error
+}
+
 // Ticker is an optional bolt extension: bolts that also implement Ticker
 // and declare a tick interval (BoltDeclarer.TickEvery) receive periodic
 // Tick calls on the executor goroutine, interleaved with Execute — the

@@ -24,6 +24,7 @@ import (
 	"heron/api"
 	"heron/internal/checkpoint"
 	"heron/internal/core"
+	"heron/internal/healthmgr"
 	"heron/internal/metrics"
 	"heron/internal/observability"
 	"heron/internal/packing"
@@ -54,6 +55,7 @@ type Handle struct {
 	sched  core.Scheduler
 	engine *runtime.Engine
 	obs    *observability.Server
+	health *healthmgr.Manager
 	killed bool
 }
 
@@ -72,6 +74,10 @@ func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if !healthmgr.KnownPolicy(cfg.HealthPolicy) {
+		return nil, fmt.Errorf("heron: unknown health policy %q (have %v)",
+			cfg.HealthPolicy, healthmgr.Policies())
 	}
 	if err := spec.Topology.Validate(); err != nil {
 		return nil, err
@@ -140,12 +146,28 @@ func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
 		name: spec.Topology.Name, cfg: cfg, spec: spec,
 		state: state, rm: rm, sched: sched, engine: engine,
 	}
+	if cfg.HealthInterval > 0 {
+		hm, err := healthmgr.New(healthmgr.Options{
+			Topology:        h,
+			Policy:          cfg.HealthPolicy,
+			Interval:        cfg.HealthInterval,
+			AckingEnabled:   cfg.AckingEnabled,
+			MaxSpoutPending: cfg.MaxSpoutPending,
+		})
+		if err != nil {
+			_ = h.Kill()
+			return nil, err
+		}
+		h.health = hm
+		hm.Start()
+	}
 	if cfg.HTTPAddr != "" {
 		obs, err := observability.Start(observability.Options{
 			Addr:     cfg.HTTPAddr,
 			Topology: h.name,
 			View:     h.Metrics,
 			Pprof:    cfg.HTTPPprof,
+			Health:   h.healthStatus(),
 		})
 		if err != nil {
 			_ = h.Kill()
@@ -154,6 +176,24 @@ func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
 		h.obs = obs
 	}
 	return h, nil
+}
+
+// healthStatus adapts the health manager's status for the /health
+// endpoint (nil when the manager is disabled).
+func (h *Handle) healthStatus() func() any {
+	if h.health == nil {
+		return nil
+	}
+	return func() any { return h.health.Status() }
+}
+
+// HealthStatus returns the health manager's current status (zero value
+// when Config.HealthInterval is 0).
+func (h *Handle) HealthStatus() healthmgr.Status {
+	if h.health == nil {
+		return healthmgr.Status{}
+	}
+	return h.health.Status()
 }
 
 // WaitRunning blocks until the topology's plan has been broadcast to
@@ -235,6 +275,9 @@ func (h *Handle) Kill() error {
 		return nil
 	}
 	h.killed = true
+	if h.health != nil {
+		h.health.Stop()
+	}
 	if h.obs != nil {
 		_ = h.obs.Close()
 	}
@@ -289,10 +332,17 @@ func (h *Handle) SetMaxSpoutPending(n int) error {
 // safe to read without further synchronization — and reflects the last
 // export round (see Config.MetricsExportInterval).
 func (h *Handle) Metrics() *metrics.TopologyView {
+	var v *metrics.TopologyView
 	if tm := h.engine.TMaster(); tm != nil {
-		return tm.MetricsView()
+		v = tm.MetricsView()
+	} else {
+		v = metrics.NewView()
 	}
-	return metrics.NewView()
+	if h.health != nil {
+		s := h.health.MetricsSnapshot()
+		v.Add(&s)
+	}
+	return v
 }
 
 // ObservabilityAddr returns the HTTP introspection server's bound address

@@ -166,6 +166,19 @@ func (c *Coordinator) Saved(task int32, id int64) (complete bool, err error) {
 	return true, nil
 }
 
+// Reserve allocates the next checkpoint id without starting a barrier.
+// Runtime rescaling writes a repartitioned snapshot under a reserved id
+// and commits it directly through the backend; reserving through the
+// coordinator keeps the id sequence strictly monotone so instances never
+// confuse the repartitioned epoch with an interval checkpoint.
+func (c *Coordinator) Reserve() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.next
+	c.next++
+	return id
+}
+
 // Pending returns the outstanding checkpoint id (0 if none).
 func (c *Coordinator) Pending() int64 {
 	c.mu.Lock()

@@ -1,0 +1,147 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"heron/api"
+	"heron/internal/core"
+)
+
+// RepartitionPlan describes how one component's checkpointed state moves
+// to a new task set during a runtime rescale. Task ids of every other
+// component are stable across a repack (minimal disruption), so their
+// snapshots copy verbatim; only the rescaled component's state is
+// redistributed.
+type RepartitionPlan struct {
+	Topology string
+	// FromID is the committed checkpoint being repartitioned; ToID is the
+	// reserved id the repartitioned snapshot commits under.
+	FromID, ToID int64
+	// Component is the rescaled component; Spout selects the default
+	// redistribution (index-aligned for spouts, key-hash for bolts).
+	Component string
+	Spout     bool
+	// OldTasks and NewTasks are the component's task ids in component-
+	// index order, before and after the rescale.
+	OldTasks, NewTasks []int32
+	// OtherTasks are every other task of the proposed plan.
+	OtherTasks []int32
+	// Repartitioner overrides the default redistribution when the
+	// component implements api.StateRepartitioner.
+	Repartitioner api.StateRepartitioner
+}
+
+// Repartition builds checkpoint ToID from the committed checkpoint
+// FromID: the rescaled component's per-task states are decoded,
+// redistributed across the new task set, and re-encoded; every other
+// task's snapshot is copied as-is. ToID is committed on success, becoming
+// the checkpoint the quiesce-relaunched containers restore from.
+func Repartition(b Backend, p RepartitionPlan) error {
+	old := make([]api.State, len(p.OldTasks))
+	for i, task := range p.OldTasks {
+		raw, err := b.Load(p.Topology, p.FromID, task)
+		switch {
+		case errors.Is(err, core.ErrNotFound):
+			old[i] = NewMapState() // task saved nothing this epoch
+		case err != nil:
+			return fmt.Errorf("checkpoint: repartition load task %d: %w", task, err)
+		default:
+			st, err := DecodeState(raw)
+			if err != nil {
+				return fmt.Errorf("checkpoint: repartition decode task %d: %w", task, err)
+			}
+			old[i] = st
+		}
+	}
+	freshMaps := make([]*MapState, len(p.NewTasks))
+	fresh := make([]api.State, len(p.NewTasks))
+	for i := range fresh {
+		freshMaps[i] = NewMapState()
+		fresh[i] = freshMaps[i]
+	}
+	switch {
+	case p.Repartitioner != nil:
+		if err := p.Repartitioner.RepartitionState(old, fresh); err != nil {
+			return fmt.Errorf("checkpoint: component %q repartitioner: %w", p.Component, err)
+		}
+	case p.Spout:
+		// Spout state (cursors, offsets) is per-source-partition: keep it
+		// aligned by component index; indices dropped by a shrink are
+		// discarded with their partition.
+		for i := range freshMaps {
+			if i < len(old) {
+				copyState(old[i], freshMaps[i])
+			}
+		}
+	default:
+		DefaultRepartition(old, freshMaps)
+	}
+	for i, task := range p.NewTasks {
+		if err := b.Save(p.Topology, p.ToID, task, EncodeState(freshMaps[i])); err != nil {
+			return fmt.Errorf("checkpoint: repartition save task %d: %w", task, err)
+		}
+	}
+	if err := copyTasks(b, p.Topology, p.FromID, p.ToID, p.OtherTasks); err != nil {
+		return err
+	}
+	return b.Commit(p.Topology, p.ToID)
+}
+
+// DefaultRepartition reassigns every key to the instance the engine's
+// fields-grouping hash of the key routes to. For the common shape of bolt
+// state — keyed by the single grouping field, like a word-count table —
+// this places each key exactly where post-rescale traffic for it lands,
+// with no component hook required.
+func DefaultRepartition(old []api.State, fresh []*MapState) {
+	n := len(fresh)
+	for _, o := range old {
+		o.Range(func(k string, v []byte) bool {
+			fresh[KeyTaskIndex(k, n)].Set(k, append([]byte(nil), v...))
+			return true
+		})
+	}
+}
+
+// KeyTaskIndex is the component index the engine's fields grouping sends
+// a single-string-field tuple to at the given parallelism.
+func KeyTaskIndex(key string, parallelism int) int {
+	return int(core.HashFields([]any{key}, []int{0}) % uint64(parallelism))
+}
+
+// Copy re-persists the given tasks' snapshots of checkpoint fromID
+// verbatim under toID and commits it — the rollback path of a failed
+// rescale, after which LatestCommitted again describes the pre-rescale
+// task set.
+func Copy(b Backend, topology string, fromID, toID int64, tasks []int32) error {
+	if err := copyTasks(b, topology, fromID, toID, tasks); err != nil {
+		return err
+	}
+	return b.Commit(topology, toID)
+}
+
+// copyTasks copies task snapshots between checkpoint ids, skipping tasks
+// that saved nothing (stateless components).
+func copyTasks(b Backend, topology string, fromID, toID int64, tasks []int32) error {
+	for _, task := range tasks {
+		raw, err := b.Load(topology, fromID, task)
+		if errors.Is(err, core.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("checkpoint: copy load task %d: %w", task, err)
+		}
+		if err := b.Save(topology, toID, task, raw); err != nil {
+			return fmt.Errorf("checkpoint: copy save task %d: %w", task, err)
+		}
+	}
+	return nil
+}
+
+// copyState copies every key of src into dst (values copied).
+func copyState(src api.State, dst *MapState) {
+	src.Range(func(k string, v []byte) bool {
+		dst.Set(k, append([]byte(nil), v...))
+		return true
+	})
+}

@@ -1,0 +1,252 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"heron/api"
+)
+
+// saveCounts persists a word→count MapState as one task's snapshot.
+func saveCounts(t *testing.T, b Backend, topo string, id int64, task int32, counts map[string]string) {
+	t.Helper()
+	st := NewMapState()
+	for k, v := range counts {
+		st.Set(k, []byte(v))
+	}
+	if err := b.Save(topo, id, task, EncodeState(st)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// loadCounts decodes one task's snapshot back into a map ("" if absent).
+func loadCounts(t *testing.T, b Backend, topo string, id int64, task int32) map[string]string {
+	t.Helper()
+	raw, err := b.Load(topo, id, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := DecodeState(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	st.Range(func(k string, v []byte) bool {
+		out[k] = string(v)
+		return true
+	})
+	return out
+}
+
+// TestRepartitionDefaultFollowsGroupingHash: the default bolt
+// redistribution must place every key on the task the engine's
+// fields-grouping hash routes it to post-rescale — nothing lost, nothing
+// duplicated, and each key where its traffic will arrive.
+func TestRepartitionDefaultFollowsGroupingHash(t *testing.T) {
+	for _, to := range []int{1, 3, 5} { // shrink, grow, grow further
+		t.Run(fmt.Sprintf("2to%d", to), func(t *testing.T) {
+			b := newTestBackend(t, "memory")
+			const topo = "repart"
+			words := make([]string, 20)
+			for i := range words {
+				words[i] = fmt.Sprintf("w%02d", i)
+			}
+			// Old layout: 2 bolt tasks (10, 11) split by the same hash.
+			old := map[int32]map[string]string{10: {}, 11: {}}
+			for i, w := range words {
+				task := int32(10 + KeyTaskIndex(w, 2))
+				old[task][w] = fmt.Sprint(i)
+			}
+			for task, counts := range old {
+				saveCounts(t, b, topo, 1, task, counts)
+			}
+			saveCounts(t, b, topo, 1, 0, map[string]string{"seq": "99"}) // untouched spout
+			if err := b.Commit(topo, 1); err != nil {
+				t.Fatal(err)
+			}
+
+			newTasks := make([]int32, to)
+			for i := range newTasks {
+				newTasks[i] = int32(20 + i)
+			}
+			err := Repartition(b, RepartitionPlan{
+				Topology: topo, FromID: 1, ToID: 2,
+				Component:  "count",
+				OldTasks:   []int32{10, 11},
+				NewTasks:   newTasks,
+				OtherTasks: []int32{0},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if latest, err := b.LatestCommitted(topo); err != nil || latest != 2 {
+				t.Fatalf("LatestCommitted = %d, %v, want 2", latest, err)
+			}
+
+			merged := map[string]string{}
+			for i, task := range newTasks {
+				got := loadCounts(t, b, topo, 2, task)
+				for w, v := range got {
+					if KeyTaskIndex(w, to) != i {
+						t.Errorf("key %q on new task index %d, hash routes to %d", w, i, KeyTaskIndex(w, to))
+					}
+					if _, dup := merged[w]; dup {
+						t.Errorf("key %q duplicated across new tasks", w)
+					}
+					merged[w] = v
+				}
+			}
+			for i, w := range words {
+				if merged[w] != fmt.Sprint(i) {
+					t.Errorf("key %q = %q after repartition, want %q", w, merged[w], fmt.Sprint(i))
+				}
+			}
+			// Other tasks copy verbatim.
+			if got := loadCounts(t, b, topo, 2, 0); got["seq"] != "99" {
+				t.Errorf("other task state = %v, want seq=99", got)
+			}
+		})
+	}
+}
+
+// TestRepartitionSpoutIndexAligned: spout state is per-source-partition —
+// it must stay aligned by component index, and indices dropped by a
+// shrink are discarded with their partition.
+func TestRepartitionSpoutIndexAligned(t *testing.T) {
+	b := newTestBackend(t, "memory")
+	const topo = "repart-spout"
+	saveCounts(t, b, topo, 1, 10, map[string]string{"cursor": "100"})
+	saveCounts(t, b, topo, 1, 11, map[string]string{"cursor": "200"})
+	if err := b.Commit(topo, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Repartition(b, RepartitionPlan{
+		Topology: topo, FromID: 1, ToID: 2,
+		Component: "word", Spout: true,
+		OldTasks: []int32{10, 11},
+		NewTasks: []int32{20}, // shrink 2 → 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loadCounts(t, b, topo, 2, 20); got["cursor"] != "100" {
+		t.Errorf("spout index 0 state = %v, want cursor=100", got)
+	}
+}
+
+// TestRepartitionCustomHook: a component's api.StateRepartitioner
+// overrides the default redistribution entirely.
+type reverseRepartitioner struct{}
+
+func (reverseRepartitioner) RepartitionState(old []api.State, fresh []api.State) error {
+	for i, o := range old {
+		dst := fresh[len(fresh)-1-i]
+		o.Range(func(k string, v []byte) bool {
+			dst.Set(k, v)
+			return true
+		})
+	}
+	return nil
+}
+
+func TestRepartitionCustomHook(t *testing.T) {
+	b := newTestBackend(t, "memory")
+	const topo = "repart-hook"
+	saveCounts(t, b, topo, 1, 10, map[string]string{"a": "1"})
+	saveCounts(t, b, topo, 1, 11, map[string]string{"b": "2"})
+	if err := b.Commit(topo, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Repartition(b, RepartitionPlan{
+		Topology: topo, FromID: 1, ToID: 2,
+		Component:     "count",
+		OldTasks:      []int32{10, 11},
+		NewTasks:      []int32{20, 21},
+		Repartitioner: reverseRepartitioner{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loadCounts(t, b, topo, 2, 20); got["b"] != "2" {
+		t.Errorf("reversed task 20 state = %v, want b=2", got)
+	}
+	if got := loadCounts(t, b, topo, 2, 21); got["a"] != "1" {
+		t.Errorf("reversed task 21 state = %v, want a=1", got)
+	}
+}
+
+// TestRepartitionMissingTaskState: a task that saved nothing this epoch
+// (stateless component in a mixed topology) contributes an empty state
+// instead of failing the whole repartition.
+func TestRepartitionMissingTaskState(t *testing.T) {
+	b := newTestBackend(t, "memory")
+	const topo = "repart-missing"
+	saveCounts(t, b, topo, 1, 10, map[string]string{"x": "1"})
+	// task 11 saved nothing
+	if err := b.Commit(topo, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Repartition(b, RepartitionPlan{
+		Topology: topo, FromID: 1, ToID: 2,
+		Component: "count",
+		OldTasks:  []int32{10, 11},
+		NewTasks:  []int32{20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loadCounts(t, b, topo, 2, 20); got["x"] != "1" {
+		t.Errorf("merged state = %v, want x=1", got)
+	}
+}
+
+// TestRepartitionHookError: a failing component hook aborts before
+// commit — the source checkpoint stays the latest committed.
+type failingRepartitioner struct{}
+
+func (failingRepartitioner) RepartitionState([]api.State, []api.State) error {
+	return errors.New("boom")
+}
+
+func TestRepartitionHookError(t *testing.T) {
+	b := newTestBackend(t, "memory")
+	const topo = "repart-err"
+	saveCounts(t, b, topo, 1, 10, map[string]string{"x": "1"})
+	if err := b.Commit(topo, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Repartition(b, RepartitionPlan{
+		Topology: topo, FromID: 1, ToID: 2,
+		Component:     "count",
+		OldTasks:      []int32{10},
+		NewTasks:      []int32{20},
+		Repartitioner: failingRepartitioner{},
+	})
+	if err == nil {
+		t.Fatal("Repartition succeeded with a failing hook")
+	}
+	if latest, _ := b.LatestCommitted(topo); latest != 1 {
+		t.Fatalf("LatestCommitted = %d after failed repartition, want 1", latest)
+	}
+}
+
+// TestCopyRollback: Copy re-persists a checkpoint's tasks verbatim under
+// a new id and commits it — the rollback path of a failed rescale.
+func TestCopyRollback(t *testing.T) {
+	b := newTestBackend(t, "memory")
+	const topo = "repart-copy"
+	saveCounts(t, b, topo, 1, 10, map[string]string{"x": "1"})
+	if err := b.Commit(topo, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(b, topo, 1, 2, []int32{10, 11}); err != nil { // 11 stateless: skipped
+		t.Fatal(err)
+	}
+	if latest, _ := b.LatestCommitted(topo); latest != 2 {
+		t.Fatalf("LatestCommitted = %d after Copy, want 2", latest)
+	}
+	if got := loadCounts(t, b, topo, 2, 10); got["x"] != "1" {
+		t.Errorf("copied state = %v, want x=1", got)
+	}
+}

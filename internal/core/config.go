@@ -64,6 +64,18 @@ type Config struct {
 	// "localfs", or "redis" (the simulated Redis in extsvc/redissim).
 	StateBackend string
 
+	// HealthInterval enables the self-regulating health manager: every
+	// interval the configured policy's sensors sample the Topology
+	// Master's merged metrics view, detectors turn samples into symptoms,
+	// diagnosers into a diagnosis, and resolvers act on it — retuning max
+	// spout pending or rescaling a component's parallelism at runtime.
+	// 0 (the default) disables the health manager.
+	HealthInterval time.Duration
+	// HealthPolicy names the health-manager policy: "autoscale" (the
+	// default when HealthInterval is set), "tune-only" (never rescales),
+	// or "observe" (diagnoses only, never acts). Requires HealthInterval.
+	HealthPolicy string
+
 	// HTTPAddr, when non-empty, starts the observability HTTP server on
 	// this address ("127.0.0.1:0" picks a free port). It serves /metrics
 	// (Prometheus text) and /topology (JSON).
@@ -160,6 +172,12 @@ func (c *Config) Validate() error {
 	}
 	if c.CheckpointInterval > 0 && c.AckingEnabled {
 		return fmt.Errorf("core: CheckpointInterval and AckingEnabled are mutually exclusive")
+	}
+	if c.HealthInterval < 0 {
+		return fmt.Errorf("core: negative HealthInterval")
+	}
+	if c.HealthPolicy != "" && c.HealthInterval == 0 {
+		return fmt.Errorf("core: HealthPolicy %q requires HealthInterval > 0", c.HealthPolicy)
 	}
 	return nil
 }

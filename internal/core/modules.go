@@ -62,6 +62,20 @@ type Scheduler interface {
 	Close() error
 }
 
+// QuiescingScheduler is an optional Scheduler capability required for
+// stateful runtime rescaling. Unlike OnUpdate's minimal-disruption diff,
+// OnQuiescedUpdate stops every worker container of the current plan
+// before launching any container of the proposed plan (the TMaster's
+// container 0 keeps running — it hosts the checkpoint coordinator and the
+// plan directory). The ordering matters: a surviving container processing
+// tuples from an already-restored spout would observe state from two
+// checkpoint generations, so relaunches may only begin once the old
+// generation is fully quiesced; each relaunched instance then restores
+// from the checkpoint committed immediately before the update.
+type QuiescingScheduler interface {
+	OnQuiescedUpdate(req UpdateRequest) error
+}
+
 // ContainerLauncher boots the Heron processes of one container: the
 // Topology Master for container 0, or a Stream Manager + Metrics Manager +
 // Heron Instances for the others. The engine injects it into the Config

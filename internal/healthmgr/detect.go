@@ -1,0 +1,221 @@
+package healthmgr
+
+import (
+	"fmt"
+
+	"heron/internal/metrics"
+)
+
+// SymptomKind names an observable anomaly class.
+type SymptomKind string
+
+// The symptom taxonomy (DESIGN.md §7).
+const (
+	SymptomBackpressure  SymptomKind = "backpressure"
+	SymptomSkew          SymptomKind = "processing-skew"
+	SymptomUnderutilized SymptomKind = "underutilization"
+)
+
+// Symptom is one detected anomaly attributed to a component.
+type Symptom struct {
+	Kind      SymptomKind `json:"kind"`
+	Component string      `json:"component"`
+	Detail    string      `json:"detail,omitempty"`
+}
+
+// Detector inspects the recent sample history (oldest first, newest
+// last) and raises symptoms. Detectors require the condition to be
+// *sustained* across their window: a single noisy sample never raises.
+type Detector interface {
+	Detect(history []*Sample) []Symptom
+}
+
+// window returns the last n samples if at least n exist, else nil.
+func window(history []*Sample, n int) []*Sample {
+	if n <= 0 || len(history) < n {
+		return nil
+	}
+	return history[len(history)-n:]
+}
+
+// BackpressureDetector raises SymptomBackpressure when every one of the
+// last Sustain samples shows an asserting container, attributed to the
+// slowest bolt hosted in an asserting container (falling back to the
+// slowest bolt anywhere).
+type BackpressureDetector struct {
+	Sustain int // consecutive samples required (default 3)
+}
+
+// Detect implements Detector.
+func (d *BackpressureDetector) Detect(history []*Sample) []Symptom {
+	n := d.Sustain
+	if n <= 0 {
+		n = 3
+	}
+	win := window(history, n)
+	if win == nil {
+		return nil
+	}
+	for _, s := range win {
+		if !s.BackpressureAsserted() {
+			return nil
+		}
+	}
+	latest := win[len(win)-1]
+	asserting := map[int32]bool{}
+	for c, bp := range latest.Backpressure {
+		if bp.Asserted() {
+			asserting[c] = true
+		}
+	}
+	comp := slowestBolt(latest, asserting)
+	if comp == "" {
+		comp = slowestBolt(latest, nil)
+	}
+	if comp == "" {
+		return nil
+	}
+	return []Symptom{{
+		Kind:      SymptomBackpressure,
+		Component: comp,
+		Detail:    fmt.Sprintf("backpressure sustained over %d samples; slowest bolt %q", n, comp),
+	}}
+}
+
+// slowestBolt picks the bolt with the highest mean execute latency,
+// restricted to bolts with a task in `containers` when non-nil.
+func slowestBolt(s *Sample, containers map[int32]bool) string {
+	best, bestLat := "", -1.0
+	for name, comp := range s.Components {
+		if comp.Spout || name == metrics.StmgrComponent {
+			continue
+		}
+		if containers != nil {
+			hosted := false
+			for _, c := range comp.TaskContainer {
+				if containers[c] {
+					hosted = true
+					break
+				}
+			}
+			if !hosted {
+				continue
+			}
+		}
+		if comp.MeanLatencyNs > bestLat {
+			best, bestLat = name, comp.MeanLatencyNs
+		}
+	}
+	return best
+}
+
+// SkewDetector raises SymptomSkew for a component whose busiest task
+// processes at least Ratio times the per-task mean in every one of the
+// last Sustain samples — uneven load that extra parallelism alone will
+// not fix.
+type SkewDetector struct {
+	Sustain int     // consecutive samples required (default 5)
+	Ratio   float64 // max/mean threshold (default 3)
+}
+
+// Detect implements Detector.
+func (d *SkewDetector) Detect(history []*Sample) []Symptom {
+	n, ratio := d.Sustain, d.Ratio
+	if n <= 0 {
+		n = 5
+	}
+	if ratio <= 1 {
+		ratio = 3
+	}
+	win := window(history, n)
+	if win == nil {
+		return nil
+	}
+	skewed := map[string]int{}
+	for _, s := range win {
+		for name, comp := range s.Components {
+			if comp.Spout || name == metrics.StmgrComponent || comp.Parallelism < 2 {
+				continue
+			}
+			var max, total int64
+			for _, delta := range comp.TaskDeltas {
+				total += delta
+				if delta > max {
+					max = delta
+				}
+			}
+			if total == 0 {
+				continue
+			}
+			mean := float64(total) / float64(comp.Parallelism)
+			if mean > 0 && float64(max) >= ratio*mean {
+				skewed[name]++
+			}
+		}
+	}
+	var out []Symptom
+	for name, hits := range skewed {
+		if hits == n {
+			out = append(out, Symptom{
+				Kind:      SymptomSkew,
+				Component: name,
+				Detail:    fmt.Sprintf("task load max/mean ≥ %.1f over %d samples", ratio, n),
+			})
+		}
+	}
+	return out
+}
+
+// UnderutilizationDetector raises SymptomUnderutilized for a bolt whose
+// estimated per-task busy fraction (rate × mean latency / parallelism)
+// stays under MaxBusy across the last Sustain samples while tuples keep
+// flowing and no backpressure appears anywhere in the window. The long
+// default window makes scale-down deliberately conservative.
+type UnderutilizationDetector struct {
+	Sustain int     // consecutive samples required (default 12)
+	MaxBusy float64 // busy-fraction ceiling (default 0.2)
+}
+
+// Detect implements Detector.
+func (d *UnderutilizationDetector) Detect(history []*Sample) []Symptom {
+	n, maxBusy := d.Sustain, d.MaxBusy
+	if n <= 0 {
+		n = 12
+	}
+	if maxBusy <= 0 {
+		maxBusy = 0.2
+	}
+	win := window(history, n)
+	if win == nil {
+		return nil
+	}
+	idle := map[string]int{}
+	for _, s := range win {
+		if s.BackpressureAsserted() {
+			return nil
+		}
+		for name, comp := range s.Components {
+			if comp.Spout || name == metrics.StmgrComponent || comp.Parallelism < 2 {
+				continue
+			}
+			if comp.Rate <= 0 || comp.MeanLatencyNs <= 0 {
+				continue
+			}
+			busy := comp.Rate * comp.MeanLatencyNs / 1e9 / float64(comp.Parallelism)
+			if busy < maxBusy {
+				idle[name]++
+			}
+		}
+	}
+	var out []Symptom
+	for name, hits := range idle {
+		if hits == n {
+			out = append(out, Symptom{
+				Kind:      SymptomUnderutilized,
+				Component: name,
+				Detail:    fmt.Sprintf("busy fraction < %.2f over %d samples", maxBusy, n),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package healthmgr
+
+import (
+	"fmt"
+
+	"heron/internal/core"
+	"heron/internal/metrics"
+)
+
+// Topology is the control surface resolvers act through. *heron.Handle
+// implements it, so a resolver-initiated rescale takes exactly the code
+// path a user calling Handle.ScaleComponent takes.
+type Topology interface {
+	Name() string
+	Metrics() *metrics.TopologyView
+	PackingPlan() (*core.PackingPlan, error)
+	ScaleComponent(component string, parallelism int) error
+	SetMaxSpoutPending(n int) error
+	Restart(containerID int32) error
+}
+
+// Resolver turns a diagnosis into one corrective action. Policies order
+// resolvers cheapest first; the manager escalates to the next one when a
+// diagnosis recurs after a cooldown.
+type Resolver interface {
+	Name() string
+	CanResolve(d Diagnosis) bool
+	// Resolve acts on the diagnosis using the latest sample for sizing
+	// decisions. It returns a human-readable description of the action.
+	Resolve(d Diagnosis, t Topology, latest *Sample) (string, error)
+}
+
+// SpoutPendingResolver relieves backpressure by tightening the
+// max-spout-pending window — the cheapest intervention: a control-plane
+// retune, no restarts. Requires acking (the window is meaningless
+// without it).
+type SpoutPendingResolver struct {
+	// Initial is the configured MaxSpoutPending; used as the starting
+	// point for the first tightening (default 1024 when unset).
+	Initial int
+
+	current int
+	floor   int
+}
+
+// Name implements Resolver.
+func (*SpoutPendingResolver) Name() string { return "spout-pending-retune" }
+
+// CanResolve implements Resolver.
+func (*SpoutPendingResolver) CanResolve(d Diagnosis) bool {
+	return d.Kind == DiagUnderprovisioned
+}
+
+// Resolve implements Resolver: halve the in-flight window (floor 64).
+func (r *SpoutPendingResolver) Resolve(d Diagnosis, t Topology, _ *Sample) (string, error) {
+	if r.floor == 0 {
+		r.floor = 64
+	}
+	if r.current == 0 {
+		r.current = r.Initial
+		if r.current <= 0 {
+			r.current = 1024
+		}
+	}
+	next := r.current / 2
+	if next < r.floor {
+		return "", fmt.Errorf("healthmgr: max-spout-pending already at floor %d", r.floor)
+	}
+	if err := t.SetMaxSpoutPending(next); err != nil {
+		return "", err
+	}
+	r.current = next
+	return fmt.Sprintf("max-spout-pending → %d", next), nil
+}
+
+// ScaleUpResolver resolves an underprovisioned component by growing its
+// parallelism ~1.5× through the runtime rescale path.
+type ScaleUpResolver struct {
+	Max int // parallelism ceiling (default 16)
+}
+
+// Name implements Resolver.
+func (*ScaleUpResolver) Name() string { return "scale-up" }
+
+// CanResolve implements Resolver.
+func (*ScaleUpResolver) CanResolve(d Diagnosis) bool {
+	return d.Kind == DiagUnderprovisioned
+}
+
+// Resolve implements Resolver.
+func (r *ScaleUpResolver) Resolve(d Diagnosis, t Topology, latest *Sample) (string, error) {
+	max := r.Max
+	if max <= 0 {
+		max = 16
+	}
+	comp, ok := latest.Components[d.Component]
+	if !ok || comp.Parallelism <= 0 {
+		return "", fmt.Errorf("healthmgr: no stats for component %q", d.Component)
+	}
+	cur := comp.Parallelism
+	grow := cur / 2
+	if grow < 1 {
+		grow = 1
+	}
+	next := cur + grow
+	if next > max {
+		next = max
+	}
+	if next <= cur {
+		return "", fmt.Errorf("healthmgr: %q already at max parallelism %d", d.Component, max)
+	}
+	if err := t.ScaleComponent(d.Component, next); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("parallelism %d → %d", cur, next), nil
+}
+
+// ScaleDownResolver returns capacity from an overprovisioned component
+// by halving its parallelism (never below Min).
+type ScaleDownResolver struct {
+	Min int // parallelism floor (default 1)
+}
+
+// Name implements Resolver.
+func (*ScaleDownResolver) Name() string { return "scale-down" }
+
+// CanResolve implements Resolver.
+func (*ScaleDownResolver) CanResolve(d Diagnosis) bool {
+	return d.Kind == DiagOverprovisioned
+}
+
+// Resolve implements Resolver.
+func (r *ScaleDownResolver) Resolve(d Diagnosis, t Topology, latest *Sample) (string, error) {
+	min := r.Min
+	if min <= 0 {
+		min = 1
+	}
+	comp, ok := latest.Components[d.Component]
+	if !ok || comp.Parallelism <= 0 {
+		return "", fmt.Errorf("healthmgr: no stats for component %q", d.Component)
+	}
+	cur := comp.Parallelism
+	next := cur / 2
+	if next < min {
+		next = min
+	}
+	if next >= cur {
+		return "", fmt.Errorf("healthmgr: %q already at min parallelism %d", d.Component, min)
+	}
+	if err := t.ScaleComponent(d.Component, next); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("parallelism %d → %d", cur, next), nil
+}
+
+// RestartResolver resolves a slow-instance diagnosis by bouncing the
+// container hosting the slowest task — the classic remedy for a
+// degraded host, which rescaling would not fix.
+type RestartResolver struct{}
+
+// Name implements Resolver.
+func (*RestartResolver) Name() string { return "restart-slow-container" }
+
+// CanResolve implements Resolver.
+func (*RestartResolver) CanResolve(d Diagnosis) bool {
+	return d.Kind == DiagSlowInstance
+}
+
+// Resolve implements Resolver.
+func (RestartResolver) Resolve(d Diagnosis, t Topology, latest *Sample) (string, error) {
+	comp, ok := latest.Components[d.Component]
+	if !ok {
+		return "", fmt.Errorf("healthmgr: no stats for component %q", d.Component)
+	}
+	// The slow task is the one making the least progress.
+	var slow int32 = -1
+	var slowDelta int64 = -1
+	for task := range comp.TaskContainer {
+		delta := comp.TaskDeltas[task]
+		if slow < 0 || delta < slowDelta {
+			slow, slowDelta = task, delta
+		}
+	}
+	if slow < 0 {
+		return "", fmt.Errorf("healthmgr: no tasks for component %q", d.Component)
+	}
+	container := comp.TaskContainer[slow]
+	if err := t.Restart(container); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("restarted container %d (slow task %d)", container, slow), nil
+}

@@ -1,0 +1,232 @@
+package healthmgr
+
+import (
+	"time"
+
+	"heron/internal/core"
+	"heron/internal/metrics"
+)
+
+// ComponentStats is one component's health-relevant signal over a single
+// sensing window: per-task progress deltas, topology placement, and mean
+// execute latency (bolts only).
+type ComponentStats struct {
+	Spout       bool
+	Parallelism int
+	// TaskDeltas is the per-task progress over the window: executed
+	// tuples for bolts, emitted tuples for spouts. Negative raw deltas
+	// (counter reset after a relaunch) clamp to zero.
+	TaskDeltas map[int32]int64
+	// TaskContainer maps each task to the container hosting it.
+	TaskContainer map[int32]int32
+	// TaskLatencyNs is each bolt task's mean execute latency over the
+	// window (cumulative mean when the window added no latency samples).
+	TaskLatencyNs map[int32]float64
+	// Rate is tuples/second summed across tasks over the window.
+	Rate float64
+	// MeanLatencyNs is the component-wide mean execute latency.
+	MeanLatencyNs float64
+}
+
+// Delta returns the summed task deltas.
+func (c *ComponentStats) Delta() int64 {
+	var total int64
+	for _, d := range c.TaskDeltas {
+		total += d
+	}
+	return total
+}
+
+// ContainerBP is one container's backpressure signal over the window.
+type ContainerBP struct {
+	// Active reports the stream manager's live backpressure gauge: true
+	// while the container currently asserts backpressure.
+	Active bool
+	// AssertedNsDelta is backpressure time accrued during the window.
+	// It only moves when an assert/release cycle completes, so Active is
+	// the primary sustained-pressure signal.
+	AssertedNsDelta int64
+}
+
+// Asserted reports whether the container showed any backpressure in the
+// window.
+func (b ContainerBP) Asserted() bool { return b.Active || b.AssertedNsDelta > 0 }
+
+// Sample is one evaluated sensing window, the unit detectors consume.
+type Sample struct {
+	At           time.Time
+	Elapsed      time.Duration
+	Components   map[string]*ComponentStats
+	Backpressure map[int32]ContainerBP
+}
+
+// BackpressureAsserted reports whether any container asserted
+// backpressure during the window.
+func (s *Sample) BackpressureAsserted() bool {
+	for _, bp := range s.Backpressure {
+		if bp.Asserted() {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildSample derives one Sample from two successive topology views and
+// the active packing plan. It is a pure function so detector tests can
+// feed synthetic view sequences. prev may be nil (warmup): deltas then
+// read as cumulative counts.
+func BuildSample(cur, prev *metrics.TopologyView, plan *core.PackingPlan, at time.Time, elapsed time.Duration) *Sample {
+	s := &Sample{
+		At:           at,
+		Elapsed:      elapsed,
+		Components:   map[string]*ComponentStats{},
+		Backpressure: map[int32]ContainerBP{},
+	}
+	// Placement and parallelism come from the plan, not the metrics:
+	// tasks that have not reported yet still count toward parallelism.
+	for i := range plan.Containers {
+		c := &plan.Containers[i]
+		for _, inst := range c.Instances {
+			comp := s.component(inst.ID.Component)
+			comp.Parallelism++
+			comp.TaskContainer[inst.ID.TaskID] = c.ID
+		}
+	}
+	// Bolts are the components that report execute counts; spout progress
+	// is their emit count.
+	for id, val := range cur.Counters {
+		switch id.Name {
+		case metrics.MExecuteCount:
+			comp := s.component(id.Component)
+			comp.TaskDeltas[id.Task] = counterDelta(prev, id, val)
+		case metrics.MStmgrBPAssertedTime:
+			bp := s.Backpressure[id.Task]
+			bp.AssertedNsDelta = counterDelta(prev, id, val)
+			s.Backpressure[id.Task] = bp
+		}
+	}
+	for id, val := range cur.Counters {
+		if id.Name != metrics.MEmitCount {
+			continue
+		}
+		comp := s.component(id.Component)
+		if _, bolt := cur.Counters[metrics.ID{Name: metrics.MExecuteCount, Tags: id.Tags}]; bolt {
+			continue
+		}
+		comp.Spout = true
+		comp.TaskDeltas[id.Task] = counterDelta(prev, id, val)
+	}
+	for id, val := range cur.Gauges {
+		if id.Name == metrics.MStmgrBPActive {
+			bp := s.Backpressure[id.Task]
+			bp.Active = val != 0
+			s.Backpressure[id.Task] = bp
+		}
+	}
+	// Execute-latency windows per task and per component.
+	for id, hs := range cur.Histograms {
+		if id.Name != metrics.MExecuteLatency {
+			continue
+		}
+		comp := s.component(id.Component)
+		comp.TaskLatencyNs[id.Task] = windowMean(prev, id, hs)
+	}
+	for name, comp := range s.Components {
+		if elapsed > 0 {
+			comp.Rate = float64(comp.Delta()) / elapsed.Seconds()
+		}
+		comp.MeanLatencyNs = histWindowMean(cur, prev, metrics.MExecuteLatency, name)
+	}
+	return s
+}
+
+func (s *Sample) component(name string) *ComponentStats {
+	if name == "" || name == metrics.StmgrComponent {
+		name = metrics.StmgrComponent
+	}
+	comp, ok := s.Components[name]
+	if !ok {
+		comp = &ComponentStats{
+			TaskDeltas:    map[int32]int64{},
+			TaskContainer: map[int32]int32{},
+			TaskLatencyNs: map[int32]float64{},
+		}
+		s.Components[name] = comp
+	}
+	return comp
+}
+
+// counterDelta returns cur-prev for one counter identity, clamped at
+// zero: relaunched instances reset their counters.
+func counterDelta(prev *metrics.TopologyView, id metrics.ID, cur int64) int64 {
+	if prev == nil {
+		return cur
+	}
+	d := cur - prev.Counters[id]
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// windowMean is one histogram identity's mean over the window, falling
+// back to the cumulative mean when the window added no samples (execute
+// latency is sampled, so short windows can be empty).
+func windowMean(prev *metrics.TopologyView, id metrics.ID, cur metrics.HistogramSnapshot) float64 {
+	if prev != nil {
+		p := prev.Histograms[id]
+		if dc := cur.Count - p.Count; dc > 0 && cur.Sum >= p.Sum {
+			return float64(cur.Sum-p.Sum) / float64(dc)
+		}
+	}
+	if cur.Count > 0 {
+		return float64(cur.Sum) / float64(cur.Count)
+	}
+	return 0
+}
+
+// histWindowMean is the component-wide windowed mean of a histogram.
+func histWindowMean(cur, prev *metrics.TopologyView, name, component string) float64 {
+	c := cur.Histogram(name, component)
+	if prev != nil {
+		p := prev.Histogram(name, component)
+		if dc := c.Count - p.Count; dc > 0 && c.Sum >= p.Sum {
+			return float64(c.Sum-p.Sum) / float64(dc)
+		}
+	}
+	if c.Count > 0 {
+		return float64(c.Sum) / float64(c.Count)
+	}
+	return 0
+}
+
+// ViewSensor turns successive topology views into Samples, keeping the
+// previous view for windowed deltas. The first observation is warmup and
+// produces no sample; so does a tick during which no fresh container
+// snapshot arrived (the view's TakenAt did not advance).
+type ViewSensor struct {
+	prev   *metrics.TopologyView
+	prevAt time.Time
+}
+
+// Sample evaluates the current view; nil when there is nothing fresh.
+func (v *ViewSensor) Sample(cur *metrics.TopologyView, plan *core.PackingPlan, at time.Time) *Sample {
+	if cur == nil || plan == nil {
+		return nil
+	}
+	if v.prev == nil {
+		v.prev, v.prevAt = cur, at
+		return nil
+	}
+	if !cur.TakenAt.After(v.prev.TakenAt) {
+		return nil // no new snapshots merged since last tick
+	}
+	elapsed := at.Sub(v.prevAt)
+	s := BuildSample(cur, v.prev, plan, at, elapsed)
+	v.prev, v.prevAt = cur, at
+	return s
+}
+
+// Reset drops sensor history (after a rescale, counters restart and the
+// old window is meaningless).
+func (v *ViewSensor) Reset() { v.prev, v.prevAt = nil, time.Time{} }

@@ -29,6 +29,7 @@ const (
 	MStmgrBytesReceived  = "stmgr.bytes-received"           // bytes arriving at the router
 	MStmgrBPTransitions  = "stmgr.backpressure-transitions" // assert/release edges
 	MStmgrBPAssertedTime = "stmgr.backpressure-time-ns"     // total ns spent asserted
+	MStmgrBPActive       = "stmgr.backpressure-active"      // 1 while this container asserts backpressure (gauge)
 
 	// Checkpointing. Duration/size/restore are per-instance (tags:
 	// component, task); epoch is per-Stream-Manager (tags: StmgrComponent,
@@ -37,6 +38,14 @@ const (
 	MCheckpointSize     = "checkpoint.size_bytes" // encoded snapshot bytes
 	MCheckpointEpoch    = "checkpoint.epoch"      // latest globally-committed checkpoint id (gauge)
 	MRestoreCount       = "restore.count"         // state restores performed after recovery
+
+	// Health manager (tags: the affected component, task 0). Counters
+	// accumulate per evaluation tick while the condition holds; the
+	// histogram records wall time of each runtime rescale.
+	MHealthSymptoms        = "healthmgr.symptoms"         // symptoms raised
+	MHealthDiagnoses       = "healthmgr.diagnoses"        // diagnoses produced
+	MHealthActions         = "healthmgr.resolver-actions" // resolver actions taken
+	MHealthRescaleDuration = "healthmgr.rescale-duration" // ns per runtime rescale
 )
 
 // UserPrefix namespaces metrics registered by user components so they can

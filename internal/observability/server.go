@@ -30,6 +30,10 @@ type Options struct {
 	View func() *metrics.TopologyView
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
+	// Health, when non-nil, is served as JSON at /health — the health
+	// manager's current diagnosis and action log. When nil, /health
+	// reports {"enabled": false}.
+	Health func() any
 }
 
 // Server is a running observability endpoint.
@@ -60,6 +64,21 @@ func Start(opts Options) (*Server, error) {
 			Topology string           `json:"topology"`
 			Metrics  metrics.ViewDump `json:"metrics"`
 		}{opts.Topology, opts.View().Dump()})
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if opts.Health == nil {
+			_ = enc.Encode(struct {
+				Enabled bool `json:"enabled"`
+			}{false})
+			return
+		}
+		_ = enc.Encode(struct {
+			Enabled bool `json:"enabled"`
+			Status  any  `json:"status"`
+		}{true, opts.Health()})
 	})
 	if opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

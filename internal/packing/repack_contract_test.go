@@ -1,0 +1,163 @@
+package packing
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"heron/internal/core"
+)
+
+// Repack is a first-class contract shared by every packing algorithm:
+// the health manager's runtime rescale leans on these exact guarantees.
+//
+//  1. Keep-container: every instance surviving the change stays in the
+//     container it already occupies.
+//  2. Delta-only: a grow only adds instances (fresh task ids, the next
+//     free component indices); a shrink only removes the highest
+//     component indices; nothing else changes.
+//  3. No-op deltas produce a plan identical to the current one.
+//
+// The tests below run both shipped algorithms through one table so any
+// future algorithm can be added to `contractManagers`.
+
+func contractManagers(t *testing.T, tp *core.Topology) map[string]core.ResourceManager {
+	t.Helper()
+	c := cfg()
+	c.NumContainers = 3
+	c.ContainerCapacity = core.Resource{CPU: 16, RAMMB: 16384, DiskMB: 32768}
+	out := map[string]core.ResourceManager{}
+	for name, rm := range map[string]core.ResourceManager{
+		"roundrobin": &RoundRobin{},
+		"binpacking": &BinPacking{},
+	} {
+		if err := rm.Initialize(c, tp); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = rm
+	}
+	return out
+}
+
+// placements flattens a plan to instance → container.
+func placements(p *core.PackingPlan) map[core.InstanceID]int32 {
+	m := map[core.InstanceID]int32{}
+	for _, ct := range p.Containers {
+		for _, inst := range ct.Instances {
+			m[inst.ID] = ct.ID
+		}
+	}
+	return m
+}
+
+func planFingerprint(p *core.PackingPlan) string {
+	var parts []string
+	for id, ctr := range placements(p) {
+		parts = append(parts, fmt.Sprintf("%s/%d/%d@%d", id.Component, id.ComponentIndex, id.TaskID, ctr))
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+func TestRepackContract(t *testing.T) {
+	cases := []struct {
+		name    string
+		changes map[string]int
+		delta   int // expected instance-count change for "count"
+	}{
+		{"grow", map[string]int{"count": 7}, +3},
+		{"shrink", map[string]int{"count": 2}, -2},
+		{"no-op", map[string]int{"count": 4}, 0},
+	}
+	for _, tc := range cases {
+		for name, rm := range contractManagers(t, topo(2, 4)) {
+			t.Run(tc.name+"/"+name, func(t *testing.T) {
+				before, err := rm.Pack()
+				if err != nil {
+					t.Fatal(err)
+				}
+				after, err := rm.Repack(before, tc.changes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				beforeMap, afterMap := placements(before), placements(after)
+
+				// Keep-container: survivors never move.
+				for id, ctr := range beforeMap {
+					newCtr, survived := afterMap[id]
+					if survived && newCtr != ctr {
+						t.Errorf("instance %v moved %d → %d", id, ctr, newCtr)
+					}
+				}
+				// Delta-only: the instance-count delta is exactly the
+				// parallelism delta, and only "count" changes.
+				if got, want := len(afterMap)-len(beforeMap), tc.delta; got != want {
+					t.Errorf("instance delta = %d, want %d", got, want)
+				}
+				for id := range beforeMap {
+					if _, survived := afterMap[id]; !survived && id.Component != "count" {
+						t.Errorf("untouched component lost instance %v", id)
+					}
+				}
+				newPar := tc.changes["count"]
+				seen := map[int32]bool{}
+				for id := range afterMap {
+					if id.Component != "count" {
+						continue
+					}
+					if int(id.ComponentIndex) >= newPar {
+						t.Errorf("component index %d present at parallelism %d", id.ComponentIndex, newPar)
+					}
+					seen[id.ComponentIndex] = true
+				}
+				if len(seen) != newPar {
+					t.Errorf("have %d distinct count indices, want %d", len(seen), newPar)
+				}
+				// Grown instances get fresh task ids, never recycled ones.
+				if tc.delta > 0 {
+					maxBefore := int32(-1)
+					for id := range beforeMap {
+						if id.TaskID > maxBefore {
+							maxBefore = id.TaskID
+						}
+					}
+					for id := range afterMap {
+						if _, existed := beforeMap[id]; !existed && id.TaskID <= maxBefore {
+							t.Errorf("new instance %v reuses task id ≤ %d", id, maxBefore)
+						}
+					}
+				}
+				// No-op deltas return the identical plan.
+				if tc.delta == 0 && planFingerprint(before) != planFingerprint(after) {
+					t.Errorf("no-op repack changed the plan:\nbefore %s\nafter  %s",
+						planFingerprint(before), planFingerprint(after))
+				}
+			})
+		}
+	}
+}
+
+// TestRepackContractGrowShrinkRoundTrip shrinks after growing and checks
+// the surviving indices are exactly the originals, still in place.
+func TestRepackContractGrowShrinkRoundTrip(t *testing.T) {
+	for name, rm := range contractManagers(t, topo(2, 4)) {
+		t.Run(name, func(t *testing.T) {
+			before, err := rm.Pack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			grown, err := rm.Repack(before, map[string]int{"count": 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := rm.Repack(grown, map[string]int{"count": 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if planFingerprint(back) != planFingerprint(before) {
+				t.Errorf("grow+shrink did not round-trip:\nbefore %s\nafter  %s",
+					planFingerprint(before), planFingerprint(back))
+			}
+		})
+	}
+}

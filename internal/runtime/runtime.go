@@ -201,6 +201,13 @@ func (e *Engine) launchWorker(topology string, containerID int32) (func(), error
 			_ = ckptBackend.Close()
 		}
 		state.Close()
+		// Identity-guarded: a relaunch of this container id may already
+		// have installed a fresh registry.
+		e.mu.Lock()
+		if e.registries[containerID] == registry {
+			delete(e.registries, containerID)
+		}
+		e.mu.Unlock()
 	}, nil
 }
 

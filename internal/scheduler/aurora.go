@@ -171,6 +171,36 @@ func (a *Aurora) OnUpdate(req core.UpdateRequest) error {
 	return nil
 }
 
+// OnQuiescedUpdate implements core.QuiescingScheduler with homogeneous
+// containers: all workers are released, then the proposed plan's
+// containers are re-requested at the (possibly resized) uniform ask.
+func (a *Aurora) OnQuiescedUpdate(req core.UpdateRequest) error {
+	a.mu.Lock()
+	oldAsk, ok := a.sizes[req.Topology]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	ask := oldAsk.Max(a.homogeneousAsk(req.Proposed))
+	for _, id := range a.cl.Containers(req.Topology) {
+		if id == core.TMasterContainerID {
+			continue
+		}
+		_ = a.cl.Release(req.Topology, id)
+	}
+	for i := range req.Proposed.Containers {
+		id := req.Proposed.Containers[i].ID
+		if err := a.cl.Allocate(req.Topology, id, ask, a.cfg.Launcher, cluster.AllocateOptions{AutoRestart: true}); err != nil {
+			return fmt.Errorf("scheduler: reallocating container %d: %w", id, err)
+		}
+	}
+	a.mu.Lock()
+	a.sizes[req.Topology] = ask
+	a.plans[req.Topology] = req.Proposed.Clone()
+	a.mu.Unlock()
+	return nil
+}
+
 // Close implements core.Scheduler.
 func (a *Aurora) Close() error {
 	if a.cfg == nil {

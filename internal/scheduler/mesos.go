@@ -230,6 +230,40 @@ func (m *Mesos) OnUpdate(req core.UpdateRequest) error {
 	return nil
 }
 
+// OnQuiescedUpdate implements core.QuiescingScheduler: every worker
+// container is released (returning its resources to the offer pool)
+// before the proposed plan's containers are re-placed on fresh offers.
+func (m *Mesos) OnQuiescedUpdate(req core.UpdateRequest) error {
+	m.mu.Lock()
+	asks, ok := m.asks[req.Topology]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	for _, id := range m.cl.Containers(req.Topology) {
+		if id == core.TMasterContainerID {
+			continue
+		}
+		_ = m.cl.Release(req.Topology, id)
+		m.mu.Lock()
+		delete(asks, id)
+		m.mu.Unlock()
+	}
+	for i := range req.Proposed.Containers {
+		c := &req.Proposed.Containers[i]
+		m.mu.Lock()
+		asks[c.ID] = c.Required
+		m.mu.Unlock()
+		if err := m.placeOnOffer(req.Topology, c.ID, c.Required); err != nil {
+			return fmt.Errorf("scheduler: re-placing container %d: %w", c.ID, err)
+		}
+	}
+	m.mu.Lock()
+	m.plans[req.Topology] = req.Proposed.Clone()
+	m.mu.Unlock()
+	return nil
+}
+
 // Close implements core.Scheduler.
 func (m *Mesos) Close() error {
 	if m.cfg == nil {

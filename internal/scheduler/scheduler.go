@@ -260,6 +260,44 @@ func (l *Local) OnUpdate(req core.UpdateRequest) error {
 	return nil
 }
 
+// OnQuiescedUpdate implements core.QuiescingScheduler: every worker
+// container stops before anything from the proposed plan launches (the
+// TMaster keeps running), so each relaunched instance restores from the
+// checkpoint committed just before the update with no cross-generation
+// traffic.
+func (l *Local) OnQuiescedUpdate(req core.UpdateRequest) error {
+	l.mu.Lock()
+	stops, ok := l.stops[req.Topology]
+	if !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	l.plans[req.Topology] = req.Proposed.Clone()
+	var workerStops []func()
+	for id, stop := range stops {
+		if id == core.TMasterContainerID {
+			continue
+		}
+		workerStops = append(workerStops, stop)
+		delete(stops, id)
+	}
+	l.mu.Unlock()
+	for _, stop := range workerStops {
+		stop()
+	}
+	for i := range req.Proposed.Containers {
+		id := req.Proposed.Containers[i].ID
+		newStop, err := l.cfg.Launcher.LaunchContainer(req.Topology, id)
+		if err != nil {
+			return fmt.Errorf("scheduler: relaunching container %d: %w", id, err)
+		}
+		l.mu.Lock()
+		stops[id] = newStop
+		l.mu.Unlock()
+	}
+	return nil
+}
+
 // Close implements core.Scheduler; running topologies are killed.
 func (l *Local) Close() error {
 	l.mu.Lock()

@@ -207,6 +207,41 @@ func (y *YARN) OnUpdate(req core.UpdateRequest) error {
 	return nil
 }
 
+// OnQuiescedUpdate implements core.QuiescingScheduler: the whole worker
+// set is released back to the framework before the proposed plan's
+// containers are requested — the same quiesce-first ordering as
+// checkpoint failure recovery, applied to a plan change.
+func (y *YARN) OnQuiescedUpdate(req core.UpdateRequest) error {
+	y.mu.Lock()
+	asks, ok := y.asks[req.Topology]
+	y.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRunning, req.Topology)
+	}
+	for _, id := range y.cl.Containers(req.Topology) {
+		if id == core.TMasterContainerID {
+			continue
+		}
+		_ = y.cl.Release(req.Topology, id)
+		y.mu.Lock()
+		delete(asks, id)
+		y.mu.Unlock()
+	}
+	for i := range req.Proposed.Containers {
+		c := &req.Proposed.Containers[i]
+		y.mu.Lock()
+		asks[c.ID] = c.Required
+		y.mu.Unlock()
+		if err := y.cl.Allocate(req.Topology, c.ID, c.Required, y.cfg.Launcher, cluster.AllocateOptions{}); err != nil {
+			return fmt.Errorf("scheduler: reallocating container %d: %w", c.ID, err)
+		}
+	}
+	y.mu.Lock()
+	y.plans[req.Topology] = req.Proposed.Clone()
+	y.mu.Unlock()
+	return nil
+}
+
 // Close implements core.Scheduler: the monitor stops and managed
 // topologies are released.
 func (y *YARN) Close() error {

@@ -192,6 +192,33 @@ func (s *StreamManager) parkOrDeliver(dest int32, count int, buf *wire.Buffer) b
 	return true
 }
 
+// parkPeerOrDeliver is parkOrDeliver's twin for remote destinations: the
+// snapshot had no outbox for a container the plan places dest on. That is
+// a dial race, not a routing error — during a rescale relaunch, restored
+// spouts replay while a late-registering container's address has not
+// reached this Stream Manager yet, and dropping the frame here would lose
+// a tuple the restore checkpoint already advanced past. Re-check the
+// master map under s.mu, then park the owned frame until the dial lands.
+func (s *StreamManager) parkPeerOrDeliver(container int32, buf *wire.Buffer) bool {
+	s.mu.Lock()
+	if p := s.peers[container]; p != nil {
+		s.mu.Unlock()
+		p.enqueueOwned(network.MsgData, buf)
+		return true
+	}
+	if s.peerPending == nil {
+		s.peerPending = map[int32][]*wire.Buffer{}
+	}
+	if len(s.peerPending[container]) >= pendingFrameCap {
+		s.mu.Unlock()
+		wire.PutBuffer(buf)
+		return false
+	}
+	s.peerPending[container] = append(s.peerPending[container], buf)
+	s.mu.Unlock()
+	return true
+}
+
 // routeFrame is the Stream Manager's data path: every MsgData and MsgAck
 // frame from instances and peers lands here.
 func (s *StreamManager) routeFrame(kind network.MsgKind, payload []byte) {
@@ -300,7 +327,11 @@ func (s *StreamManager) routeDataLazy(payload []byte) {
 	}
 	if peer := rt.peers[container]; peer != nil {
 		peer.enqueue(network.MsgData, payload)
+		return
 	}
+	buf := wire.GetBuffer()
+	buf.B = append(buf.B, payload...)
+	s.parkPeerOrDeliver(container, buf)
 }
 
 // routeDataNaive is the "without optimizations" path of Figures 5–9:
@@ -331,7 +362,9 @@ func (s *StreamManager) routeDataNaive(payload []byte) {
 		}
 		if peer := rt.peers[container]; peer != nil {
 			peer.enqueueOwned(network.MsgData, &wire.Buffer{B: frame})
+			return nil
 		}
+		s.parkPeerOrDeliver(container, &wire.Buffer{B: frame})
 		return nil
 	})
 }
@@ -509,5 +542,5 @@ func (s *StreamManager) flushBatch(dest int32, count int, buf *wire.Buffer) {
 		peer.enqueueOwned(network.MsgData, buf)
 		return
 	}
-	wire.PutBuffer(buf)
+	s.parkPeerOrDeliver(container, buf)
 }

@@ -1,0 +1,88 @@
+package stmgr
+
+import (
+	"testing"
+
+	"heron/internal/tuple"
+)
+
+// detachPeer removes container 2's outbox from a bench Stream Manager,
+// recreating the rescale-relaunch window: the plan still places tasks on
+// the container, but no peer connection exists yet.
+func detachPeer(s *StreamManager) {
+	s.mu.Lock()
+	old := s.peers[2]
+	delete(s.peers, 2)
+	delete(s.peerConns, 2)
+	delete(s.peerAddrs, 2)
+	s.publishRoutesLocked()
+	s.mu.Unlock()
+	old.close()
+}
+
+// TestDataForUnconnectedPeerParksAndReplays is the loss bug behind rescale
+// convergence: a data frame routed to a container that is in the plan but
+// not yet dialed must be parked — not dropped — and replayed in order once
+// the connection lands, ahead of any traffic routed after the attach.
+func TestDataForUnconnectedPeerParksAndReplays(t *testing.T) {
+	s := newBenchSM(t)
+	detachPeer(s)
+
+	// Three frames for task 3 (container 2), through both remote slow
+	// paths: pre-batched frames hit routeDataLazy's park directly, the
+	// single-tuple frame goes via the tuple cache and flushBatch.
+	s.routeDataLazy(benchFrame(3, 2))
+	s.routeDataLazy(benchFrame(3, 1))
+	s.cache.drainAll()
+	s.routeDataLazy(benchFrame(3, 3))
+
+	s.mu.Lock()
+	parked := len(s.peerPending[2])
+	s.mu.Unlock()
+	if parked != 3 {
+		t.Fatalf("parked %d frames for container 2, want 3", parked)
+	}
+
+	conn := newCountingConn()
+	s.attachPeer(2, "bench-peer", conn)
+	// Traffic routed after the attach must land behind the replay.
+	s.routeDataLazy(benchFrame(3, 4))
+	waitFrames(t, conn, 4)
+
+	frames, _ := conn.snapshot()
+	wantCounts := []int{2, 1, 3, 4}
+	for i, f := range frames {
+		dest, count, _, err := tuple.FrameHeader(f)
+		if err != nil || dest != 3 || count != wantCounts[i] {
+			t.Fatalf("frame %d: dest %d count %d err %v, want dest 3 count %d",
+				i, dest, count, err, wantCounts[i])
+		}
+	}
+
+	s.mu.Lock()
+	left := len(s.peerPending[2])
+	s.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d frames still parked after attach", left)
+	}
+}
+
+// TestPeerPendingCapBoundsMemory: the parked queue shares the local
+// pending cap; frames past it are dropped (and their buffers recycled)
+// rather than growing without bound if the dial never lands.
+func TestPeerPendingCapBoundsMemory(t *testing.T) {
+	s := newBenchSM(t)
+	detachPeer(s)
+
+	frame := benchFrame(3, 2)
+	for i := 0; i < pendingFrameCap+16; i++ {
+		s.routeDataLazy(frame)
+	}
+
+	s.mu.Lock()
+	parked := len(s.peerPending[2])
+	s.mu.Unlock()
+	if parked != pendingFrameCap {
+		t.Fatalf("parked %d frames, want cap %d", parked, pendingFrameCap)
+	}
+}

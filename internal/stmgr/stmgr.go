@@ -98,11 +98,19 @@ type StreamManager struct {
 	// registered yet (instances and their upstream spouts start
 	// concurrently); flushed on registration, capped per task. Buffers are
 	// pooled and owned by the parked queue.
-	pending   map[int32][]*wire.Buffer
-	peers     map[int32]*outbox
-	peerConns map[int32]network.Conn
-	peerAddrs map[int32]string
-	spoutsUp  map[int32]bool // local spout tasks currently registered
+	pending map[int32][]*wire.Buffer
+	// peerPending parks data frames bound for a container that is in the
+	// plan but whose peer connection is not established yet. The window is
+	// real during a runtime rescale: relaunched spouts restore and replay
+	// while the plan broadcast still lacks a late-registering container's
+	// address (a brand-new container from a scale-up registers last), and a
+	// dropped frame there is a lost tuple the checkpoint already passed.
+	// Flushed in order when the peer dial lands; capped per container.
+	peerPending map[int32][]*wire.Buffer
+	peers       map[int32]*outbox
+	peerConns   map[int32]network.Conn
+	peerAddrs   map[int32]string
+	spoutsUp    map[int32]bool // local spout tasks currently registered
 
 	cache *tupleCache
 	acks  *ackCache
@@ -134,6 +142,7 @@ type StreamManager struct {
 	mAcksRouted  *metrics.Counter
 	mBPTransit   *metrics.Counter
 	mBPTime      *metrics.Counter
+	mBPActive    *metrics.Gauge
 	mBytesSent   *metrics.Counter
 	mBytesRecv   *metrics.Counter
 	mCkptEpoch   *metrics.Gauge
@@ -163,20 +172,21 @@ func New(opts Options) (*StreamManager, error) {
 		return nil, err
 	}
 	s := &StreamManager{
-		opts:      opts,
-		transport: tr,
-		codec:     codec,
-		optimized: opts.Cfg.StreamManagerOptimized,
-		listener:  l,
-		instances: map[int32]*outbox{},
-		instConns: map[int32]network.Conn{},
-		pending:   map[int32][]*wire.Buffer{},
-		peers:     map[int32]*outbox{},
-		peerConns: map[int32]network.Conn{},
-		peerAddrs: map[int32]string{},
-		spoutsUp:  map[int32]bool{},
-		rootSpout: map[uint64]int32{},
-		stopCh:    make(chan struct{}),
+		opts:        opts,
+		transport:   tr,
+		codec:       codec,
+		optimized:   opts.Cfg.StreamManagerOptimized,
+		listener:    l,
+		instances:   map[int32]*outbox{},
+		instConns:   map[int32]network.Conn{},
+		pending:     map[int32][]*wire.Buffer{},
+		peerPending: map[int32][]*wire.Buffer{},
+		peers:       map[int32]*outbox{},
+		peerConns:   map[int32]network.Conn{},
+		peerAddrs:   map[int32]string{},
+		spoutsUp:    map[int32]bool{},
+		rootSpout:   map[uint64]int32{},
+		stopCh:      make(chan struct{}),
 	}
 	s.publishRoutes()
 	tags := metrics.Tags{Component: metrics.StmgrComponent, Task: opts.Container}
@@ -187,6 +197,7 @@ func New(opts Options) (*StreamManager, error) {
 	s.mAcksRouted = opts.Registry.Counter(metrics.MStmgrAcksRouted, tags)
 	s.mBPTransit = opts.Registry.Counter(metrics.MStmgrBPTransitions, tags)
 	s.mBPTime = opts.Registry.Counter(metrics.MStmgrBPAssertedTime, tags)
+	s.mBPActive = opts.Registry.Gauge(metrics.MStmgrBPActive, tags)
 	s.mBytesSent = opts.Registry.Counter(metrics.MStmgrBytesSent, tags)
 	s.mBytesRecv = opts.Registry.Counter(metrics.MStmgrBytesReceived, tags)
 	s.mCkptEpoch = opts.Registry.Gauge(metrics.MCheckpointEpoch, tags)
@@ -362,6 +373,16 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 			delete(s.peerAddrs, c)
 		}
 	}
+	// Frames parked for a container the new plan no longer has were bound
+	// for tasks that were scaled away; recycle them.
+	for c, parked := range s.peerPending {
+		if len(pp.ContainerTasks(c)) == 0 {
+			for _, buf := range parked {
+				wire.PutBuffer(buf)
+			}
+			delete(s.peerPending, c)
+		}
+	}
 	outs := make([]*outbox, 0, len(s.instances))
 	for _, o := range s.instances {
 		outs = append(outs, o)
@@ -379,17 +400,31 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 		// Frames we receive on a dialed peer conn (rare: peers answer on
 		// their accepted side normally) go through the same router.
 		conn.Start(s.routeFrame)
-		s.mu.Lock()
-		s.peers[d.container] = newOutbox(conn, nil, s.onBytesSent)
-		s.peerConns[d.container] = conn
-		s.peerAddrs[d.container] = d.addr
-		s.publishRoutesLocked()
-		s.mu.Unlock()
+		s.attachPeer(d.container, d.addr, conn)
 	}
 	// Forward the plan to local instances.
 	for _, o := range outs {
 		o.enqueue(network.MsgControl, raw)
 	}
+}
+
+// attachPeer installs an established peer connection as container's
+// outbox. Frames parked while the container had no connection are
+// replayed before the routing snapshot lets new traffic reach the outbox
+// directly: the parked queue and the outbox are both FIFO, so tuple order
+// per destination is preserved.
+func (s *StreamManager) attachPeer(container int32, addr string, conn network.Conn) {
+	s.mu.Lock()
+	o := newOutbox(conn, nil, s.onBytesSent)
+	s.peers[container] = o
+	s.peerConns[container] = conn
+	s.peerAddrs[container] = addr
+	for _, buf := range s.peerPending[container] {
+		o.enqueueOwned(network.MsgData, buf)
+	}
+	delete(s.peerPending, container)
+	s.publishRoutesLocked()
+	s.mu.Unlock()
 }
 
 // acceptLoop admits connections from local instances and peer stream
@@ -558,6 +593,11 @@ func (s *StreamManager) observeDepth(depth int) {
 		s.bpMu.Unlock()
 		if trigger {
 			s.mBPTransit.Inc(1)
+			// The asserted-time counter only accrues on release, so a
+			// sustained assertion would otherwise be invisible between
+			// transitions; the gauge lets observers (the health manager's
+			// backpressure sensor) see an assertion in progress.
+			s.mBPActive.Set(1)
 			s.broadcastBackpressure(true)
 		}
 		return
@@ -585,6 +625,7 @@ func (s *StreamManager) observeDepth(depth int) {
 	s.bpMu.Unlock()
 	if release {
 		s.mBPTransit.Inc(1)
+		s.mBPActive.Set(0)
 		s.broadcastBackpressure(false)
 	}
 }
@@ -690,6 +731,12 @@ func (s *StreamManager) Stop() {
 		s.instConns = map[int32]network.Conn{}
 		s.peers = map[int32]*outbox{}
 		s.peerConns = map[int32]network.Conn{}
+		for _, parked := range s.peerPending {
+			for _, buf := range parked {
+				wire.PutBuffer(buf)
+			}
+		}
+		s.peerPending = map[int32][]*wire.Buffer{}
 		s.publishRoutesLocked()
 		s.mu.Unlock()
 		for _, c := range instConns {

@@ -8,8 +8,10 @@ package tmaster
 
 import (
 	"errors"
+	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heron/internal/checkpoint"
@@ -42,8 +44,10 @@ type TMaster struct {
 	readyOK sync.Once
 
 	// Checkpoint coordination (nil/zero when CheckpointInterval == 0).
-	ckpt        *checkpoint.Coordinator
-	ckptBackend checkpoint.Backend
+	ckpt          *checkpoint.Coordinator
+	ckptBackend   checkpoint.Backend
+	ckptSuspended atomic.Bool
+	commitWaiters []chan int64 // notified (non-blocking) on every commit
 
 	stopCh   chan struct{}
 	stopOnce sync.Once
@@ -205,6 +209,13 @@ func (tm *TMaster) broadcastIfComplete() {
 			conns = append(conns, e.conn)
 		}
 	}
+	// Drop metric snapshots of containers no longer in the plan (scale
+	// down), so the merged view never reports tasks that ceased to exist.
+	for c := range tm.metrics {
+		if !valid[c] {
+			delete(tm.metrics, c)
+		}
+	}
 	tm.mu.Unlock()
 
 	raw, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpPlan, Topology: tm.opts.Topology, Plan: payload})
@@ -303,17 +314,19 @@ func (tm *TMaster) checkpointLoop() {
 		case <-tm.stopCh:
 			return
 		case <-t.C:
-			tm.triggerCheckpoint()
+			if !tm.ckptSuspended.Load() {
+				tm.triggerCheckpoint()
+			}
 		}
 	}
 }
 
 // triggerCheckpoint begins one checkpoint over every task of the current
 // packing plan.
-func (tm *TMaster) triggerCheckpoint() {
+func (tm *TMaster) triggerCheckpoint() (int64, bool) {
 	packing, err := tm.opts.State.GetPackingPlan(tm.opts.Topology)
 	if err != nil {
-		return
+		return 0, false
 	}
 	var tasks []int32
 	for i := range packing.Containers {
@@ -323,11 +336,76 @@ func (tm *TMaster) triggerCheckpoint() {
 	}
 	id, ok := tm.ckpt.Begin(tasks)
 	if !ok {
-		return
+		return 0, false
 	}
 	tm.broadcastCtrl(&ctrl.Message{
 		Op: ctrl.OpCheckpointTrigger, Topology: tm.opts.Topology, CheckpointID: id,
 	})
+	return id, true
+}
+
+// SuspendCheckpoints pauses interval-triggered checkpoints. The rescale
+// protocol owns the checkpoint sequence while it runs: an interval
+// barrier racing the repartitioned snapshot could commit a checkpoint of
+// the old task set after the new one, which relaunched containers would
+// then restore. Explicit CheckpointNow triggers still work.
+func (tm *TMaster) SuspendCheckpoints() { tm.ckptSuspended.Store(true) }
+
+// ResumeCheckpoints re-enables interval-triggered checkpoints.
+func (tm *TMaster) ResumeCheckpoints() { tm.ckptSuspended.Store(false) }
+
+// CheckpointNow synchronously runs one full checkpoint: it triggers a
+// barrier over the current plan and blocks until a checkpoint at least as
+// new commits, returning the committed id. It works while interval
+// checkpoints are suspended — that is exactly how the rescale protocol
+// captures the topology's state before repartitioning it.
+func (tm *TMaster) CheckpointNow(timeout time.Duration) (int64, error) {
+	if tm.ckpt == nil {
+		return 0, errors.New("tmaster: checkpointing disabled")
+	}
+	ch := make(chan int64, 4)
+	tm.mu.Lock()
+	tm.commitWaiters = append(tm.commitWaiters, ch)
+	tm.mu.Unlock()
+	defer tm.dropWaiter(ch)
+	id, ok := tm.triggerCheckpoint()
+	if !ok {
+		return 0, errors.New("tmaster: cannot trigger checkpoint (no plan or no tasks)")
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case got := <-ch:
+			if got >= id {
+				return got, nil
+			}
+		case <-deadline.C:
+			return 0, fmt.Errorf("tmaster: checkpoint %d did not commit within %v", id, timeout)
+		case <-tm.stopCh:
+			return 0, errors.New("tmaster: stopped")
+		}
+	}
+}
+
+func (tm *TMaster) dropWaiter(ch chan int64) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	for i, w := range tm.commitWaiters {
+		if w == ch {
+			tm.commitWaiters = append(tm.commitWaiters[:i], tm.commitWaiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReserveCheckpointID hands out the next checkpoint id for an externally
+// built snapshot — the rescale protocol's repartitioned checkpoint.
+func (tm *TMaster) ReserveCheckpointID() (int64, error) {
+	if tm.ckpt == nil {
+		return 0, errors.New("tmaster: checkpointing disabled")
+	}
+	return tm.ckpt.Reserve(), nil
 }
 
 // checkpointSaved records one task's snapshot ack; when the barrier set
@@ -346,6 +424,15 @@ func (tm *TMaster) checkpointSaved(task int32, id int64) {
 		tm.broadcastCtrl(&ctrl.Message{
 			Op: ctrl.OpCheckpointCommitted, Topology: tm.opts.Topology, CheckpointID: id,
 		})
+		tm.mu.Lock()
+		waiters := append([]chan int64(nil), tm.commitWaiters...)
+		tm.mu.Unlock()
+		for _, w := range waiters {
+			select {
+			case w <- id:
+			default:
+			}
+		}
 	}
 }
 
