@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-json bench-health
+.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,17 @@ bench-health:
 	$(GO) test -run XX -bench 'BenchmarkRouteHealthIdle' \
 		-benchmem -benchtime 2s ./internal/stmgr/ | \
 		$(GO) run ./cmd/benchjson -label after -out BENCH_PR5.json
+
+# bench-streamlet refreshes BENCH_PR6.json: the cost of planning a
+# streamlet pipeline (BenchmarkStreamletCompile) and of routing tuples
+# through a registry-backed custom grouping strategy
+# (BenchmarkRouteCustomGrouping — must stay 0 allocs/op and match the
+# BENCH_PR2.json route baselines). Cheap enough that CI runs it on every
+# push.
+bench-streamlet:
+	$(GO) test -run XX -bench 'BenchmarkRouteCustomGrouping' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR6.json
+	$(GO) test -run XX -bench 'BenchmarkStreamletCompile' \
+		-benchmem -benchtime 2s ./streamlet/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR6.json

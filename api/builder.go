@@ -125,6 +125,7 @@ type inputDecl struct {
 	stream    string
 	grouping  core.Grouping
 	keyFields []string
+	strategy  string // registered name, GroupCustom only
 }
 
 // BoltDeclarer configures one bolt; methods chain.
@@ -142,31 +143,75 @@ func (d *BoltDeclarer) TickEvery(interval time.Duration) *BoltDeclarer {
 	return d
 }
 
+// Grouping subscribes this bolt to component's stream ("" = default)
+// partitioned by the given strategy. It is the single subscription
+// primitive: the named convenience methods (ShuffleGrouping,
+// FieldsGrouping, ...) are thin wrappers over it. Built-in strategies
+// compile to the engine's native routing kinds; custom strategies (see
+// RegisterGrouping / Custom) travel by registered name in the physical
+// plan. A bolt may subscribe to any (component, stream) pair at most
+// once; duplicates are rejected at Build.
+func (d *BoltDeclarer) Grouping(component, stream string, g GroupingStrategy) *BoltDeclarer {
+	in := inputDecl{component: component, stream: stream}
+	switch s := g.(type) {
+	case builtinGrouping:
+		in.grouping, in.keyFields = s.builtin()
+	case interface{ strategyName() string }:
+		in.grouping, in.strategy = core.GroupCustom, s.strategyName()
+	case nil:
+		d.b.errs = append(d.b.errs,
+			fmt.Errorf("api: bolt %q subscribes to %s.%s with a nil grouping strategy", d.name, component, stream))
+		return d
+	default:
+		d.b.errs = append(d.b.errs, fmt.Errorf(
+			"api: bolt %q subscribes to %s.%s with an unregistered %T strategy; register it with api.RegisterGrouping and subscribe with api.Custom(name)",
+			d.name, component, stream, g))
+		return d
+	}
+	d.inputs = append(d.inputs, in)
+	return d
+}
+
 // ShuffleGrouping subscribes to component's stream ("" = default) with
 // round-robin partitioning.
 func (d *BoltDeclarer) ShuffleGrouping(component, stream string) *BoltDeclarer {
-	d.inputs = append(d.inputs, inputDecl{component: component, stream: stream, grouping: core.GroupShuffle})
-	return d
+	return d.Grouping(component, stream, Shuffle())
 }
 
 // FieldsGrouping subscribes with hash partitioning on the named key
 // fields, resolved against the upstream stream's declared fields at Build
 // time. Equal keys always reach the same task.
 func (d *BoltDeclarer) FieldsGrouping(component, stream string, keyFields ...string) *BoltDeclarer {
-	d.inputs = append(d.inputs, inputDecl{component: component, stream: stream, grouping: core.GroupFields, keyFields: keyFields})
-	return d
+	return d.Grouping(component, stream, Fields(keyFields...))
 }
 
 // AllGrouping replicates every tuple of the stream to every task.
 func (d *BoltDeclarer) AllGrouping(component, stream string) *BoltDeclarer {
-	d.inputs = append(d.inputs, inputDecl{component: component, stream: stream, grouping: core.GroupAll})
-	return d
+	return d.Grouping(component, stream, All())
 }
 
 // GlobalGrouping sends the whole stream to the bolt's first task.
 func (d *BoltDeclarer) GlobalGrouping(component, stream string) *BoltDeclarer {
-	d.inputs = append(d.inputs, inputDecl{component: component, stream: stream, grouping: core.GroupGlobal})
-	return d
+	return d.Grouping(component, stream, Global())
+}
+
+// PartialKeyGrouping subscribes with two-choice key grouping on the named
+// fields (see PartialKey).
+func (d *BoltDeclarer) PartialKeyGrouping(component, stream string, keyFields ...string) *BoltDeclarer {
+	return d.Grouping(component, stream, PartialKey(keyFields...))
+}
+
+// DirectGrouping subscribes with emitter-directed routing: indexField
+// names an int64 field of the upstream stream carrying the destination
+// task's component index (see Direct).
+func (d *BoltDeclarer) DirectGrouping(component, stream, indexField string) *BoltDeclarer {
+	return d.Grouping(component, stream, Direct(indexField))
+}
+
+// CustomGrouping subscribes with the registered strategy named name (see
+// RegisterGrouping).
+func (d *BoltDeclarer) CustomGrouping(component, stream, name string) *BoltDeclarer {
+	return d.Grouping(component, stream, Custom(name))
 }
 
 // Build validates the assembled topology and returns its Spec. Every
@@ -209,13 +254,22 @@ func (b *TopologyBuilder) Build() (*Spec, error) {
 			Resources: d.resources, Outputs: d.outputs,
 			TickEveryMs: d.tickEvery.Milliseconds(),
 		}
+		subscribed := map[string]bool{}
 		for _, in := range d.inputs {
 			stream := in.stream
 			if stream == "" {
 				stream = core.DefaultStream
 			}
-			is := core.InputSpec{Component: in.component, Stream: stream, Grouping: in.grouping}
-			if in.grouping == core.GroupFields {
+			pair := in.component + "\x00" + stream
+			if subscribed[pair] {
+				errs = append(errs, fmt.Errorf("api: bolt %q subscribes to %s.%s twice; a bolt may subscribe to each (component, stream) pair at most once",
+					name, in.component, stream))
+				continue
+			}
+			subscribed[pair] = true
+			is := core.InputSpec{Component: in.component, Stream: stream, Grouping: in.grouping, Strategy: in.strategy}
+			switch in.grouping {
+			case core.GroupFields, core.GroupPartialKey, core.GroupDirect:
 				upstream := outputsOf(in.component)
 				fields := upstream[stream]
 				for _, key := range in.keyFields {

@@ -1,0 +1,181 @@
+package api
+
+import (
+	"heron/internal/core"
+)
+
+// GroupingStrategy decides how a stream's tuples are distributed across a
+// consuming bolt's tasks. It is the pluggable heart of the subscription
+// API: BoltDeclarer.Grouping accepts any GroupingStrategy, and the
+// built-in distributions — Shuffle, Fields, All, Global, PartialKey,
+// Direct — are ordinary values of this interface that the builder lowers
+// to the engine's native (allocation-free) routing kinds.
+//
+// User-defined strategies implement Prepare/Select, are registered under a
+// name with RegisterGrouping, and are referenced with Custom(name): the
+// name is what travels in the physical plan, and every emitting instance
+// rebuilds one fresh strategy per route from the registry, so Select-side
+// state (load counters, ring positions, ...) is per-route and never
+// shared. Select runs on the emit hot path; implementations should reuse
+// an internal slice for the returned indices (the engine copies them out
+// immediately), keeping routing at zero allocations per tuple.
+type GroupingStrategy interface {
+	// Prepare is called once per route with the number of consumer tasks.
+	Prepare(nTasks int)
+	// Select returns the indices (each in [0, nTasks)) of the consumer
+	// tasks that receive this tuple. Out-of-range indices are ignored; an
+	// empty result drops the tuple.
+	Select(values Values) []int
+}
+
+// RegisterGrouping registers a custom grouping-strategy factory under
+// name, making Custom(name) usable in topologies. A fresh strategy is
+// created (and Prepared) per route on every emitting instance. Duplicate
+// names panic, matching the engine's other module registries.
+func RegisterGrouping(name string, f func() GroupingStrategy) {
+	core.RegisterGroupingStrategy(name, func() core.GroupingStrategy { return coreStrategy{f()} })
+}
+
+// coreStrategy adapts an api strategy to the core-side interface (the two
+// only differ by the Values alias).
+type coreStrategy struct{ s GroupingStrategy }
+
+func (c coreStrategy) Prepare(nTasks int)        { c.s.Prepare(nTasks) }
+func (c coreStrategy) Select(values []any) []int { return c.s.Select(values) }
+
+// builtinGrouping is implemented by the built-in strategy descriptors: it
+// exposes the native routing kind the builder lowers them to, plus any
+// key-field names to resolve against the upstream stream at Build time.
+type builtinGrouping interface {
+	builtin() (core.Grouping, []string)
+}
+
+// builtinStrategy is the common descriptor for all built-ins. Its
+// Prepare/Select give each built-in a faithful standalone implementation
+// (usable in tests or as a reference), but inside a topology the builder
+// recognizes the descriptor and compiles the native kind instead — the
+// engine's zero-allocation fast paths, not these methods, route tuples.
+type builtinStrategy struct {
+	kind   core.Grouping
+	fields []string
+
+	n   int
+	rr  uint64
+	buf []int
+}
+
+func (b *builtinStrategy) builtin() (core.Grouping, []string) { return b.kind, b.fields }
+
+// Prepare implements GroupingStrategy.
+func (b *builtinStrategy) Prepare(nTasks int) {
+	b.n = nTasks
+	b.buf = make([]int, 0, nTasks)
+}
+
+// Select implements GroupingStrategy. Fields and PartialKey descriptors
+// hash the whole tuple here (standalone use has no field resolution);
+// under the builder the named fields are resolved and routed natively.
+func (b *builtinStrategy) Select(values Values) []int {
+	if b.n == 0 {
+		return nil
+	}
+	b.buf = b.buf[:0]
+	switch b.kind {
+	case core.GroupShuffle:
+		b.rr++
+		b.buf = append(b.buf, int(b.rr%uint64(b.n)))
+	case core.GroupFields, core.GroupPartialKey:
+		h := core.HashFields(values, allIdx(len(values)))
+		b.buf = append(b.buf, int(h%uint64(b.n)))
+	case core.GroupAll:
+		for i := 0; i < b.n; i++ {
+			b.buf = append(b.buf, i)
+		}
+	case core.GroupGlobal:
+		b.buf = append(b.buf, 0)
+	case core.GroupDirect:
+		if len(values) > 0 {
+			if v, ok := values[0].(int64); ok && v >= 0 && int(v) < b.n {
+				b.buf = append(b.buf, int(v))
+			}
+		}
+	}
+	return b.buf
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Shuffle distributes tuples round-robin across consumer tasks.
+func Shuffle() GroupingStrategy {
+	return &builtinStrategy{kind: core.GroupShuffle}
+}
+
+// Fields hashes the named key fields of the upstream stream so equal keys
+// always reach the same task.
+func Fields(keyFields ...string) GroupingStrategy {
+	return &builtinStrategy{kind: core.GroupFields, fields: keyFields}
+}
+
+// All replicates every tuple to every consumer task.
+func All() GroupingStrategy {
+	return &builtinStrategy{kind: core.GroupAll}
+}
+
+// Global sends the whole stream to the consumer's first task.
+func Global() GroupingStrategy {
+	return &builtinStrategy{kind: core.GroupGlobal}
+}
+
+// PartialKey is key grouping with rebalancing ("power of two choices"):
+// each key hashes to two candidate tasks and every tuple goes to the
+// less-loaded candidate. A key's state lands on at most two tasks — the
+// consumer must merge partial aggregates — but a skewed key can no longer
+// hot-spot a single task.
+func PartialKey(keyFields ...string) GroupingStrategy {
+	return &builtinStrategy{kind: core.GroupPartialKey, fields: keyFields}
+}
+
+// Direct routes each tuple to the consumer task whose component index is
+// carried in the named int64 field — the emitter picks the destination.
+// Tuples whose index is out of range are dropped.
+func Direct(indexField string) GroupingStrategy {
+	return &builtinStrategy{kind: core.GroupDirect, fields: []string{indexField}}
+}
+
+// Custom references the grouping strategy registered under name (see
+// RegisterGrouping). The returned value also works standalone: Prepare
+// and Select delegate to a fresh instance from the registry.
+func Custom(name string) GroupingStrategy {
+	return &customRef{name: name}
+}
+
+type customRef struct {
+	name string
+	s    core.GroupingStrategy
+}
+
+func (c *customRef) strategyName() string { return c.name }
+
+// Prepare implements GroupingStrategy (standalone use).
+func (c *customRef) Prepare(nTasks int) {
+	s, err := core.NewGroupingStrategy(c.name)
+	if err != nil {
+		return
+	}
+	c.s = s
+	c.s.Prepare(nTasks)
+}
+
+// Select implements GroupingStrategy (standalone use).
+func (c *customRef) Select(values Values) []int {
+	if c.s == nil {
+		return nil
+	}
+	return c.s.Select(values)
+}

@@ -1,0 +1,218 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"heron/internal/core"
+)
+
+// modStrategy routes by value modulo task count — a minimal registrable
+// custom strategy for the builder tests.
+type modStrategy struct {
+	n   int
+	buf [1]int
+}
+
+func (s *modStrategy) Prepare(nTasks int) { s.n = nTasks }
+
+func (s *modStrategy) Select(values Values) []int {
+	v, _ := values[0].(int64)
+	s.buf[0] = int(uint64(v) % uint64(s.n))
+	return s.buf[:]
+}
+
+func buildOne(t *testing.T, declare func(d *BoltDeclarer)) *core.Topology {
+	t.Helper()
+	b := NewTopologyBuilder("g")
+	b.SetSpout("src", newNopSpout, 2).OutputFields("word", "n")
+	declare(b.SetBolt("sink", newNopBolt, 3))
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Topology
+}
+
+func TestGroupingBuiltins(t *testing.T) {
+	cases := []struct {
+		name     string
+		strategy GroupingStrategy
+		want     core.InputSpec
+	}{
+		{"shuffle", Shuffle(), core.InputSpec{Grouping: core.GroupShuffle}},
+		{"fields", Fields("word"), core.InputSpec{Grouping: core.GroupFields, FieldIdx: []int{0}}},
+		{"all", All(), core.InputSpec{Grouping: core.GroupAll}},
+		{"global", Global(), core.InputSpec{Grouping: core.GroupGlobal}},
+		{"partial-key", PartialKey("word", "n"), core.InputSpec{Grouping: core.GroupPartialKey, FieldIdx: []int{0, 1}}},
+		{"direct", Direct("n"), core.InputSpec{Grouping: core.GroupDirect, FieldIdx: []int{1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := buildOne(t, func(d *BoltDeclarer) { d.Grouping("src", "", tc.strategy) })
+			in := topo.Component("sink").Inputs[0]
+			if in.Component != "src" || in.Stream != core.DefaultStream {
+				t.Fatalf("input = %+v", in)
+			}
+			if in.Grouping != tc.want.Grouping || in.Strategy != "" {
+				t.Errorf("grouping = %v strategy=%q", in.Grouping, in.Strategy)
+			}
+			if len(in.FieldIdx) != len(tc.want.FieldIdx) {
+				t.Fatalf("fieldIdx = %v, want %v", in.FieldIdx, tc.want.FieldIdx)
+			}
+			for i := range in.FieldIdx {
+				if in.FieldIdx[i] != tc.want.FieldIdx[i] {
+					t.Errorf("fieldIdx = %v, want %v", in.FieldIdx, tc.want.FieldIdx)
+				}
+			}
+		})
+	}
+}
+
+func TestGroupingCustom(t *testing.T) {
+	RegisterGrouping("api-test-mod", func() GroupingStrategy { return &modStrategy{} })
+	topo := buildOne(t, func(d *BoltDeclarer) { d.CustomGrouping("src", "", "api-test-mod") })
+	in := topo.Component("sink").Inputs[0]
+	if in.Grouping != core.GroupCustom || in.Strategy != "api-test-mod" {
+		t.Fatalf("input = %+v", in)
+	}
+	// The registered strategy is usable standalone through Custom(name).
+	g := Custom("api-test-mod")
+	g.Prepare(3)
+	if got := g.Select(Values{int64(7)}); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Select(7) = %v", got)
+	}
+}
+
+func TestGroupingWrappersMatchGroupingMethod(t *testing.T) {
+	b := NewTopologyBuilder("wrap")
+	b.SetSpout("src", newNopSpout, 1).
+		OutputFields("word").
+		OutputStream("s2", "word").
+		OutputStream("s3", "word")
+	b.SetBolt("sink", newNopBolt, 2).
+		ShuffleGrouping("src", "").
+		FieldsGrouping("src", "s2", "word"). // distinct streams: not duplicates
+		PartialKeyGrouping("src", "s3", "word")
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := spec.Topology.Component("sink").Inputs
+	if len(ins) != 3 {
+		t.Fatalf("inputs = %+v", ins)
+	}
+	want := []core.Grouping{core.GroupShuffle, core.GroupFields, core.GroupPartialKey}
+	for i, g := range want {
+		if ins[i].Grouping != g {
+			t.Errorf("input %d grouping = %v, want %v", i, ins[i].Grouping, g)
+		}
+	}
+}
+
+func TestDuplicateSubscriptionRejected(t *testing.T) {
+	b := NewTopologyBuilder("dup")
+	b.SetSpout("src", newNopSpout, 1).OutputFields("word")
+	b.SetBolt("sink", newNopBolt, 1).
+		ShuffleGrouping("src", "").
+		FieldsGrouping("src", "", "word")
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupingStrategyErrors(t *testing.T) {
+	t.Run("nil", func(t *testing.T) {
+		b := NewTopologyBuilder("nil")
+		b.SetSpout("src", newNopSpout, 1).OutputFields("word")
+		b.SetBolt("sink", newNopBolt, 1).Grouping("src", "", nil)
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), "nil grouping strategy") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unregistered-raw", func(t *testing.T) {
+		b := NewTopologyBuilder("raw")
+		b.SetSpout("src", newNopSpout, 1).OutputFields("word")
+		b.SetBolt("sink", newNopBolt, 1).Grouping("src", "", &modStrategy{})
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), "api.RegisterGrouping") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unknown-custom-name", func(t *testing.T) {
+		b := NewTopologyBuilder("ghost")
+		b.SetSpout("src", newNopSpout, 1).OutputFields("word")
+		b.SetBolt("sink", newNopBolt, 1).CustomGrouping("src", "", "api-test-ghost")
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), "not registered") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestKeyFieldResolutionErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		declare func(d *BoltDeclarer)
+	}{
+		{"partial-key", func(d *BoltDeclarer) { d.PartialKeyGrouping("src", "", "nope") }},
+		{"direct", func(d *BoltDeclarer) { d.DirectGrouping("src", "", "nope") }},
+		{"fields", func(d *BoltDeclarer) { d.FieldsGrouping("src", "", "nope") }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewTopologyBuilder("badkey")
+			b.SetSpout("src", newNopSpout, 1).OutputFields("word")
+			tc.declare(b.SetBolt("sink", newNopBolt, 1))
+			_, err := b.Build()
+			if err == nil || !strings.Contains(err.Error(), `unknown field "nope"`) {
+				t.Fatalf("err = %v", err)
+			}
+		})
+	}
+}
+
+func TestBuiltinStrategiesStandalone(t *testing.T) {
+	sh := Shuffle()
+	sh.Prepare(3)
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		got := sh.Select(Values{int64(i)})
+		if len(got) != 1 {
+			t.Fatalf("shuffle select = %v", got)
+		}
+		seen[got[0]] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("shuffle covered %v of 3 tasks", len(seen))
+	}
+
+	all := All()
+	all.Prepare(4)
+	if got := all.Select(Values{"x"}); len(got) != 4 {
+		t.Errorf("all select = %v", got)
+	}
+
+	gl := Global()
+	gl.Prepare(4)
+	if got := gl.Select(Values{"x"}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("global select = %v", got)
+	}
+
+	f := Fields("k")
+	f.Prepare(4)
+	a, b := f.Select(Values{"same"}), f.Select(Values{"same"})
+	if len(a) != 1 || a[0] != b[0] {
+		t.Errorf("fields not sticky: %v vs %v", a, b)
+	}
+
+	d := Direct("i")
+	d.Prepare(4)
+	if got := d.Select(Values{int64(2)}); len(got) != 1 || got[0] != 2 {
+		t.Errorf("direct select = %v", got)
+	}
+	if got := d.Select(Values{int64(9)}); len(got) != 0 {
+		t.Errorf("direct out-of-range select = %v", got)
+	}
+}

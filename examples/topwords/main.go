@@ -1,0 +1,118 @@
+// Topwords: windowed top-K trending words over a simulated post stream,
+// written against the high-level streamlet API. Posts are sampled from a
+// vocabulary with shifting popularity; the pipeline splits posts into
+// words, counts each word inside tumbling count windows and keeps a
+// per-window leaderboard — the "trending topics" workload the paper's
+// introduction motivates.
+//
+//	go run ./examples/topwords
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	heron "heron"
+	"heron/streamlet"
+	"heron/windows"
+)
+
+const (
+	windowSize = 2000 // words per trending window
+	topK       = 5
+)
+
+var vocabulary = []string{
+	"heron", "storm", "stream", "tuple", "spout", "bolt", "window",
+	"backpressure", "latency", "throughput", "acker", "topology",
+	"container", "checkpoint", "rescale", "grouping", "shuffle",
+}
+
+func main() {
+	// Post generator: 3-8 words per post, Zipf-skewed word choice whose
+	// hot end rotates every few seconds so the trending set drifts.
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(len(vocabulary)-1))
+	start := time.Now()
+	gen := func() (any, bool) {
+		shift := int(time.Since(start) / (4 * time.Second))
+		words := make([]string, 3+rng.Intn(6))
+		for i := range words {
+			words[i] = vocabulary[(int(zipf.Uint64())+shift)%len(vocabulary)]
+		}
+		time.Sleep(time.Millisecond) // ~1K posts/sec
+		return strings.Join(words, " "), true
+	}
+
+	var mu sync.Mutex
+	window := map[string]int64{} // counts of the window being assembled
+	var windowsSeen, wordsSeen int64
+
+	b := streamlet.NewBuilder("topwords")
+	b.Source("posts", gen).
+		FlatMap(func(v any) []any {
+			var out []any
+			for _, w := range strings.Fields(v.(string)) {
+				out = append(out, w)
+			}
+			return out
+		}).WithName("words").
+		KeyValueBy(
+			func(v any) any { return v },
+			func(v any) any { return int64(1) },
+		).
+		ReduceByKeyAndWindow(windows.TumblingCount(windowSize), func(a, v any) any {
+			return a.(int64) + v.(int64)
+		}).WithName("trending").
+		Consume(func(kv streamlet.KeyValue) {
+			mu.Lock()
+			defer mu.Unlock()
+			window[kv.Key.(string)] += kv.Value.(int64)
+			wordsSeen += kv.Value.(int64)
+			if wordsSeen < windowSize*(windowsSeen+1) {
+				return
+			}
+			// A full window's worth of counts arrived: print its top K.
+			windowsSeen++
+			type wc struct {
+				w string
+				n int64
+			}
+			var ranked []wc
+			for w, n := range window {
+				ranked = append(ranked, wc{w, n})
+			}
+			sort.Slice(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+			line := fmt.Sprintf("window %3d  top-%d:", windowsSeen, topK)
+			for i, e := range ranked {
+				if i == topK {
+					break
+				}
+				line += fmt.Sprintf(" %s=%d", e.w, e.n)
+			}
+			fmt.Println(line)
+			window = map[string]int64{}
+		})
+
+	spec, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := heron.NewConfig()
+	cfg.NumContainers = 3
+	h, err := heron.Submit(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("topwords running (12s)...")
+	time.Sleep(12 * time.Second)
+}

@@ -55,6 +55,34 @@ func TestTopologyValidateErrors(t *testing.T) {
 		{"fields no keys", func(tp *Topology) { tp.Components[1].Inputs[0].FieldIdx = nil }, "without key fields"},
 		{"fields bad index", func(tp *Topology) { tp.Components[1].Inputs[0].FieldIdx = []int{5} }, "out of range"},
 		{"bad grouping", func(tp *Topology) { tp.Components[1].Inputs[0].Grouping = Grouping(99) }, "grouping"},
+		{"partial-key no keys", func(tp *Topology) {
+			tp.Components[1].Inputs[0].Grouping = GroupPartialKey
+			tp.Components[1].Inputs[0].FieldIdx = nil
+		}, "without key fields"},
+		{"partial-key bad index", func(tp *Topology) {
+			tp.Components[1].Inputs[0].Grouping = GroupPartialKey
+			tp.Components[1].Inputs[0].FieldIdx = []int{7}
+		}, "out of range"},
+		{"direct no field", func(tp *Topology) {
+			tp.Components[1].Inputs[0].Grouping = GroupDirect
+			tp.Components[1].Inputs[0].FieldIdx = nil
+		}, "exactly one index field"},
+		{"direct two fields", func(tp *Topology) {
+			tp.Components[1].Inputs[0].Grouping = GroupDirect
+			tp.Components[1].Inputs[0].FieldIdx = []int{0, 0}
+		}, "exactly one index field"},
+		{"direct bad index", func(tp *Topology) {
+			tp.Components[1].Inputs[0].Grouping = GroupDirect
+			tp.Components[1].Inputs[0].FieldIdx = []int{5}
+		}, "out of range"},
+		{"custom unnamed", func(tp *Topology) {
+			tp.Components[1].Inputs[0].Grouping = GroupCustom
+			tp.Components[1].Inputs[0].Strategy = ""
+		}, "without a strategy name"},
+		{"custom unregistered", func(tp *Topology) {
+			tp.Components[1].Inputs[0].Grouping = GroupCustom
+			tp.Components[1].Inputs[0].Strategy = "no-such-strategy"
+		}, "not registered"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -359,7 +387,10 @@ func TestKindAndGroupingStrings(t *testing.T) {
 	if ComponentKind(9).String() == "" {
 		t.Error("unknown kind string empty")
 	}
-	for g, want := range map[Grouping]string{GroupShuffle: "shuffle", GroupFields: "fields", GroupAll: "all", GroupGlobal: "global"} {
+	for g, want := range map[Grouping]string{
+		GroupShuffle: "shuffle", GroupFields: "fields", GroupAll: "all", GroupGlobal: "global",
+		GroupPartialKey: "partial-key", GroupDirect: "direct", GroupCustom: "custom",
+	} {
 		if g.String() != want {
 			t.Errorf("%v != %s", g, want)
 		}

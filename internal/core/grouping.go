@@ -1,0 +1,62 @@
+package core
+
+// GroupingStrategy is the pluggable distribution-strategy interface behind
+// GroupCustom: user code decides, tuple by tuple, which consumer tasks
+// receive an emission. Strategies are registered under a name
+// (RegisterGroupingStrategy); only the name travels in the physical plan,
+// and every Heron Instance builds one fresh strategy per route
+// (stream → consumer) from its local registry — so strategy state is
+// per-route and needs no synchronization.
+//
+// Select runs on the emitting instance's executor goroutine, on the data
+// hot path. To keep that path allocation-free, implementations should
+// return an internally reused slice: the engine copies the indices out
+// before the next Select call and never retains the slice.
+type GroupingStrategy interface {
+	// Prepare is called once per route with the consumer's task count
+	// before any Select.
+	Prepare(nTasks int)
+	// Select returns the consumer task indices (each in [0, nTasks)) that
+	// receive the tuple. Out-of-range indices are dropped; an empty result
+	// drops the tuple.
+	Select(values []any) []int
+}
+
+var groupingStrategies = newRegistry[GroupingStrategy]("grouping strategy")
+
+// RegisterGroupingStrategy adds a grouping-strategy factory under name.
+// Like the other module registries it panics on duplicates (a wiring bug,
+// caught at init time).
+func RegisterGroupingStrategy(name string, f func() GroupingStrategy) {
+	groupingStrategies.register(name, f)
+}
+
+// NewGroupingStrategy instantiates the strategy registered under name.
+func NewGroupingStrategy(name string) (GroupingStrategy, error) {
+	return groupingStrategies.create(name)
+}
+
+// GroupingStrategyNames lists registered grouping strategies.
+func GroupingStrategyNames() []string { return groupingStrategies.names() }
+
+// GroupingStrategyRegistered reports whether name is registered.
+func GroupingStrategyRegistered(name string) bool {
+	groupingStrategies.mu.RLock()
+	defer groupingStrategies.mu.RUnlock()
+	_, ok := groupingStrategies.factories[name]
+	return ok
+}
+
+// Rehash derives a second, independent hash from h (the splitmix64
+// finalizer). Partial-key grouping uses it for the second of its two
+// candidate tasks so both choices stay uncorrelated even when the first
+// hash collides modulo the task count.
+func Rehash(h uint64) uint64 {
+	h += 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// evenOddStrategy routes even first values to task 0, everything else to
+// task 1 — just enough behaviour to exercise the registry plumbing.
+type evenOddStrategy struct {
+	n   int
+	buf [1]int
+}
+
+func (s *evenOddStrategy) Prepare(nTasks int) { s.n = nTasks }
+
+func (s *evenOddStrategy) Select(values []any) []int {
+	s.buf[0] = 1 % s.n
+	if v, ok := values[0].(int64); ok && v%2 == 0 {
+		s.buf[0] = 0
+	}
+	return s.buf[:]
+}
+
+func TestGroupingStrategyRegistry(t *testing.T) {
+	RegisterGroupingStrategy("core-test-evenodd", func() GroupingStrategy {
+		return &evenOddStrategy{}
+	})
+	if !GroupingStrategyRegistered("core-test-evenodd") {
+		t.Fatal("registered strategy not found")
+	}
+	if GroupingStrategyRegistered("core-test-ghost") {
+		t.Fatal("unregistered strategy reported present")
+	}
+	g, err := NewGroupingStrategy("core-test-evenodd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Prepare(2)
+	if got := g.Select([]any{int64(4)}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Select(4) = %v", got)
+	}
+	if got := g.Select([]any{int64(3)}); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Select(3) = %v", got)
+	}
+	if _, err := NewGroupingStrategy("core-test-ghost"); err == nil {
+		t.Error("unknown strategy created")
+	}
+	found := false
+	for _, n := range GroupingStrategyNames() {
+		if n == "core-test-evenodd" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("names = %v", GroupingStrategyNames())
+	}
+}
+
+func TestGroupingStrategyDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "duplicate") {
+			t.Errorf("recover = %v", r)
+		}
+	}()
+	RegisterGroupingStrategy("core-test-dup", func() GroupingStrategy { return nil })
+	RegisterGroupingStrategy("core-test-dup", func() GroupingStrategy { return nil })
+}
+
+func TestValidateCustomGroupingOK(t *testing.T) {
+	RegisterGroupingStrategy("core-test-valid", func() GroupingStrategy {
+		return &evenOddStrategy{}
+	})
+	tp := wordCountTopology(1, 2)
+	tp.Components[1].Inputs[0] = InputSpec{
+		Component: "word", Grouping: GroupCustom, Strategy: "core-test-valid",
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Partial-key with a valid key field also validates.
+	tp.Components[1].Inputs[0] = InputSpec{
+		Component: "word", Grouping: GroupPartialKey, FieldIdx: []int{0},
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRehashDiffers(t *testing.T) {
+	seen := map[uint64]bool{}
+	for h := uint64(0); h < 64; h++ {
+		r := Rehash(h)
+		if r == h {
+			t.Errorf("Rehash(%d) fixed point", h)
+		}
+		if seen[r] {
+			t.Errorf("Rehash collision at %d", h)
+		}
+		seen[r] = true
+	}
+}

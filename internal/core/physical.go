@@ -20,6 +20,8 @@ type ConsumerInfo struct {
 	Component string
 	Grouping  Grouping
 	FieldIdx  []int
+	// Strategy is the registered strategy name for GroupCustom routes.
+	Strategy string `json:",omitempty"`
 	// Tasks are the consumer's task ids in ComponentIndex order; fields
 	// grouping indexes into this slice by hash so the order must be stable.
 	Tasks []int32
@@ -128,6 +130,7 @@ func NewPhysicalPlan(t *Topology, p *PackingPlan) (*PhysicalPlan, error) {
 				Component: spec.Name,
 				Grouping:  in.Grouping,
 				FieldIdx:  in.FieldIdx,
+				Strategy:  in.Strategy,
 				Tasks:     pp.compTasks[spec.Name],
 			})
 		}

@@ -42,6 +42,22 @@ const (
 	GroupAll
 	// GroupGlobal sends every tuple to the single lowest-id consumer task.
 	GroupGlobal
+	// GroupPartialKey is key grouping with rebalancing: each key hashes to
+	// two candidate tasks and every tuple goes to whichever candidate has
+	// received less traffic on this route so far (the "power of two
+	// choices"). A key's state is split across at most two tasks, so
+	// consumers must merge partial aggregates — in exchange, a skewed key
+	// can no longer hot-spot a single task.
+	GroupPartialKey
+	// GroupDirect routes each tuple to the consumer task whose component
+	// index is carried in a designated int64 field of the tuple itself —
+	// the emitter decides the destination.
+	GroupDirect
+	// GroupCustom delegates the routing decision to a user strategy
+	// registered under InputSpec.Strategy (see RegisterGroupingStrategy).
+	// The name — not the code — travels in the physical plan, so every
+	// instance rebuilds the same strategy from its local registry.
+	GroupCustom
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +71,12 @@ func (g Grouping) String() string {
 		return "all"
 	case GroupGlobal:
 		return "global"
+	case GroupPartialKey:
+		return "partial-key"
+	case GroupDirect:
+		return "direct"
+	case GroupCustom:
+		return "custom"
 	default:
 		return fmt.Sprintf("Grouping(%d)", uint8(g))
 	}
@@ -69,8 +91,11 @@ type InputSpec struct {
 	Component string   // upstream component name
 	Stream    string   // upstream stream name (DefaultStream if empty)
 	Grouping  Grouping // partitioning of the stream across this bolt's tasks
-	// FieldIdx lists the positions of the key fields for GroupFields.
+	// FieldIdx lists the positions of the key fields for GroupFields and
+	// GroupPartialKey, or the single index-carrying field for GroupDirect.
 	FieldIdx []int
+	// Strategy names the registered grouping strategy for GroupCustom.
+	Strategy string `json:",omitempty"`
 }
 
 // ComponentSpec declares one spout or bolt of the logical plan.
@@ -206,14 +231,29 @@ func (t *Topology) Validate() error {
 			}
 			switch in.Grouping {
 			case GroupShuffle, GroupAll, GroupGlobal:
-			case GroupFields:
+			case GroupFields, GroupPartialKey:
 				if len(in.FieldIdx) == 0 {
-					return fmt.Errorf("%w: bolt %q fields grouping without key fields", ErrInvalidTopology, c.Name)
+					return fmt.Errorf("%w: bolt %q %v grouping without key fields", ErrInvalidTopology, c.Name, in.Grouping)
 				}
 				for _, idx := range in.FieldIdx {
 					if idx < 0 || idx >= len(fields) {
 						return fmt.Errorf("%w: bolt %q key field %d out of range for %s.%s", ErrInvalidTopology, c.Name, idx, in.Component, stream)
 					}
+				}
+			case GroupDirect:
+				if len(in.FieldIdx) != 1 {
+					return fmt.Errorf("%w: bolt %q direct grouping needs exactly one index field, got %d", ErrInvalidTopology, c.Name, len(in.FieldIdx))
+				}
+				if in.FieldIdx[0] < 0 || in.FieldIdx[0] >= len(fields) {
+					return fmt.Errorf("%w: bolt %q direct index field %d out of range for %s.%s", ErrInvalidTopology, c.Name, in.FieldIdx[0], in.Component, stream)
+				}
+			case GroupCustom:
+				if in.Strategy == "" {
+					return fmt.Errorf("%w: bolt %q custom grouping without a strategy name", ErrInvalidTopology, c.Name)
+				}
+				if !GroupingStrategyRegistered(in.Strategy) {
+					return fmt.Errorf("%w: bolt %q custom grouping %q not registered (have %v)",
+						ErrInvalidTopology, c.Name, in.Strategy, GroupingStrategyNames())
 				}
 			default:
 				return fmt.Errorf("%w: bolt %q input has grouping %v", ErrInvalidTopology, c.Name, in.Grouping)

@@ -36,6 +36,14 @@ type consumerRoute struct {
 	fieldIdx []int
 	tasks    []int32
 	rr       *atomic.Uint64 // shuffle position
+	// loads counts tuples sent to each consumer task (ComponentIndex
+	// order); partial-key grouping reads them to pick the less-loaded of a
+	// key's two candidate tasks.
+	loads []atomic.Int64
+	// custom is this route's private strategy instance (GroupCustom only),
+	// rebuilt from the registry on every plan epoch so strategy state never
+	// leaks across rescales.
+	custom core.GroupingStrategy
 }
 
 func newPlanState(p *ctrl.PlanPayload, selfTask int32) (*planState, error) {
@@ -53,12 +61,24 @@ func newPlanState(p *ctrl.PlanPayload, selfTask int32) (*planState, error) {
 		si := &pp.Streams[i]
 		sr := streamRoutes{info: si}
 		for _, c := range si.Consumers {
-			sr.consumers = append(sr.consumers, consumerRoute{
+			cr := consumerRoute{
 				grouping: c.Grouping,
 				fieldIdx: c.FieldIdx,
 				tasks:    c.Tasks,
 				rr:       new(atomic.Uint64),
-			})
+			}
+			switch c.Grouping {
+			case core.GroupPartialKey:
+				cr.loads = make([]atomic.Int64, len(c.Tasks))
+			case core.GroupCustom:
+				s, err := core.NewGroupingStrategy(c.Strategy)
+				if err != nil {
+					return nil, fmt.Errorf("instance: stream %s.%s: %w", si.SrcComponent, si.Stream, err)
+				}
+				s.Prepare(len(c.Tasks))
+				cr.custom = s
+			}
+			sr.consumers = append(sr.consumers, cr)
 		}
 		ps.routesByStream[i] = sr
 		if si.SrcComponent == selfComponent {
@@ -104,7 +124,10 @@ func sortedTasks(set map[int32]bool) []int32 {
 
 // destinations appends the destination tasks for one emitted tuple on a
 // stream. Fields grouping hashes the key fields so equal keys stick to
-// one task; shuffle advances a round-robin cursor.
+// one task; shuffle advances a round-robin cursor; partial-key hashes a
+// key to two candidate tasks and takes the one with the lower tuple
+// count; direct reads the destination index from the tuple itself; custom
+// defers to the route's registered strategy.
 func (ps *planState) destinations(streamID int32, values []any, dst []int32) ([]int32, error) {
 	if int(streamID) >= len(ps.routesByStream) {
 		return dst, fmt.Errorf("instance: unknown stream %d", streamID)
@@ -125,6 +148,28 @@ func (ps *planState) destinations(streamID int32, values []any, dst []int32) ([]
 			dst = append(dst, c.tasks...)
 		case core.GroupGlobal:
 			dst = append(dst, c.tasks[0])
+		case core.GroupPartialKey:
+			h := core.HashFields(values, c.fieldIdx)
+			n := uint64(len(c.tasks))
+			a := int(h % n)
+			b := int(core.Rehash(h) % n)
+			if c.loads[b].Load() < c.loads[a].Load() {
+				a = b
+			}
+			c.loads[a].Add(1)
+			dst = append(dst, c.tasks[a])
+		case core.GroupDirect:
+			if len(c.fieldIdx) == 1 && c.fieldIdx[0] < len(values) {
+				if v, ok := values[c.fieldIdx[0]].(int64); ok && v >= 0 && int(v) < len(c.tasks) {
+					dst = append(dst, c.tasks[v])
+				}
+			}
+		case core.GroupCustom:
+			for _, idx := range c.custom.Select(values) {
+				if idx >= 0 && idx < len(c.tasks) {
+					dst = append(dst, c.tasks[idx])
+				}
+			}
 		}
 	}
 	return dst, nil

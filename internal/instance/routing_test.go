@@ -1,0 +1,202 @@
+package instance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"heron/internal/core"
+	"heron/internal/ctrl"
+)
+
+// routingPlan builds a one-container plan — spout task 0 → bolt tasks
+// 1..nBolt — with the given subscription, for exercising destinations.
+func routingPlan(in core.InputSpec, nBolt int) *ctrl.PlanPayload {
+	topo := &core.Topology{
+		Name: "t",
+		Components: []core.ComponentSpec{
+			{Name: "s", Kind: core.KindSpout, Parallelism: 1,
+				Outputs: map[string][]string{"default": {"word", "idx"}}},
+			{Name: "b", Kind: core.KindBolt, Parallelism: nBolt,
+				Inputs: []core.InputSpec{in}},
+		},
+	}
+	req := core.Resource{CPU: 1, RAMMB: 128, DiskMB: 128}
+	c := core.ContainerPlan{ID: 1, Required: core.Resource{CPU: 64, RAMMB: 8192, DiskMB: 8192}}
+	c.Instances = append(c.Instances,
+		core.InstancePlacement{ID: core.InstanceID{Component: "s", ComponentIndex: 0, TaskID: 0}, Resources: req})
+	for i := 0; i < nBolt; i++ {
+		c.Instances = append(c.Instances, core.InstancePlacement{
+			ID: core.InstanceID{Component: "b", ComponentIndex: int32(i), TaskID: int32(i + 1)}, Resources: req})
+	}
+	plan := &core.PackingPlan{Topology: "t", Containers: []core.ContainerPlan{c}}
+	return &ctrl.PlanPayload{Epoch: 1, Topology: topo, Packing: plan, Stmgrs: map[int32]string{1: "x"}}
+}
+
+// TestPartialKeyZipfSkew routes a heavily skewed (Zipf) key stream with
+// partial-key grouping and checks the two-choice rebalancing keeps task
+// loads within 2x of each other — the property plain fields grouping
+// cannot provide under skew.
+func TestPartialKeyZipfSkew(t *testing.T) {
+	const nTasks, nTuples = 8, 100000
+	ps, err := newPlanState(routingPlan(core.InputSpec{
+		Component: "s", Grouping: core.GroupPartialKey, FieldIdx: []int{0},
+	}, nTasks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 1.2, 1, 1<<20)
+	loads := map[int32]int{}
+	fieldsLoads := map[int32]int{}
+	fieldsIdx := []int{0}
+	for i := 0; i < nTuples; i++ {
+		word := fmt.Sprintf("w%d", zipf.Uint64())
+		d, err := ps.destinations(0, []any{word, int64(0)}, nil)
+		if err != nil || len(d) != 1 {
+			t.Fatalf("destinations = %v, %v", d, err)
+		}
+		loads[d[0]]++
+		// What plain fields grouping would have done with the same stream.
+		h := core.HashFields([]any{word}, fieldsIdx)
+		fieldsLoads[int32(h%nTasks)]++
+	}
+	min, max := nTuples, 0
+	for task := int32(1); task <= nTasks; task++ {
+		n := loads[task]
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 || max > 2*min {
+		t.Fatalf("partial-key load spread too wide: min=%d max=%d loads=%v", min, max, loads)
+	}
+	fieldsMax := 0
+	for _, n := range fieldsLoads {
+		if n > fieldsMax {
+			fieldsMax = n
+		}
+	}
+	if max >= fieldsMax {
+		t.Errorf("partial-key max %d not better than fields max %d under skew", max, fieldsMax)
+	}
+}
+
+// TestPartialKeyTwoCandidates checks a single key only ever lands on two
+// tasks (its two hash choices), so consumers merge at most two partials.
+func TestPartialKeyTwoCandidates(t *testing.T) {
+	ps, err := newPlanState(routingPlan(core.InputSpec{
+		Component: "s", Grouping: core.GroupPartialKey, FieldIdx: []int{0},
+	}, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for i := 0; i < 1000; i++ {
+		d, _ := ps.destinations(0, []any{"hot", int64(0)}, nil)
+		seen[d[0]] = true
+	}
+	if len(seen) > 2 {
+		t.Fatalf("key landed on %d tasks: %v", len(seen), seen)
+	}
+}
+
+func TestDirectGroupingRoutes(t *testing.T) {
+	ps, err := newPlanState(routingPlan(core.InputSpec{
+		Component: "s", Grouping: core.GroupDirect, FieldIdx: []int{1},
+	}, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := int64(0); want < 4; want++ {
+		d, err := ps.destinations(0, []any{"x", want}, nil)
+		if err != nil || len(d) != 1 || d[0] != int32(want+1) {
+			t.Fatalf("direct(%d) = %v, %v", want, d, err)
+		}
+	}
+	// Out-of-range or mistyped indices drop the tuple rather than crash.
+	if d, _ := ps.destinations(0, []any{"x", int64(99)}, nil); len(d) != 0 {
+		t.Errorf("out-of-range index routed: %v", d)
+	}
+	if d, _ := ps.destinations(0, []any{"x", "not-an-int"}, nil); len(d) != 0 {
+		t.Errorf("mistyped index routed: %v", d)
+	}
+}
+
+// lastFieldStrategy is a custom strategy routing on the int64 value of
+// field 1 modulo task count, with a reused result buffer.
+type lastFieldStrategy struct {
+	n   int
+	buf [1]int
+}
+
+func (s *lastFieldStrategy) Prepare(nTasks int) { s.n = nTasks }
+
+func (s *lastFieldStrategy) Select(values []any) []int {
+	v, _ := values[1].(int64)
+	s.buf[0] = int(uint64(v) % uint64(s.n))
+	return s.buf[:]
+}
+
+func init() {
+	core.RegisterGroupingStrategy("instance-test-mod", func() core.GroupingStrategy {
+		return &lastFieldStrategy{}
+	})
+}
+
+func TestCustomGroupingRoutes(t *testing.T) {
+	ps, err := newPlanState(routingPlan(core.InputSpec{
+		Component: "s", Grouping: core.GroupCustom, Strategy: "instance-test-mod",
+	}, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		d, err := ps.destinations(0, []any{"x", i}, nil)
+		if err != nil || len(d) != 1 || d[0] != int32(i%4+1) {
+			t.Fatalf("custom(%d) = %v, %v", i, d, err)
+		}
+	}
+}
+
+func TestCustomGroupingUnknownStrategy(t *testing.T) {
+	_, err := newPlanState(routingPlan(core.InputSpec{
+		Component: "s", Grouping: core.GroupCustom, Strategy: "instance-test-ghost",
+	}, 2), 0)
+	if err == nil {
+		t.Fatal("plan with unknown strategy accepted")
+	}
+}
+
+// TestDestinationsZeroAlloc pins the emit-side routing hot path at zero
+// allocations per tuple for every grouping kind.
+func TestDestinationsZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name string
+		in   core.InputSpec
+	}{
+		{"shuffle", core.InputSpec{Component: "s", Grouping: core.GroupShuffle}},
+		{"fields", core.InputSpec{Component: "s", Grouping: core.GroupFields, FieldIdx: []int{0}}},
+		{"partial-key", core.InputSpec{Component: "s", Grouping: core.GroupPartialKey, FieldIdx: []int{0}}},
+		{"direct", core.InputSpec{Component: "s", Grouping: core.GroupDirect, FieldIdx: []int{1}}},
+		{"custom", core.InputSpec{Component: "s", Grouping: core.GroupCustom, Strategy: "instance-test-mod"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps, err := newPlanState(routingPlan(tc.in, 4), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			values := []any{"word", int64(2)}
+			dst := make([]int32, 0, 8)
+			if avg := testing.AllocsPerRun(1000, func() {
+				dst = dst[:0]
+				dst, _ = ps.destinations(0, values, dst)
+			}); avg != 0 {
+				t.Errorf("destinations allocs/op = %v, want 0", avg)
+			}
+		})
+	}
+}

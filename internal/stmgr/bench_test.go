@@ -1,6 +1,7 @@
 package stmgr
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -45,10 +46,17 @@ func (c *nullConn) Close() error { return nil }
 // (a peer behind a null conn) hosts tasks 1 and 3.
 func newBenchSM(tb testing.TB) *StreamManager {
 	tb.Helper()
+	topo, packing := twoContainerPlan()
+	return newBenchSMPlan(tb, topo, packing)
+}
+
+// newBenchSMPlan is newBenchSM with an explicit topology and packing plan
+// (same two-container layout), so benchmarks can vary the groupings.
+func newBenchSMPlan(tb testing.TB, topo *core.Topology, packing *core.PackingPlan) *StreamManager {
+	tb.Helper()
 	cfg := core.NewConfig()
 	cfg.StreamManagerOptimized = true
 	reg := metrics.NewRegistry()
-	topo, packing := twoContainerPlan()
 	pp, err := core.NewPhysicalPlan(topo, packing)
 	if err != nil {
 		tb.Fatal(err)
@@ -141,6 +149,98 @@ func BenchmarkRouteLazy(b *testing.B) {
 			s.routeDataLazy(frame)
 		}
 	})
+}
+
+// benchModStrategy is a registered custom grouping strategy (routes on
+// string length modulo task count, reused result buffer) for the
+// custom-grouping route benchmarks.
+type benchModStrategy struct {
+	n   int
+	buf [1]int
+}
+
+func (s *benchModStrategy) Prepare(nTasks int) { s.n = nTasks }
+
+func (s *benchModStrategy) Select(values []any) []int {
+	w, _ := values[0].(string)
+	s.buf[0] = len(w) % s.n
+	return s.buf[:]
+}
+
+func init() {
+	core.RegisterGroupingStrategy("bench-mod", func() core.GroupingStrategy {
+		return &benchModStrategy{}
+	})
+}
+
+// customGroupingPlan is twoContainerPlan with the bolt subscribed through
+// the registered "bench-mod" custom strategy instead of shuffle.
+func customGroupingPlan() (*core.Topology, *core.PackingPlan) {
+	topo, packing := twoContainerPlan()
+	topo.Components[1].Inputs[0] = core.InputSpec{
+		Component: "s", Grouping: core.GroupCustom, Strategy: "bench-mod",
+	}
+	return topo, packing
+}
+
+// BenchmarkRouteCustomGrouping measures routed throughput when the plan's
+// subscription uses a registry-backed custom strategy. Strategy selection
+// happens on the emitting instance, so the Stream Manager's by-dest-header
+// routing must match the BenchmarkRouteLazy baselines exactly — pluggable
+// groupings cost the data path nothing — and stay at 0 allocs/op.
+func BenchmarkRouteCustomGrouping(b *testing.B) {
+	b.Run("prebatched-local", func(b *testing.B) {
+		topo, packing := customGroupingPlan()
+		s := newBenchSMPlan(b, topo, packing)
+		frame := benchFrame(2, 8)
+		b.SetBytes(int64(len(frame)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.routeDataLazy(frame)
+		}
+	})
+	b.Run("prebatched-remote", func(b *testing.B) {
+		topo, packing := customGroupingPlan()
+		s := newBenchSMPlan(b, topo, packing)
+		frame := benchFrame(3, 8)
+		b.SetBytes(int64(len(frame)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.routeDataLazy(frame)
+		}
+	})
+}
+
+// TestRouteCustomGroupingZeroAlloc pins the custom-grouping routed path
+// (local and peer legs) at zero steady-state allocations per frame, the
+// same guarantee the shuffle-plan data path makes.
+func TestRouteCustomGroupingZeroAlloc(t *testing.T) {
+	topo, packing := customGroupingPlan()
+	s := newBenchSMPlan(t, topo, packing)
+	localConn := s.instances[2].conn.(*nullConn)
+	peerConn := s.peers[2].conn.(*nullConn)
+	local, remote := benchFrame(2, 8), benchFrame(3, 8)
+	waitSends := func(want int64) {
+		for localConn.sends.Load()+peerConn.sends.Load() < want {
+			runtime.Gosched()
+		}
+	}
+	// Warm the buffer pool and both outboxes' ping-pong batch arrays.
+	for i := 0; i < 256; i++ {
+		s.routeDataLazy(local)
+		s.routeDataLazy(remote)
+	}
+	waitSends(512)
+	sent := int64(512)
+	avg := testing.AllocsPerRun(512, func() {
+		s.routeDataLazy(local)
+		s.routeDataLazy(remote)
+		sent += 2
+		waitSends(sent) // keep the queues at steady-state depth
+	})
+	if avg != 0 {
+		t.Errorf("custom-grouping routeDataLazy allocates %.3f per frame pair, want 0", avg)
+	}
 }
 
 // BenchmarkRouteCheckpoint measures what checkpointing costs the hot

@@ -1,0 +1,575 @@
+package streamlet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"heron/api"
+	"heron/windows"
+)
+
+// chainOps executes a fused chain of stateless operations. The chain's
+// per-instance state (Transformer and Sink instances) is built in
+// prepare; apply then pushes one element through the chain, invoking out
+// for every element that reaches the end.
+type chainOps struct {
+	ops          []*node
+	transformers map[int]Transformer
+	sinks        map[int]Sink
+}
+
+func newChainOps(ops []*node) *chainOps {
+	return &chainOps{ops: ops, transformers: map[int]Transformer{}, sinks: map[int]Sink{}}
+}
+
+func (c *chainOps) prepare(ctx api.TopologyContext) error {
+	for i, n := range c.ops {
+		switch n.kind {
+		case opTransform:
+			t := n.transformF()
+			if err := t.Setup(ctx); err != nil {
+				return fmt.Errorf("streamlet: %s setup: %w", n.name, err)
+			}
+			c.transformers[i] = t
+		case opSink:
+			if n.sinkF != nil {
+				s := n.sinkF()
+				if err := s.Setup(ctx); err != nil {
+					return fmt.Errorf("streamlet: %s setup: %w", n.name, err)
+				}
+				c.sinks[i] = s
+			}
+		}
+	}
+	return nil
+}
+
+func (c *chainOps) apply(i int, v any, out func(any) error) error {
+	if i >= len(c.ops) {
+		return out(v)
+	}
+	n := c.ops[i]
+	switch n.kind {
+	case opMap:
+		return c.apply(i+1, n.mapFn(v), out)
+	case opFlatMap:
+		for _, e := range n.flatMapFn(v) {
+			if err := c.apply(i+1, e, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case opFilter:
+		if !n.filterFn(v) {
+			return nil
+		}
+		return c.apply(i+1, v, out)
+	case opTransform:
+		var ferr error
+		err := c.transformers[i].Transform(v, func(e any) {
+			if err := c.apply(i+1, e, out); err != nil && ferr == nil {
+				ferr = err
+			}
+		})
+		if err != nil {
+			return err
+		}
+		return ferr
+	case opKeyBy:
+		kv := KeyValue{Key: n.keyFn(v), Value: v}
+		if n.valueFn != nil {
+			kv.Value = n.valueFn(v)
+		}
+		return c.apply(i+1, kv, out)
+	case opSink:
+		if s, ok := c.sinks[i]; ok {
+			return s.Receive(v)
+		}
+		n.consumeFn(v)
+		return nil
+	}
+	return fmt.Errorf("streamlet: unexpected op %s in chain", n.kind)
+}
+
+// elementValues flattens an element into stream fields for the given
+// output arity (1 = value, 2 = key/value). It reuses buf.
+func elementValues(v any, arity int, buf []any) ([]any, bool) {
+	if arity == 2 {
+		kv, ok := v.(KeyValue)
+		if !ok {
+			return nil, false
+		}
+		return append(buf[:0], kv.Key, kv.Value), true
+	}
+	return append(buf[:0], v), true
+}
+
+// decodeElement rebuilds the element a tuple carries (arity 2 = keyed).
+func decodeElement(t api.Tuple, arity int) any {
+	vs := t.Values()
+	if arity == 2 {
+		return KeyValue{Key: vs[0], Value: vs[1]}
+	}
+	return vs[0]
+}
+
+// supplierSpout runs a source stage: the Supplier plus any fused
+// stateless chain, emitting the survivors.
+type supplierSpout struct {
+	gen      Supplier
+	ops      *chainOps
+	outArity int
+	out      api.SpoutCollector
+	buf      []any
+}
+
+func newSupplierSpout(s *stage) api.Spout {
+	return &supplierSpout{
+		gen:      s.head.gen,
+		ops:      newChainOps(s.chain[1:]),
+		outArity: len(s.outFields()),
+	}
+}
+
+func (s *supplierSpout) Open(ctx api.TopologyContext, out api.SpoutCollector) error {
+	s.out = out
+	return s.ops.prepare(ctx)
+}
+
+func (s *supplierSpout) NextTuple() bool {
+	v, ok := s.gen()
+	if !ok {
+		return false
+	}
+	err := s.ops.apply(0, v, func(e any) error {
+		if s.outArity == 0 {
+			return nil
+		}
+		vals, ok := elementValues(e, s.outArity, s.buf)
+		if !ok {
+			log.Printf("streamlet: dropping non-KeyValue element %T on keyed stream", e)
+			return nil
+		}
+		s.buf = vals
+		s.out.Emit("", nil, vals...)
+		return nil
+	})
+	if err != nil {
+		log.Printf("streamlet: source chain: %v", err)
+	}
+	return true
+}
+
+func (s *supplierSpout) Ack(any)      {}
+func (s *supplierSpout) Fail(any)     {}
+func (s *supplierSpout) Close() error { return nil }
+
+// chainBolt runs a fused stateless bolt stage.
+type chainBolt struct {
+	ops      *chainOps
+	inArity  int
+	outArity int
+	out      api.BoltCollector
+	buf      []any
+	anchors  []api.Tuple
+}
+
+func newChainBolt(s *stage) api.Bolt {
+	in := 1
+	if s.head.parents[0].kv {
+		in = 2
+	}
+	return &chainBolt{
+		ops:      newChainOps(s.chain),
+		inArity:  in,
+		outArity: len(s.outFields()),
+	}
+}
+
+func (b *chainBolt) Prepare(ctx api.TopologyContext, out api.BoltCollector) error {
+	b.out = out
+	return b.ops.prepare(ctx)
+}
+
+func (b *chainBolt) Execute(t api.Tuple) error {
+	b.anchors = append(b.anchors[:0], t)
+	err := b.ops.apply(0, decodeElement(t, b.inArity), func(e any) error {
+		if b.outArity == 0 {
+			return nil
+		}
+		vals, ok := elementValues(e, b.outArity, b.buf)
+		if !ok {
+			log.Printf("streamlet: dropping non-KeyValue element %T on keyed stream", e)
+			return nil
+		}
+		b.buf = vals
+		b.out.Emit("", b.anchors, vals...)
+		return nil
+	})
+	b.out.Ack(t)
+	return err
+}
+
+func (b *chainBolt) Cleanup() error { return nil }
+
+// --- keyed aggregation bolts -------------------------------------------
+
+// aggEntry is one key's running aggregate (the original key is kept so
+// checkpoints can rebuild the map with full type fidelity).
+type aggEntry struct {
+	key, agg any
+}
+
+// reduceCore is the shared running-aggregate map of the reduce bolts,
+// keyed by the encoded (type-tagged) key.
+type reduceCore struct {
+	n     *node
+	state map[string]aggEntry
+}
+
+func newReduceCore(n *node) reduceCore {
+	return reduceCore{n: n, state: map[string]aggEntry{}}
+}
+
+func (r *reduceCore) fold(k, v any) any {
+	ck := string(encodeValue(k))
+	e, ok := r.state[ck]
+	if !ok {
+		agg := v
+		if r.n.seedFn != nil {
+			agg = r.n.seedFn(v)
+		}
+		e = aggEntry{key: k, agg: agg}
+	} else {
+		e.agg = r.n.reduceFn(e.agg, v)
+	}
+	r.state[ck] = e
+	return e.agg
+}
+
+// SaveState implements api.StatefulComponent.
+func (r *reduceCore) SaveState(s api.State) error {
+	for ck, e := range r.state {
+		s.Set(ck, encodeValue(e.agg))
+	}
+	return nil
+}
+
+// RestoreState implements api.StatefulComponent.
+func (r *reduceCore) RestoreState(s api.State) error {
+	r.state = map[string]aggEntry{}
+	var err error
+	s.Range(func(ck string, v []byte) bool {
+		var key, agg any
+		if key, err = decodeValue([]byte(ck)); err != nil {
+			return false
+		}
+		if agg, err = decodeValue(v); err != nil {
+			return false
+		}
+		r.state[ck] = aggEntry{key: key, agg: agg}
+		return true
+	})
+	return err
+}
+
+// singleReduceBolt is the parallelism-1 (or merge-free) continuous
+// reduce: fields-grouped input, one running aggregate per key, re-emitted
+// on every update.
+type singleReduceBolt struct {
+	reduceCore
+	out     api.BoltCollector
+	anchors []api.Tuple
+}
+
+func newSingleReduceBolt(n *node) api.Bolt {
+	return &singleReduceBolt{reduceCore: newReduceCore(n)}
+}
+
+func (b *singleReduceBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	b.out = out
+	return nil
+}
+
+func (b *singleReduceBolt) Execute(t api.Tuple) error {
+	vs := t.Values()
+	agg := b.fold(vs[0], vs[1])
+	b.anchors = append(b.anchors[:0], t)
+	b.out.Emit("", b.anchors, vs[0], agg)
+	b.out.Ack(t)
+	return nil
+}
+
+func (b *singleReduceBolt) Cleanup() error { return nil }
+
+// partialReduceBolt is the first phase of the skew-tolerant reduce:
+// partial-key grouped, so a key's tuples split across at most two tasks.
+// It emits (key, partial-aggregate, task-part) after every update; the
+// merge stage recombines the parts.
+type partialReduceBolt struct {
+	reduceCore
+	part    int64
+	out     api.BoltCollector
+	anchors []api.Tuple
+}
+
+func newPartialReduceBolt(n *node) api.Bolt {
+	return &partialReduceBolt{reduceCore: newReduceCore(n)}
+}
+
+func (b *partialReduceBolt) Prepare(ctx api.TopologyContext, out api.BoltCollector) error {
+	b.out = out
+	if ctx != nil {
+		b.part = int64(ctx.ComponentIndex())
+	}
+	return nil
+}
+
+func (b *partialReduceBolt) Execute(t api.Tuple) error {
+	vs := t.Values()
+	agg := b.fold(vs[0], vs[1])
+	b.anchors = append(b.anchors[:0], t)
+	b.out.Emit("", b.anchors, vs[0], agg, b.part)
+	b.out.Ack(t)
+	return nil
+}
+
+func (b *partialReduceBolt) Cleanup() error { return nil }
+
+// mergeReduceBolt recombines the partial aggregates of one key (fields
+// grouped, so every part of a key arrives here). It keeps the latest
+// partial per part and emits the merged aggregate on every update.
+type mergeReduceBolt struct {
+	n       *node
+	state   map[string]*mergeEntry
+	out     api.BoltCollector
+	anchors []api.Tuple
+}
+
+type mergeEntry struct {
+	key   any
+	parts map[int64]any
+}
+
+func newMergeReduceBolt(n *node) api.Bolt {
+	return &mergeReduceBolt{n: n, state: map[string]*mergeEntry{}}
+}
+
+func (b *mergeReduceBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+	b.out = out
+	return nil
+}
+
+func (b *mergeReduceBolt) Execute(t api.Tuple) error {
+	vs := t.Values()
+	k, partial, part := vs[0], vs[1], vs[2].(int64)
+	ck := string(encodeValue(k))
+	e, ok := b.state[ck]
+	if !ok {
+		e = &mergeEntry{key: k, parts: map[int64]any{}}
+		b.state[ck] = e
+	}
+	e.parts[part] = partial
+	// Merge in part order for determinism (mergeFn must be associative
+	// and commutative anyway — a key has at most two parts under
+	// partial-key grouping).
+	ids := make([]int64, 0, len(e.parts))
+	for id := range e.parts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	merged := e.parts[ids[0]]
+	for _, id := range ids[1:] {
+		merged = b.n.mergeFn(merged, e.parts[id])
+	}
+	b.anchors = append(b.anchors[:0], t)
+	b.out.Emit("", b.anchors, k, merged)
+	b.out.Ack(t)
+	return nil
+}
+
+// SaveState implements api.StatefulComponent.
+func (b *mergeReduceBolt) SaveState(s api.State) error {
+	for ck, e := range b.state {
+		for part, partial := range e.parts {
+			s.Set(ck+"\x00"+strconv.FormatInt(part, 10), encodeValue(partial))
+		}
+	}
+	return nil
+}
+
+// RestoreState implements api.StatefulComponent.
+func (b *mergeReduceBolt) RestoreState(s api.State) error {
+	b.state = map[string]*mergeEntry{}
+	var err error
+	s.Range(func(sk string, v []byte) bool {
+		i := strings.LastIndexByte(sk, 0)
+		if i < 0 {
+			err = fmt.Errorf("streamlet: malformed merge state key %q", sk)
+			return false
+		}
+		ck := sk[:i]
+		var part int64
+		if part, err = strconv.ParseInt(sk[i+1:], 10, 64); err != nil {
+			return false
+		}
+		var key, partial any
+		if key, err = decodeValue([]byte(ck)); err != nil {
+			return false
+		}
+		if partial, err = decodeValue(v); err != nil {
+			return false
+		}
+		e, ok := b.state[ck]
+		if !ok {
+			e = &mergeEntry{key: key, parts: map[int64]any{}}
+			b.state[ck] = e
+		}
+		e.parts[part] = partial
+		return true
+	})
+	return err
+}
+
+func (b *mergeReduceBolt) Cleanup() error { return nil }
+
+// newWindowReduceBolt builds the windowed per-key reduce: a windows bolt
+// whose handler folds each key's values inside the completed window and
+// emits one (key, aggregate) pair per key.
+func newWindowReduceBolt(n *node) api.Bolt {
+	return n.window.NewBolt(func(_ api.TopologyContext, w windows.Window, out api.BoltCollector) {
+		aggs := map[string]aggEntry{}
+		order := []string{}
+		for _, t := range w.Tuples {
+			vs := t.Values()
+			ck := string(encodeValue(vs[0]))
+			e, ok := aggs[ck]
+			if !ok {
+				agg := vs[1]
+				if n.seedFn != nil {
+					agg = n.seedFn(vs[1])
+				}
+				aggs[ck] = aggEntry{key: vs[0], agg: agg}
+				order = append(order, ck)
+				continue
+			}
+			e.agg = n.reduceFn(e.agg, vs[1])
+			aggs[ck] = e
+		}
+		for _, ck := range order {
+			e := aggs[ck]
+			out.Emit("", w.Tuples, e.key, e.agg)
+		}
+	})
+}
+
+// newJoinBolt builds the windowed inner join: both sides fields-grouped
+// here by key; each completed window is split by source stage and every
+// (left, right) pair of a key joined.
+func newJoinBolt(n *node, left, right string) api.Bolt {
+	type sides struct {
+		key  any
+		l, r []any
+	}
+	return n.window.NewBolt(func(_ api.TopologyContext, w windows.Window, out api.BoltCollector) {
+		byKey := map[string]*sides{}
+		order := []string{}
+		for _, t := range w.Tuples {
+			vs := t.Values()
+			ck := string(encodeValue(vs[0]))
+			s, ok := byKey[ck]
+			if !ok {
+				s = &sides{key: vs[0]}
+				byKey[ck] = s
+				order = append(order, ck)
+			}
+			if t.SourceComponent() == left {
+				s.l = append(s.l, vs[1])
+			} else {
+				s.r = append(s.r, vs[1])
+			}
+		}
+		for _, ck := range order {
+			s := byKey[ck]
+			for _, lv := range s.l {
+				for _, rv := range s.r {
+					out.Emit("", w.Tuples, s.key, n.joinFn(lv, rv))
+				}
+			}
+		}
+	})
+}
+
+// --- wire-type value codec (checkpoint state + map keys) ---------------
+
+const (
+	tagString byte = 1
+	tagInt    byte = 2
+	tagFloat  byte = 3
+	tagBool   byte = 4
+	tagBytes  byte = 5
+)
+
+// encodeValue serializes a wire-type value with a type tag; it doubles
+// as the collision-free map key for keyed aggregations.
+func encodeValue(v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return append([]byte{tagString}, x...)
+	case int64:
+		var b [9]byte
+		b[0] = tagInt
+		binary.BigEndian.PutUint64(b[1:], uint64(x))
+		return b[:]
+	case float64:
+		var b [9]byte
+		b[0] = tagFloat
+		binary.BigEndian.PutUint64(b[1:], math.Float64bits(x))
+		return b[:]
+	case bool:
+		if x {
+			return []byte{tagBool, 1}
+		}
+		return []byte{tagBool, 0}
+	case []byte:
+		return append([]byte{tagBytes}, x...)
+	default:
+		// Non-wire values cannot cross stages; encode a diagnostic string
+		// so the error surfaces in state rather than panicking mid-stream.
+		return append([]byte{tagString}, fmt.Sprintf("!unsupported:%T", v)...)
+	}
+}
+
+// decodeValue inverts encodeValue.
+func decodeValue(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("streamlet: empty encoded value")
+	}
+	switch b[0] {
+	case tagString:
+		return string(b[1:]), nil
+	case tagInt:
+		if len(b) != 9 {
+			return nil, fmt.Errorf("streamlet: bad int64 encoding")
+		}
+		return int64(binary.BigEndian.Uint64(b[1:])), nil
+	case tagFloat:
+		if len(b) != 9 {
+			return nil, fmt.Errorf("streamlet: bad float64 encoding")
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(b[1:])), nil
+	case tagBool:
+		if len(b) != 2 {
+			return nil, fmt.Errorf("streamlet: bad bool encoding")
+		}
+		return b[1] == 1, nil
+	case tagBytes:
+		return append([]byte(nil), b[1:]...), nil
+	}
+	return nil, fmt.Errorf("streamlet: unknown value tag %d", b[0])
+}

@@ -1,0 +1,219 @@
+package streamlet
+
+import (
+	"errors"
+	"fmt"
+
+	"heron/api"
+)
+
+// stage is one physical component of the compiled plan: a maximal fused
+// chain of DSL operations (spout stages start at a source; bolt stages at
+// any other head). Aggregations and joins close their stage — nothing
+// fuses after them.
+type stage struct {
+	head  *node
+	chain []*node // head first
+	par   int
+	// partialOf marks the synthetic partial stage of a two-phase reduce.
+	partialOf *node
+}
+
+func (s *stage) name() string {
+	if s.partialOf != nil {
+		return s.partialOf.name + "-partial"
+	}
+	return s.head.name
+}
+
+func (s *stage) tail() *node { return s.chain[len(s.chain)-1] }
+
+// outFields returns the stage's output stream fields, or nil for
+// terminal (sink-ended) stages.
+func (s *stage) outFields() []string {
+	if s.partialOf != nil {
+		return []string{"key", "value", "part"}
+	}
+	t := s.tail()
+	if t.kind == opSink {
+		return nil
+	}
+	if t.kv {
+		return []string{"key", "value"}
+	}
+	return []string{"value"}
+}
+
+// fusible reports whether kinds may continue an existing fused chain.
+func fusible(k opKind) bool {
+	switch k {
+	case opMap, opFlatMap, opFilter, opTransform, opKeyBy, opSink:
+		return true
+	}
+	return false
+}
+
+// closesStage reports whether a node must be the last in its stage.
+func closesStage(k opKind) bool {
+	switch k {
+	case opReduce, opWindowReduce, opJoin:
+		return true
+	}
+	return false
+}
+
+// Build plans the pipeline and compiles it onto api.TopologyBuilder,
+// returning the Spec to submit with heron.Submit. Planning: stateless
+// linear chains fuse into single stages; every aggregation picks its own
+// distribution strategy (see package comment).
+func (b *Builder) Build() (*api.Spec, error) {
+	errs := append([]error(nil), b.errs...)
+	if len(b.nodes) == 0 {
+		errs = append(errs, errors.New("streamlet: empty pipeline: declare at least one Source"))
+	}
+	for _, n := range b.nodes {
+		if n.kind == opSink && len(n.consumers) > 0 {
+			errs = append(errs, fmt.Errorf("streamlet: %s: a sink terminates its streamlet; nothing can consume it", n.name))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	// Phase 1: fuse nodes into stages. Nodes are id-ordered, which is
+	// topological (parents precede consumers), so each node's parent stage
+	// is already decided when the node is visited.
+	stageOf := map[*node]*stage{}
+	var stages []*stage
+	for _, n := range b.nodes {
+		if len(n.parents) == 1 && fusible(n.kind) && !closesStage(n.parents[0].kind) {
+			p := n.parents[0]
+			ps := stageOf[p]
+			// A sink never fuses into a spout stage: spouts must produce a
+			// stream, so the sink heads a bolt of its own.
+			if ps.tail() == p && len(p.consumers) == 1 &&
+				!(n.kind == opSink && ps.head.kind == opSource) &&
+				(n.par == 0 || ps.par == 0 || n.par == ps.par) {
+				ps.chain = append(ps.chain, n)
+				if ps.par == 0 {
+					ps.par = n.par
+				}
+				stageOf[n] = ps
+				continue
+			}
+		}
+		s := &stage{head: n, chain: []*node{n}, par: n.par}
+		stages = append(stages, s)
+		stageOf[n] = s
+	}
+	for _, s := range stages {
+		if s.par == 0 {
+			s.par = 1
+		}
+	}
+	// A join's sides must come from distinct stages: the join bolt tells
+	// left from right by source component.
+	for _, n := range b.nodes {
+		if n.kind == opJoin && stageOf[n.parents[0]] == stageOf[n.parents[1]] {
+			return nil, fmt.Errorf("streamlet: %s: join sides must come from distinct stages (self-joins are not supported)", n.name)
+		}
+	}
+
+	// Phase 2: split skew-prone reduces into partial + merge stages when
+	// they run with parallelism > 1. The partial stage is partial-key
+	// grouped (two-choice rebalancing); the merge stage combines each
+	// key's ≤ 2 partial aggregates under plain fields grouping.
+	partialStage := map[*node]*stage{}
+	for _, n := range b.nodes {
+		if n.kind == opReduce && stageOf[n].par > 1 {
+			ps := &stage{head: n, chain: []*node{n}, par: stageOf[n].par, partialOf: n}
+			partialStage[n] = ps
+			stages = append(stages, ps)
+		}
+	}
+
+	// Phase 3: compile stages onto the low-level builder.
+	tb := api.NewTopologyBuilder(b.name)
+	for _, s := range stages {
+		s := s
+		switch {
+		case s.head.kind == opSource:
+			d := tb.SetSpout(s.name(), func() api.Spout { return newSupplierSpout(s) }, s.par)
+			if f := s.outFields(); f != nil {
+				d.OutputFields(f...)
+			}
+		case s.partialOf != nil:
+			d := tb.SetBolt(s.name(), func() api.Bolt { return newPartialReduceBolt(s.partialOf) }, s.par)
+			d.OutputFields(s.outFields()...)
+			p := stageOf[s.head.parents[0]]
+			d.PartialKeyGrouping(p.name(), "", "key")
+		case s.head.kind == opReduce:
+			n := s.head
+			if ps, ok := partialStage[n]; ok {
+				// Merge stage of the two-phase reduce.
+				d := tb.SetBolt(s.name(), func() api.Bolt { return newMergeReduceBolt(n) }, s.par)
+				d.OutputFields(s.outFields()...)
+				d.FieldsGrouping(ps.name(), "", "key")
+			} else {
+				d := tb.SetBolt(s.name(), func() api.Bolt { return newSingleReduceBolt(n) }, s.par)
+				d.OutputFields(s.outFields()...)
+				d.FieldsGrouping(stageOf[n.parents[0]].name(), "", "key")
+			}
+		case s.head.kind == opWindowReduce:
+			n := s.head
+			d := tb.SetBolt(s.name(), func() api.Bolt { return newWindowReduceBolt(n) }, s.par)
+			d.OutputFields(s.outFields()...)
+			d.FieldsGrouping(stageOf[n.parents[0]].name(), "", "key")
+			if t := n.window.TickPeriod(); t > 0 {
+				d.TickEvery(t)
+			}
+		case s.head.kind == opJoin:
+			n := s.head
+			left, right := stageOf[n.parents[0]].name(), stageOf[n.parents[1]].name()
+			d := tb.SetBolt(s.name(), func() api.Bolt { return newJoinBolt(n, left, right) }, s.par)
+			d.OutputFields(s.outFields()...)
+			d.FieldsGrouping(left, "", "key")
+			if right != left {
+				d.FieldsGrouping(right, "", "key")
+			}
+			if t := n.window.TickPeriod(); t > 0 {
+				d.TickEvery(t)
+			}
+		default:
+			// Fused stateless chain (possibly headed by a union): shuffle
+			// from every distinct parent stage.
+			d := tb.SetBolt(s.name(), func() api.Bolt { return newChainBolt(s) }, s.par)
+			if f := s.outFields(); f != nil {
+				d.OutputFields(f...)
+			}
+			seen := map[string]bool{}
+			for _, p := range s.head.parents {
+				pn := stageOf[p].name()
+				if !seen[pn] {
+					seen[pn] = true
+					d.ShuffleGrouping(pn, "")
+				}
+			}
+		}
+	}
+	spec, err := tb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("streamlet: %w", err)
+	}
+	return spec, nil
+}
+
+// Stages returns the planned stage names in compile order with their
+// parallelism — primarily for tests and tooling that want to inspect the
+// fusion result without building a Spec.
+func (b *Builder) Stages() ([]string, error) {
+	spec, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, c := range spec.Topology.Components {
+		out = append(out, fmt.Sprintf("%s/%d", c.Name, c.Parallelism))
+	}
+	return out, nil
+}

@@ -1,0 +1,433 @@
+// Package streamlet is the high-level, functional topology API: instead
+// of writing spouts and bolts by hand, a pipeline is declared as a chain
+// of typed transformations over streamlets (unbounded streams of
+// elements), and Build compiles the chain onto api.TopologyBuilder — so
+// every engine feature (acking, checkpointing, metrics, runtime
+// rescaling) works unchanged underneath.
+//
+//	b := streamlet.NewBuilder("trending")
+//	b.Source("words", wordGen).
+//	    FlatMap(splitWords).WithParallelism(2).
+//	    KeyBy(identity).
+//	    CountByKey().WithParallelism(4).
+//	    Log()
+//	spec, err := b.Build()
+//	h, err := heron.Submit(spec, cfg)
+//
+// The planner fuses stateless linear chains into single components,
+// names the resulting stages, and picks a distribution strategy for
+// every edge: shuffle into stateless stages, two-choice partial-key into
+// skew-prone reduce stages (with an automatic merge stage combining the
+// per-task partials), and fields grouping into windowed aggregations and
+// joins, which need full key affinity. The low-level api.TopologyBuilder
+// remains the escape hatch when a topology needs explicit wiring.
+//
+// Elements travelling between stages must be wire types (string, int64,
+// float64, bool, []byte); keyed streams carry (key, value) pairs of wire
+// types. Within a fused chain any Go value may flow.
+package streamlet
+
+import (
+	"fmt"
+	"log"
+
+	"heron/api"
+	"heron/windows"
+)
+
+// KeyValue is one element of a keyed streamlet.
+type KeyValue struct {
+	Key, Value any
+}
+
+// Supplier produces source elements: it returns the next element and
+// true, or false when no input is currently available (the engine backs
+// off briefly and retries).
+type Supplier func() (any, bool)
+
+// Transformer is a stateful per-instance operator: Setup runs once with
+// the instance's TopologyContext, Transform maps each element to zero or
+// more outputs through emit.
+type Transformer interface {
+	Setup(ctx api.TopologyContext) error
+	Transform(v any, emit func(any)) error
+}
+
+// Sink terminates a streamlet in user code (databases, files, ...).
+type Sink interface {
+	Setup(ctx api.TopologyContext) error
+	Receive(v any) error
+}
+
+// Builder assembles a streamlet pipeline; Build compiles it to a Spec.
+type Builder struct {
+	name  string
+	nodes []*node
+	errs  []error
+}
+
+// NewBuilder starts a pipeline named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Source adds a source streamlet fed by gen. name seeds the stage name.
+func (b *Builder) Source(name string, gen Supplier) *Streamlet {
+	if gen == nil {
+		b.errs = append(b.errs, fmt.Errorf("streamlet: source %q has nil supplier", name))
+	}
+	n := b.add(&node{kind: opSource, name: name, gen: gen})
+	return &Streamlet{b: b, n: n}
+}
+
+func (b *Builder) add(n *node) *node {
+	n.id = len(b.nodes)
+	if n.name == "" {
+		n.name = fmt.Sprintf("%s-%d", n.kind, n.id)
+	}
+	b.nodes = append(b.nodes, n)
+	for _, p := range n.parents {
+		p.consumers = append(p.consumers, n)
+	}
+	return n
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("streamlet: "+format, args...))
+}
+
+// Streamlet is an unbounded stream of elements.
+type Streamlet struct {
+	b *Builder
+	n *node
+}
+
+// WithParallelism hints how many tasks run the operation that produced
+// this streamlet. Stages inherit the hint of their first operation;
+// operations with a different hint start a new stage.
+func (s *Streamlet) WithParallelism(par int) *Streamlet {
+	if par <= 0 {
+		s.b.errf("%s: parallelism %d must be positive", s.n.name, par)
+		return s
+	}
+	s.n.par = par
+	return s
+}
+
+// WithName renames the operation (and the stage it heads, if any).
+func (s *Streamlet) WithName(name string) *Streamlet {
+	if name != "" {
+		s.n.name = name
+	}
+	return s
+}
+
+// Map transforms each element one-to-one.
+func (s *Streamlet) Map(fn func(v any) any) *Streamlet {
+	if fn == nil {
+		s.b.errf("%s: Map with nil function", s.n.name)
+		return s
+	}
+	n := s.b.add(&node{kind: opMap, parents: []*node{s.n}, kv: s.n.kv, mapFn: fn})
+	return &Streamlet{b: s.b, n: n}
+}
+
+// FlatMap transforms each element into zero or more elements.
+func (s *Streamlet) FlatMap(fn func(v any) []any) *Streamlet {
+	if fn == nil {
+		s.b.errf("%s: FlatMap with nil function", s.n.name)
+		return s
+	}
+	n := s.b.add(&node{kind: opFlatMap, parents: []*node{s.n}, kv: s.n.kv, flatMapFn: fn})
+	return &Streamlet{b: s.b, n: n}
+}
+
+// Filter keeps the elements fn accepts.
+func (s *Streamlet) Filter(fn func(v any) bool) *Streamlet {
+	if fn == nil {
+		s.b.errf("%s: Filter with nil predicate", s.n.name)
+		return s
+	}
+	n := s.b.add(&node{kind: opFilter, parents: []*node{s.n}, kv: s.n.kv, filterFn: fn})
+	return &Streamlet{b: s.b, n: n}
+}
+
+// Transform applies a stateful per-instance operator (see Transformer).
+// factory builds one Transformer per task.
+func (s *Streamlet) Transform(factory func() Transformer) *Streamlet {
+	if factory == nil {
+		s.b.errf("%s: Transform with nil factory", s.n.name)
+		return s
+	}
+	n := s.b.add(&node{kind: opTransform, parents: []*node{s.n}, kv: s.n.kv, transformF: factory})
+	return &Streamlet{b: s.b, n: n}
+}
+
+// Union merges this streamlet with other: the result carries the
+// elements of both. Both sides must be keyed or both unkeyed.
+func (s *Streamlet) Union(other *Streamlet) *Streamlet {
+	if other == nil {
+		s.b.errf("%s: Union with nil streamlet", s.n.name)
+		return s
+	}
+	if other.b != s.b {
+		s.b.errf("%s: Union across builders", s.n.name)
+		return s
+	}
+	if other.n.kv != s.n.kv {
+		s.b.errf("%s: Union of keyed and unkeyed streamlets", s.n.name)
+		return s
+	}
+	n := s.b.add(&node{kind: opUnion, parents: []*node{s.n, other.n}, kv: s.n.kv})
+	return &Streamlet{b: s.b, n: n}
+}
+
+// Sink terminates the streamlet in the given sink. factory builds one
+// Sink per task.
+func (s *Streamlet) Sink(factory func() Sink) *Streamlet {
+	if factory == nil {
+		s.b.errf("%s: Sink with nil factory", s.n.name)
+		return s
+	}
+	n := s.b.add(&node{kind: opSink, parents: []*node{s.n}, kv: s.n.kv, sinkF: factory})
+	return &Streamlet{b: s.b, n: n}
+}
+
+// Consume terminates the streamlet in fn, called once per element.
+func (s *Streamlet) Consume(fn func(v any)) *Streamlet {
+	if fn == nil {
+		s.b.errf("%s: Consume with nil function", s.n.name)
+		return s
+	}
+	n := s.b.add(&node{kind: opSink, parents: []*node{s.n}, kv: s.n.kv, consumeFn: fn})
+	return &Streamlet{b: s.b, n: n}
+}
+
+// Log terminates the streamlet by logging every element.
+func (s *Streamlet) Log() *Streamlet {
+	pipeline := s.b.name
+	return s.Consume(func(v any) { log.Printf("[streamlet/%s] %v", pipeline, v) })
+}
+
+// KeyBy turns the streamlet into a keyed streamlet: key extracts each
+// element's key (a wire type); the element itself becomes the value.
+func (s *Streamlet) KeyBy(key func(v any) any) *KeyedStreamlet {
+	return s.KeyValueBy(key, nil)
+}
+
+// KeyValueBy is KeyBy with an explicit value extractor (nil keeps the
+// element as the value).
+func (s *Streamlet) KeyValueBy(key, value func(v any) any) *KeyedStreamlet {
+	if key == nil {
+		s.b.errf("%s: KeyBy with nil key extractor", s.n.name)
+		key = func(v any) any { return v }
+	}
+	n := s.b.add(&node{kind: opKeyBy, parents: []*node{s.n}, kv: true, keyFn: key, valueFn: value})
+	return &KeyedStreamlet{b: s.b, n: n}
+}
+
+// KeyedStreamlet is an unbounded stream of KeyValue elements.
+type KeyedStreamlet struct {
+	b *Builder
+	n *node
+}
+
+// WithParallelism hints the parallelism of the producing operation.
+func (s *KeyedStreamlet) WithParallelism(par int) *KeyedStreamlet {
+	(&Streamlet{b: s.b, n: s.n}).WithParallelism(par)
+	return s
+}
+
+// WithName renames the producing operation.
+func (s *KeyedStreamlet) WithName(name string) *KeyedStreamlet {
+	(&Streamlet{b: s.b, n: s.n}).WithName(name)
+	return s
+}
+
+// MapValues transforms each element's value, keeping its key.
+func (s *KeyedStreamlet) MapValues(fn func(key, value any) any) *KeyedStreamlet {
+	if fn == nil {
+		s.b.errf("%s: MapValues with nil function", s.n.name)
+		return s
+	}
+	mapped := (&Streamlet{b: s.b, n: s.n}).Map(func(v any) any {
+		kv := v.(KeyValue)
+		return KeyValue{Key: kv.Key, Value: fn(kv.Key, kv.Value)}
+	})
+	return &KeyedStreamlet{b: s.b, n: mapped.n}
+}
+
+// Filter keeps the pairs fn accepts.
+func (s *KeyedStreamlet) Filter(fn func(key, value any) bool) *KeyedStreamlet {
+	if fn == nil {
+		s.b.errf("%s: Filter with nil predicate", s.n.name)
+		return s
+	}
+	filtered := (&Streamlet{b: s.b, n: s.n}).Filter(func(v any) bool {
+		kv := v.(KeyValue)
+		return fn(kv.Key, kv.Value)
+	})
+	return &KeyedStreamlet{b: s.b, n: filtered.n}
+}
+
+// Values drops the keys, yielding a plain streamlet of the values.
+func (s *KeyedStreamlet) Values() *Streamlet {
+	mapped := (&Streamlet{b: s.b, n: s.n}).Map(func(v any) any { return v.(KeyValue).Value })
+	mapped.n.kv = false
+	return mapped
+}
+
+// Consume terminates the keyed streamlet in fn.
+func (s *KeyedStreamlet) Consume(fn func(kv KeyValue)) *KeyedStreamlet {
+	if fn == nil {
+		s.b.errf("%s: Consume with nil function", s.n.name)
+		return s
+	}
+	sunk := (&Streamlet{b: s.b, n: s.n}).Consume(func(v any) { fn(v.(KeyValue)) })
+	return &KeyedStreamlet{b: s.b, n: sunk.n}
+}
+
+// Log terminates the keyed streamlet by logging every pair.
+func (s *KeyedStreamlet) Log() *KeyedStreamlet {
+	pipeline := s.b.name
+	return s.Consume(func(kv KeyValue) {
+		log.Printf("[streamlet/%s] %v=%v", pipeline, kv.Key, kv.Value)
+	})
+}
+
+// ReduceByKey continuously folds each key's values with reduce,
+// re-emitting the key's running aggregate after every element. reduce
+// must be associative and commutative: when the stage runs with
+// parallelism > 1, the planner splits it into a partial-key-grouped
+// partial stage (two-choice rebalancing, so skewed keys can't hot-spot a
+// task) and a fields-grouped merge stage that combines each key's ≤ 2
+// partial aggregates with the same function.
+func (s *KeyedStreamlet) ReduceByKey(reduce func(a, b any) any) *KeyedStreamlet {
+	if reduce == nil {
+		s.b.errf("%s: ReduceByKey with nil function", s.n.name)
+		return s
+	}
+	n := s.b.add(&node{kind: opReduce, parents: []*node{s.n}, kv: true, reduceFn: reduce, mergeFn: reduce})
+	return &KeyedStreamlet{b: s.b, n: n}
+}
+
+// CountByKey continuously counts elements per key, re-emitting the
+// running int64 count after every element (a skew-tolerant two-phase
+// reduce, like ReduceByKey).
+func (s *KeyedStreamlet) CountByKey() *KeyedStreamlet {
+	n := s.b.add(&node{
+		kind: opReduce, parents: []*node{s.n}, kv: true,
+		reduceFn: func(a, _ any) any { return a.(int64) + 1 },
+		mergeFn:  func(a, b any) any { return a.(int64) + b.(int64) },
+		seedFn:   func(any) any { return int64(1) },
+	})
+	return &KeyedStreamlet{b: s.b, n: n}
+}
+
+// ReduceByKeyAndWindow folds each key's values within every window
+// described by w, emitting one (key, aggregate) pair per key per
+// completed window. The stage is fields-grouped so each key's whole
+// window lands on one task. Time windows require only that the pipeline
+// runs; ticks are declared automatically.
+func (s *KeyedStreamlet) ReduceByKeyAndWindow(w windows.Config, reduce func(a, b any) any) *KeyedStreamlet {
+	if reduce == nil {
+		s.b.errf("%s: ReduceByKeyAndWindow with nil function", s.n.name)
+		return s
+	}
+	if err := w.Validate(); err != nil {
+		s.b.errs = append(s.b.errs, fmt.Errorf("streamlet: %s: %w", s.n.name, err))
+	}
+	n := s.b.add(&node{kind: opWindowReduce, parents: []*node{s.n}, kv: true, reduceFn: reduce, window: w})
+	return &KeyedStreamlet{b: s.b, n: n}
+}
+
+// Join inner-joins this keyed streamlet with other over the window w:
+// for every key with elements on both sides within the same window, fn
+// is called with each (left, right) value pair and its results are
+// emitted keyed by the join key.
+func (s *KeyedStreamlet) Join(other *KeyedStreamlet, w windows.Config, fn func(left, right any) any) *KeyedStreamlet {
+	if other == nil || fn == nil {
+		s.b.errf("%s: Join needs a right side and a join function", s.n.name)
+		return s
+	}
+	if other.b != s.b {
+		s.b.errf("%s: Join across builders", s.n.name)
+		return s
+	}
+	if err := w.Validate(); err != nil {
+		s.b.errs = append(s.b.errs, fmt.Errorf("streamlet: %s: %w", s.n.name, err))
+	}
+	n := s.b.add(&node{kind: opJoin, parents: []*node{s.n, other.n}, kv: true, joinFn: fn, window: w})
+	return &KeyedStreamlet{b: s.b, n: n}
+}
+
+// opKind enumerates the DSL's operation node types.
+type opKind int
+
+const (
+	opSource opKind = iota
+	opMap
+	opFlatMap
+	opFilter
+	opTransform
+	opUnion
+	opKeyBy
+	opSink
+	opReduce
+	opWindowReduce
+	opJoin
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opSource:
+		return "source"
+	case opMap:
+		return "map"
+	case opFlatMap:
+		return "flatmap"
+	case opFilter:
+		return "filter"
+	case opTransform:
+		return "transform"
+	case opUnion:
+		return "union"
+	case opKeyBy:
+		return "keyby"
+	case opSink:
+		return "sink"
+	case opReduce:
+		return "reduce"
+	case opWindowReduce:
+		return "window-reduce"
+	case opJoin:
+		return "join"
+	}
+	return "op"
+}
+
+// node is one DSL operation in the pipeline graph.
+type node struct {
+	id        int
+	kind      opKind
+	name      string
+	par       int // 0 = inherit
+	kv        bool
+	parents   []*node
+	consumers []*node
+
+	gen        Supplier
+	mapFn      func(any) any
+	flatMapFn  func(any) []any
+	filterFn   func(any) bool
+	transformF func() Transformer
+	sinkF      func() Sink
+	consumeFn  func(any)
+	keyFn      func(any) any
+	valueFn    func(any) any
+	reduceFn   func(a, b any) any
+	mergeFn    func(a, b any) any // combines partial aggregates
+	seedFn     func(v any) any    // first aggregate for a key (nil: the value)
+	joinFn     func(l, r any) any
+	window     windows.Config
+}

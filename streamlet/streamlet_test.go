@@ -1,0 +1,558 @@
+package streamlet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"heron/api"
+	"heron/internal/core"
+	"heron/windows"
+)
+
+func identity(v any) any { return v }
+
+func numbers(n int64) Supplier {
+	var next int64
+	return func() (any, bool) {
+		if next >= n {
+			return nil, false
+		}
+		next++
+		return next - 1, true
+	}
+}
+
+func componentNames(spec *api.Spec) []string {
+	var out []string
+	for _, c := range spec.Topology.Components {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func component(t *testing.T, spec *api.Spec, name string) *core.ComponentSpec {
+	t.Helper()
+	c := spec.Topology.Component(name)
+	if c == nil {
+		t.Fatalf("component %q missing (have %v)", name, componentNames(spec))
+	}
+	return c
+}
+
+// TestFusionLinearChain: a stateless chain fuses into the source spout;
+// the terminal sink becomes the only bolt (shuffle-subscribed).
+func TestFusionLinearChain(t *testing.T) {
+	b := NewBuilder("fuse")
+	b.Source("nums", numbers(10)).
+		Map(func(v any) any { return v.(int64) * 2 }).
+		Filter(func(v any) bool { return v.(int64) > 4 }).
+		Consume(func(any) {}).WithName("out")
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Topology.Components) != 2 {
+		t.Fatalf("components = %v, want [nums out]", componentNames(spec))
+	}
+	src := component(t, spec, "nums")
+	if src.Kind != core.KindSpout || len(src.Outputs["default"]) != 1 {
+		t.Fatalf("source = %+v", src)
+	}
+	out := component(t, spec, "out")
+	if len(out.Inputs) != 1 || out.Inputs[0].Grouping != core.GroupShuffle {
+		t.Fatalf("sink inputs = %+v", out.Inputs)
+	}
+}
+
+// TestFusionBreaksOnParallelism: a differing WithParallelism hint starts
+// a new stage (the trailing sink then fuses into that new stage).
+func TestFusionBreaksOnParallelism(t *testing.T) {
+	b := NewBuilder("parbreak")
+	b.Source("nums", numbers(10)).WithParallelism(1).
+		Map(identity).WithName("wide").WithParallelism(3).
+		Consume(func(any) {})
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Topology.Components) != 2 {
+		t.Fatalf("components = %v, want [nums wide]", componentNames(spec))
+	}
+	if component(t, spec, "wide").Parallelism != 3 {
+		t.Fatal("parallelism hint lost")
+	}
+}
+
+// TestFusionBreaksOnFanout: a streamlet consumed twice ends its stage;
+// both consumers become separate shuffle-subscribed stages.
+func TestFusionBreaksOnFanout(t *testing.T) {
+	b := NewBuilder("fanout")
+	src := b.Source("nums", numbers(10))
+	src.Map(identity).WithName("a").Consume(func(any) {})
+	src.Map(identity).WithName("b").Consume(func(any) {})
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nums; a (map+consume fused); b (map+consume fused).
+	if len(spec.Topology.Components) != 3 {
+		t.Fatalf("components = %v", componentNames(spec))
+	}
+	for _, name := range []string{"a", "b"} {
+		in := component(t, spec, name).Inputs
+		if len(in) != 1 || in[0].Component != "nums" || in[0].Grouping != core.GroupShuffle {
+			t.Errorf("%s inputs = %+v", name, in)
+		}
+	}
+}
+
+// TestPlannerPicksPartialKeyForParallelReduce: an unwindowed reduce with
+// parallelism > 1 compiles to partial (partial-key grouped) + merge
+// (fields grouped) stages.
+func TestPlannerPicksPartialKeyForParallelReduce(t *testing.T) {
+	b := NewBuilder("twophase")
+	b.Source("words", numbers(10)).
+		KeyBy(identity).
+		CountByKey().WithName("counts").WithParallelism(4).
+		Log()
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := component(t, spec, "counts-partial")
+	if partial.Parallelism != 4 {
+		t.Errorf("partial parallelism = %d", partial.Parallelism)
+	}
+	if len(partial.Inputs) != 1 || partial.Inputs[0].Grouping != core.GroupPartialKey {
+		t.Fatalf("partial inputs = %+v", partial.Inputs)
+	}
+	if f := partial.Outputs["default"]; len(f) != 3 || f[2] != "part" {
+		t.Fatalf("partial outputs = %v", partial.Outputs)
+	}
+	merge := component(t, spec, "counts")
+	if len(merge.Inputs) != 1 || merge.Inputs[0].Component != "counts-partial" ||
+		merge.Inputs[0].Grouping != core.GroupFields {
+		t.Fatalf("merge inputs = %+v", merge.Inputs)
+	}
+}
+
+// TestPlannerSinglePhaseReduceAtPar1: with parallelism 1 the planner
+// skips the two-phase split and fields-groups straight into one stage.
+func TestPlannerSinglePhaseReduceAtPar1(t *testing.T) {
+	b := NewBuilder("onephase")
+	b.Source("words", numbers(10)).
+		KeyBy(identity).
+		CountByKey().WithName("counts").
+		Log()
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Topology.Component("counts-partial") != nil {
+		t.Fatal("unexpected partial stage at parallelism 1")
+	}
+	counts := component(t, spec, "counts")
+	if len(counts.Inputs) != 1 || counts.Inputs[0].Grouping != core.GroupFields {
+		t.Fatalf("counts inputs = %+v", counts.Inputs)
+	}
+}
+
+// TestPlannerFieldsForWindowedReduceAndJoin: windowed aggregations and
+// joins need full key affinity, so the planner picks fields grouping.
+func TestPlannerFieldsForWindowedReduceAndJoin(t *testing.T) {
+	b := NewBuilder("windowed")
+	left := b.Source("l", numbers(10)).KeyBy(identity)
+	right := b.Source("r", numbers(10)).KeyBy(identity)
+	left.ReduceByKeyAndWindow(windows.TumblingCount(5), func(a, v any) any { return a }).
+		WithName("sums").WithParallelism(2).Log()
+	left.Join(right, windows.Tumbling(time.Second), func(l, r any) any { return l }).
+		WithName("joined").Log()
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := component(t, spec, "sums")
+	if len(sums.Inputs) != 1 || sums.Inputs[0].Grouping != core.GroupFields {
+		t.Fatalf("sums inputs = %+v", sums.Inputs)
+	}
+	joined := component(t, spec, "joined")
+	if len(joined.Inputs) != 2 {
+		t.Fatalf("joined inputs = %+v", joined.Inputs)
+	}
+	for _, in := range joined.Inputs {
+		if in.Grouping != core.GroupFields || len(in.FieldIdx) != 1 || in.FieldIdx[0] != 0 {
+			t.Errorf("join input = %+v", in)
+		}
+	}
+	if joined.TickEveryMs <= 0 {
+		t.Error("time-windowed join got no tick interval")
+	}
+}
+
+// TestUnionHeadsSharedStage: a union and its downstream chain become one
+// bolt subscribed to both parents.
+func TestUnionHeadsSharedStage(t *testing.T) {
+	b := NewBuilder("union")
+	a := b.Source("a", numbers(5))
+	c := b.Source("c", numbers(5))
+	a.Union(c).WithName("both").Map(identity).Consume(func(any) {})
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Topology.Components) != 3 {
+		t.Fatalf("components = %v", componentNames(spec))
+	}
+	both := component(t, spec, "both")
+	if len(both.Inputs) != 2 {
+		t.Fatalf("union inputs = %+v", both.Inputs)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewBuilder("e").Build(); err == nil {
+			t.Fatal("empty pipeline accepted")
+		}
+	})
+	t.Run("nil-fns", func(t *testing.T) {
+		b := NewBuilder("nils")
+		b.Source("s", nil).Map(nil).Filter(nil).Consume(nil)
+		_, err := b.Build()
+		if err == nil {
+			t.Fatal("nil functions accepted")
+		}
+		for _, want := range []string{"nil supplier", "nil function", "nil predicate"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %v missing %q", err, want)
+			}
+		}
+	})
+	t.Run("mixed-union", func(t *testing.T) {
+		b := NewBuilder("mix")
+		plain := b.Source("p", numbers(1))
+		keyed := b.Source("k", numbers(1)).KeyBy(identity)
+		plain.Union(&Streamlet{b: b, n: keyed.n})
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "keyed and unkeyed") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("consume-after-sink", func(t *testing.T) {
+		b := NewBuilder("sinkchain")
+		s := b.Source("s", numbers(1)).Consume(func(any) {})
+		s.Map(identity)
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "sink terminates") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("self-join", func(t *testing.T) {
+		b := NewBuilder("selfjoin")
+		k := b.Source("s", numbers(1)).KeyBy(identity)
+		k.Join(k, windows.TumblingCount(2), func(l, r any) any { return l })
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "distinct stages") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad-window", func(t *testing.T) {
+		b := NewBuilder("badwin")
+		b.Source("s", numbers(1)).KeyBy(identity).
+			ReduceByKeyAndWindow(windows.Config{}, func(a, v any) any { return a })
+		if _, err := b.Build(); err == nil {
+			t.Fatal("empty window config accepted")
+		}
+	})
+}
+
+// --- runtime (bolt-level) tests ----------------------------------------
+
+type testTuple struct {
+	vals api.Values
+	src  string
+}
+
+func (f *testTuple) Values() api.Values      { return f.vals }
+func (f *testTuple) SourceComponent() string { return f.src }
+func (f *testTuple) Stream() string          { return "default" }
+func (f *testTuple) String(i int) string     { return f.vals[i].(string) }
+func (f *testTuple) Int(i int) int64         { return f.vals[i].(int64) }
+func (f *testTuple) Float(i int) float64     { return f.vals[i].(float64) }
+func (f *testTuple) Bool(i int) bool         { return f.vals[i].(bool) }
+func (f *testTuple) Bytes(i int) []byte      { return f.vals[i].([]byte) }
+
+type testCollector struct {
+	emitted [][]any
+	acked   int
+}
+
+func (c *testCollector) Emit(_ string, _ []api.Tuple, values ...any) {
+	c.emitted = append(c.emitted, append([]any(nil), values...))
+}
+func (c *testCollector) Ack(api.Tuple)  { c.acked++ }
+func (c *testCollector) Fail(api.Tuple) {}
+
+func TestChainBoltRuns(t *testing.T) {
+	b := NewBuilder("chain")
+	// Differing parallelism keeps the chain out of the spout stage so it
+	// compiles to an inspectable bolt.
+	src := b.Source("s", numbers(1)).WithParallelism(1)
+	src.Map(func(v any) any { return v.(int64) + 100 }).WithName("head").WithParallelism(2).
+		FlatMap(func(v any) []any { return []any{v, v} }).
+		Filter(func(v any) bool { return v.(int64)%2 == 0 }).
+		KeyBy(func(v any) any { return fmt.Sprint(v) })
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bolt := spec.Bolts["head"]()
+	col := &testCollector{}
+	if err := bolt.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	if err := bolt.Execute(&testTuple{vals: api.Values{int64(2)}, src: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 → 102 → [102 102] → both even → keyed ("102", 102) twice.
+	if len(col.emitted) != 2 || col.acked != 1 {
+		t.Fatalf("emitted = %v acked = %d", col.emitted, col.acked)
+	}
+	for _, e := range col.emitted {
+		if len(e) != 2 || e[0] != "102" || e[1] != int64(102) {
+			t.Errorf("emission = %v", e)
+		}
+	}
+}
+
+func TestReduceBoltsAndState(t *testing.T) {
+	b := NewBuilder("red")
+	b.Source("s", numbers(1)).KeyBy(identity).
+		CountByKey().WithName("counts").WithParallelism(2).Log()
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := spec.Bolts["counts-partial"]()
+	col := &testCollector{}
+	if err := partial.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := partial.Execute(&testTuple{vals: api.Values{"w", int64(7)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := col.emitted[len(col.emitted)-1]
+	if len(last) != 3 || last[0] != "w" || last[1] != int64(3) || last[2] != int64(0) {
+		t.Fatalf("partial emission = %v", last)
+	}
+
+	merge := spec.Bolts["counts"]()
+	mcol := &testCollector{}
+	if err := merge.Prepare(nil, mcol); err != nil {
+		t.Fatal(err)
+	}
+	// Partials from two parts: latest per part combine.
+	feed := [][]any{
+		{"w", int64(3), int64(0)},
+		{"w", int64(2), int64(1)},
+		{"w", int64(4), int64(0)}, // part 0 updates 3→4
+	}
+	for _, vs := range feed {
+		if err := merge.Execute(&testTuple{vals: vs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := [][]any{{"w", int64(3)}, {"w", int64(5)}, {"w", int64(6)}}
+	if len(mcol.emitted) != len(want) {
+		t.Fatalf("merge emissions = %v", mcol.emitted)
+	}
+	for i := range want {
+		if mcol.emitted[i][0] != want[i][0] || mcol.emitted[i][1] != want[i][1] {
+			t.Errorf("merge emission %d = %v, want %v", i, mcol.emitted[i], want[i])
+		}
+	}
+
+	// Checkpoint round-trip: save the merge bolt, restore into a fresh
+	// one, and check the next update continues from the merged state.
+	st := newMapState()
+	if err := merge.(api.StatefulComponent).SaveState(st); err != nil {
+		t.Fatal(err)
+	}
+	merge2 := spec.Bolts["counts"]()
+	m2col := &testCollector{}
+	if err := merge2.Prepare(nil, m2col); err != nil {
+		t.Fatal(err)
+	}
+	if err := merge2.(api.StatefulComponent).RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := merge2.Execute(&testTuple{vals: []any{"w", int64(3), int64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2col.emitted[0]; got[1] != int64(7) { // part0=4 + part1=3
+		t.Fatalf("post-restore emission = %v, want count 7", got)
+	}
+
+	// Partial bolt state round-trips too.
+	pst := newMapState()
+	if err := partial.(api.StatefulComponent).SaveState(pst); err != nil {
+		t.Fatal(err)
+	}
+	partial2 := spec.Bolts["counts-partial"]()
+	p2col := &testCollector{}
+	if err := partial2.Prepare(nil, p2col); err != nil {
+		t.Fatal(err)
+	}
+	if err := partial2.(api.StatefulComponent).RestoreState(pst); err != nil {
+		t.Fatal(err)
+	}
+	if err := partial2.Execute(&testTuple{vals: api.Values{"w", int64(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2col.emitted[0]; got[1] != int64(4) {
+		t.Fatalf("post-restore partial = %v, want count 4", got)
+	}
+}
+
+// mapState is an in-memory api.State for checkpoint round-trip tests.
+type mapState struct{ m map[string][]byte }
+
+func newMapState() *mapState { return &mapState{m: map[string][]byte{}} }
+
+func (s *mapState) Set(k string, v []byte) { s.m[k] = append([]byte(nil), v...) }
+func (s *mapState) Get(k string) []byte    { return s.m[k] }
+func (s *mapState) Delete(k string)        { delete(s.m, k) }
+func (s *mapState) Len() int               { return len(s.m) }
+func (s *mapState) Range(fn func(k string, v []byte) bool) {
+	for k, v := range s.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+func TestWindowReduceBolt(t *testing.T) {
+	b := NewBuilder("winred")
+	b.Source("s", numbers(1)).KeyBy(identity).
+		ReduceByKeyAndWindow(windows.TumblingCount(4), func(a, v any) any {
+			return a.(int64) + v.(int64)
+		}).WithName("sums").Log()
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bolt := spec.Bolts["sums"]()
+	col := &testCollector{}
+	if err := bolt.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][]any{{"a", int64(1)}, {"b", int64(10)}, {"a", int64(2)}, {"b", int64(20)}} {
+		if err := bolt.Execute(&testTuple{vals: kv}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(col.emitted) != 2 {
+		t.Fatalf("emissions = %v", col.emitted)
+	}
+	got := map[any]any{col.emitted[0][0]: col.emitted[0][1], col.emitted[1][0]: col.emitted[1][1]}
+	if got["a"] != int64(3) || got["b"] != int64(30) {
+		t.Fatalf("window sums = %v", got)
+	}
+}
+
+func TestJoinBolt(t *testing.T) {
+	b := NewBuilder("join")
+	l := b.Source("l", numbers(1)).KeyBy(identity)
+	r := b.Source("r", numbers(1)).KeyBy(identity)
+	l.Join(r, windows.TumblingCount(4), func(lv, rv any) any {
+		return lv.(int64)*100 + rv.(int64)
+	}).WithName("joined").Log()
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bolt := spec.Bolts["joined"]()
+	col := &testCollector{}
+	if err := bolt.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	feed := []*testTuple{
+		{vals: []any{"k", int64(1)}, src: "l"},
+		{vals: []any{"k", int64(2)}, src: "r"},
+		{vals: []any{"x", int64(9)}, src: "l"}, // no right side: no output
+		{vals: []any{"k", int64(3)}, src: "l"},
+	}
+	for _, tp := range feed {
+		if err := bolt.Execute(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Window of 4: key k has lefts {1,3} × rights {2} → 102, 302.
+	if len(col.emitted) != 2 {
+		t.Fatalf("join emissions = %v", col.emitted)
+	}
+	got := map[any]bool{col.emitted[0][1]: true, col.emitted[1][1]: true}
+	if !got[int64(102)] || !got[int64(302)] {
+		t.Fatalf("join results = %v", col.emitted)
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	for _, v := range []any{"hello", int64(-42), 3.5, true, false, []byte{1, 2, 3}} {
+		got, err := decodeValue(encodeValue(v))
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		switch want := v.(type) {
+		case []byte:
+			if string(got.([]byte)) != string(want) {
+				t.Errorf("bytes round-trip = %v", got)
+			}
+		default:
+			if got != v {
+				t.Errorf("%T round-trip = %v, want %v", v, got, v)
+			}
+		}
+	}
+	if _, err := decodeValue(nil); err == nil {
+		t.Error("empty encoding accepted")
+	}
+	if _, err := decodeValue([]byte{99}); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	// Distinct types never collide as map keys.
+	if string(encodeValue("1")) == string(encodeValue(int64(49))) {
+		t.Error("string/int encodings collide")
+	}
+}
+
+// BenchmarkStreamletCompile measures planning + compilation of a
+// realistic pipeline (two sources, fused chains, a two-phase reduce, a
+// windowed join).
+func BenchmarkStreamletCompile(b *testing.B) {
+	build := func() (*api.Spec, error) {
+		sb := NewBuilder("bench")
+		clicks := sb.Source("clicks", numbers(1)).
+			Map(identity).
+			Filter(func(v any) bool { return true }).
+			KeyBy(identity)
+		views := sb.Source("views", numbers(1)).KeyBy(identity)
+		clicks.CountByKey().WithName("counts").WithParallelism(4).Log()
+		clicks.Join(views, windows.Tumbling(time.Second), func(l, r any) any { return l }).
+			WithName("joined").
+			MapValues(func(k, v any) any { return v }).
+			Log()
+		return sb.Build()
+	}
+	if _, err := build(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

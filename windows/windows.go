@@ -18,6 +18,7 @@ package windows
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"heron/api"
@@ -28,7 +29,8 @@ type Window struct {
 	// Tuples are the window's contents in arrival order.
 	Tuples []api.Tuple
 	// Start and End bound the window (time windows only; zero for count
-	// windows).
+	// windows). Windows are half-open [Start, End): a tuple timestamped
+	// exactly at End belongs to the next window.
 	Start, End time.Time
 }
 
@@ -37,11 +39,32 @@ type Window struct {
 // downstream failures replay the whole window's inputs).
 type Handler func(w Window, out api.BoltCollector)
 
+// ContextHandler is a Handler that also receives the bolt's
+// TopologyContext — task identity, parallelism and the metrics registry —
+// so window logic can tag metrics or partition work by task index. The
+// plain Handler constructors remain as shims for handlers that don't need
+// the context.
+type ContextHandler func(ctx api.TopologyContext, w Window, out api.BoltCollector)
+
+// withoutContext adapts a context-free Handler to a ContextHandler.
+func withoutContext(h Handler) ContextHandler {
+	if h == nil {
+		return nil
+	}
+	return func(_ api.TopologyContext, w Window, out api.BoltCollector) { h(w, out) }
+}
+
 // NewCountWindow returns a bolt that windows its input by tuple count:
 // a window completes every slide tuples and contains the latest size
 // tuples. slide == size gives tumbling windows; slide < size sliding
 // ones.
 func NewCountWindow(size, slide int, h Handler) api.Bolt {
+	return NewCountWindowContext(size, slide, withoutContext(h))
+}
+
+// NewCountWindowContext is NewCountWindow for handlers that need the
+// bolt's TopologyContext.
+func NewCountWindowContext(size, slide int, h ContextHandler) api.Bolt {
 	return &countWindowBolt{size: size, slide: slide, handler: h}
 }
 
@@ -50,21 +73,28 @@ func NewTumblingCountWindow(size int, h Handler) api.Bolt {
 	return NewCountWindow(size, size, h)
 }
 
+// NewTumblingCountWindowContext is NewCountWindowContext(size, size, h).
+func NewTumblingCountWindowContext(size int, h ContextHandler) api.Bolt {
+	return NewCountWindowContext(size, size, h)
+}
+
 type countWindowBolt struct {
 	size, slide int
-	handler     Handler
+	handler     ContextHandler
+	ctx         api.TopologyContext
 	out         api.BoltCollector
 	buf         []api.Tuple
 }
 
 // Prepare implements api.Bolt.
-func (b *countWindowBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+func (b *countWindowBolt) Prepare(ctx api.TopologyContext, out api.BoltCollector) error {
 	if b.size <= 0 || b.slide <= 0 || b.slide > b.size {
 		return errors.New("windows: need 0 < slide <= size")
 	}
 	if b.handler == nil {
 		return errors.New("windows: nil handler")
 	}
+	b.ctx = ctx
 	b.out = out
 	return nil
 }
@@ -75,7 +105,7 @@ func (b *countWindowBolt) Execute(t api.Tuple) error {
 	if len(b.buf) < b.size {
 		return nil
 	}
-	b.handler(Window{Tuples: b.buf}, b.out)
+	b.handler(b.ctx, Window{Tuples: b.buf}, b.out)
 	// Tuples sliding out of the window have been fully processed.
 	for _, old := range b.buf[:b.slide] {
 		b.out.Ack(old)
@@ -95,12 +125,23 @@ func (b *countWindowBolt) Cleanup() error { return nil }
 // TickEvery(p) for some p ≤ slide; windows complete on ticks, so window
 // boundaries are quantized to the tick period.
 func NewTimeWindow(size, slide time.Duration, h Handler) api.Bolt {
+	return NewTimeWindowContext(size, slide, withoutContext(h))
+}
+
+// NewTimeWindowContext is NewTimeWindow for handlers that need the
+// bolt's TopologyContext.
+func NewTimeWindowContext(size, slide time.Duration, h ContextHandler) api.Bolt {
 	return &timeWindowBolt{size: size, slide: slide, handler: h}
 }
 
 // NewTumblingTimeWindow is NewTimeWindow(size, size, h).
 func NewTumblingTimeWindow(size time.Duration, h Handler) api.Bolt {
 	return NewTimeWindow(size, size, h)
+}
+
+// NewTumblingTimeWindowContext is NewTimeWindowContext(size, size, h).
+func NewTumblingTimeWindowContext(size time.Duration, h ContextHandler) api.Bolt {
+	return NewTimeWindowContext(size, size, h)
 }
 
 type timed struct {
@@ -110,7 +151,8 @@ type timed struct {
 
 type timeWindowBolt struct {
 	size, slide time.Duration
-	handler     Handler
+	handler     ContextHandler
+	ctx         api.TopologyContext
 	out         api.BoltCollector
 	buf         []timed
 	nextFlush   time.Time
@@ -122,13 +164,14 @@ type timeWindowBolt struct {
 }
 
 // Prepare implements api.Bolt.
-func (b *timeWindowBolt) Prepare(_ api.TopologyContext, out api.BoltCollector) error {
+func (b *timeWindowBolt) Prepare(ctx api.TopologyContext, out api.BoltCollector) error {
 	if b.size <= 0 || b.slide <= 0 || b.slide > b.size {
 		return errors.New("windows: need 0 < slide <= size")
 	}
 	if b.handler == nil {
 		return errors.New("windows: nil handler")
 	}
+	b.ctx = ctx
 	b.out = out
 	if b.now == nil {
 		b.now = time.Now
@@ -152,30 +195,34 @@ func (b *timeWindowBolt) Tick() error {
 		return nil
 	}
 	b.nextFlush = now.Add(b.slide)
-	// Windows are half-open (start, end]. The nominal start is now-size,
+	// Windows are half-open [start, end). The nominal start is now-size,
 	// extended backward to the previous window's end when ticks arrive
-	// late, so consecutive windows always cover the stream with no gap.
+	// late, so consecutive windows always cover the stream with no gap —
+	// and a tuple timestamped exactly at the close lands in the NEXT
+	// window, never in both.
 	start := now.Add(-b.size)
 	if start.After(b.lastEnd) {
 		start = b.lastEnd
 	}
 	w := Window{Start: start, End: now}
 	for _, e := range b.buf {
-		if e.at.After(start) {
+		if !e.at.Before(start) && e.at.Before(now) {
 			w.Tuples = append(w.Tuples, e.t)
 		}
 	}
-	b.handler(w, b.out)
+	b.handler(b.ctx, w, b.out)
 	b.lastEnd = now
-	// Evict and ack tuples that can no longer appear in any future window
-	// (the next window starts no earlier than min(now+slide-size, now)).
+	// Evict and ack tuples that can no longer appear in any future window.
+	// The next window starts no earlier than min(now+slide-size, now), and
+	// window starts are inclusive, so only tuples strictly before that
+	// horizon are done.
 	horizon := now.Add(b.slide - b.size)
 	if horizon.After(now) {
 		horizon = now
 	}
 	kept := b.buf[:0]
 	for _, e := range b.buf {
-		if !e.at.After(horizon) {
+		if e.at.Before(horizon) {
 			b.out.Ack(e.t)
 		} else {
 			kept = append(kept, e)
@@ -187,3 +234,73 @@ func (b *timeWindowBolt) Tick() error {
 
 // Cleanup implements api.Bolt (see countWindowBolt.Cleanup).
 func (b *timeWindowBolt) Cleanup() error { return nil }
+
+// Config declaratively describes a window shape — the form the streamlet
+// planner (and any other topology generator) consumes. Build one with
+// Tumbling, Sliding, TumblingCount or SlidingCount.
+type Config struct {
+	// Size and Slide describe a time window when Size > 0.
+	Size, Slide time.Duration
+	// CountSize and CountSlide describe a count window when CountSize > 0.
+	CountSize, CountSlide int
+}
+
+// Tumbling describes a tumbling time window of the given size.
+func Tumbling(size time.Duration) Config { return Config{Size: size, Slide: size} }
+
+// Sliding describes a sliding time window: every slide, a window covering
+// the last size of wall time completes.
+func Sliding(size, slide time.Duration) Config { return Config{Size: size, Slide: slide} }
+
+// TumblingCount describes a tumbling count window of n tuples.
+func TumblingCount(n int) Config { return Config{CountSize: n, CountSlide: n} }
+
+// SlidingCount describes a sliding count window: every slide tuples, a
+// window containing the latest size tuples completes.
+func SlidingCount(size, slide int) Config { return Config{CountSize: size, CountSlide: slide} }
+
+// ByCount reports whether the window is count-based.
+func (c Config) ByCount() bool { return c.CountSize > 0 }
+
+// Validate checks the window shape.
+func (c Config) Validate() error {
+	switch {
+	case c.ByCount():
+		if c.Size != 0 || c.Slide != 0 {
+			return errors.New("windows: config mixes count and time windowing")
+		}
+		if c.CountSlide <= 0 || c.CountSlide > c.CountSize {
+			return fmt.Errorf("windows: need 0 < slide (%d) <= size (%d)", c.CountSlide, c.CountSize)
+		}
+	case c.Size > 0:
+		if c.Slide <= 0 || c.Slide > c.Size {
+			return fmt.Errorf("windows: need 0 < slide (%v) <= size (%v)", c.Slide, c.Size)
+		}
+	default:
+		return errors.New("windows: empty window config")
+	}
+	return nil
+}
+
+// NewBolt builds the window bolt this config describes around h.
+func (c Config) NewBolt(h ContextHandler) api.Bolt {
+	if c.ByCount() {
+		return NewCountWindowContext(c.CountSize, c.CountSlide, h)
+	}
+	return NewTimeWindowContext(c.Size, c.Slide, h)
+}
+
+// TickPeriod returns the tick interval a bolt built from this config must
+// be declared with (TickEvery), or 0 for count windows, which need no
+// ticks. Time windows tick at a quarter of the slide (floored at 1ms) so
+// window boundaries stay reasonably sharp.
+func (c Config) TickPeriod() time.Duration {
+	if c.ByCount() {
+		return 0
+	}
+	p := c.Slide / 4
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	return p
+}

@@ -114,11 +114,11 @@ func TestTumblingTimeWindow(t *testing.T) {
 	clock := time.Unix(1000, 0)
 	b := NewTumblingTimeWindow(time.Second, nil).(*timeWindowBolt)
 	var windows []Window
-	b.handler = func(w Window, _ api.BoltCollector) {
+	b.handler = withoutContext(func(w Window, _ api.BoltCollector) {
 		cp := w
 		cp.Tuples = append([]api.Tuple(nil), w.Tuples...)
 		windows = append(windows, cp)
-	}
+	})
 	b.now = func() time.Time { return clock }
 	col := &fakeCollector{}
 	if err := b.Prepare(nil, col); err != nil {
@@ -168,7 +168,7 @@ func TestSlidingTimeWindowKeepsOverlap(t *testing.T) {
 	clock := time.Unix(2000, 0)
 	b := NewTimeWindow(2*time.Second, time.Second, nil).(*timeWindowBolt)
 	var sizes []int
-	b.handler = func(w Window, _ api.BoltCollector) { sizes = append(sizes, len(w.Tuples)) }
+	b.handler = withoutContext(func(w Window, _ api.BoltCollector) { sizes = append(sizes, len(w.Tuples)) })
 	b.now = func() time.Time { return clock }
 	col := &fakeCollector{}
 	if err := b.Prepare(nil, col); err != nil {
@@ -194,5 +194,138 @@ func TestSlidingTimeWindowKeepsOverlap(t *testing.T) {
 	// Overlap retained: acked < executed.
 	if len(col.acked) >= 6 {
 		t.Errorf("acked = %d, overlap not retained", len(col.acked))
+	}
+}
+
+// fakeCtx is a minimal api.TopologyContext for handler pass-through tests.
+type fakeCtx struct{ task int32 }
+
+func (c *fakeCtx) TopologyName() string            { return "t" }
+func (c *fakeCtx) ComponentName() string           { return "w" }
+func (c *fakeCtx) ComponentIndex() int32           { return 0 }
+func (c *fakeCtx) TaskID() int32                   { return c.task }
+func (c *fakeCtx) ComponentParallelism(string) int { return 1 }
+func (c *fakeCtx) Metrics() api.ComponentMetrics   { return nil }
+
+// TestContextReachesHandler checks the TopologyContext given to Prepare is
+// passed through to ContextHandler invocations — for both window kinds —
+// and that the plain-Handler shims still work with a nil context.
+func TestContextReachesHandler(t *testing.T) {
+	ctx := &fakeCtx{task: 7}
+	var got []int32
+	h := func(c api.TopologyContext, w Window, _ api.BoltCollector) {
+		got = append(got, c.TaskID())
+	}
+
+	cb := NewTumblingCountWindowContext(2, h)
+	if err := cb.Prepare(ctx, &fakeCollector{}); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, cb, 2)
+
+	clock := time.Unix(3000, 0)
+	tb := NewTumblingTimeWindowContext(time.Second, h).(*timeWindowBolt)
+	tb.now = func() time.Time { return clock }
+	if err := tb.Prepare(ctx, &fakeCollector{}); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(1100 * time.Millisecond)
+	if err := tb.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != 2 || got[0] != 7 || got[1] != 7 {
+		t.Fatalf("handler contexts = %v, want [7 7]", got)
+	}
+}
+
+// TestTimeWindowCloseBoundary pins the half-open [start, end) semantics: a
+// tuple timestamped exactly at a window's close belongs to the next
+// window only — it must not appear in both.
+func TestTimeWindowCloseBoundary(t *testing.T) {
+	clock := time.Unix(4000, 0)
+	b := NewTumblingTimeWindow(time.Second, nil).(*timeWindowBolt)
+	var windows [][]int64
+	b.handler = withoutContext(func(w Window, _ api.BoltCollector) {
+		var vs []int64
+		for _, tp := range w.Tuples {
+			vs = append(vs, tp.Int(0))
+		}
+		windows = append(windows, vs)
+	})
+	b.now = func() time.Time { return clock }
+	col := &fakeCollector{}
+	if err := b.Prepare(nil, col); err != nil {
+		t.Fatal(err)
+	}
+	// Tuple 1 mid-window, tuple 2 exactly on the close boundary.
+	clock = clock.Add(500 * time.Millisecond)
+	if err := b.Execute(&fakeTuple{v: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clock = time.Unix(4001, 0)
+	if err := b.Execute(&fakeTuple{v: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Tick(); err != nil { // fires exactly at the close
+		t.Fatal(err)
+	}
+	if len(windows) != 1 || len(windows[0]) != 1 || windows[0][0] != 1 {
+		t.Fatalf("first window = %v, want [1]", windows)
+	}
+	// The boundary tuple must not have been evicted with the first window.
+	if len(col.acked) != 1 {
+		t.Fatalf("acked = %d, want 1", len(col.acked))
+	}
+	clock = time.Unix(4002, 0)
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 || len(windows[1]) != 1 || windows[1][0] != 2 {
+		t.Fatalf("second window = %v, want [... [2]]", windows)
+	}
+	if len(col.acked) != 2 {
+		t.Errorf("acked = %d, want 2", len(col.acked))
+	}
+}
+
+func TestWindowConfig(t *testing.T) {
+	ok := []Config{
+		Tumbling(time.Second),
+		Sliding(2*time.Second, time.Second),
+		TumblingCount(10),
+		SlidingCount(10, 5),
+	}
+	for i, c := range ok {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %d rejected: %v", i, err)
+		}
+	}
+	bad := []Config{
+		{},
+		Sliding(time.Second, 2*time.Second), // slide > size
+		SlidingCount(5, 10),                 // slide > size
+		{Size: time.Second, CountSize: 5, CountSlide: 5}, // mixed
+		{Size: time.Second}, // no slide
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if !TumblingCount(3).ByCount() || Tumbling(time.Second).ByCount() {
+		t.Error("ByCount misreports")
+	}
+	if TumblingCount(3).TickPeriod() != 0 {
+		t.Error("count windows need no ticks")
+	}
+	if p := Tumbling(time.Second).TickPeriod(); p <= 0 || p > time.Second {
+		t.Errorf("tick period = %v", p)
+	}
+	if b := TumblingCount(2).NewBolt(func(api.TopologyContext, Window, api.BoltCollector) {}); b == nil {
+		t.Error("NewBolt(count) = nil")
+	}
+	if b := Tumbling(time.Second).NewBolt(func(api.TopologyContext, Window, api.BoltCollector) {}); b == nil {
+		t.Error("NewBolt(time) = nil")
 	}
 }
