@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet
+.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet bench-parallel
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,22 @@ bench-health:
 # (BenchmarkRouteCustomGrouping — must stay 0 allocs/op and match the
 # BENCH_PR2.json route baselines). Cheap enough that CI runs it on every
 # push.
+# bench-parallel refreshes BENCH_PR7.json: BenchmarkRouteParallel sweeps
+# the sharded data path at 1/2/4/8 shards (ns/op plus p50/p99/p999 route
+# latency from the HDR histogram) and BenchmarkRouteLazy re-measures the
+# single-shard hot path. benchgate then enforces the contract: 0
+# allocs/op on every arm, percentiles recorded, core-count-adaptive
+# scaling at 8 shards, and no single-shard regression against the
+# BENCH_PR2.json baselines. Cheap enough that CI runs it on every push.
+bench-parallel:
+	GOMAXPROCS=8 $(GO) test -run XX -bench 'BenchmarkRouteParallel' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR7.json
+	$(GO) test -run XX -bench 'BenchmarkRouteLazy' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR7.json
+	$(GO) run ./cmd/benchgate -ledger BENCH_PR7.json -baseline BENCH_PR2.json
+
 bench-streamlet:
 	$(GO) test -run XX -bench 'BenchmarkRouteCustomGrouping' \
 		-benchmem -benchtime 2s ./internal/stmgr/ | \

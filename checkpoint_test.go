@@ -139,6 +139,13 @@ func (b *ckptCountBolt) RestoreState(s api.State) error {
 // final counts EXACTLY match the spouts' deterministic emission history —
 // no lost counts, no duplicates (checkpoint-based effectively-once).
 func runCheckpointRecovery(t *testing.T, backendName string) {
+	runCheckpointRecoveryShards(t, backendName, backendName, 0)
+}
+
+// runCheckpointRecoveryShards is runCheckpointRecovery with an explicit
+// Stream Manager shard count (0 = config default); label keeps the state
+// roots of variants sharing a backend apart.
+func runCheckpointRecoveryShards(t *testing.T, backendName, label string, shards int) {
 	const dictSize = 50
 	dict := make([]string, dictSize)
 	for i := range dict {
@@ -146,7 +153,7 @@ func runCheckpointRecovery(t *testing.T, backendName string) {
 	}
 	h := &ckptHarness{spouts: map[int32]*seqSpout{}, bolts: map[int32]*ckptCountBolt{}}
 
-	b := api.NewTopologyBuilder("ckpt-" + backendName)
+	b := api.NewTopologyBuilder("ckpt-" + label)
 	b.SetSpout("word", func() api.Spout {
 		return &seqSpout{h: h, dict: dict}
 	}, 2).OutputFields("word")
@@ -159,7 +166,7 @@ func runCheckpointRecovery(t *testing.T, backendName string) {
 	}
 
 	cfg := NewConfig()
-	cfg.StateRoot = "/ckpt-" + backendName
+	cfg.StateRoot = "/ckpt-" + label
 	statemgr.ResetSharedStore(cfg.StateRoot)
 	checkpoint.ResetSharedMemory(cfg.StateRoot)
 	checkpoint.ResetSharedRedis(cfg.StateRoot)
@@ -167,10 +174,13 @@ func runCheckpointRecovery(t *testing.T, backendName string) {
 	cfg.SchedulerName = "yarn"
 	cfg.CheckpointInterval = 200 * time.Millisecond
 	cfg.StateBackend = backendName
+	if shards > 0 {
+		cfg.StmgrShards = shards
+	}
 	if backendName == "localfs" {
 		cfg.Extra = map[string]string{"checkpoint.root": t.TempDir()}
 	}
-	cl := cluster.New("ckpt-"+backendName+"-sim", 4, core.Resource{CPU: 32, RAMMB: 32768, DiskMB: 65536})
+	cl := cluster.New("ckpt-"+label+"-sim", 4, core.Resource{CPU: 32, RAMMB: 32768, DiskMB: 65536})
 	cfg.Framework = cl
 
 	handle, err := Submit(spec, cfg)
@@ -282,5 +292,13 @@ func runCheckpointRecovery(t *testing.T, backendName string) {
 }
 
 func TestCheckpointRecoveryMemory(t *testing.T)  { runCheckpointRecovery(t, "memory") }
+
+// TestCheckpointRecoverySharded reruns the chaos test with the Stream
+// Manager's data path split four ways: barrier alignment (markers chasing
+// their data through per-shard rings), parked-frame replay and restore
+// must all survive sharding, or the exact-count accounting fails.
+func TestCheckpointRecoverySharded(t *testing.T) {
+	runCheckpointRecoveryShards(t, "memory", "memory-sharded", 4)
+}
 func TestCheckpointRecoveryLocalFS(t *testing.T) { runCheckpointRecovery(t, "localfs") }
 func TestCheckpointRecoveryRedis(t *testing.T)   { runCheckpointRecovery(t, "redis") }

@@ -1,0 +1,172 @@
+// Command benchgate enforces the sharded-data-path performance contract
+// against a benchjson ledger (see cmd/benchjson):
+//
+//	benchgate -ledger BENCH_PR7.json -baseline BENCH_PR2.json
+//
+// Gates, in order of sharpness:
+//
+//  1. Zero allocations: every BenchmarkRouteParallel arm must report
+//     0 allocs/op. This is machine-independent and never waived.
+//  2. Percentiles recorded: the sharded arms must carry p50/p99/p999
+//     route-latency figures (the HDR histogram made it to the ledger).
+//  3. Scaling: ns/op(shards=1) / ns/op(shards=8) must clear a threshold
+//     chosen from the host's core count — parallel speedup cannot exceed
+//     the hardware, so the bar adapts: ≥8 cores wants 4x, ≥4 wants 2x,
+//     ≥2 wants 1.2x, and a single-core host skips the assertion (with a
+//     note) because no wall-clock scaling is physically possible there.
+//  4. No single-shard regression: the BenchmarkRouteLazy numbers in the
+//     ledger must stay within a noise factor of the BENCH_PR2 baselines,
+//     so the sharding seams don't tax the default configuration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Result mirrors cmd/benchjson's schema (older ledgers without the
+// percentile fields parse fine — they are optional there too).
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	P999Ns      float64 `json:"p999_ns,omitempty"`
+}
+
+type Entry struct {
+	Name   string  `json:"name"`
+	Before *Result `json:"before,omitempty"`
+	After  *Result `json:"after,omitempty"`
+}
+
+type ledger struct {
+	Benchmarks []*Entry `json:"benchmarks"`
+}
+
+func load(path string) (map[string]*Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var led ledger
+	if err := json.Unmarshal(raw, &led); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]*Result{}
+	for _, e := range led.Benchmarks {
+		if e.After != nil {
+			out[e.Name] = e.After
+		}
+	}
+	return out, nil
+}
+
+// regressionFactor is how much slower than the recorded baseline a
+// benchmark may run before the gate fails. Benchmarks in the ledger and
+// the baseline typically come from different machines and runs, so the
+// bound is a guard against structural regressions (an extra copy, a new
+// allocation, a lock on the hot path), not a ±5% performance SLA.
+const regressionFactor = 1.75
+
+func main() {
+	ledgerPath := flag.String("ledger", "BENCH_PR7.json", "benchjson ledger with BenchmarkRouteParallel results")
+	basePath := flag.String("baseline", "BENCH_PR2.json", "ledger holding the single-shard route baselines")
+	flag.Parse()
+
+	results, err := load(*ledgerPath)
+	if err != nil {
+		fail("reading ledger: %v", err)
+	}
+	baseline, err := load(*basePath)
+	if err != nil {
+		fail("reading baseline: %v", err)
+	}
+
+	var failures []string
+	reject := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	// Gate 1+2: allocation-free arms, percentiles on the sharded ones.
+	const parallel = "BenchmarkRouteParallel/shards="
+	arms := 0
+	for name, r := range results {
+		if !strings.HasPrefix(name, parallel) {
+			continue
+		}
+		arms++
+		if r.AllocsPerOp != 0 {
+			reject("%s: %d allocs/op, want 0", name, r.AllocsPerOp)
+		}
+		if name != parallel+"1" && (r.P50Ns <= 0 || r.P99Ns <= 0 || r.P999Ns <= 0) {
+			reject("%s: missing route-latency percentiles (p50=%g p99=%g p999=%g)",
+				name, r.P50Ns, r.P99Ns, r.P999Ns)
+		}
+	}
+	if arms == 0 {
+		fail("no %s* results in %s — run `make bench-parallel` first", parallel, *ledgerPath)
+	}
+	one, eight := results[parallel+"1"], results[parallel+"8"]
+	if one == nil || eight == nil {
+		fail("need both %s1 and %s8 in %s", parallel, parallel, *ledgerPath)
+	}
+
+	// Gate 3: scaling, thresholded by what the hardware can deliver.
+	speedup := one.NsPerOp / eight.NsPerOp
+	cores := runtime.NumCPU()
+	var want float64
+	switch {
+	case cores >= 8:
+		want = 4.0
+	case cores >= 4:
+		want = 2.0
+	case cores >= 2:
+		want = 1.2
+	}
+	if want == 0 {
+		fmt.Printf("benchgate: single-core host — scaling assertion skipped (measured %.2fx on 1 core; run on ≥8 cores for the 4x gate)\n", speedup)
+	} else if speedup < want {
+		reject("scaling: shards=8 is %.2fx over shards=1, want ≥ %.1fx on %d cores", speedup, want, cores)
+	} else {
+		fmt.Printf("benchgate: scaling %.2fx at 8 shards on %d cores (threshold %.1fx)\n", speedup, cores, want)
+	}
+
+	// Gate 4: the default single-shard path must not regress vs BENCH_PR2.
+	for name, base := range baseline {
+		if !strings.HasPrefix(name, "BenchmarkRouteLazy/") {
+			continue
+		}
+		cur, ok := results[name]
+		if !ok {
+			reject("%s missing from %s (needed for the no-regression gate)", name, *ledgerPath)
+			continue
+		}
+		if cur.AllocsPerOp > base.AllocsPerOp {
+			reject("%s: %d allocs/op, baseline has %d", name, cur.AllocsPerOp, base.AllocsPerOp)
+		}
+		if cur.NsPerOp > base.NsPerOp*regressionFactor {
+			reject("%s: %.1f ns/op vs baseline %.1f (limit %.1fx)",
+				name, cur.NsPerOp, base.NsPerOp, regressionFactor)
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — %d parallel arms allocation-free, percentiles recorded, single-shard path within %.2fx of baseline\n",
+		arms, regressionFactor)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

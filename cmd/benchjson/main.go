@@ -22,11 +22,19 @@ import (
 	"strconv"
 )
 
-// Result is one measured column of one benchmark.
+// Result is one measured column of one benchmark. The percentile fields
+// are optional: benchmarks that publish route-latency tails via
+// b.ReportMetric (p50-ns / p99-ns / p999-ns, see BenchmarkRouteParallel)
+// fill them; for every other benchmark they are absent from the JSON
+// (omitempty), so ledgers written before the fields existed — and
+// benchmarks that never report them — parse and merge unchanged.
 type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
+	P999Ns      float64 `json:"p999_ns,omitempty"`
 }
 
 // Entry is one benchmark with its before/after columns.
@@ -41,11 +49,52 @@ type ledger struct {
 	Benchmarks []*Entry `json:"benchmarks"`
 }
 
-// benchLine matches e.g.
+// A benchmark line, e.g.
 //
 //	BenchmarkRouteLazy/prebatched-local-8   4496418   534.8 ns/op   512.31 MB/s   460 B/op   1 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+//
+// is parsed field-by-field rather than with one rigid expression, because
+// custom b.ReportMetric values (like the route-latency percentiles below)
+// appear between MB/s and B/op in whatever set the benchmark chose:
+//
+//	BenchmarkRouteParallel/shards=8-8   1046876   236.3 ns/op   1159.63 MB/s   925696 p50-ns   2326528 p99-ns   5046272 p999-ns   0 B/op   0 allocs/op
+//
+// ns/op, B/op and allocs/op are required; everything else is optional.
+var (
+	benchName  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s`)
+	numRe      = `([0-9.]+(?:[eE][+-]?[0-9]+)?)`
+	nsPerOpRe  = regexp.MustCompile(numRe + ` ns/op`)
+	bytesOpRe  = regexp.MustCompile(`(\d+) B/op`)
+	allocsOpRe = regexp.MustCompile(`(\d+) allocs/op`)
+	p50Re      = regexp.MustCompile(numRe + ` p50-ns`)
+	p99Re      = regexp.MustCompile(numRe + ` p99-ns`)
+	p999Re     = regexp.MustCompile(numRe + ` p999-ns`)
+)
+
+// parseLine extracts one Result from a benchmark output line, or nil.
+func parseLine(line string) (string, *Result) {
+	name := benchName.FindStringSubmatch(line)
+	ns := nsPerOpRe.FindStringSubmatch(line)
+	bs := bytesOpRe.FindStringSubmatch(line)
+	al := allocsOpRe.FindStringSubmatch(line)
+	if name == nil || ns == nil || bs == nil || al == nil {
+		return "", nil
+	}
+	r := &Result{}
+	r.NsPerOp, _ = strconv.ParseFloat(ns[1], 64)
+	r.BytesPerOp, _ = strconv.ParseInt(bs[1], 10, 64)
+	r.AllocsPerOp, _ = strconv.ParseInt(al[1], 10, 64)
+	if m := p50Re.FindStringSubmatch(line); m != nil {
+		r.P50Ns, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := p99Re.FindStringSubmatch(line); m != nil {
+		r.P99Ns, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := p999Re.FindStringSubmatch(line); m != nil {
+		r.P999Ns, _ = strconv.ParseFloat(m[1], 64)
+	}
+	return name[1], r
+}
 
 func main() {
 	label := flag.String("label", "after", `which column to fill: "before" or "after"`)
@@ -72,20 +121,16 @@ func main() {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	seen := 0
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
+		name, r := parseLine(sc.Text())
+		if r == nil {
 			continue
 		}
-		ns, _ := strconv.ParseFloat(m[2], 64)
-		bs, _ := strconv.ParseInt(m[3], 10, 64)
-		al, _ := strconv.ParseInt(m[4], 10, 64)
-		e := byName[m[1]]
+		e := byName[name]
 		if e == nil {
-			e = &Entry{Name: m[1]}
+			e = &Entry{Name: name}
 			byName[e.Name] = e
 			led.Benchmarks = append(led.Benchmarks, e)
 		}
-		r := &Result{NsPerOp: ns, BytesPerOp: bs, AllocsPerOp: al}
 		if *label == "before" {
 			e.Before = r
 		} else {

@@ -24,6 +24,15 @@ type Config struct {
 	// evaluation.
 	StreamManagerOptimized bool
 
+	// StmgrShards splits the Stream Manager's hot-path state (routing
+	// snapshot, tuple cache, acker trees) into N shards behind a
+	// consistent task→shard mapping, each shard served by its own
+	// goroutine with its own pooled outboxes. 0 (the default) selects
+	// min(GOMAXPROCS, 4); 1 runs the classic inline data path — exactly
+	// the pre-sharding behavior. Values above 1 require
+	// StreamManagerOptimized. Capped at MaxStmgrShards.
+	StmgrShards int
+
 	// Packing inputs.
 	NumContainers     int      // round-robin container count hint (default 4)
 	ContainerCapacity Resource // bin-packing per-container capacity
@@ -101,6 +110,9 @@ type Config struct {
 // Defaults for unset fields.
 const (
 	DefaultNumContainers       = 4
+	// MaxStmgrShards bounds Config.StmgrShards: beyond this the dispatch
+	// fan-out costs more than it buys on any machine we target.
+	MaxStmgrShards = 32
 	DefaultCacheDrainFrequency = 5 * time.Millisecond
 	DefaultCacheMaxBatchTuples = 1024
 	DefaultMessageTimeout      = 30 * time.Second
@@ -179,5 +191,35 @@ func (c *Config) Validate() error {
 	if c.HealthPolicy != "" && c.HealthInterval == 0 {
 		return fmt.Errorf("core: HealthPolicy %q requires HealthInterval > 0", c.HealthPolicy)
 	}
+	if c.StmgrShards < 0 || c.StmgrShards > MaxStmgrShards {
+		return fmt.Errorf("core: StmgrShards %d outside [0, %d]", c.StmgrShards, MaxStmgrShards)
+	}
+	if c.StmgrShards > 1 && !c.StreamManagerOptimized {
+		return fmt.Errorf("core: StmgrShards %d > 1 requires StreamManagerOptimized", c.StmgrShards)
+	}
 	return nil
+}
+
+// ResolveStmgrShards turns the StmgrShards knob into an effective shard
+// count: an explicit value wins (clamped to MaxStmgrShards), 0 selects
+// min(gomaxprocs, 4), and the unoptimized Stream Manager always runs a
+// single shard — the naive ablation path is deliberately the serial one.
+func (c *Config) ResolveStmgrShards(gomaxprocs int) int {
+	if !c.StreamManagerOptimized {
+		return 1
+	}
+	n := c.StmgrShards
+	if n == 0 {
+		n = gomaxprocs
+		if n > 4 {
+			n = 4
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxStmgrShards {
+		n = MaxStmgrShards
+	}
+	return n
 }

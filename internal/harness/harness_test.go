@@ -117,6 +117,53 @@ func TestShapeOptimizationsHelp(t *testing.T) {
 	}
 }
 
+// TestShapeHeronBeatsStormSmallN closes the -race gap the shape test
+// above leaves: the comparative throughput claim is meaningless under the
+// race detector, but the code paths it exercises — both engines, side by
+// side, in one process — still need a race sweep. Small N, correctness
+// only: both runs must move tuples and produce sane accounting; no ratio
+// is asserted.
+func TestShapeHeronBeatsStormSmallN(t *testing.T) {
+	o := quick(4)
+	o.Acks = false
+	o.Optimized = true
+	hr, err := RunHeronWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := RunStormWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Tuples == 0 || sr.Tuples == 0 {
+		t.Fatalf("a small-N run moved no tuples: heron=%d storm=%d", hr.Tuples, sr.Tuples)
+	}
+	if hr.Cores <= 0 || hr.PerCoreMTPM <= 0 {
+		t.Errorf("heron per-core accounting broken: %+v", hr)
+	}
+}
+
+// TestShapeOptimizationsHelpSmallN is the same -race companion for the
+// optimized-vs-naive comparison: both router variants run under the
+// detector, asserting only that each one works.
+func TestShapeOptimizationsHelpSmallN(t *testing.T) {
+	o := quick(4)
+	o.Acks = false
+	o.Optimized = false
+	off, err := RunHeronWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Optimized = true
+	on, err := RunHeronWordCount(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Tuples == 0 || on.Tuples == 0 {
+		t.Fatalf("a small-N run moved no tuples: naive=%d optimized=%d", off.Tuples, on.Tuples)
+	}
+}
+
 func TestFig14Breakdown(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ETL run")

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HDRHistogram is a lock-free log-linear histogram in the spirit of
+// HdrHistogram: values (route latencies in nanoseconds) land in one of a
+// fixed set of buckets whose width grows with magnitude, so tail
+// quantiles (p99, p999) are accurate to a bounded relative error with no
+// sampling and no lock. Observe is a single atomic add on the bucket
+// plus count/sum bookkeeping — cheap enough for a data-path goroutine to
+// call directly.
+//
+// Layout: values 0..31 get exact buckets; above that, each power-of-two
+// magnitude is split into 32 linear sub-buckets (hdrSubBits), bounding
+// the relative error of a reported quantile at 1/32 ≈ 3%.
+const (
+	hdrSubBits  = 5
+	hdrSubCount = 1 << hdrSubBits
+	// hdrBucketCount covers every int64 magnitude: 32 exact low buckets
+	// plus 32 sub-buckets per power of two from 2^5 through 2^62.
+	hdrBucketCount = (64 - hdrSubBits) * hdrSubCount
+)
+
+// hdrIndex maps a value to its bucket. Negative values clamp to 0.
+func hdrIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < hdrSubCount {
+		return int(u)
+	}
+	bit := bits.Len64(u) - 1 // floor(log2), ≥ hdrSubBits
+	sub := (u >> (uint(bit) - hdrSubBits)) & (hdrSubCount - 1)
+	return (bit-hdrSubBits+1)<<hdrSubBits | int(sub)
+}
+
+// hdrValue returns a representative (midpoint) value for a bucket index,
+// the inverse of hdrIndex up to the bucket's width.
+func hdrValue(idx int) int64 {
+	if idx < hdrSubCount {
+		return int64(idx)
+	}
+	bit := idx>>hdrSubBits - 1 + hdrSubBits
+	sub := uint64(idx & (hdrSubCount - 1))
+	step := uint64(1) << uint(bit-hdrSubBits)
+	return int64(uint64(1)<<uint(bit) + sub*step + step/2)
+}
+
+// HDRHistogram records values into fixed log-linear buckets with atomic
+// counters; every method is safe for concurrent use and Observe never
+// allocates or blocks.
+type HDRHistogram struct {
+	counts [hdrBucketCount]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // math.MaxInt64 when empty
+	max    atomic.Int64 // math.MinInt64 when empty
+}
+
+// NewHDRHistogram creates an empty histogram.
+func NewHDRHistogram() *HDRHistogram {
+	h := &HDRHistogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *HDRHistogram) Observe(v int64) {
+	h.counts[hdrIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot summarizes the histogram as a HistogramSnapshot carrying the
+// sparse bucket set, so quantiles survive the control-plane wire format
+// and merge exactly across containers (bucket counts add).
+func (h *HDRHistogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min, s.Max = h.min.Load(), h.max.Load()
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HDRBucket{Idx: int32(i), N: n})
+		}
+	}
+	return s
+}
+
+// Quantile reports the approximate p-quantile directly from the live
+// buckets (convenience for tests and benchmarks; exports go through
+// Snapshot).
+func (h *HDRHistogram) Quantile(p float64) int64 {
+	return h.Snapshot().Quantile(p)
+}

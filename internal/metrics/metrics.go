@@ -114,9 +114,20 @@ func (h *Histogram) Observe(v int64) {
 	h.mu.Unlock()
 }
 
+// HDRBucket is one non-empty bucket of an HDRHistogram snapshot: a
+// log-linear bucket index (see hdrIndex) and its count. Snapshots carry
+// the sparse set so the wire format stays small.
+type HDRBucket struct {
+	Idx int32 `json:"i"`
+	N   int64 `json:"n"`
+}
+
 // HistogramSnapshot is a point-in-time summary. Sample is the sorted
 // reservoir; it is exported so snapshots survive the control-plane wire
 // format and the Topology Master can merge quantiles across containers.
+// Snapshots of HDR histograms carry Buckets instead of Sample; Quantile
+// prefers the buckets when present (they are exact up to bucket width,
+// where the reservoir is probabilistic).
 type HistogramSnapshot struct {
 	Count int64 `json:"count"`
 	Sum   int64 `json:"sum"`
@@ -124,6 +135,9 @@ type HistogramSnapshot struct {
 	Max   int64 `json:"max"`
 	// Sample is the sorted reservoir used for quantiles.
 	Sample []int64 `json:"sample,omitempty"`
+	// Buckets is the sparse HDR bucket set (sorted by Idx), set only on
+	// snapshots taken from an HDRHistogram.
+	Buckets []HDRBucket `json:"buckets,omitempty"`
 }
 
 // Mean returns the exact mean of all observed values.
@@ -134,8 +148,27 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
-// Quantile returns the approximate p-quantile (0 ≤ p ≤ 1).
+// Quantile returns the approximate p-quantile (0 ≤ p ≤ 1). HDR bucket
+// sets, when present, take precedence over the sampling reservoir.
 func (s HistogramSnapshot) Quantile(p float64) int64 {
+	if len(s.Buckets) > 0 {
+		var total int64
+		for _, b := range s.Buckets {
+			total += b.N
+		}
+		rank := int64(p * float64(total-1))
+		if rank < 0 {
+			rank = 0
+		}
+		var seen int64
+		for _, b := range s.Buckets {
+			seen += b.N
+			if seen > rank {
+				return hdrValue(int(b.Idx))
+			}
+		}
+		return hdrValue(int(s.Buckets[len(s.Buckets)-1].Idx))
+	}
 	if len(s.Sample) == 0 {
 		return 0
 	}
@@ -150,7 +183,8 @@ func (s HistogramSnapshot) Quantile(p float64) int64 {
 }
 
 // merge folds another snapshot of the same metric into s (counts and sums
-// add, samples concatenate; caller re-sorts).
+// add, samples concatenate, HDR bucket counts add by index; caller
+// re-sorts samples).
 func (s *HistogramSnapshot) merge(o HistogramSnapshot) {
 	if o.Count == 0 {
 		return
@@ -168,6 +202,35 @@ func (s *HistogramSnapshot) merge(o HistogramSnapshot) {
 	s.Count += o.Count
 	s.Sum += o.Sum
 	s.Sample = append(s.Sample, o.Sample...)
+	s.Buckets = mergeBuckets(s.Buckets, o.Buckets)
+}
+
+// mergeBuckets adds two sorted sparse bucket sets index-by-index.
+func mergeBuckets(a, b []HDRBucket) []HDRBucket {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]HDRBucket(nil), b...)
+	}
+	out := make([]HDRBucket, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Idx < b[j].Idx:
+			out = append(out, a[i])
+			i++
+		case a[i].Idx > b[j].Idx:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, HDRBucket{Idx: a[i].Idx, N: a[i].N + b[j].N})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // Snapshot summarizes the histogram.
@@ -191,11 +254,17 @@ type Registry struct {
 	counters map[ID]*Counter
 	gauges   map[ID]*Gauge
 	histos   map[ID]*Histogram
+	hdrs     map[ID]*HDRHistogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[ID]*Counter{}, gauges: map[ID]*Gauge{}, histos: map[ID]*Histogram{}}
+	return &Registry{
+		counters: map[ID]*Counter{},
+		gauges:   map[ID]*Gauge{},
+		histos:   map[ID]*Histogram{},
+		hdrs:     map[ID]*HDRHistogram{},
+	}
 }
 
 // Counter returns (creating if needed) the named, tagged counter.
@@ -233,6 +302,22 @@ func (r *Registry) Histogram(name string, tags Tags) *Histogram {
 	if !ok {
 		h = NewHistogram(0)
 		r.histos[id] = h
+	}
+	return h
+}
+
+// HDR returns (creating if needed) the named, tagged HDR histogram — the
+// lock-free log-linear variant data-path goroutines observe into
+// directly. HDR histograms export through the same HistogramPoint stream
+// as reservoir histograms, carrying buckets instead of a sample.
+func (r *Registry) HDR(name string, tags Tags) *HDRHistogram {
+	id := ID{Name: name, Tags: tags}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hdrs[id]
+	if !ok {
+		h = NewHDRHistogram()
+		r.hdrs[id] = h
 	}
 	return h
 }
@@ -304,10 +389,21 @@ func (r *Registry) Snapshot(container int32) Snapshot {
 	for id, h := range r.histos {
 		hs = append(hs, hpair{id, h})
 	}
+	type hdrpair struct {
+		id ID
+		h  *HDRHistogram
+	}
+	hdrs := make([]hdrpair, 0, len(r.hdrs))
+	for id, h := range r.hdrs {
+		hdrs = append(hdrs, hdrpair{id, h})
+	}
 	r.mu.Unlock()
 	// Histogram snapshots take per-histogram locks; do it outside the
 	// registry lock so Observe never contends with a whole-registry export.
 	for _, p := range hs {
+		s.Histograms = append(s.Histograms, HistogramPoint{ID: p.id, HistogramSnapshot: p.h.Snapshot()})
+	}
+	for _, p := range hdrs {
 		s.Histograms = append(s.Histograms, HistogramPoint{ID: p.id, HistogramSnapshot: p.h.Snapshot()})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].ID.less(s.Counters[j].ID) })

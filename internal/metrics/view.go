@@ -30,6 +30,13 @@ const (
 	MStmgrBPTransitions  = "stmgr.backpressure-transitions" // assert/release edges
 	MStmgrBPAssertedTime = "stmgr.backpressure-time-ns"     // total ns spent asserted
 	MStmgrBPActive       = "stmgr.backpressure-active"      // 1 while this container asserts backpressure (gauge)
+	// MStmgrRouteLatency is the sharded data path's per-frame route
+	// latency — dispatch-ring enqueue to delivery handoff, sampled 1-in-8
+	// — recorded in a lock-free HDR histogram so /metrics and the
+	// TopologyView report p50/p99/p999 tails, not just averages. Published
+	// only when StmgrShards > 1 (the inline single-shard path has no
+	// dispatch stage to time).
+	MStmgrRouteLatency = "stmgr.route-latency-ns"
 
 	// Checkpointing. Duration/size/restore are per-instance (tags:
 	// component, task); epoch is per-Stream-Manager (tags: StmgrComponent,
@@ -187,6 +194,7 @@ type HistogramSummary struct {
 	P50   int64 `json:"p50"`
 	P90   int64 `json:"p90"`
 	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
 }
 
 // ViewDump is the JSON-friendly flattening of a TopologyView, served by
@@ -217,6 +225,7 @@ func (v *TopologyView) Dump() ViewDump {
 		d.Histograms = append(d.Histograms, HistogramSummary{
 			ID: id, Count: hs.Count, Sum: hs.Sum, Min: hs.Min, Max: hs.Max,
 			P50: hs.Quantile(0.5), P90: hs.Quantile(0.9), P99: hs.Quantile(0.99),
+			P999: hs.Quantile(0.999),
 		})
 	}
 	sort.Slice(d.Counters, func(i, j int) bool { return d.Counters[i].ID.less(d.Counters[j].ID) })

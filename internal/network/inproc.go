@@ -83,6 +83,15 @@ func (c *inprocConn) deliver(kind MsgKind, buf *wire.Buffer) error {
 
 // Start implements Conn.
 func (c *inprocConn) Start(h Handler) {
+	c.StartOwned(func(kind MsgKind, buf *wire.Buffer) {
+		h(kind, buf.B)
+		wire.PutBuffer(buf)
+	})
+}
+
+// StartOwned implements OwnedStarter: received frames keep their pooled
+// buffers, which pass to the handler without a copy.
+func (c *inprocConn) StartOwned(h OwnedHandler) {
 	if c.started {
 		panic("network: Start called twice")
 	}
@@ -91,8 +100,7 @@ func (c *inprocConn) Start(h Handler) {
 		for {
 			select {
 			case f := <-c.inbox:
-				h(f.kind, f.buf.B)
-				wire.PutBuffer(f.buf)
+				h(f.kind, f.buf)
 			case <-c.closed:
 				return
 			}

@@ -3,7 +3,7 @@
 // mechanisms" that every other module plugs into).
 //
 // It exposes a minimal connection abstraction — framed, kind-tagged byte
-// messages — behind a Transport interface with two implementations:
+// messages — behind a Transport interface with three implementations:
 //
 //   - "tcp": real sockets with length-prefixed framing, used when
 //     containers are separate processes or for realism in tests.
@@ -11,6 +11,10 @@
 //     and benchmarks. Payloads are still copied on Send, so every message
 //     pays the serialize-copy-deserialize cost of a process boundary; only
 //     the syscall is elided.
+//   - "ring": a lock-free shared-memory ring of owned wire.Buffers for
+//     same-host container pairs. SendOwned moves the pooled frame buffer
+//     itself through a bounded Vyukov queue — no channel, no syscall, no
+//     copy — so co-located containers bypass the TCP loopback entirely.
 //
 // Handlers receive payload slices that are valid only for the duration of
 // the call; receivers must copy anything they retain. This allows both
@@ -60,6 +64,26 @@ var (
 // the handler returns.
 type Handler func(kind MsgKind, payload []byte)
 
+// OwnedHandler consumes one received frame and takes ownership of its
+// pooled buffer: the handler (or whatever it hands the buffer to) must
+// eventually recycle it with wire.PutBuffer. This is the receive-side
+// mirror of SendOwned — the sharded Stream Manager uses it to move an
+// inbound frame from the transport straight into a shard's dispatch ring
+// without a copy.
+type OwnedHandler func(kind MsgKind, buf *wire.Buffer)
+
+// OwnedStarter is implemented by connections that can deliver received
+// frames with ownership transfer. All built-in transports implement it;
+// callers that need it assert for the interface and fall back to Start
+// plus a copy when absent.
+type OwnedStarter interface {
+	// StartOwned begins delivering received frames to h from a dedicated
+	// goroutine, transferring buffer ownership to the handler. Like
+	// Start, it must be called exactly once (and not combined with
+	// Start).
+	StartOwned(h OwnedHandler)
+}
+
 // Conn is a bidirectional, framed message connection.
 type Conn interface {
 	// Send enqueues one frame. It copies payload before returning and
@@ -108,6 +132,8 @@ func ByName(name string) (Transport, error) {
 		return InprocTransport{}, nil
 	case "tcp":
 		return TCPTransport{}, nil
+	case "ring":
+		return RingTransport{}, nil
 	default:
 		return nil, fmt.Errorf("network: unknown transport %q", name)
 	}

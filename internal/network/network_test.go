@@ -11,7 +11,7 @@ import (
 
 func transports(t *testing.T) map[string]Transport {
 	t.Helper()
-	return map[string]Transport{"inproc": InprocTransport{}, "tcp": TCPTransport{}}
+	return map[string]Transport{"inproc": InprocTransport{}, "tcp": TCPTransport{}, "ring": RingTransport{}}
 }
 
 // echoPair returns a connected (client, server) pair over tr.
@@ -236,7 +236,7 @@ func TestInprocDialUnknown(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, n := range []string{"", "inproc", "tcp"} {
+	for _, n := range []string{"", "inproc", "tcp", "ring"} {
 		tr, err := ByName(n)
 		if err != nil || tr == nil {
 			t.Errorf("ByName(%q): %v", n, err)

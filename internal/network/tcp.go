@@ -104,6 +104,15 @@ func (t *tcpConn) mapErr(err error) error {
 
 // Start implements Conn.
 func (t *tcpConn) Start(h Handler) {
+	t.StartOwned(func(kind MsgKind, buf *wire.Buffer) {
+		h(kind, buf.B)
+		wire.PutBuffer(buf)
+	})
+}
+
+// StartOwned implements OwnedStarter: each frame is read into a fresh
+// pooled buffer whose ownership passes to the handler.
+func (t *tcpConn) StartOwned(h OwnedHandler) {
 	go func() {
 		r := bufio.NewReaderSize(t.c, 64<<10)
 		var hdr [headerSize]byte
@@ -121,8 +130,7 @@ func (t *tcpConn) Start(h Handler) {
 				wire.PutBuffer(buf)
 				return
 			}
-			h(kind, buf.B)
-			wire.PutBuffer(buf)
+			h(kind, buf)
 		}
 	}()
 }

@@ -3,7 +3,6 @@ package stmgr
 import (
 	"sync"
 
-	"heron/internal/acker"
 	"heron/internal/core"
 	"heron/internal/encoding/wire"
 	"heron/internal/network"
@@ -192,6 +191,13 @@ func (s *StreamManager) parkOrDeliver(dest int32, count int, buf *wire.Buffer) b
 	return true
 }
 
+// parkedFrame is one data frame waiting for a peer dial, tagged with its
+// destination task so replay lands in the owning shard's outbox.
+type parkedFrame struct {
+	dest int32
+	buf  *wire.Buffer
+}
+
 // parkPeerOrDeliver is parkOrDeliver's twin for remote destinations: the
 // snapshot had no outbox for a container the plan places dest on. That is
 // a dial race, not a routing error — during a rescale relaunch, restored
@@ -199,24 +205,37 @@ func (s *StreamManager) parkOrDeliver(dest int32, count int, buf *wire.Buffer) b
 // reached this Stream Manager yet, and dropping the frame here would lose
 // a tuple the restore checkpoint already advanced past. Re-check the
 // master map under s.mu, then park the owned frame until the dial lands.
-func (s *StreamManager) parkPeerOrDeliver(container int32, buf *wire.Buffer) bool {
+func (s *StreamManager) parkPeerOrDeliver(container, dest int32, buf *wire.Buffer) bool {
 	s.mu.Lock()
-	if p := s.peers[container]; p != nil {
+	if p := s.peerOutLocked(container, dest); p != nil {
 		s.mu.Unlock()
 		p.enqueueOwned(network.MsgData, buf)
 		return true
 	}
 	if s.peerPending == nil {
-		s.peerPending = map[int32][]*wire.Buffer{}
+		s.peerPending = map[int32][]parkedFrame{}
 	}
 	if len(s.peerPending[container]) >= pendingFrameCap {
 		s.mu.Unlock()
 		wire.PutBuffer(buf)
 		return false
 	}
-	s.peerPending[container] = append(s.peerPending[container], buf)
+	s.peerPending[container] = append(s.peerPending[container], parkedFrame{dest, buf})
 	s.mu.Unlock()
 	return true
+}
+
+// peerOutLocked resolves the outbox that carries data for dest toward
+// container — the shard-specific one in dispatch mode; the caller holds
+// s.mu.
+func (s *StreamManager) peerOutLocked(container, dest int32) *outbox {
+	if s.nShards > 1 {
+		if outs := s.peerShardOut[container]; outs != nil {
+			return outs[s.shardOf(dest)]
+		}
+		return nil
+	}
+	return s.peers[container]
 }
 
 // routeFrame is the Stream Manager's data path: every MsgData and MsgAck
@@ -331,7 +350,7 @@ func (s *StreamManager) routeDataLazy(payload []byte) {
 	}
 	buf := wire.GetBuffer()
 	buf.B = append(buf.B, payload...)
-	s.parkPeerOrDeliver(container, buf)
+	s.parkPeerOrDeliver(container, dest, buf)
 }
 
 // routeDataNaive is the "without optimizations" path of Figures 5–9:
@@ -364,7 +383,7 @@ func (s *StreamManager) routeDataNaive(payload []byte) {
 			peer.enqueueOwned(network.MsgData, &wire.Buffer{B: frame})
 			return nil
 		}
-		s.parkPeerOrDeliver(container, &wire.Buffer{B: frame})
+		s.parkPeerOrDeliver(container, t.DestTask, &wire.Buffer{B: frame})
 		return nil
 	})
 }
@@ -471,53 +490,23 @@ func (s *StreamManager) drainAcks() {
 	}
 }
 
-// handleAck applies one control tuple to the local acker state.
+// handleAck applies one control tuple to the acker of the shard owning
+// the originating spout task. Every tuple of a tree carries the same
+// spout task, so a tree's whole life — anchor, acks, completion — stays
+// inside one shard's acker and root map (shard-local root ownership).
 func (s *StreamManager) handleAck(a *tuple.AckTuple) {
+	sh := s.shards[s.shardOf(a.SpoutTask)]
 	switch a.Kind {
 	case tuple.AckAnchor:
-		s.rootMu.Lock()
-		s.rootSpout[a.Root] = a.SpoutTask
-		s.rootMu.Unlock()
-		s.ack.Anchor(a.Root, a.Delta)
+		sh.rootMu.Lock()
+		sh.rootSpout[a.Root] = a.SpoutTask
+		sh.rootMu.Unlock()
+		sh.ack.Anchor(a.Root, a.Delta)
 	case tuple.AckAck:
-		s.ack.Ack(a.Root, a.Delta)
+		sh.ack.Ack(a.Root, a.Delta)
 	case tuple.AckFail:
-		s.ack.Fail(a.Root)
+		sh.ack.Fail(a.Root)
 	}
-}
-
-// onTreeDone notifies the owning spout instance of a finished tree.
-func (s *StreamManager) onTreeDone(root uint64, r acker.Result) {
-	s.rootMu.Lock()
-	spout, ok := s.rootSpout[root]
-	if ok {
-		delete(s.rootSpout, root)
-	}
-	s.rootMu.Unlock()
-	if !ok {
-		return
-	}
-	rt := s.routes.Load()
-	if rt == nil {
-		return
-	}
-	o := rt.instances[spout]
-	if o == nil {
-		return
-	}
-	kind := tuple.AckAck
-	switch r {
-	case acker.Failed:
-		kind = tuple.AckFail
-	case acker.TimedOut:
-		kind = tuple.AckExpired
-	}
-	buf := wire.GetBuffer()
-	buf.B = tuple.BeginAckFrame(buf.B)
-	enc := tuple.EncodeAck(nil, &tuple.AckTuple{Kind: kind, SpoutTask: spout, Root: root})
-	buf.B = tuple.AppendFrameEntry(buf.B, enc)
-	tuple.PatchAckFrameHeader(buf.B, 1)
-	o.enqueueOwned(network.MsgAck, buf)
 }
 
 // flushBatch delivers one sealed cache batch to its destination (local
@@ -542,5 +531,5 @@ func (s *StreamManager) flushBatch(dest int32, count int, buf *wire.Buffer) {
 		peer.enqueueOwned(network.MsgData, buf)
 		return
 	}
-	s.parkPeerOrDeliver(container, buf)
+	s.parkPeerOrDeliver(container, dest, buf)
 }

@@ -1,0 +1,397 @@
+package stmgr
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heron/internal/acker"
+	"heron/internal/core"
+	"heron/internal/encoding/wire"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// The sharded data path (Config.StmgrShards > 1) splits the Stream
+// Manager's hot-path state per core: tasks map to shards by
+// shardOf(task) = task % nShards — a pure function of the task id, so
+// the mapping is stable across rescales and checkpoint/repartition logic
+// never notices sharding. Each shard owns a dispatch ring (inbox), a
+// tuple cache, an acker with shard-local root ownership, and one outbox
+// per peer container; a shard's worker goroutine is the only consumer of
+// all of them, so the caches and counters are effectively uncontended.
+//
+// Ordering contract: every data and marker frame for a destination task
+// flows through that task's shard ring in arrival order, and mixed
+// instance batches are split into per-shard sub-frames by the receive
+// goroutine *before* it dispatches anything that follows on the same
+// connection — so per-channel data-before-marker FIFO survives the
+// fan-out. Per-shard peer outboxes all write to the single shared peer
+// connection (its internal mutex serializes the writes and each drain
+// ends with one Flush), so a remote container still sees one ordered
+// connection carrying coalesced, vectored writes.
+const (
+	// shardRingFrames is each shard's dispatch-ring depth; a full ring
+	// blocks the receive goroutine, propagating backpressure to senders.
+	shardRingFrames = 1024
+	// routeSampleEvery stamps one in this many dispatched frames for the
+	// route-latency histogram.
+	routeSampleEvery = 8
+	// shardDrainCheck is how many processed frames pass between clock
+	// checks for the cache-drain timer while the ring stays busy.
+	shardDrainCheck = 512
+)
+
+// shardRoutes is a shard's immutable view of the routing state: the
+// shared instances snapshot plus this shard's own peer outboxes.
+type shardRoutes struct {
+	plan      *core.PhysicalPlan
+	instances map[int32]*outbox // shared with the global routeTable snapshot
+	peers     map[int32]*outbox // container id → this shard's outbox
+}
+
+// shard is one lane of the sharded data path. The acker state lives here
+// even when nShards == 1 (the inline path), so ack handling is uniform;
+// inbox, cache and worker exist only in dispatch mode.
+type shard struct {
+	id int
+	sm *StreamManager
+
+	inbox  *network.FrameRing
+	cache  *tupleCache
+	routes atomic.Pointer[shardRoutes]
+
+	ack *acker.Acker
+	// rootMu guards rootSpout; acker traffic for this shard's spouts
+	// shares it with no one else.
+	rootMu    sync.Mutex
+	rootSpout map[uint64]int32 // root id → local spout task
+
+	// Single-writer data-plane counters, aggregated into the registry
+	// counters by the central drain loop. last* belong to that loop.
+	tuplesIn  atomic.Int64
+	tuplesFwd atomic.Int64
+	lastIn    int64
+	lastFwd   int64
+}
+
+// shardOf maps a task to its shard: task % nShards, stable across
+// rescales (a task id never changes shards while it exists).
+func (s *StreamManager) shardOf(task int32) int {
+	if s.nShards <= 1 || task < 0 {
+		return 0
+	}
+	return int(task) % s.nShards
+}
+
+// initShards builds the shard set and, in dispatch mode, starts one
+// worker per shard.
+func (s *StreamManager) initShards() {
+	s.shards = make([]*shard, s.nShards)
+	for i := range s.shards {
+		sh := &shard{id: i, sm: s, rootSpout: map[uint64]int32{}}
+		sh.ack = acker.New(acker.DefaultBuckets, sh.onTreeDone)
+		s.shards[i] = sh
+	}
+	if s.nShards > 1 {
+		for _, sh := range s.shards {
+			sh.inbox = network.NewFrameRing(shardRingFrames, routeSampleEvery)
+			sh.cache = newTupleCache(s.opts.Cfg, sh.flushBatch)
+			s.wg.Add(1)
+			go sh.run()
+		}
+	}
+}
+
+// routeFrameOwned is the owned-buffer entry to the router: receive
+// goroutines hand their frames here. In dispatch mode data and markers
+// move to their destination shard's ring without a copy; acks are
+// handled inline (the acker is shard-addressed by spout task, not by the
+// receiving goroutine). At one shard it is routeFrame plus recycling.
+func (s *StreamManager) routeFrameOwned(kind network.MsgKind, buf *wire.Buffer) {
+	if s.nShards <= 1 {
+		s.routeFrame(kind, buf.B)
+		wire.PutBuffer(buf)
+		return
+	}
+	s.mBytesRecv.Inc(int64(len(buf.B)))
+	switch kind {
+	case network.MsgData:
+		s.dispatchData(buf)
+	case network.MsgMarker:
+		s.dispatchMarker(buf)
+	case network.MsgAck:
+		s.routeAck(buf.B)
+		wire.PutBuffer(buf)
+	default:
+		wire.PutBuffer(buf)
+	}
+}
+
+// dispatchData moves an owned data frame into its shard's ring. Uniform
+// frames go whole — the zero-copy leg: transport receive buffer → ring →
+// instance outbox → pool. Mixed instance batches are split per shard
+// first so each tuple reaches the ring that owns its destination.
+func (s *StreamManager) dispatchData(buf *wire.Buffer) {
+	dest, _, _, err := tuple.FrameHeader(buf.B)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	if dest == tuple.MixedFrameDest {
+		s.splitMixed(buf)
+		return
+	}
+	_ = s.shards[s.shardOf(dest)].inbox.Enqueue(network.MsgData, buf)
+}
+
+// splitMixed rebuilds one mixed instance batch as up to nShards smaller
+// mixed frames, one per destination shard, in pooled staging buffers —
+// one walk, one destination peek per tuple, no allocation. The split
+// happens on the receive goroutine, before any later frame from the same
+// connection dispatches, so per-channel ordering into each shard ring is
+// preserved.
+func (s *StreamManager) splitMixed(buf *wire.Buffer) {
+	var stage [core.MaxStmgrShards]*wire.Buffer
+	var counts [core.MaxStmgrShards]int
+	_, _, _ = tuple.WalkFrame(buf.B, func(tb []byte) error {
+		d, err := tuple.PeekDest(tb)
+		if err != nil {
+			return nil
+		}
+		i := s.shardOf(d)
+		if stage[i] == nil {
+			stage[i] = wire.GetBuffer()
+			stage[i].B = tuple.BeginFrame(stage[i].B)
+		}
+		stage[i].B = tuple.AppendFrameEntry(stage[i].B, tb)
+		counts[i]++
+		return nil
+	})
+	wire.PutBuffer(buf)
+	for i := 0; i < s.nShards; i++ {
+		if stage[i] == nil {
+			continue
+		}
+		tuple.PatchFrameHeader(stage[i].B, tuple.MixedFrameDest, counts[i])
+		_ = s.shards[i].inbox.Enqueue(network.MsgData, stage[i])
+	}
+}
+
+// dispatchMarker routes an owned marker frame through the destination's
+// shard ring — the same FIFO its data takes, which is what keeps the
+// barrier aligned per channel.
+func (s *StreamManager) dispatchMarker(buf *wire.Buffer) {
+	_, _, dest, err := tuple.DecodeMarker(buf.B)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	_ = s.shards[s.shardOf(dest)].inbox.Enqueue(network.MsgMarker, buf)
+}
+
+// run is the shard worker: drain the ring, flush the shard cache when
+// the ring idles or the drain period elapses, park when empty, exit when
+// the ring closes.
+func (sh *shard) run() {
+	s := sh.sm
+	defer s.wg.Done()
+	period := s.opts.Cfg.CacheDrainFrequency
+	if period <= 0 {
+		period = core.DefaultCacheDrainFrequency
+	}
+	lastDrain := time.Now()
+	frames := 0
+	for {
+		kind, stamp, buf, ok := sh.inbox.TryDequeue()
+		if !ok {
+			// Idle: flush partial batches now so a lull never strands
+			// tuples past one park interval.
+			sh.cache.drainAll()
+			lastDrain = time.Now()
+			if sh.inbox.Closed() {
+				sh.inbox.Drain()
+				return
+			}
+			sh.inbox.Await(period)
+			continue
+		}
+		switch kind {
+		case network.MsgData:
+			sh.processData(buf)
+		case network.MsgMarker:
+			sh.processMarker(buf)
+		default:
+			wire.PutBuffer(buf)
+		}
+		if stamp != 0 {
+			// Queue wait plus processing: the latency a tuple actually saw.
+			s.mRouteLat.Observe(network.NowNanos() - stamp)
+		}
+		if frames++; frames&(shardDrainCheck-1) == 0 {
+			if now := time.Now(); now.Sub(lastDrain) >= period {
+				sh.cache.drainAll()
+				lastDrain = now
+			}
+		}
+	}
+}
+
+// processData is routeDataLazy on shard-local state: header-only parsing,
+// one atomic snapshot load, no lock shared with any other shard.
+func (sh *shard) processData(buf *wire.Buffer) {
+	dest, count, rest, err := tuple.FrameHeader(buf.B)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	rt := sh.routes.Load()
+	if rt == nil || rt.plan == nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	if dest == tuple.MixedFrameDest {
+		// A per-shard sub-frame from splitMixed: every tuple in it belongs
+		// to this shard's cache.
+		_, _, _ = tuple.WalkFrame(buf.B, func(tb []byte) error {
+			if d, err := tuple.PeekDest(tb); err == nil {
+				sh.tuplesIn.Add(1)
+				sh.cache.add(d, tb)
+			}
+			return nil
+		})
+		wire.PutBuffer(buf)
+		return
+	}
+	sh.tuplesIn.Add(int64(count))
+	if count == 1 {
+		if tb, err := tuple.FrameFirstEntry(rest); err == nil {
+			sh.cache.add(dest, tb)
+		}
+		wire.PutBuffer(buf)
+		return
+	}
+	// Pre-batched frames forward whole and owned — no copy anywhere
+	// between the transport's receive buffer and the delivery outbox.
+	container := rt.plan.TaskContainer(dest)
+	if container < 0 {
+		wire.PutBuffer(buf)
+		return
+	}
+	if container == sh.sm.opts.Container {
+		sh.deliverOwned(rt, dest, count, buf)
+		return
+	}
+	if peer := rt.peers[container]; peer != nil {
+		peer.enqueueOwned(network.MsgData, buf)
+		return
+	}
+	sh.sm.parkPeerOrDeliver(container, dest, buf)
+}
+
+// processMarker forwards one checkpoint marker after flushing the shard
+// cache for its destination, preserving data-before-marker order.
+func (sh *shard) processMarker(buf *wire.Buffer) {
+	_, _, dest, err := tuple.DecodeMarker(buf.B)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	rt := sh.routes.Load()
+	if rt == nil || rt.plan == nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	sh.cache.flushDest(dest)
+	container := rt.plan.TaskContainer(dest)
+	if container < 0 {
+		wire.PutBuffer(buf)
+		return
+	}
+	if container == sh.sm.opts.Container {
+		if o := rt.instances[dest]; o != nil {
+			o.enqueueOwned(network.MsgMarker, buf)
+			return
+		}
+		// Unregistered instance: the barrier never completes and the
+		// checkpoint is abandoned — dropping is safe.
+		wire.PutBuffer(buf)
+		return
+	}
+	if peer := rt.peers[container]; peer != nil {
+		peer.enqueueOwned(network.MsgMarker, buf)
+		return
+	}
+	wire.PutBuffer(buf)
+}
+
+// deliverOwned hands an owned frame to a local instance, counting on the
+// shard-local counter; the registration-race slow path falls back to the
+// shared park queue (which counts on the registry counter directly).
+func (sh *shard) deliverOwned(rt *shardRoutes, dest int32, count int, buf *wire.Buffer) {
+	if o := rt.instances[dest]; o != nil {
+		sh.tuplesFwd.Add(int64(count))
+		o.enqueueOwned(network.MsgData, buf)
+		return
+	}
+	sh.sm.parkOrDeliver(dest, count, buf)
+}
+
+// flushBatch delivers one sealed shard-cache batch, mirroring the global
+// flushBatch but against this shard's routes and peer outboxes.
+func (sh *shard) flushBatch(dest int32, count int, buf *wire.Buffer) {
+	rt := sh.routes.Load()
+	if rt == nil || rt.plan == nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	container := rt.plan.TaskContainer(dest)
+	if container < 0 {
+		wire.PutBuffer(buf)
+		return
+	}
+	if container == sh.sm.opts.Container {
+		sh.deliverOwned(rt, dest, count, buf)
+		return
+	}
+	if peer := rt.peers[container]; peer != nil {
+		peer.enqueueOwned(network.MsgData, buf)
+		return
+	}
+	sh.sm.parkPeerOrDeliver(container, dest, buf)
+}
+
+// onTreeDone notifies the owning spout instance of a finished tree
+// tracked by this shard's acker.
+func (sh *shard) onTreeDone(root uint64, r acker.Result) {
+	sh.rootMu.Lock()
+	spout, ok := sh.rootSpout[root]
+	if ok {
+		delete(sh.rootSpout, root)
+	}
+	sh.rootMu.Unlock()
+	if !ok {
+		return
+	}
+	rt := sh.sm.routes.Load()
+	if rt == nil {
+		return
+	}
+	o := rt.instances[spout]
+	if o == nil {
+		return
+	}
+	kind := tuple.AckAck
+	switch r {
+	case acker.Failed:
+		kind = tuple.AckFail
+	case acker.TimedOut:
+		kind = tuple.AckExpired
+	}
+	buf := wire.GetBuffer()
+	buf.B = tuple.BeginAckFrame(buf.B)
+	enc := tuple.EncodeAck(nil, &tuple.AckTuple{Kind: kind, SpoutTask: spout, Root: root})
+	buf.B = tuple.AppendFrameEntry(buf.B, enc)
+	tuple.PatchAckFrameHeader(buf.B, 1)
+	o.enqueueOwned(network.MsgAck, buf)
+}

@@ -1,0 +1,238 @@
+package stmgr
+
+import (
+	"testing"
+	"time"
+
+	"heron/internal/core"
+	"heron/internal/encoding/wire"
+	"heron/internal/network"
+	"heron/internal/tuple"
+)
+
+// ingestOwned feeds one frame through the owned-buffer receive entry, the
+// way a transport's StartOwned handler would.
+func ingestOwned(s *StreamManager, kind network.MsgKind, frame []byte) {
+	buf := wire.GetBuffer()
+	buf.B = append(buf.B, frame...)
+	s.routeFrameOwned(kind, buf)
+}
+
+// TestShardMappingStableAcrossRescale pins the property checkpoint and
+// repartition logic rely on: shardOf is a pure function of the task id and
+// the shard count, so a rescale (new physical plan, new tasks) never moves
+// an existing task to a different shard — and the shard count itself never
+// changes at runtime.
+func TestShardMappingStableAcrossRescale(t *testing.T) {
+	s, _ := newParallelSM(t, 4)
+	before := map[int32]int{}
+	for task := int32(0); task < 16; task++ {
+		before[task] = s.shardOf(task)
+	}
+
+	// Rescale: bolt parallelism 8 → 12, the four new instances (tasks
+	// 16–19) land on container 1. Existing tasks keep their ids, exactly
+	// as ScaleComponent repacking does.
+	topo, packing := parallelPlan()
+	topo.Components[1].Parallelism = 12
+	req := core.Resource{CPU: 1, RAMMB: 128, DiskMB: 128}
+	for i := 8; i < 12; i++ {
+		packing.Containers[0].Instances = append(packing.Containers[0].Instances,
+			core.InstancePlacement{
+				ID: core.InstanceID{Component: "b", ComponentIndex: int32(i), TaskID: int32(8 + i)}, Resources: req})
+	}
+	pp, err := core.NewPhysicalPlan(topo, packing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := newCountingConn()
+	s.mu.Lock()
+	s.plan = pp
+	s.instances[16] = newOutbox(conn, nil, s.onBytesSent)
+	s.publishRoutesLocked()
+	s.mu.Unlock()
+
+	for task := int32(0); task < 16; task++ {
+		if got := s.shardOf(task); got != before[task] {
+			t.Fatalf("task %d moved from shard %d to %d across rescale", task, before[task], got)
+		}
+	}
+	if s.nShards != 4 {
+		t.Fatalf("shard count changed to %d", s.nShards)
+	}
+	// New task ids route end to end through their shard.
+	ingestOwned(s, network.MsgData, benchFrame(16, 4))
+	waitFrames(t, conn, 1)
+	frames, _ := conn.snapshot()
+	if dest, count, _, err := tuple.FrameHeader(frames[0]); err != nil || dest != 16 || count != 4 {
+		t.Fatalf("post-rescale frame = dest %d count %d err %v", dest, count, err)
+	}
+}
+
+// TestShardedMarkerNeverOvertakesData is the barrier-alignment contract
+// with the sharded data path in play: a single tuple parked in a shard's
+// cache must flush and deliver before a checkpoint marker for the same
+// destination, because both ride the same shard ring in arrival order.
+func TestShardedMarkerNeverOvertakesData(t *testing.T) {
+	topo, packing := twoContainerPlan()
+	s := newBenchSMShards(t, topo, packing, 4)
+	conn := installRecorder(t, s, 2, false)
+
+	// The single-tuple frame lands in shard 2's cache; the marker chases
+	// it through the same ring.
+	ingestOwned(s, network.MsgData, benchFrame(2, 1))
+	ingestOwned(s, network.MsgMarker, tuple.AppendMarker(nil, 7, 0, 2))
+	waitFrames(t, conn, 2)
+
+	conn.mu.Lock()
+	kinds := append([]network.MsgKind(nil), conn.kinds...)
+	conn.mu.Unlock()
+	if len(kinds) != 2 || kinds[0] != network.MsgData || kinds[1] != network.MsgMarker {
+		t.Fatalf("sharded frame order = %v, want [MsgData MsgMarker]", kinds)
+	}
+	frames, _ := conn.snapshot()
+	if dest, count, _, err := tuple.FrameHeader(frames[0]); err != nil || dest != 2 || count != 1 {
+		t.Fatalf("flushed frame = dest %d count %d err %v", dest, count, err)
+	}
+	if id, src, dest, err := tuple.DecodeMarker(frames[1]); err != nil || id != 7 || src != 0 || dest != 2 {
+		t.Fatalf("marker = (%d,%d,%d) err %v", id, src, dest, err)
+	}
+}
+
+// TestShardedPeerParkReplay: with shards, frames parked for an
+// unconnected peer carry their destination so the attach can replay each
+// into the outbox of the shard that owns it — order per destination
+// preserved, nothing dropped.
+func TestShardedPeerParkReplay(t *testing.T) {
+	topo, packing := twoContainerPlan()
+	s := newBenchSMShards(t, topo, packing, 4)
+
+	// Detach container 2 (tasks 1 and 3, shards 1 and 3).
+	s.mu.Lock()
+	old := s.peers[2]
+	delete(s.peers, 2)
+	delete(s.peerConns, 2)
+	delete(s.peerAddrs, 2)
+	oldOuts := s.peerShardOut[2]
+	delete(s.peerShardOut, 2)
+	s.publishRoutesLocked()
+	s.mu.Unlock()
+	old.close()
+	for _, o := range oldOuts {
+		o.close()
+	}
+
+	// Two frames per remote task, distinguishable by count.
+	ingestOwned(s, network.MsgData, benchFrame(1, 2))
+	ingestOwned(s, network.MsgData, benchFrame(3, 5))
+	ingestOwned(s, network.MsgData, benchFrame(1, 4))
+	ingestOwned(s, network.MsgData, benchFrame(3, 6))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		parked := len(s.peerPending[2])
+		s.mu.Unlock()
+		if parked == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked %d frames, want 4", parked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	conn := newCountingConn()
+	s.attachPeer(2, "bench-peer", conn)
+	waitFrames(t, conn, 4)
+
+	frames, _ := conn.snapshot()
+	var perDest = map[int32][]int{}
+	for _, f := range frames {
+		dest, count, _, err := tuple.FrameHeader(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perDest[dest] = append(perDest[dest], count)
+	}
+	if got := perDest[1]; len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("task 1 frames = %v, want [2 4] in order", got)
+	}
+	if got := perDest[3]; len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("task 3 frames = %v, want [5 6] in order", got)
+	}
+
+	s.mu.Lock()
+	left := len(s.peerPending[2])
+	s.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d frames still parked after attach", left)
+	}
+}
+
+// TestSplitMixedRoutesEveryShard: a mixed instance batch (per-tuple
+// destinations) must be split so every tuple reaches the shard owning its
+// destination, with none lost and none duplicated.
+func TestSplitMixedRoutesEveryShard(t *testing.T) {
+	s, delivered := newParallelSM(t, 4)
+
+	// One tuple for each of the 8 local bolt tasks, all in one mixed frame.
+	frame := tuple.AppendFrameHeader(nil, tuple.MixedFrameDest, 8)
+	for i := 0; i < 8; i++ {
+		enc := tuple.FastCodec{}.EncodeData(nil, &tuple.DataTuple{
+			DestTask: int32(8 + i), SrcTask: 0, StreamID: 0,
+			Values: tuple.Values{"mixed-payload"},
+		})
+		frame = tuple.AppendFrameEntry(frame, enc)
+	}
+	ingestOwned(s, network.MsgData, frame)
+
+	// Each tuple seals as its own single-destination batch once the shard
+	// rings idle; all 8 must come out the other side.
+	deadline := time.Now().Add(5 * time.Second)
+	for delivered() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d frames, want 8", delivered())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := delivered(); got != 8 {
+		t.Fatalf("delivered %d frames, want exactly 8", got)
+	}
+}
+
+// TestShardedAckPath: ack traffic is shard-addressed by spout task — an
+// anchor then a final ack for a tracked tree must complete it and notify
+// the spout's instance, whatever shard count is configured.
+func TestShardedAckPath(t *testing.T) {
+	topo, packing := twoContainerPlan()
+	s := newBenchSMShards(t, topo, packing, 4)
+	conn := installRecorder(t, s, 0, false) // task 0: local spout
+
+	ackFrame := func(kind tuple.AckKind, spout int32, root uint64, delta uint64) []byte {
+		b := tuple.AppendAckFrameHeader(nil, 1)
+		return tuple.AppendFrameEntry(b, tuple.EncodeAck(nil, &tuple.AckTuple{
+			Kind: kind, SpoutTask: spout, Root: root, Delta: delta,
+		}))
+	}
+	ingestOwned(s, network.MsgAck, ackFrame(tuple.AckAnchor, 0, 99, 0x5a5a))
+	ingestOwned(s, network.MsgAck, ackFrame(tuple.AckAck, 0, 99, 0x5a5a))
+
+	waitFrames(t, conn, 1)
+	frames, _ := conn.snapshot()
+	conn.mu.Lock()
+	kind := conn.kinds[0]
+	conn.mu.Unlock()
+	if kind != network.MsgAck {
+		t.Fatalf("notification kind = %v, want MsgAck", kind)
+	}
+	var got tuple.AckTuple
+	if err := tuple.WalkAckFrame(frames[0], func(ab []byte) error {
+		return tuple.DecodeAck(ab, &got)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != tuple.AckAck || got.SpoutTask != 0 || got.Root != 99 {
+		t.Fatalf("spout notification = %+v, want AckAck for root 99 at task 0", got)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,20 +107,28 @@ type StreamManager struct {
 	// address (a brand-new container from a scale-up registers last), and a
 	// dropped frame there is a lost tuple the checkpoint already passed.
 	// Flushed in order when the peer dial lands; capped per container.
-	peerPending map[int32][]*wire.Buffer
-	peers       map[int32]*outbox
-	peerConns   map[int32]network.Conn
-	peerAddrs   map[int32]string
-	spoutsUp    map[int32]bool // local spout tasks currently registered
+	// Entries carry their destination task so replay can target the
+	// outbox of the shard that owns it.
+	peerPending map[int32][]parkedFrame
+	peers     map[int32]*outbox
+	peerConns map[int32]network.Conn
+	peerAddrs map[int32]string
+	spoutsUp  map[int32]bool // local spout tasks currently registered
+	// peerShardOut exists in dispatch mode: per peer container, one
+	// outbox per shard, all writing to the shared peer connection (whose
+	// mutex serializes the writes), so shard workers never contend on a
+	// queue lock while a remote peer still sees one ordered connection.
+	peerShardOut map[int32][]*outbox
 
-	cache *tupleCache
+	// nShards and shards are fixed at construction. At nShards == 1 the
+	// classic inline path runs (cache below, routeFrame on the receive
+	// goroutine) and the single shard holds only acker state; above 1
+	// each shard runs a worker over its own ring, cache and acker.
+	nShards int
+	shards  []*shard
+
+	cache *tupleCache // inline-path tuple cache; nil in dispatch mode
 	acks  *ackCache
-	ack   *acker.Acker
-
-	// rootMu guards rootSpout; acker traffic shares it with no one else,
-	// so ack handling stays off s.mu.
-	rootMu    sync.Mutex
-	rootSpout map[uint64]int32 // root id → local spout task
 
 	// Backpressure state machine. bpActive is read on every outbox depth
 	// observation (the data path), so it is an atomic; bpMu serializes the
@@ -146,15 +155,16 @@ type StreamManager struct {
 	mBytesSent   *metrics.Counter
 	mBytesRecv   *metrics.Counter
 	mCkptEpoch   *metrics.Gauge
+	mRouteLat    *metrics.HDRHistogram // dispatch mode only
 }
 
-// New creates and starts a Stream Manager: it listens for data
-// connections, registers with the TMaster as soon as the TMaster location
-// appears in the State Manager, and begins routing once the physical plan
-// arrives.
-func New(opts Options) (*StreamManager, error) {
-	if opts.Cfg == nil || opts.State == nil {
-		return nil, errors.New("stmgr: missing config or state manager")
+// newCore builds a Stream Manager with its routing state, metrics, shard
+// set and caches wired, but no listener and no control loops — the shared
+// substrate of New and the in-package test/bench constructors, so the two
+// can never drift.
+func newCore(opts Options) (*StreamManager, error) {
+	if opts.Cfg == nil {
+		return nil, errors.New("stmgr: missing config")
 	}
 	tr, err := network.ByName(opts.Cfg.Transport)
 	if err != nil {
@@ -167,28 +177,22 @@ func New(opts Options) (*StreamManager, error) {
 	if opts.Registry == nil {
 		opts.Registry = metrics.NewRegistry()
 	}
-	l, err := tr.Listen("")
-	if err != nil {
-		return nil, err
-	}
 	s := &StreamManager{
 		opts:        opts,
 		transport:   tr,
 		codec:       codec,
 		optimized:   opts.Cfg.StreamManagerOptimized,
-		listener:    l,
 		instances:   map[int32]*outbox{},
 		instConns:   map[int32]network.Conn{},
 		pending:     map[int32][]*wire.Buffer{},
-		peerPending: map[int32][]*wire.Buffer{},
+		peerPending: map[int32][]parkedFrame{},
 		peers:       map[int32]*outbox{},
 		peerConns:   map[int32]network.Conn{},
 		peerAddrs:   map[int32]string{},
+		peerShardOut: map[int32][]*outbox{},
 		spoutsUp:    map[int32]bool{},
-		rootSpout:   map[uint64]int32{},
 		stopCh:      make(chan struct{}),
 	}
-	s.publishRoutes()
 	tags := metrics.Tags{Component: metrics.StmgrComponent, Task: opts.Container}
 	s.mCacheDrains = opts.Registry.Counter(metrics.MStmgrCacheDrains, tags)
 	s.mCacheDepth = opts.Registry.Gauge(metrics.MStmgrCacheDepth, tags)
@@ -201,11 +205,37 @@ func New(opts Options) (*StreamManager, error) {
 	s.mBytesSent = opts.Registry.Counter(metrics.MStmgrBytesSent, tags)
 	s.mBytesRecv = opts.Registry.Counter(metrics.MStmgrBytesReceived, tags)
 	s.mCkptEpoch = opts.Registry.Gauge(metrics.MCheckpointEpoch, tags)
-	s.ack = acker.New(acker.DefaultBuckets, s.onTreeDone)
+	s.nShards = opts.Cfg.ResolveStmgrShards(runtime.GOMAXPROCS(0))
+	if s.nShards > 1 {
+		s.mRouteLat = opts.Registry.HDR(metrics.MStmgrRouteLatency, tags)
+	}
 	s.acks = newAckCache()
-	if s.optimized {
+	if s.optimized && s.nShards == 1 {
 		s.cache = newTupleCache(opts.Cfg, s.flushBatch)
 	}
+	s.initShards()
+	s.publishRoutes()
+	return s, nil
+}
+
+// New creates and starts a Stream Manager: it listens for data
+// connections, registers with the TMaster as soon as the TMaster location
+// appears in the State Manager, and begins routing once the physical plan
+// arrives.
+func New(opts Options) (*StreamManager, error) {
+	if opts.Cfg == nil || opts.State == nil {
+		return nil, errors.New("stmgr: missing config or state manager")
+	}
+	s, err := newCore(opts)
+	if err != nil {
+		return nil, err
+	}
+	l, err := s.transport.Listen("")
+	if err != nil {
+		s.Stop()
+		return nil, err
+	}
+	s.listener = l
 
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -240,6 +270,20 @@ func (s *StreamManager) publishRoutesLocked() {
 		rt.peers[c] = o
 	}
 	s.routes.Store(rt)
+	if s.nShards > 1 {
+		// Each shard gets its own snapshot: the shared instances map plus
+		// the shard's slice of the per-peer outbox fan-out.
+		for i, sh := range s.shards {
+			sr := &shardRoutes{plan: s.plan, instances: rt.instances}
+			if len(s.peerShardOut) > 0 {
+				sr.peers = make(map[int32]*outbox, len(s.peerShardOut))
+				for c, outs := range s.peerShardOut {
+					sr.peers[c] = outs[i]
+				}
+			}
+			sh.routes.Store(sr)
+		}
+	}
 }
 
 // publishRoutes is publishRoutesLocked for callers not yet holding s.mu.
@@ -357,6 +401,7 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 		if s.peerAddrs[c] != addr {
 			if old := s.peers[c]; old != nil {
 				old.close()
+				s.closePeerShardOutLocked(c)
 				s.peerConns[c].Close()
 				delete(s.peers, c)
 				delete(s.peerConns, c)
@@ -367,6 +412,7 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 	for c := range s.peers {
 		if _, ok := p.Stmgrs[c]; !ok {
 			s.peers[c].close()
+			s.closePeerShardOutLocked(c)
 			s.peerConns[c].Close()
 			delete(s.peers, c)
 			delete(s.peerConns, c)
@@ -377,8 +423,8 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 	// for tasks that were scaled away; recycle them.
 	for c, parked := range s.peerPending {
 		if len(pp.ContainerTasks(c)) == 0 {
-			for _, buf := range parked {
-				wire.PutBuffer(buf)
+			for _, pf := range parked {
+				wire.PutBuffer(pf.buf)
 			}
 			delete(s.peerPending, c)
 		}
@@ -399,7 +445,7 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 		}
 		// Frames we receive on a dialed peer conn (rare: peers answer on
 		// their accepted side normally) go through the same router.
-		conn.Start(s.routeFrame)
+		s.startConn(conn, nil)
 		s.attachPeer(d.container, d.addr, conn)
 	}
 	// Forward the plan to local instances.
@@ -409,22 +455,45 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 }
 
 // attachPeer installs an established peer connection as container's
-// outbox. Frames parked while the container had no connection are
-// replayed before the routing snapshot lets new traffic reach the outbox
-// directly: the parked queue and the outbox are both FIFO, so tuple order
-// per destination is preserved.
+// outbox (in dispatch mode, one control outbox plus one outbox per
+// shard, all over the same connection). Frames parked while the
+// container had no connection are replayed before the routing snapshot
+// lets new traffic reach the outboxes directly: the parked queue and
+// each outbox are FIFO, and parked frames replay into the outbox of the
+// shard that owns their destination, so tuple order per destination is
+// preserved.
 func (s *StreamManager) attachPeer(container int32, addr string, conn network.Conn) {
 	s.mu.Lock()
 	o := newOutbox(conn, nil, s.onBytesSent)
 	s.peers[container] = o
 	s.peerConns[container] = conn
 	s.peerAddrs[container] = addr
-	for _, buf := range s.peerPending[container] {
-		o.enqueueOwned(network.MsgData, buf)
+	if s.nShards > 1 {
+		outs := make([]*outbox, s.nShards)
+		for i := range outs {
+			outs[i] = newOutbox(conn, nil, s.onBytesSent)
+		}
+		s.peerShardOut[container] = outs
+		for _, pf := range s.peerPending[container] {
+			outs[s.shardOf(pf.dest)].enqueueOwned(network.MsgData, pf.buf)
+		}
+	} else {
+		for _, pf := range s.peerPending[container] {
+			o.enqueueOwned(network.MsgData, pf.buf)
+		}
 	}
 	delete(s.peerPending, container)
 	s.publishRoutesLocked()
 	s.mu.Unlock()
+}
+
+// closePeerShardOutLocked closes and removes container's per-shard
+// outboxes; the caller holds s.mu.
+func (s *StreamManager) closePeerShardOutLocked(container int32) {
+	for _, o := range s.peerShardOut[container] {
+		o.close()
+	}
+	delete(s.peerShardOut, container)
 }
 
 // acceptLoop admits connections from local instances and peer stream
@@ -437,15 +506,54 @@ func (s *StreamManager) acceptLoop() {
 		if err != nil {
 			return
 		}
-		c := conn
-		c.Start(func(kind network.MsgKind, payload []byte) {
+		s.startConn(conn, s.handleControl)
+	}
+}
+
+// startConn begins receiving on conn. Control frames go to onControl
+// (nil for dialed peer connections, which never originate control). In
+// dispatch mode the ownership-transferring receive path is used when the
+// transport supports it, so a frame moves from the transport straight
+// into a shard ring without a copy; a transport without OwnedStarter
+// pays one copy into a pooled buffer. At one shard this is the classic
+// inline receive: route on the receive goroutine itself.
+func (s *StreamManager) startConn(conn network.Conn, onControl func(network.Conn, []byte)) {
+	if s.nShards > 1 {
+		if os, ok := conn.(network.OwnedStarter); ok {
+			os.StartOwned(func(kind network.MsgKind, buf *wire.Buffer) {
+				if kind == network.MsgControl {
+					if onControl != nil {
+						onControl(conn, buf.B)
+					}
+					wire.PutBuffer(buf)
+					return
+				}
+				s.routeFrameOwned(kind, buf)
+			})
+			return
+		}
+		conn.Start(func(kind network.MsgKind, payload []byte) {
 			if kind == network.MsgControl {
-				s.handleControl(c, payload)
+				if onControl != nil {
+					onControl(conn, payload)
+				}
 				return
 			}
-			s.routeFrame(kind, payload)
+			buf := wire.GetBuffer()
+			buf.B = append(buf.B, payload...)
+			s.routeFrameOwned(kind, buf)
 		})
+		return
 	}
+	conn.Start(func(kind network.MsgKind, payload []byte) {
+		if kind == network.MsgControl {
+			if onControl != nil {
+				onControl(conn, payload)
+			}
+			return
+		}
+		s.routeFrame(kind, payload)
+	})
 }
 
 // handleControl processes a control frame from an accepted connection.
@@ -664,7 +772,10 @@ func (s *StreamManager) setSpoutPause(on bool, origin int32) {
 	}
 }
 
-// drainLoop flushes the tuple cache every cache_drain_frequency.
+// drainLoop flushes the tuple cache every cache_drain_frequency. In
+// dispatch mode the shard workers drain their own caches; this loop then
+// only aggregates the shard-local counters into the registry, drains the
+// shared ack cache and publishes the summed cache depth.
 func (s *StreamManager) drainLoop() {
 	defer s.wg.Done()
 	period := s.opts.Cfg.CacheDrainFrequency
@@ -676,14 +787,43 @@ func (s *StreamManager) drainLoop() {
 	for {
 		select {
 		case <-s.stopCh:
-			s.cache.drainAll()
+			if s.nShards == 1 {
+				s.cache.drainAll()
+			} else {
+				s.aggregateShardCounters()
+			}
 			s.drainAcks()
 			return
 		case <-t.C:
-			s.mCacheDepth.Set(s.cache.buffered())
-			s.cache.drainAll()
+			if s.nShards == 1 {
+				s.mCacheDepth.Set(s.cache.buffered())
+				s.cache.drainAll()
+			} else {
+				var depth int64
+				for _, sh := range s.shards {
+					depth += sh.cache.buffered()
+				}
+				s.mCacheDepth.Set(depth)
+				s.aggregateShardCounters()
+			}
 			s.drainAcks()
 			s.mCacheDrains.Inc(1)
+		}
+	}
+}
+
+// aggregateShardCounters folds the shards' single-writer tuple counters
+// into the registry counters as deltas, so the hot path never touches a
+// shared counter while the metrics plane still sees the usual series.
+func (s *StreamManager) aggregateShardCounters() {
+	for _, sh := range s.shards {
+		if d := sh.tuplesIn.Load() - sh.lastIn; d != 0 {
+			s.mTuplesIn.Inc(d)
+			sh.lastIn += d
+		}
+		if d := sh.tuplesFwd.Load() - sh.lastFwd; d != 0 {
+			s.mTuplesFwd.Inc(d)
+			sh.lastFwd += d
 		}
 	}
 }
@@ -704,7 +844,9 @@ func (s *StreamManager) rotateLoop() {
 		case <-s.stopCh:
 			return
 		case <-t.C:
-			s.ack.Rotate()
+			for _, sh := range s.shards {
+				sh.ack.Rotate()
+			}
 		}
 	}
 }
@@ -716,7 +858,9 @@ func (s *StreamManager) Stop() {
 		if s.cancelWatch != nil {
 			s.cancelWatch()
 		}
-		s.listener.Close()
+		if s.listener != nil {
+			s.listener.Close()
+		}
 		s.tmasterMu.Lock()
 		if s.tmaster != nil {
 			s.tmaster.Close()
@@ -727,29 +871,44 @@ func (s *StreamManager) Stop() {
 		instConns := s.instConns
 		peers := s.peers
 		peerConns := s.peerConns
+		peerShardOuts := s.peerShardOut
 		s.instances = map[int32]*outbox{}
 		s.instConns = map[int32]network.Conn{}
 		s.peers = map[int32]*outbox{}
 		s.peerConns = map[int32]network.Conn{}
+		s.peerShardOut = map[int32][]*outbox{}
 		for _, parked := range s.peerPending {
-			for _, buf := range parked {
-				wire.PutBuffer(buf)
+			for _, pf := range parked {
+				wire.PutBuffer(pf.buf)
 			}
 		}
-		s.peerPending = map[int32][]*wire.Buffer{}
+		s.peerPending = map[int32][]parkedFrame{}
 		s.publishRoutesLocked()
 		s.mu.Unlock()
+		// Order matters: close connections first (stops the dispatch
+		// producers), then the shard rings (workers drain leftovers and
+		// exit), then the outboxes, then wait for every goroutine.
 		for _, c := range instConns {
 			c.Close()
 		}
 		for _, c := range peerConns {
 			c.Close()
 		}
+		for _, sh := range s.shards {
+			if sh.inbox != nil {
+				sh.inbox.Close()
+			}
+		}
 		for _, o := range insts {
 			o.close()
 		}
 		for _, o := range peers {
 			o.close()
+		}
+		for _, outs := range peerShardOuts {
+			for _, o := range outs {
+				o.close()
+			}
 		}
 		s.wg.Wait()
 	})

@@ -1,0 +1,57 @@
+package heron
+
+import (
+	"testing"
+	"time"
+
+	"heron/internal/metrics"
+)
+
+// TestWordCountShardedOverRing runs the full engine with both PR-7 data
+// paths engaged at once: stream managers shard their hot path four ways
+// and every container hop crosses the shared-memory ring transport, so
+// frames travel receive-ring → shard ring → outbox entirely as owned
+// pooled buffers. Correctness bar: reliable WordCount with acking, every
+// word owned by exactly one task, and the sharded route-latency histogram
+// published through the metrics pipeline with live percentiles.
+func TestWordCountShardedOverRing(t *testing.T) {
+	var f fixture
+	spec := f.buildWordCount(t, 2, 2, 300, true)
+	cfg := testConfig(t)
+	cfg.Transport = "ring"
+	cfg.StmgrShards = 4
+	cfg.AckingEnabled = true
+	cfg.MaxSpoutPending = 50
+	cfg.MessageTimeout = 10 * time.Second
+	cfg.MetricsExportInterval = 25 * time.Millisecond
+
+	h, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Kill()
+	if err := h.WaitRunning(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 120*time.Second, "all tuples acked over sharded ring", func() bool {
+		return f.acked.Load() >= 2*300
+	})
+	f.table.mu.Lock()
+	for word, tasks := range f.table.counts {
+		if len(tasks) != 1 {
+			t.Errorf("word %q on %d tasks", word, len(tasks))
+		}
+	}
+	f.table.mu.Unlock()
+
+	// The sharded data path publishes route latency as an HDR histogram;
+	// it must surface in the aggregated TopologyView with usable tails.
+	waitFor(t, 15*time.Second, "route-latency histogram in view", func() bool {
+		return h.Metrics().Histogram(metrics.MStmgrRouteLatency, metrics.StmgrComponent).Count > 0
+	})
+	hs := h.Metrics().Histogram(metrics.MStmgrRouteLatency, metrics.StmgrComponent)
+	p50, p99, p999 := hs.Quantile(0.50), hs.Quantile(0.99), hs.Quantile(0.999)
+	if p50 <= 0 || p99 < p50 || p999 < p99 {
+		t.Errorf("route-latency percentiles not ordered: p50=%d p99=%d p999=%d", p50, p99, p999)
+	}
+}
