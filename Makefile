@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet bench-parallel
+.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet bench-parallel bench-cluster
 
 build:
 	$(GO) build ./...
@@ -75,3 +75,25 @@ bench-streamlet:
 	$(GO) test -run XX -bench 'BenchmarkStreamletCompile' \
 		-benchmem -benchtime 2s ./streamlet/ | \
 		$(GO) run ./cmd/benchjson -label after -out BENCH_PR6.json
+
+# bench-cluster refreshes BENCH_PR8.json: the Theodolite-style
+# scalability ledger of the multi-tenant substrate. heron-bench -cluster
+# sweeps offered load × tenant count, climbing the parallelism ladder per
+# point until every tenant sustains its load, and records the "resource
+# demand vs. load" curve (tuples/sec, demand-cores, demand-containers,
+# min-tenant-tps). The single- and multi-shard route benchmarks ride
+# along so benchgate -mode cluster can assert the substrate taxes
+# neither: curves present and sustained, BenchmarkRouteLazy within the
+# BENCH_PR2 baselines, BenchmarkRouteParallel within BENCH_PR7. Cheap
+# enough that CI runs it on every push.
+bench-cluster:
+	$(GO) run ./cmd/heron-bench -cluster -warmup 300ms -measure 1s | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR8.json
+	$(GO) test -run XX -bench 'BenchmarkRouteLazy' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR8.json
+	GOMAXPROCS=8 $(GO) test -run XX -bench 'BenchmarkRouteParallel' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR8.json
+	$(GO) run ./cmd/benchgate -mode cluster -ledger BENCH_PR8.json \
+		-baseline BENCH_PR2.json -parallel-baseline BENCH_PR7.json

@@ -29,14 +29,19 @@ import (
 )
 
 // Result mirrors cmd/benchjson's schema (older ledgers without the
-// percentile fields parse fine — they are optional there too).
+// percentile or demand-curve fields parse fine — they are optional there
+// too).
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"b_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	P50Ns       float64 `json:"p50_ns,omitempty"`
-	P99Ns       float64 `json:"p99_ns,omitempty"`
-	P999Ns      float64 `json:"p999_ns,omitempty"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"b_per_op"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	P50Ns            float64 `json:"p50_ns,omitempty"`
+	P99Ns            float64 `json:"p99_ns,omitempty"`
+	P999Ns           float64 `json:"p999_ns,omitempty"`
+	TuplesPerSec     float64 `json:"tuples_per_sec,omitempty"`
+	DemandCores      float64 `json:"demand_cores,omitempty"`
+	DemandContainers float64 `json:"demand_containers,omitempty"`
+	MinTenantTPS     float64 `json:"min_tenant_tps,omitempty"`
 }
 
 type Entry struct {
@@ -77,6 +82,8 @@ const regressionFactor = 1.75
 func main() {
 	ledgerPath := flag.String("ledger", "BENCH_PR7.json", "benchjson ledger with BenchmarkRouteParallel results")
 	basePath := flag.String("baseline", "BENCH_PR2.json", "ledger holding the single-shard route baselines")
+	mode := flag.String("mode", "parallel", `gate to run: "parallel" (sharded data path) or "cluster" (multi-tenant scalability curves)`)
+	parallelBase := flag.String("parallel-baseline", "BENCH_PR7.json", "ledger holding the sharded-route baselines (cluster mode)")
 	flag.Parse()
 
 	results, err := load(*ledgerPath)
@@ -91,6 +98,21 @@ func main() {
 	var failures []string
 	reject := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	if *mode == "cluster" {
+		gateCluster(results, baseline, *parallelBase, *ledgerPath, reject)
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: OK — scalability curves present and sustained, route benchmarks within baseline bounds")
+		return
+	}
+	if *mode != "parallel" {
+		fail("unknown -mode %q", *mode)
 	}
 
 	// Gate 1+2: allocation-free arms, percentiles on the sharded ones.
@@ -169,4 +191,87 @@ func main() {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// gateCluster enforces the multi-tenant scalability contract on a
+// BENCH_PR8-style ledger:
+//
+//  1. Curve presence: BenchmarkClusterDemand arms must cover at least two
+//     tenant counts (one of them multi-tenant) with at least two load
+//     points each, every point carrying achieved rate and demand figures.
+//  2. Sustained under sharing: every point's slowest tenant must achieve
+//     at least half its offered load — a structural-breakage guard (the
+//     harness itself climbs the parallelism ladder to 80%), not an SLA.
+//  3. No single-shard route regression vs the BENCH_PR2 baselines
+//     (BenchmarkRouteLazy), same bound as the parallel gate.
+//  4. No sharded route regression vs the BENCH_PR7 baselines
+//     (BenchmarkRouteParallel), including staying allocation-free.
+func gateCluster(results, baseline map[string]*Result, parallelBasePath, ledgerPath string, reject func(string, ...any)) {
+	const demand = "BenchmarkClusterDemand/tenants="
+	loadsByTenants := map[int]int{}
+	multiTenant := false
+	for name, r := range results {
+		if !strings.HasPrefix(name, demand) {
+			continue
+		}
+		var tenants, loadPerTenant int
+		if _, err := fmt.Sscanf(name[len(demand):], "%d/load=%d", &tenants, &loadPerTenant); err != nil {
+			reject("%s: unparseable arm name: %v", name, err)
+			continue
+		}
+		loadsByTenants[tenants]++
+		if tenants >= 2 {
+			multiTenant = true
+		}
+		if r.TuplesPerSec <= 0 || r.DemandCores <= 0 || r.DemandContainers <= 0 {
+			reject("%s: incomplete demand point (tuples/sec=%g cores=%g containers=%g)",
+				name, r.TuplesPerSec, r.DemandCores, r.DemandContainers)
+		}
+		if r.MinTenantTPS < 0.5*float64(loadPerTenant) {
+			reject("%s: slowest tenant achieved %.0f tuples/sec of %d offered (want ≥ 50%%)",
+				name, r.MinTenantTPS, loadPerTenant)
+		}
+	}
+	if len(loadsByTenants) < 2 || !multiTenant {
+		reject("need demand curves for ≥2 tenant counts incl. a multi-tenant one in %s — run `make bench-cluster` first (have %d)", ledgerPath, len(loadsByTenants))
+	}
+	for tenants, n := range loadsByTenants {
+		if n < 2 {
+			reject("tenants=%d curve has %d load point(s), want ≥ 2", tenants, n)
+		}
+	}
+
+	// Route benchmarks must ride along in the ledger and hold their
+	// baselines: the substrate may not tax the single-topology data path.
+	checkRoute := func(prefix string, base map[string]*Result, basePath string) {
+		found := false
+		for name, b := range base {
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			found = true
+			cur, ok := results[name]
+			if !ok {
+				reject("%s missing from %s (needed for the no-regression gate)", name, ledgerPath)
+				continue
+			}
+			if cur.AllocsPerOp > b.AllocsPerOp {
+				reject("%s: %d allocs/op, baseline has %d", name, cur.AllocsPerOp, b.AllocsPerOp)
+			}
+			if cur.NsPerOp > b.NsPerOp*regressionFactor {
+				reject("%s: %.1f ns/op vs baseline %.1f (limit %.1fx)",
+					name, cur.NsPerOp, b.NsPerOp, regressionFactor)
+			}
+		}
+		if !found {
+			reject("no %s* baselines in %s", prefix, basePath)
+		}
+	}
+	checkRoute("BenchmarkRouteLazy/", baseline, "baseline ledger")
+	parallelBaseline, err := load(parallelBasePath)
+	if err != nil {
+		reject("reading parallel baseline: %v", err)
+		return
+	}
+	checkRoute("BenchmarkRouteParallel/", parallelBaseline, parallelBasePath)
 }

@@ -35,6 +35,14 @@ type Result struct {
 	P50Ns       float64 `json:"p50_ns,omitempty"`
 	P99Ns       float64 `json:"p99_ns,omitempty"`
 	P999Ns      float64 `json:"p999_ns,omitempty"`
+	// Scalability-curve units (tuples/sec, demand-cores,
+	// demand-containers, min-tenant-tps), reported by the heron-bench
+	// -cluster sweep (see BenchmarkClusterDemand in BENCH_PR8.json);
+	// absent everywhere else.
+	TuplesPerSec     float64 `json:"tuples_per_sec,omitempty"`
+	DemandCores      float64 `json:"demand_cores,omitempty"`
+	DemandContainers float64 `json:"demand_containers,omitempty"`
+	MinTenantTPS     float64 `json:"min_tenant_tps,omitempty"`
 }
 
 // Entry is one benchmark with its before/after columns.
@@ -69,6 +77,10 @@ var (
 	p50Re      = regexp.MustCompile(numRe + ` p50-ns`)
 	p99Re      = regexp.MustCompile(numRe + ` p99-ns`)
 	p999Re     = regexp.MustCompile(numRe + ` p999-ns`)
+	tpsRe      = regexp.MustCompile(numRe + ` tuples/sec`)
+	coresRe    = regexp.MustCompile(numRe + ` demand-cores`)
+	ctrsRe     = regexp.MustCompile(numRe + ` demand-containers`)
+	minTpsRe   = regexp.MustCompile(numRe + ` min-tenant-tps`)
 )
 
 // parseLine extracts one Result from a benchmark output line, or nil.
@@ -92,6 +104,18 @@ func parseLine(line string) (string, *Result) {
 	}
 	if m := p999Re.FindStringSubmatch(line); m != nil {
 		r.P999Ns, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := tpsRe.FindStringSubmatch(line); m != nil {
+		r.TuplesPerSec, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := coresRe.FindStringSubmatch(line); m != nil {
+		r.DemandCores, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := ctrsRe.FindStringSubmatch(line); m != nil {
+		r.DemandContainers, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := minTpsRe.FindStringSubmatch(line); m != nil {
+		r.MinTenantTPS, _ = strconv.ParseFloat(m[1], 64)
 	}
 	return name[1], r
 }

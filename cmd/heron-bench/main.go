@@ -29,7 +29,13 @@ func main() {
 	measure := flag.Duration("measure", 2*time.Second, "per-run measurement window")
 	full := flag.Bool("full", false, "use the paper's full parallelism sweeps (slow)")
 	dict := flag.Int("dict", 45_000, "dictionary size (450000 = paper)")
+	cluster := flag.Bool("cluster", false, "run the Theodolite-style multi-tenant scalability sweep instead of the figures")
 	flag.Parse()
+
+	if *cluster {
+		runClusterSweep(*warmup, *measure)
+		return
+	}
 
 	base := harness.WCOptions{Warmup: *warmup, Measure: *measure, DictSize: *dict}
 
@@ -126,4 +132,29 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// runClusterSweep maps resource demand vs. load on the shared substrate
+// (Theodolite's scalability method): per tenant count and offered load,
+// the minimal parallelism that sustains the load, and its provisioned
+// cores/containers. Points print both as a table (stderr) and as
+// `go test -bench`-format lines (stdout) for cmd/benchjson.
+func runClusterSweep(warmup, measure time.Duration) {
+	points, err := harness.ClusterDemandSweep(harness.ClusterSweepOptions{
+		Loads:   []int{2_000, 5_000, 10_000},
+		Tenants: []int{1, 2, 3},
+		Warmup:  warmup,
+		Measure: measure,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heron-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%-8s %-10s %-5s %-12s %-10s %-12s %-14s %s\n",
+		"tenants", "load/t", "par", "achieved", "min-tps", "cores", "containers", "sustained")
+	for _, p := range points {
+		fmt.Fprintf(os.Stderr, "%-8d %-10d %-5d %-12.0f %-10.0f %-12.1f %-14d %v\n",
+			p.Tenants, p.Load, p.Parallelism, p.AchievedTPS, p.MinTenantTPS, p.Cores, p.Containers, p.Sustained)
+		fmt.Println(p.BenchLine())
+	}
 }

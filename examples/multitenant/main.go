@@ -1,0 +1,198 @@
+// Multitenant: two teams share one Heron cluster under different
+// resource quotas — the paper's premise of topologies as tenants of a
+// general-purpose scheduled cluster, in one process.
+//
+// The "analytics" tenant runs a clickstream page-view counter and the
+// "trends" tenant a windowed top-K word ranker (the examples/clickstream
+// and examples/topwords pipelines, abridged). Each submission passes
+// quota admission before any container launches; the substrate places
+// both topologies' containers across the shared simulated nodes with the
+// fair spread/isolation policy, and one observability endpoint serves
+// both tenants (/metrics labels every series by topology, /cluster rolls
+// up quotas and node utilization).
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	heron "heron"
+	"heron/streamlet"
+	"heron/windows"
+)
+
+var pages = []string{"/home", "/search", "/item", "/cart", "/checkout"}
+
+var vocabulary = []string{
+	"heron", "storm", "stream", "tuple", "spout", "bolt", "window",
+	"backpressure", "latency", "throughput", "quota", "tenant",
+}
+
+// buildClickstream counts page views from a simulated click stream.
+func buildClickstream(counts *sync.Map) (*streamlet.Builder, error) {
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(pages)-1))
+	gen := func() (any, bool) {
+		time.Sleep(500 * time.Microsecond) // ~2K clicks/sec
+		return pages[zipf.Uint64()], true
+	}
+	b := streamlet.NewBuilder("clickstream")
+	b.Source("clicks", gen).
+		KeyValueBy(func(v any) any { return v }, nil).
+		CountByKey().WithName("pageviews").
+		Consume(func(kv streamlet.KeyValue) {
+			counts.Store(kv.Key.(string), kv.Value.(int64))
+		})
+	return b, nil
+}
+
+// buildTopwords ranks the hottest words per tumbling count window.
+func buildTopwords(report func(string)) (*streamlet.Builder, error) {
+	const windowSize, topK = 2000, 3
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(len(vocabulary)-1))
+	gen := func() (any, bool) {
+		words := make([]string, 3+rng.Intn(4))
+		for i := range words {
+			words[i] = vocabulary[zipf.Uint64()]
+		}
+		time.Sleep(time.Millisecond) // ~1K posts/sec
+		return strings.Join(words, " "), true
+	}
+	var mu sync.Mutex
+	window := map[string]int64{}
+	var seen int64
+	b := streamlet.NewBuilder("topwords")
+	b.Source("posts", gen).
+		FlatMap(func(v any) []any {
+			var out []any
+			for _, w := range strings.Fields(v.(string)) {
+				out = append(out, w)
+			}
+			return out
+		}).WithName("words").
+		KeyValueBy(func(v any) any { return v }, func(v any) any { return int64(1) }).
+		ReduceByKeyAndWindow(windows.TumblingCount(windowSize), func(a, v any) any {
+			return a.(int64) + v.(int64)
+		}).WithName("trending").
+		Consume(func(kv streamlet.KeyValue) {
+			mu.Lock()
+			defer mu.Unlock()
+			window[kv.Key.(string)] += kv.Value.(int64)
+			if seen += kv.Value.(int64); seen < windowSize {
+				return
+			}
+			seen = 0
+			type wc struct {
+				w string
+				n int64
+			}
+			var ranked []wc
+			for w, n := range window {
+				ranked = append(ranked, wc{w, n})
+			}
+			sort.Slice(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+			line := "trending:"
+			for i, e := range ranked {
+				if i == topK {
+					break
+				}
+				line += fmt.Sprintf(" %s=%d", e.w, e.n)
+			}
+			window = map[string]int64{}
+			report(line)
+		})
+	return b, nil
+}
+
+func main() {
+	cl, err := heron.NewCluster(heron.ClusterConfig{
+		Name:     "demo",
+		Nodes:    4,
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Two tenants, two quota classes: analytics gets the bigger share.
+	must(cl.AddTenant("analytics", heron.Quota{
+		Resources:     heron.Resource{CPU: 24, RAMMB: 24 * 1024},
+		MaxContainers: 8,
+	}, 1))
+	must(cl.AddTenant("trends", heron.Quota{
+		Resources:     heron.Resource{CPU: 12, RAMMB: 12 * 1024},
+		MaxContainers: 4,
+	}, 0))
+
+	var pageCounts sync.Map
+	clicks, err := buildClickstream(&pageCounts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clickSpec, err := clicks.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	trendLines := make(chan string, 16)
+	trends, err := buildTopwords(func(line string) {
+		select {
+		case trendLines <- line:
+		default:
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trendSpec, err := trends.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ch, err := cl.Submit("analytics", clickSpec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := cl.Submit("trends", trendSpec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(ch.WaitRunning(10 * time.Second))
+	must(th.WaitRunning(10 * time.Second))
+
+	fmt.Printf("cluster %q up: topologies=%v\n", "demo", cl.List())
+	fmt.Printf("observability: http://%s/metrics (all tenants), /cluster (rollup)\n\n", cl.ObservabilityAddr())
+
+	deadline := time.After(10 * time.Second)
+	tick := time.Tick(2 * time.Second)
+	for running := true; running; {
+		select {
+		case line := <-trendLines:
+			fmt.Println("[trends]   ", line)
+		case <-tick:
+			var total int64
+			pageCounts.Range(func(_, v any) bool { total += v.(int64); return true })
+			fmt.Printf("[analytics] %d page views counted\n", total)
+			for _, ts := range cl.Tenants() {
+				fmt.Printf("[cluster]   tenant %-9s used %.0f/%.0f CPU, %d/%d containers\n",
+					ts.Name, ts.Used.CPU, ts.Quota.Resources.CPU, ts.Containers, ts.Quota.MaxContainers)
+			}
+		case <-deadline:
+			running = false
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

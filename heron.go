@@ -57,13 +57,38 @@ type Handle struct {
 	obs    *observability.Server
 	health *healthmgr.Manager
 	killed bool
+
+	// Multi-tenant hooks (nil for standalone submissions): admitUpdate
+	// gates every rescale against the tenant quota, onKill releases the
+	// quota reservation when the topology dies.
+	admitUpdate func(current, proposed *core.PackingPlan) error
+	onKill      func()
+}
+
+// submitHooks let a shared cluster intercept the submission lifecycle.
+// The zero value (standalone Submit) disables every hook.
+type submitHooks struct {
+	// admitPlan runs after packing and before any container is scheduled;
+	// an error aborts the submission (quota admission control).
+	admitPlan func(plan *core.PackingPlan, tmAsk core.Resource) error
+	// admitUpdate and onKill are installed on the returned Handle.
+	admitUpdate func(current, proposed *core.PackingPlan) error
+	onKill      func()
 }
 
 // Submit validates, packs, and schedules a topology, returning a Handle
 // once the containers are launched. The submission path is exactly the
 // paper's: Resource Manager pack → State Manager persist → Scheduler
 // onSchedule against the configured framework.
+//
+// Submit dedicates the configured framework to this one topology; to run
+// many topologies on one shared substrate under tenant quotas, use
+// NewCluster and Cluster.Submit instead.
 func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
+	return submit(spec, cfg, submitHooks{})
+}
+
+func submit(spec *api.Spec, cfg *Config, hooks submitHooks) (*Handle, error) {
 	if spec == nil || spec.Topology == nil {
 		return nil, errors.New("heron: nil spec")
 	}
@@ -94,7 +119,9 @@ func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
 		for _, n := range names {
 			if n == spec.Topology.Name {
 				state.Close()
-				return nil, fmt.Errorf("heron: topology %q already exists", n)
+				return nil, fmt.Errorf("heron: topology %q already exists on this state tree: "+
+					"a second submission would collide on its statemgr keys and checkpoint namespace; "+
+					"kill the running topology first or pick a unique name (%w)", n, core.ErrDuplicateTopology)
 			}
 		}
 	}
@@ -117,8 +144,23 @@ func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
 		state.Close()
 		return nil, err
 	}
-	if err := state.SetPackingPlan(spec.Topology.Name, plan); err != nil {
+	admitted := false
+	abort := func() {
+		_ = state.DeleteTopology(spec.Topology.Name)
 		state.Close()
+		if admitted && hooks.onKill != nil {
+			hooks.onKill()
+		}
+	}
+	if hooks.admitPlan != nil {
+		if err := hooks.admitPlan(plan, cfg.TMasterResources); err != nil {
+			abort()
+			return nil, err
+		}
+		admitted = true
+	}
+	if err := state.SetPackingPlan(spec.Topology.Name, plan); err != nil {
+		abort()
 		return nil, err
 	}
 
@@ -127,16 +169,16 @@ func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
 
 	sched, err := core.NewScheduler(cfg.SchedulerName)
 	if err != nil {
-		state.Close()
+		abort()
 		return nil, err
 	}
 	if err := sched.Initialize(cfg); err != nil {
-		state.Close()
+		abort()
 		return nil, err
 	}
 	if err := sched.OnSchedule(plan); err != nil {
 		sched.Close()
-		state.Close()
+		abort()
 		return nil, err
 	}
 	_ = state.SetSchedulerLocation(core.SchedulerLocation{
@@ -145,6 +187,7 @@ func Submit(spec *api.Spec, cfg *Config) (*Handle, error) {
 	h := &Handle{
 		name: spec.Topology.Name, cfg: cfg, spec: spec,
 		state: state, rm: rm, sched: sched, engine: engine,
+		admitUpdate: hooks.admitUpdate, onKill: hooks.onKill,
 	}
 	if cfg.HealthInterval > 0 {
 		hm, err := healthmgr.New(healthmgr.Options{
@@ -232,6 +275,13 @@ func (h *Handle) Scale(changes map[string]int) error {
 	if err != nil {
 		return err
 	}
+	if h.admitUpdate != nil {
+		// Quota admission before anything mutates: a rejection leaves the
+		// topology exactly as it was.
+		if err := h.admitUpdate(current, proposed); err != nil {
+			return err
+		}
+	}
 	topo, err := h.state.GetTopology(h.name)
 	if err != nil {
 		return err
@@ -253,6 +303,10 @@ func (h *Handle) Scale(changes map[string]int) error {
 		return err
 	}
 	if err := h.sched.OnUpdate(core.UpdateRequest{Topology: h.name, Current: current, Proposed: proposed}); err != nil {
+		if h.admitUpdate != nil {
+			// Give the reservation back; the containers never changed.
+			_ = h.admitUpdate(proposed, current)
+		}
 		return err
 	}
 	if tm := h.engine.TMaster(); tm != nil {
@@ -294,6 +348,9 @@ func (h *Handle) Kill() error {
 				_ = backend.Close()
 			}
 		}
+	}
+	if h.onKill != nil {
+		h.onKill()
 	}
 	return err
 }

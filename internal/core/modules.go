@@ -6,6 +6,12 @@ import "errors"
 // the registries for unknown module names.
 var ErrNotFound = errors.New("core: not found")
 
+// ErrDuplicateTopology is wrapped by every submission path that rejects a
+// topology name already live on the target state tree (whose statemgr
+// keys and checkpoint namespace it would collide with), so callers can
+// match the condition with errors.Is regardless of which layer caught it.
+var ErrDuplicateTopology = errors.New("duplicate topology name")
+
 // ResourceManager is the paper's Section IV-A module: it decides how
 // resources are allocated for a topology by producing packing plans. It is
 // not a long-running process — it is invoked on demand at submission

@@ -81,7 +81,17 @@ func promName(namespace, name string) string {
 // promLabels renders the label set for one series; extraKey (when
 // non-empty) appends a float label such as quantile="0.99".
 func promLabels(t Tags, extraKey string, extraVal float64) string {
+	return promLabelsTopo("", t, extraKey, extraVal)
+}
+
+// promLabelsTopo is promLabels plus a leading topology label, used by the
+// cluster-wide exposition where series from many topologies share one
+// page and must stay distinguishable.
+func promLabelsTopo(topology string, t Tags, extraKey string, extraVal float64) string {
 	var parts []string
+	if topology != "" {
+		parts = append(parts, fmt.Sprintf("topology=%q", topology))
+	}
 	if t.Component != "" {
 		parts = append(parts, fmt.Sprintf("component=%q", t.Component))
 	}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheusMulti renders many topologies' views on one Prometheus
+// exposition page, namespacing every series with a topology label. Series
+// of the same metric family are grouped across topologies (one # TYPE
+// line per family, as the exposition format requires), sorted by family,
+// then topology, then tags — the cluster-wide /metrics endpoint.
+func WritePrometheusMulti(w io.Writer, namespace string, views map[string]*TopologyView) {
+	type series struct {
+		pname string // sanitized family name
+		topo  string
+		kind  string // "counter" | "gauge" | "summary"
+		id    ID
+	}
+	var all []series
+	for topo, v := range views {
+		if v == nil {
+			continue
+		}
+		for id := range v.Counters {
+			all = append(all, series{promName(namespace, id.Name), topo, "counter", id})
+		}
+		for id := range v.Gauges {
+			all = append(all, series{promName(namespace, id.Name), topo, "gauge", id})
+		}
+		for id := range v.Histograms {
+			all = append(all, series{promName(namespace, id.Name), topo, "summary", id})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pname != all[j].pname {
+			return all[i].pname < all[j].pname
+		}
+		if all[i].topo != all[j].topo {
+			return all[i].topo < all[j].topo
+		}
+		return all[i].id.less(all[j].id)
+	})
+
+	lastTyped := ""
+	for _, s := range all {
+		if s.pname != lastTyped {
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.pname, s.kind)
+			lastTyped = s.pname
+		}
+		v := views[s.topo]
+		switch s.kind {
+		case "counter":
+			fmt.Fprintf(w, "%s%s %d\n", s.pname, promLabelsTopo(s.topo, s.id.Tags, "", 0), v.Counters[s.id])
+		case "gauge":
+			fmt.Fprintf(w, "%s%s %d\n", s.pname, promLabelsTopo(s.topo, s.id.Tags, "", 0), v.Gauges[s.id])
+		case "summary":
+			hs := v.Histograms[s.id]
+			for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+				fmt.Fprintf(w, "%s%s %d\n", s.pname, promLabelsTopo(s.topo, s.id.Tags, "quantile", q), hs.Quantile(q))
+			}
+			fmt.Fprintf(w, "%s_sum%s %d\n", s.pname, promLabelsTopo(s.topo, s.id.Tags, "", 0), hs.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", s.pname, promLabelsTopo(s.topo, s.id.Tags, "", 0), hs.Count)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package multitenant
+
+import (
+	"errors"
+	"testing"
+
+	"heron/internal/core"
+)
+
+func mtRes(cpu float64, ram int64) core.Resource {
+	return core.Resource{CPU: cpu, RAMMB: ram, DiskMB: ram}
+}
+
+// planOf builds a minimal packing plan with n worker containers of size
+// each; instance membership is irrelevant to quota accounting.
+func planOf(topology string, n int, each core.Resource) *core.PackingPlan {
+	p := &core.PackingPlan{Topology: topology}
+	for i := 1; i <= n; i++ {
+		p.Containers = append(p.Containers, core.ContainerPlan{ID: int32(i), Required: each})
+	}
+	return p
+}
+
+var tmAsk = mtRes(1, 1024)
+
+func TestAdmitTopologyQuotaDimensions(t *testing.T) {
+	// Each case submits 2 workers of (2 CPU, 2048 MB) + the TMaster ask
+	// (1 CPU, 1024 MB): footprint 5 CPU / 5120 MB / 3 containers.
+	cases := []struct {
+		name  string
+		quota Quota
+		admit bool
+	}{
+		{"unlimited quota admits", Quota{}, true},
+		{"exact fit admits", Quota{Resources: mtRes(5, 5120), MaxContainers: 3}, true},
+		{"cpu over", Quota{Resources: core.Resource{CPU: 4.5}}, false},
+		{"ram over", Quota{Resources: core.Resource{RAMMB: 5119}}, false},
+		{"disk over", Quota{Resources: core.Resource{DiskMB: 5119}}, false},
+		{"container count over", Quota{MaxContainers: 2}, false},
+		{"resources fit but containers do not", Quota{Resources: mtRes(100, 102400), MaxContainers: 2}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewSubstrate("test", 4, mtRes(16, 16384))
+			if err := s.AddTenant("acme", c.quota, 0); err != nil {
+				t.Fatal(err)
+			}
+			err := s.AdmitTopology("acme", "wc", planOf("wc", 2, mtRes(2, 2048)), tmAsk)
+			if c.admit && err != nil {
+				t.Fatalf("want admission, got %v", err)
+			}
+			if !c.admit {
+				if !errors.Is(err, ErrQuotaExceeded) {
+					t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+				}
+				// Rejection must not charge the tenant.
+				ts := s.Tenants()[0]
+				if !ts.Used.IsZero() || ts.Containers != 0 {
+					t.Fatalf("rejected admission left usage %v / %d containers", ts.Used, ts.Containers)
+				}
+			}
+		})
+	}
+}
+
+func TestAdmitTopologyUnknownTenant(t *testing.T) {
+	s := NewSubstrate("test", 1, mtRes(16, 16384))
+	err := s.AdmitTopology("ghost", "wc", planOf("wc", 1, mtRes(1, 1024)), tmAsk)
+	if !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("err = %v, want ErrUnknownTenant", err)
+	}
+}
+
+func TestAdmitTopologyRejectsDuplicateName(t *testing.T) {
+	s := NewSubstrate("test", 4, mtRes(16, 16384))
+	s.AddTenant("a", Quota{}, 0)
+	s.AddTenant("b", Quota{}, 0)
+	if err := s.AdmitTopology("a", "wc", planOf("wc", 1, mtRes(1, 1024)), tmAsk); err != nil {
+		t.Fatal(err)
+	}
+	// Same name from a *different* tenant still collides: statemgr keys and
+	// checkpoint namespaces are cluster-global.
+	err := s.AdmitTopology("b", "wc", planOf("wc", 1, mtRes(1, 1024)), tmAsk)
+	if !errors.Is(err, ErrDuplicateTopology) {
+		t.Fatalf("err = %v, want ErrDuplicateTopology", err)
+	}
+	// Tenant b must not be charged for the rejected submission.
+	for _, ts := range s.Tenants() {
+		if ts.Name == "b" && (!ts.Used.IsZero() || ts.Containers != 0) {
+			t.Fatalf("rejected duplicate charged tenant b: %v / %d", ts.Used, ts.Containers)
+		}
+	}
+}
+
+func TestAdmitUpdateOverQuotaLeavesStateUnchanged(t *testing.T) {
+	s := NewSubstrate("test", 4, mtRes(16, 16384))
+	s.AddTenant("acme", Quota{Resources: mtRes(6, 6144), MaxContainers: 4}, 0)
+	cur := planOf("wc", 2, mtRes(2, 2048)) // 5 CPU with TMaster
+	if err := s.AdmitTopology("acme", "wc", cur, tmAsk); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Tenants()[0]
+
+	// Growing to 4 workers (9 CPU total) exceeds both dimensions.
+	err := s.AdmitUpdate("wc", cur, planOf("wc", 4, mtRes(2, 2048)))
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+	after := s.Tenants()[0]
+	if after.Used != before.Used || after.Containers != before.Containers {
+		t.Fatalf("rejected update mutated accounting: %+v -> %+v", before, after)
+	}
+
+	// A shrink within quota still works afterwards, from the old reservation.
+	if err := s.AdmitUpdate("wc", cur, planOf("wc", 1, mtRes(2, 2048))); err != nil {
+		t.Fatalf("shrink after rejected grow: %v", err)
+	}
+	got := s.Tenants()[0]
+	if want := mtRes(3, 3072); got.Used != want || got.Containers != 2 {
+		t.Fatalf("after shrink: used %v / %d containers, want %v / 2", got.Used, got.Containers, want)
+	}
+}
+
+func TestAdmitUpdateUnknownTopology(t *testing.T) {
+	s := NewSubstrate("test", 1, mtRes(16, 16384))
+	p := planOf("wc", 1, mtRes(1, 1024))
+	if err := s.AdmitUpdate("wc", p, p); !errors.Is(err, ErrUnknownTopology) {
+		t.Fatalf("err = %v, want ErrUnknownTopology", err)
+	}
+}
+
+func TestReleaseTopologyFreesQuota(t *testing.T) {
+	s := NewSubstrate("test", 4, mtRes(16, 16384))
+	s.AddTenant("acme", Quota{MaxContainers: 3}, 0)
+	plan := planOf("wc", 2, mtRes(2, 2048))
+	if err := s.AdmitTopology("acme", "wc", plan, tmAsk); err != nil {
+		t.Fatal(err)
+	}
+	// The quota is fully consumed: a second topology is rejected...
+	if err := s.AdmitTopology("acme", "wc2", planOf("wc2", 2, mtRes(2, 2048)), tmAsk); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+	// ...until the first releases, which also frees the name.
+	s.ReleaseTopology("wc")
+	s.ReleaseTopology("wc") // idempotent
+	ts := s.Tenants()[0]
+	if !ts.Used.IsZero() || ts.Containers != 0 {
+		t.Fatalf("release left usage %v / %d containers", ts.Used, ts.Containers)
+	}
+	if err := s.AdmitTopology("acme", "wc", plan, tmAsk); err != nil {
+		t.Fatalf("resubmit after release: %v", err)
+	}
+}
+
+func TestTenantsSnapshot(t *testing.T) {
+	s := NewSubstrate("test", 4, mtRes(16, 16384))
+	s.AddTenant("b-team", Quota{Resources: mtRes(10, 10240)}, 1)
+	s.AddTenant("a-team", Quota{}, 0)
+	if err := s.AdmitTopology("b-team", "wc", planOf("wc", 1, mtRes(4, 4096)), tmAsk); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Tenants()
+	if len(got) != 2 || got[0].Name != "a-team" || got[1].Name != "b-team" {
+		t.Fatalf("tenants = %+v, want sorted [a-team b-team]", got)
+	}
+	if got[1].DominantShare != 0.5 {
+		t.Fatalf("b-team dominant share = %v, want 0.5 (5 CPU of 10)", got[1].DominantShare)
+	}
+	if tn, ok := s.TenantOf("wc"); !ok || tn != "b-team" {
+		t.Fatalf("TenantOf(wc) = %q, %v", tn, ok)
+	}
+	if topos := s.Topologies(); len(topos) != 1 || topos[0] != "wc" {
+		t.Fatalf("Topologies = %v", topos)
+	}
+}

@@ -1,0 +1,129 @@
+package observability
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"heron/internal/metrics"
+)
+
+// ClusterOptions configure the shared observability endpoint of a
+// multi-tenant cluster: one HTTP server for every tenant's topologies,
+// instead of per-Handle servers fighting over ports in one process.
+type ClusterOptions struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// Cluster is the cluster name, echoed in JSON payloads.
+	Cluster string
+	// Views returns the current merged metrics view of every running
+	// topology, keyed by topology name. It must never return nil and must
+	// be safe for concurrent use.
+	Views func() map[string]*metrics.TopologyView
+	// Rollup returns the cluster-wide accounting payload served at
+	// /cluster (tenants, quotas, node utilization).
+	Rollup func() any
+	// Health, when non-nil, resolves one topology's health status; the
+	// second result reports whether the topology runs a health manager.
+	Health func(topology string) (any, bool)
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
+}
+
+// StartCluster binds the shared endpoint and begins serving:
+//
+//	/metrics            every topology's series, topology-labeled
+//	/cluster            tenant + node rollup (JSON)
+//	/topology?name=X    one topology's metrics dump (all, without name)
+//	/health?name=X      one topology's health-manager status
+//
+// It returns once the listener is bound, so Addr() is immediately valid.
+func StartCluster(opts ClusterOptions) (*Server, error) {
+	l, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheusMulti(w, Namespace, opts.Views())
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, opts.Rollup())
+	})
+	mux.HandleFunc("/topology", func(w http.ResponseWriter, r *http.Request) {
+		views := opts.Views()
+		if name := r.URL.Query().Get("name"); name != "" {
+			v, ok := views[name]
+			if !ok {
+				http.Error(w, "unknown topology "+name, http.StatusNotFound)
+				return
+			}
+			writeJSON(w, struct {
+				Cluster  string           `json:"cluster"`
+				Topology string           `json:"topology"`
+				Metrics  metrics.ViewDump `json:"metrics"`
+			}{opts.Cluster, name, v.Dump()})
+			return
+		}
+		names := make([]string, 0, len(views))
+		for n := range views {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		dumps := make(map[string]metrics.ViewDump, len(views))
+		for _, n := range names {
+			dumps[n] = views[n].Dump()
+		}
+		writeJSON(w, struct {
+			Cluster    string                      `json:"cluster"`
+			Topologies []string                    `json:"topologies"`
+			Metrics    map[string]metrics.ViewDump `json:"metrics"`
+		}{opts.Cluster, names, dumps})
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if name == "" || opts.Health == nil {
+			http.Error(w, "usage: /health?name=<topology>", http.StatusBadRequest)
+			return
+		}
+		status, enabled := opts.Health(name)
+		if status == nil && !enabled {
+			writeJSON(w, struct {
+				Topology string `json:"topology"`
+				Enabled  bool   `json:"enabled"`
+			}{name, false})
+			return
+		}
+		writeJSON(w, struct {
+			Topology string `json:"topology"`
+			Enabled  bool   `json:"enabled"`
+			Status   any    `json:"status"`
+		}{name, enabled, status})
+	})
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s := &Server{
+		listener: l,
+		srv:      &http.Server{Handler: mux},
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(l)
+	}()
+	return s, nil
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"heron/api"
 )
@@ -27,11 +28,18 @@ type WordSpout struct {
 	Stats    *WordCountStats
 	// EmitBatch emits this many words per NextTuple call (default 1).
 	EmitBatch int
+	// RatePerSec caps this instance's emit rate in tuples/sec (0 =
+	// unrestricted). This is the offered-load knob of the scalability
+	// harness: a Theodolite-style sweep fixes the load and asks what
+	// resources sustain it, instead of measuring the unrestricted peak.
+	RatePerSec int
 
-	out    api.SpoutCollector
-	rng    *rand.Rand
-	seq    uint64
-	replay []string
+	out     api.SpoutCollector
+	rng     *rand.Rand
+	seq     uint64
+	replay  []string
+	started time.Time
+	paced   int64
 }
 
 // Open implements api.Spout.
@@ -41,12 +49,26 @@ func (s *WordSpout) Open(ctx api.TopologyContext, out api.SpoutCollector) error 
 	if s.EmitBatch < 1 {
 		s.EmitBatch = 1
 	}
+	s.started = time.Now()
 	return nil
 }
 
 // NextTuple implements api.Spout.
 func (s *WordSpout) NextTuple() bool {
-	for i := 0; i < s.EmitBatch; i++ {
+	batch := s.EmitBatch
+	if s.RatePerSec > 0 {
+		// Pace against wall clock: emit only what the offered-load budget
+		// has accrued since Open. Returning false yields the instance loop.
+		accrued := int64(time.Since(s.started).Seconds() * float64(s.RatePerSec))
+		if due := accrued - s.paced; due < int64(batch) {
+			if due <= 0 {
+				return false
+			}
+			batch = int(due)
+		}
+		s.paced += int64(batch)
+	}
+	for i := 0; i < batch; i++ {
 		var w string
 		if n := len(s.replay); n > 0 {
 			w = s.replay[n-1]
@@ -161,6 +183,8 @@ type WordCountOptions struct {
 	Reliable bool
 	// EmitBatch tunes words emitted per NextTuple (default 1).
 	EmitBatch int
+	// RatePerSec caps each spout instance's emit rate (0 = unrestricted).
+	RatePerSec int
 }
 
 // BuildWordCount assembles the Section VI-A topology: word spouts hash-
@@ -177,7 +201,7 @@ func BuildWordCount(opts WordCountOptions) (*api.Spec, *WordCountStats, error) {
 	stats := &WordCountStats{}
 	b := api.NewTopologyBuilder(opts.Name)
 	b.SetSpout("word", func() api.Spout {
-		return &WordSpout{Dict: dict, Reliable: opts.Reliable, Stats: stats, EmitBatch: opts.EmitBatch}
+		return &WordSpout{Dict: dict, Reliable: opts.Reliable, Stats: stats, EmitBatch: opts.EmitBatch, RatePerSec: opts.RatePerSec}
 	}, opts.Spouts).OutputFields("word")
 	b.SetBolt("count", func() api.Bolt {
 		return &CountBolt{Stats: stats}

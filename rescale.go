@@ -88,10 +88,17 @@ func (h *Handle) rescaleStateful(component string, oldCount int, changes map[str
 		return fmt.Errorf("heron: pre-rescale checkpoint: %w", err)
 	}
 
-	// 2. Repack with minimal disruption.
+	// 2. Repack with minimal disruption, then pass quota admission: on a
+	// shared cluster a rescale that would push the tenant over quota is
+	// rejected here, before any state moves — rejection needs no rollback.
 	proposed, err := h.rm.Repack(current, changes)
 	if err != nil {
 		return err
+	}
+	if h.admitUpdate != nil {
+		if err := h.admitUpdate(current, proposed); err != nil {
+			return err
+		}
 	}
 
 	// 3. Repartition the component's checkpointed state to the new task
@@ -165,6 +172,13 @@ func (h *Handle) rescaleStateful(component string, oldCount int, changes map[str
 // a fresh id so relaunched containers restore the old task layout.
 func (h *Handle) rollbackRescale(tm tmRefresher, qs core.QuiescingScheduler, component string, oldCount int, changes map[string]int, current, proposed *core.PackingPlan, scaled *core.Topology, ckptID int64, stateful bool, cause error) error {
 	errs := []error{fmt.Errorf("heron: rescale of %q failed: %w", component, cause)}
+	if h.admitUpdate != nil {
+		// The quota reservation moved to the proposed plan at admission;
+		// the rollback returns to the current plan, so move it back.
+		if err := h.admitUpdate(proposed, current); err != nil {
+			errs = append(errs, fmt.Errorf("heron: rollback quota reservation: %w", err))
+		}
+	}
 	if stateful {
 		rbID, err := tm.ReserveCheckpointID()
 		if err == nil {
