@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet bench-parallel bench-cluster
+.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet bench-parallel bench-cluster bench-txn
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,24 @@ bench-streamlet:
 	$(GO) test -run XX -bench 'BenchmarkStreamletCompile' \
 		-benchmem -benchtime 2s ./streamlet/ | \
 		$(GO) run ./cmd/benchjson -label after -out BENCH_PR6.json
+
+# bench-txn refreshes BENCH_PR9.json: BenchmarkRouteTxn measures the
+# routing hot path with the end-to-end transaction machinery engaged
+# (barrier markers plus MsgCommitted global-commit fan-out every 256
+# frames) against the markers-only cadence, and BenchmarkRouteParallel
+# re-measures the sharded path with the new frame kind compiled in.
+# benchgate -mode txn then enforces the contract: 0 allocs/op on every
+# transactional arm, the on/off columns within noise, and no sharded
+# regression against the BENCH_PR7.json RouteParallel baselines. Cheap
+# enough that CI runs it on every push.
+bench-txn:
+	$(GO) test -run XX -bench 'BenchmarkRouteTxn' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR9.json
+	GOMAXPROCS=8 $(GO) test -run XX -bench 'BenchmarkRouteParallel' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR9.json
+	$(GO) run ./cmd/benchgate -mode txn -ledger BENCH_PR9.json -baseline BENCH_PR7.json
 
 # bench-cluster refreshes BENCH_PR8.json: the Theodolite-style
 # scalability ledger of the multi-tenant substrate. heron-bench -cluster

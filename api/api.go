@@ -177,6 +177,60 @@ type StatefulComponent interface {
 	RestoreState(s State) error
 }
 
+// TransactionalSource is an optional extension for spouts that read from
+// an external system with durable consumer offsets (e.g. a Kafka consumer
+// group). It extends checkpointing to the input edge: the engine calls
+// PrepareOffsets at the same instant the spout's snapshot is taken (the
+// read positions captured in SaveState and the staged offsets describe
+// the same cut), and EpochCommitted once the checkpoint coordinator has
+// globally committed that epoch — the point at which it is safe to
+// advance the external offsets, because a later recovery can only rewind
+// to this epoch or newer. After a failure the engine restores the
+// snapshot (RestoreState seeks the external consumer back to the
+// checkpointed positions), so replayed input re-reads exactly the tuples
+// whose effects were discarded.
+type TransactionalSource interface {
+	StatefulComponent
+	// PrepareOffsets stages the current read positions under epoch. Called
+	// on the executor goroutine when the spout snapshots that epoch, before
+	// the snapshot is acked to the coordinator.
+	PrepareOffsets(epoch int64) error
+	// EpochCommitted reports that epoch globally committed; the source
+	// commits every staged position at or below it to the external system.
+	// Notifications may be duplicated or skip epochs (only the newest is
+	// re-broadcast after coordinator restarts) — implementations must be
+	// idempotent and treat the epoch as a high-water mark.
+	EpochCommitted(epoch int64) error
+}
+
+// TransactionalSink is an optional extension for bolts that write to an
+// external system with a transactional producer (e.g. Kafka
+// transactions). It extends checkpointing to the output edge with a
+// two-phase commit driven by the checkpoint barrier: writes staged during
+// an epoch are *prepared* (moved into a durable, invisible pending
+// transaction) when the bolt's barrier-aligned snapshot is taken, and
+// *committed* (made visible, exactly once) only when the coordinator
+// broadcasts that the whole epoch committed. A failure between the two
+// phases is resolved by RecoverEpochs against the recovered epoch:
+// pending transactions at or below it commit (the checkpoint won), newer
+// ones abort (their input will be replayed).
+type TransactionalSink interface {
+	// PrepareEpoch seals the writes staged since the previous barrier into
+	// the pending transaction for epoch. Called on the executor goroutine
+	// at snapshot time, before the snapshot is acked; an error abandons the
+	// epoch (the coordinator never commits it), which is always safe.
+	PrepareEpoch(epoch int64) error
+	// CommitEpoch reports the global commit of epoch: the sink commits
+	// every pending transaction at or below it, in order. Like
+	// EpochCommitted, notifications are an idempotent high-water mark.
+	CommitEpoch(epoch int64) error
+	// RecoverEpochs is called once after a restart, before any input is
+	// processed, with the globally committed epoch the topology recovered
+	// to (0 if none): commit pending transactions ≤ committed, abort the
+	// rest.
+	RecoverEpochs(committed int64) error
+}
+
 // StateRepartitioner is an optional extension for stateful components of
 // topologies that rescale at runtime. When a component's parallelism
 // changes (heron.Handle.ScaleComponent, or the health manager acting on a

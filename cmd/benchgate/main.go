@@ -82,7 +82,7 @@ const regressionFactor = 1.75
 func main() {
 	ledgerPath := flag.String("ledger", "BENCH_PR7.json", "benchjson ledger with BenchmarkRouteParallel results")
 	basePath := flag.String("baseline", "BENCH_PR2.json", "ledger holding the single-shard route baselines")
-	mode := flag.String("mode", "parallel", `gate to run: "parallel" (sharded data path) or "cluster" (multi-tenant scalability curves)`)
+	mode := flag.String("mode", "parallel", `gate to run: "parallel" (sharded data path), "cluster" (multi-tenant scalability curves) or "txn" (transactional route overhead)`)
 	parallelBase := flag.String("parallel-baseline", "BENCH_PR7.json", "ledger holding the sharded-route baselines (cluster mode)")
 	flag.Parse()
 
@@ -109,6 +109,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("benchgate: OK — scalability curves present and sustained, route benchmarks within baseline bounds")
+		return
+	}
+	if *mode == "txn" {
+		gateTxn(results, baseline, *ledgerPath, *basePath, reject)
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: OK — transactional route arms allocation-free and within noise, sharded path within RouteParallel baselines")
 		return
 	}
 	if *mode != "parallel" {
@@ -274,4 +285,63 @@ func gateCluster(results, baseline map[string]*Result, parallelBasePath, ledgerP
 		return
 	}
 	checkRoute("BenchmarkRouteParallel/", parallelBaseline, parallelBasePath)
+}
+
+// gateTxn enforces the end-to-end exactly-once performance contract on a
+// BENCH_PR9-style ledger:
+//
+//  1. Zero allocations: every BenchmarkRouteTxn arm must report
+//     0 allocs/op — commit notifications are per-epoch control traffic
+//     and must amortize to nothing against the data path.
+//  2. Noise bound: the "on" arm (markers + MsgCommitted fan-out) must
+//     stay within the regression factor of the "off" arm (markers only).
+//  3. No sharded regression: the ledger's BenchmarkRouteParallel arms
+//     must stay within the regression factor of the BENCH_PR7 baselines
+//     — the new frame kind must not tax the sharded route.
+func gateTxn(results, baseline map[string]*Result, ledgerPath, basePath string, reject func(string, ...any)) {
+	const txn = "BenchmarkRouteTxn/"
+	arms := 0
+	for name, r := range results {
+		if !strings.HasPrefix(name, txn) {
+			continue
+		}
+		arms++
+		if r.AllocsPerOp != 0 {
+			reject("%s: %d allocs/op, want 0", name, r.AllocsPerOp)
+		}
+	}
+	if arms == 0 {
+		reject("no %s* results in %s — run `make bench-txn` first", txn, ledgerPath)
+		return
+	}
+	off, on := results[txn+"off"], results[txn+"on"]
+	if off == nil || on == nil {
+		reject("need both %soff and %son in %s", txn, txn, ledgerPath)
+	} else if on.NsPerOp > off.NsPerOp*regressionFactor {
+		reject("transactions tax the route path: on %.1f ns/op vs off %.1f (limit %.1fx)",
+			on.NsPerOp, off.NsPerOp, regressionFactor)
+	}
+
+	found := false
+	for name, base := range baseline {
+		if !strings.HasPrefix(name, "BenchmarkRouteParallel/") {
+			continue
+		}
+		found = true
+		cur, ok := results[name]
+		if !ok {
+			reject("%s missing from %s (needed for the no-regression gate)", name, ledgerPath)
+			continue
+		}
+		if cur.AllocsPerOp > base.AllocsPerOp {
+			reject("%s: %d allocs/op, baseline has %d", name, cur.AllocsPerOp, base.AllocsPerOp)
+		}
+		if cur.NsPerOp > base.NsPerOp*regressionFactor {
+			reject("%s: %.1f ns/op vs baseline %.1f (limit %.1fx)",
+				name, cur.NsPerOp, base.NsPerOp, regressionFactor)
+		}
+	}
+	if !found {
+		reject("no BenchmarkRouteParallel/* baselines in %s", basePath)
+	}
 }

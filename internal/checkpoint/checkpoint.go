@@ -24,7 +24,9 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 
@@ -97,6 +99,9 @@ func New(name string) (Backend, error) {
 type Coordinator struct {
 	topology string
 	backend  Backend
+	// ledger, when set, durably records the epoch sequence through the
+	// State Manager (see UseLedger).
+	ledger core.StateManager
 
 	mu      sync.Mutex
 	next    int64
@@ -109,19 +114,58 @@ func NewCoordinator(topology string, backend Backend) *Coordinator {
 	return &Coordinator{topology: topology, backend: backend, next: 1}
 }
 
-// InitFromBackend resumes the id sequence after the latest committed
-// checkpoint, so a restarted TMaster never reuses an id.
+// UseLedger makes the coordinator persist a prepare/commit ledger through
+// the State Manager on every epoch transition. Without it a TMaster
+// restart mid-epoch forgets the in-flight epoch id: the backend only
+// knows *committed* checkpoints, so the new coordinator would hand out
+// latest+1 again — an id that transactional sinks may already hold a
+// prepared (undecided) transaction for, conflating two different cuts of
+// the stream under one epoch. The ledger keeps the id sequence strictly
+// monotone across restarts.
+func (c *Coordinator) UseLedger(sm core.StateManager) {
+	c.mu.Lock()
+	c.ledger = sm
+	c.mu.Unlock()
+}
+
+// InitFromBackend resumes the id sequence after a restart: past the
+// latest committed checkpoint AND past the persisted ledger's Next, so an
+// id that was in flight (possibly prepared at sinks) when the previous
+// coordinator died is never reused.
 func (c *Coordinator) InitFromBackend() error {
 	latest, err := c.backend.LatestCommitted(c.topology)
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if latest >= c.next {
 		c.next = latest + 1
 	}
-	c.mu.Unlock()
+	if c.ledger != nil {
+		led, err := c.ledger.GetCheckpointLedger(c.topology)
+		if err == nil && led.Next > c.next {
+			c.next = led.Next
+		} else if err != nil && !errors.Is(err, core.ErrNotFound) {
+			return err
+		}
+	}
 	return nil
+}
+
+// persistLedgerLocked writes the current epoch sequence; caller holds
+// c.mu. Persistence is best-effort: a State Manager hiccup must not stall
+// the checkpoint pipeline, and losing one write only costs the crash
+// window it would have covered.
+func (c *Coordinator) persistLedgerLocked() {
+	if c.ledger == nil {
+		return
+	}
+	if err := c.ledger.SetCheckpointLedger(c.topology, &core.CheckpointLedger{
+		Next: c.next, Pending: c.pending,
+	}); err != nil {
+		log.Printf("checkpoint[%s]: persist ledger: %v", c.topology, err)
+	}
 }
 
 // Begin starts a new checkpoint over the given task set, abandoning any
@@ -139,6 +183,7 @@ func (c *Coordinator) Begin(tasks []int32) (id int64, ok bool) {
 	for _, t := range tasks {
 		c.waiting[t] = true
 	}
+	c.persistLedgerLocked()
 	return id, true
 }
 
@@ -155,6 +200,7 @@ func (c *Coordinator) Saved(task int32, id int64) (complete bool, err error) {
 	done := len(c.waiting) == 0
 	if done {
 		c.pending = 0
+		c.persistLedgerLocked()
 	}
 	c.mu.Unlock()
 	if !done {
@@ -176,7 +222,16 @@ func (c *Coordinator) Reserve() int64 {
 	defer c.mu.Unlock()
 	id := c.next
 	c.next++
+	c.persistLedgerLocked()
 	return id
+}
+
+// LatestCommitted reports the newest globally committed epoch from the
+// backend (0 if none) — what a restarted coordinator re-broadcasts so
+// sinks holding a prepared transaction for an already-committed epoch can
+// resolve it.
+func (c *Coordinator) LatestCommitted() (int64, error) {
+	return c.backend.LatestCommitted(c.topology)
 }
 
 // Pending returns the outstanding checkpoint id (0 if none).

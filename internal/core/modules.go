@@ -144,5 +144,24 @@ type StateManager interface {
 	GetPackingPlan(topology string) (*PackingPlan, error)
 	DeletePackingPlan(topology string) error
 
+	// SetCheckpointLedger durably records the checkpoint coordinator's
+	// prepare/commit ledger; GetCheckpointLedger returns ErrNotFound when
+	// no ledger was ever written. The ledger survives TMaster restarts so
+	// a new coordinator never reuses an epoch id that was in flight (and
+	// possibly already prepared at transactional sinks) when the old one
+	// died.
+	SetCheckpointLedger(topology string, l *CheckpointLedger) error
+	GetCheckpointLedger(topology string) (*CheckpointLedger, error)
+
 	Close() error
+}
+
+// CheckpointLedger is the checkpoint coordinator's durable control
+// record, persisted through the State Manager on every epoch transition.
+// Next is the next epoch id the coordinator may hand out; Pending is the
+// epoch in flight when the record was written (0 = none) — informational
+// for operators, the safety argument only needs Next.
+type CheckpointLedger struct {
+	Next    int64 `json:"next"`
+	Pending int64 `json:"pending"`
 }

@@ -34,9 +34,18 @@ type Record struct {
 }
 
 // Broker is the in-memory cluster: a set of partitions, each a list of
-// compressed segments.
+// compressed segments, plus the two durable namespaces a real Kafka
+// deployment keeps alongside the log — consumer-group offsets
+// (__consumer_offsets) and transactional-producer state
+// (__transaction_state, see txn.go).
 type Broker struct {
 	parts []*partition
+
+	groupMu sync.Mutex
+	groups  map[string]map[int]int64 // group → partition → next offset to read
+
+	txnMu sync.Mutex
+	txns  map[string]*txnState // transactional id → state
 }
 
 type partition struct {
@@ -53,11 +62,43 @@ func NewBroker(n int) *Broker {
 	if n < 1 {
 		n = 1
 	}
-	b := &Broker{parts: make([]*partition, n)}
+	b := &Broker{
+		parts:  make([]*partition, n),
+		groups: map[string]map[int]int64{},
+		txns:   map[string]*txnState{},
+	}
 	for i := range b.parts {
 		b.parts[i] = &partition{}
 	}
 	return b
+}
+
+// CommitOffsets durably records a consumer group's read positions: offs
+// maps partition → next offset the group should read. Partitions absent
+// from offs keep their previous committed position.
+func (b *Broker) CommitOffsets(group string, offs map[int]int64) {
+	b.groupMu.Lock()
+	defer b.groupMu.Unlock()
+	g := b.groups[group]
+	if g == nil {
+		g = map[int]int64{}
+		b.groups[group] = g
+	}
+	for p, o := range offs {
+		g[p] = o
+	}
+}
+
+// FetchOffsets returns a copy of a group's committed positions (empty map
+// if the group has never committed).
+func (b *Broker) FetchOffsets(group string) map[int]int64 {
+	b.groupMu.Lock()
+	defer b.groupMu.Unlock()
+	out := make(map[int]int64, len(b.groups[group]))
+	for p, o := range b.groups[group] {
+		out[p] = o
+	}
+	return out
 }
 
 // Partitions returns the partition count.
@@ -169,6 +210,10 @@ type Consumer struct {
 	parts  []int
 	// segOff tracks the next segment per partition.
 	segOff map[int]int
+	// minOff is a per-partition record-offset floor set by Seek: records
+	// below it (earlier entries of the segment the seek landed in) are
+	// filtered out of Poll results.
+	minOff map[int]int64
 	// Loop rewinds exhausted partitions, simulating an endless stream.
 	Loop bool
 	next int
@@ -176,7 +221,34 @@ type Consumer struct {
 
 // NewConsumer assigns the given partitions to a consumer.
 func NewConsumer(b *Broker, parts []int) *Consumer {
-	return &Consumer{broker: b, parts: append([]int(nil), parts...), segOff: map[int]int{}}
+	return &Consumer{
+		broker: b,
+		parts:  append([]int(nil), parts...),
+		segOff: map[int]int{},
+		minOff: map[int]int64{},
+	}
+}
+
+// Assigned returns the consumer's partition assignment.
+func (c *Consumer) Assigned() []int { return append([]int(nil), c.parts...) }
+
+// Seek positions the consumer so the next record returned for part has
+// Offset ≥ offset — the rewind primitive checkpoint recovery uses to
+// resume from a group's committed position. Fetches still start at a
+// segment boundary (segments are the unit of decompression); earlier
+// records of the landing segment are decoded and discarded, which is the
+// cost a real consumer pays too.
+func (c *Consumer) Seek(part int, offset int64) {
+	p := c.broker.parts[part%len(c.broker.parts)]
+	p.mu.RLock()
+	seg, base := 0, int64(0)
+	for seg < len(p.counts) && base+int64(p.counts[seg]) <= offset {
+		base += int64(p.counts[seg])
+		seg++
+	}
+	p.mu.RUnlock()
+	c.segOff[part] = seg
+	c.minOff[part] = offset
 }
 
 // AssignAll gives consumer i of n every partition ≡ i (mod n).
@@ -217,9 +289,13 @@ func (c *Consumer) Poll(max int) []Record {
 			records, err := decompressSegment(p.segments[seg])
 			if err == nil {
 				for i, r := range records {
+					off := base + int64(i)
+					if off < c.minOff[part] {
+						continue // pre-seek entries of the landing segment
+					}
 					out = append(out, Record{
 						Partition: part,
-						Offset:    base + int64(i),
+						Offset:    off,
 						Key:       r.Key,
 						Value:     r.Value,
 					})

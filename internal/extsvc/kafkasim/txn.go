@@ -1,0 +1,285 @@
+package kafkasim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file is the broker's transactional-producer namespace — the
+// in-memory analogue of Kafka's __transaction_state log plus the
+// producer-epoch fencing rules (KIP-98/KIP-360) that the exactly-once
+// design-pattern literature builds on. A producer registers under a
+// stable transactional id; registration bumps the id's generation, which
+// fences every producer of an older generation ("zombies" — pre-failure
+// incarnations whose goroutines may still be running). Staged records
+// move through an explicit two-phase state machine keyed by checkpoint
+// epoch:
+//
+//	Add*        → open (uncommitted staging buffer)
+//	Prepare(e)  → open moves to pending[e] (durable, invisible to readers)
+//	Commit(e)   → pending[e] appends to the log atomically; idempotent
+//	Abort(e)    → pending[e] is discarded
+//
+// Illegal transitions (commit of an unprepared epoch, re-prepare of a
+// pending epoch, abort of a committed epoch) are errors so protocol bugs
+// surface in tests instead of losing records silently.
+
+// Fencing and state-machine errors.
+var (
+	// ErrFenced rejects an operation from a producer generation that has
+	// been superseded by a newer registration for the same id.
+	ErrFenced = errors.New("kafkasim: producer fenced by newer generation")
+	// ErrUnknownTxn rejects a commit or re-prepare of an epoch that has no
+	// pending transaction.
+	ErrUnknownTxn = errors.New("kafkasim: no pending transaction for epoch")
+	// ErrEpochCommitted rejects prepare/abort of an epoch at or below the
+	// id's last committed epoch.
+	ErrEpochCommitted = errors.New("kafkasim: epoch already committed")
+)
+
+type stagedRec struct {
+	part       int
+	key, value []byte
+}
+
+// txnState is the broker-side record for one transactional id.
+type txnState struct {
+	gen           int64
+	open          []stagedRec
+	pending       map[int64][]stagedRec
+	lastCommitted int64
+}
+
+// TxnProducer is one producer session bound to a transactional id and the
+// generation its registration was granted. All methods report ErrFenced
+// once a newer session registers the same id.
+type TxnProducer struct {
+	b   *Broker
+	id  string
+	gen int64
+}
+
+// NewTxnProducer registers a producer session for a transactional id.
+// Registration bumps the id's generation — fencing every older session —
+// and aborts the previous session's open (un-prepared) staging buffer, as
+// a Kafka InitProducerId does. Prepared-but-undecided transactions are
+// kept: they await the checkpoint coordinator's commit/abort decision,
+// which the new session delivers via Recover, CommitThrough or Abort.
+func NewTxnProducer(b *Broker, id string) *TxnProducer {
+	b.txnMu.Lock()
+	defer b.txnMu.Unlock()
+	st := b.txns[id]
+	if st == nil {
+		st = &txnState{pending: map[int64][]stagedRec{}}
+		b.txns[id] = st
+	}
+	st.gen++
+	st.open = nil
+	return &TxnProducer{b: b, id: id, gen: st.gen}
+}
+
+// state returns the id's txnState iff this session is still current.
+// Caller holds b.txnMu.
+func (p *TxnProducer) state() (*txnState, error) {
+	st := p.b.txns[p.id]
+	if st == nil || st.gen != p.gen {
+		return nil, fmt.Errorf("%w (id %q gen %d)", ErrFenced, p.id, p.gen)
+	}
+	return st, nil
+}
+
+// Add stages one record in the open transaction buffer. Nothing becomes
+// readable until the buffer is prepared under an epoch and that epoch
+// commits.
+func (p *TxnProducer) Add(part int, key, value []byte) error {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return err
+	}
+	st.open = append(st.open, stagedRec{
+		part:  part,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	return nil
+}
+
+// Open returns how many records are staged in the open buffer.
+func (p *TxnProducer) Open() int {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return 0
+	}
+	return len(st.open)
+}
+
+// Prepare seals the open buffer as the pending transaction for epoch. An
+// empty open buffer prepares an empty (still committable) transaction.
+// Re-preparing a pending epoch or preparing at/below the last committed
+// epoch is an illegal transition.
+func (p *TxnProducer) Prepare(epoch int64) error {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return err
+	}
+	if epoch <= st.lastCommitted {
+		return fmt.Errorf("%w (prepare %d ≤ committed %d)", ErrEpochCommitted, epoch, st.lastCommitted)
+	}
+	if _, dup := st.pending[epoch]; dup {
+		return fmt.Errorf("kafkasim: epoch %d already prepared", epoch)
+	}
+	st.pending[epoch] = st.open
+	st.open = nil
+	return nil
+}
+
+// Commit atomically appends epoch's pending records to the log and seals
+// them so they are immediately fetchable. Commit is idempotent: an epoch
+// at or below the last committed one returns nil (the notification was a
+// retry — recovery and re-broadcast paths rely on this). Committing an
+// epoch that was never prepared is an error.
+func (p *TxnProducer) Commit(epoch int64) error {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return err
+	}
+	return p.b.commitLocked(st, epoch)
+}
+
+// commitLocked applies one epoch's commit; caller holds txnMu.
+func (b *Broker) commitLocked(st *txnState, epoch int64) error {
+	if epoch <= st.lastCommitted {
+		return nil
+	}
+	recs, ok := st.pending[epoch]
+	if !ok {
+		return fmt.Errorf("%w (commit %d)", ErrUnknownTxn, epoch)
+	}
+	for _, r := range recs {
+		b.Produce(r.part, r.key, r.value)
+	}
+	b.Flush()
+	delete(st.pending, epoch)
+	st.lastCommitted = epoch
+	return nil
+}
+
+// Abort discards epoch's pending records. Aborting a committed epoch is
+// an illegal transition; aborting an epoch that was never prepared is a
+// no-op (the coordinator may abandon an epoch before this task prepared
+// it).
+func (p *TxnProducer) Abort(epoch int64) error {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return err
+	}
+	if epoch <= st.lastCommitted {
+		return fmt.Errorf("%w (abort %d ≤ committed %d)", ErrEpochCommitted, epoch, st.lastCommitted)
+	}
+	delete(st.pending, epoch)
+	return nil
+}
+
+// AbortOpen discards the open (un-prepared) staging buffer.
+func (p *TxnProducer) AbortOpen() error {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return err
+	}
+	st.open = nil
+	return nil
+}
+
+// CommitThrough commits every pending epoch ≤ epoch in ascending order.
+// Pending epochs above the bound are left pending (they belong to a later
+// checkpoint whose global commit has not been decided yet).
+func (p *TxnProducer) CommitThrough(epoch int64) error {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return err
+	}
+	for _, e := range pendingSorted(st) {
+		if e > epoch {
+			break
+		}
+		if err := p.b.commitLocked(st, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover resolves every outstanding transaction against the recovered
+// checkpoint epoch — the sink-side recovery rule of the two-phase
+// protocol: pending epochs ≤ committed were part of a globally committed
+// checkpoint whose notification may have been lost, so they commit;
+// pending epochs > committed belong to checkpoints that never globally
+// committed (their input will be replayed), so they abort; the open
+// buffer is pre-failure staging and is discarded. Idempotent: a second
+// Recover at the same epoch finds nothing to do.
+func (p *TxnProducer) Recover(committed int64) error {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return err
+	}
+	for _, e := range pendingSorted(st) {
+		if e <= committed {
+			if err := p.b.commitLocked(st, e); err != nil {
+				return err
+			}
+		} else {
+			delete(st.pending, e)
+		}
+	}
+	st.open = nil
+	return nil
+}
+
+// PendingEpochs returns the undecided epochs for this id in ascending
+// order.
+func (p *TxnProducer) PendingEpochs() []int64 {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st, err := p.state()
+	if err != nil {
+		return nil
+	}
+	return pendingSorted(st)
+}
+
+// LastCommitted returns the id's newest committed epoch.
+func (p *TxnProducer) LastCommitted() int64 {
+	p.b.txnMu.Lock()
+	defer p.b.txnMu.Unlock()
+	st := p.b.txns[p.id]
+	if st == nil {
+		return 0
+	}
+	return st.lastCommitted
+}
+
+func pendingSorted(st *txnState) []int64 {
+	out := make([]int64, 0, len(st.pending))
+	for e := range st.pending {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

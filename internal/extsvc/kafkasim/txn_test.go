@@ -1,0 +1,304 @@
+package kafkasim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// committed drains the whole broker with a fresh consumer and returns the
+// readable record values in poll order.
+func committed(b *Broker) []string {
+	parts := make([]int, b.Partitions())
+	for i := range parts {
+		parts[i] = i
+	}
+	c := NewConsumer(b, parts)
+	var out []string
+	for {
+		recs := c.Poll(1024)
+		if len(recs) == 0 {
+			return out
+		}
+		for _, r := range recs {
+			out = append(out, string(r.Value))
+		}
+	}
+}
+
+func TestOffsetCommitFetch(t *testing.T) {
+	b := NewBroker(3)
+	tests := []struct {
+		name    string
+		commits []map[int]int64
+		want    map[int]int64
+	}{
+		{"never committed", nil, map[int]int64{}},
+		{"single commit", []map[int]int64{{0: 5, 2: 9}}, map[int]int64{0: 5, 2: 9}},
+		{"later commit wins", []map[int]int64{{0: 5}, {0: 7}}, map[int]int64{0: 7}},
+		{"partial commit keeps others", []map[int]int64{{0: 5, 1: 3}, {1: 8}}, map[int]int64{0: 5, 1: 8}},
+	}
+	for i, tc := range tests {
+		group := fmt.Sprintf("g%d", i)
+		for _, offs := range tc.commits {
+			b.CommitOffsets(group, offs)
+		}
+		got := b.FetchOffsets(group)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: fetched %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for p, o := range tc.want {
+			if got[p] != o {
+				t.Errorf("%s: partition %d = %d, want %d", tc.name, p, got[p], o)
+			}
+		}
+	}
+	// Groups are independent namespaces.
+	if got := b.FetchOffsets("g1"); got[0] != 5 {
+		t.Errorf("group g1 clobbered: %v", got)
+	}
+}
+
+func TestFetchOffsetsReturnsCopy(t *testing.T) {
+	b := NewBroker(1)
+	b.CommitOffsets("g", map[int]int64{0: 4})
+	got := b.FetchOffsets("g")
+	got[0] = 99
+	if again := b.FetchOffsets("g"); again[0] != 4 {
+		t.Errorf("caller mutation leaked into broker: %v", again)
+	}
+}
+
+func TestTxnPrepareCommitMakesRecordsReadable(t *testing.T) {
+	b := NewBroker(2)
+	p := NewTxnProducer(b, "sink/0")
+	for i := 0; i < 3; i++ {
+		if err := p.Add(i%2, []byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := committed(b); len(got) != 0 {
+		t.Fatalf("open records readable: %v", got)
+	}
+	if err := p.Prepare(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := committed(b); len(got) != 0 {
+		t.Fatalf("pending records readable: %v", got)
+	}
+	if err := p.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := committed(b); len(got) != 3 {
+		t.Fatalf("committed %v, want 3 records", got)
+	}
+	// Commit is idempotent at or below the high-water mark.
+	if err := p.Commit(1); err != nil {
+		t.Fatalf("retried commit: %v", err)
+	}
+	if got := committed(b); len(got) != 3 {
+		t.Fatalf("idempotent commit duplicated records: %v", got)
+	}
+}
+
+func TestTxnIllegalTransitions(t *testing.T) {
+	b := NewBroker(1)
+	p := NewTxnProducer(b, "sink/0")
+	_ = p.Add(0, []byte("k"), []byte("v"))
+	if err := p.Prepare(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		op   func() error
+		want error
+	}{
+		{"commit unprepared epoch", func() error { return p.Commit(5) }, ErrUnknownTxn},
+		{"prepare at committed epoch", func() error { return p.Prepare(2) }, ErrEpochCommitted},
+		{"prepare below committed epoch", func() error { return p.Prepare(1) }, ErrEpochCommitted},
+		{"abort committed epoch", func() error { return p.Abort(2) }, ErrEpochCommitted},
+	}
+	for _, tc := range tests {
+		if err := tc.op(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Re-prepare of a pending (undecided) epoch is also illegal.
+	if err := p.Prepare(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Prepare(3); err == nil {
+		t.Error("re-prepare of pending epoch accepted")
+	}
+	// Abort of a never-prepared epoch is a no-op (abandoned checkpoint).
+	if err := p.Abort(9); err != nil {
+		t.Errorf("abort of unknown epoch: %v", err)
+	}
+}
+
+func TestTxnZombieFencing(t *testing.T) {
+	b := NewBroker(1)
+	old := NewTxnProducer(b, "sink/0")
+	_ = old.Add(0, []byte("k"), []byte("zombie-open"))
+	if err := old.Prepare(1); err != nil {
+		t.Fatal(err)
+	}
+	_ = old.Add(0, []byte("k"), []byte("zombie-open-2"))
+
+	// A relaunched incarnation registers the same transactional id: the
+	// old session is fenced, its un-prepared staging discarded, but the
+	// prepared epoch survives for the coordinator's decision.
+	fresh := NewTxnProducer(b, "sink/0")
+	ops := []struct {
+		name string
+		op   func() error
+	}{
+		{"add", func() error { return old.Add(0, []byte("k"), []byte("v")) }},
+		{"prepare", func() error { return old.Prepare(2) }},
+		{"commit", func() error { return old.Commit(1) }},
+		{"abort", func() error { return old.Abort(1) }},
+		{"recover", func() error { return old.Recover(1) }},
+	}
+	for _, tc := range ops {
+		if err := tc.op(); !errors.Is(err, ErrFenced) {
+			t.Errorf("zombie %s: err = %v, want ErrFenced", tc.name, err)
+		}
+	}
+	if got := fresh.PendingEpochs(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("pending after re-registration = %v, want [1]", got)
+	}
+	if n := fresh.Open(); n != 0 {
+		t.Fatalf("zombie's open buffer survived registration: %d records", n)
+	}
+	if err := fresh.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	got := committed(b)
+	if len(got) != 1 || got[0] != "zombie-open" {
+		t.Fatalf("committed %v, want the one prepared record", got)
+	}
+}
+
+func TestTxnAbortDiscardsStagedRecords(t *testing.T) {
+	b := NewBroker(1)
+	p := NewTxnProducer(b, "sink/0")
+	_ = p.Add(0, []byte("k"), []byte("doomed"))
+	if err := p.Prepare(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Abort(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := committed(b); len(got) != 0 {
+		t.Fatalf("aborted records readable: %v", got)
+	}
+	if got := p.PendingEpochs(); len(got) != 0 {
+		t.Fatalf("aborted epoch still pending: %v", got)
+	}
+	// The aborted epoch was never committed, so the id can stage a fresh
+	// transaction under a later epoch and commit it normally.
+	_ = p.Add(0, []byte("k"), []byte("kept"))
+	if err := p.Prepare(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := committed(b); len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("committed %v, want [kept]", got)
+	}
+}
+
+func TestTxnCommitThroughAndRecover(t *testing.T) {
+	b := NewBroker(1)
+	p := NewTxnProducer(b, "sink/0")
+	for e := int64(1); e <= 3; e++ {
+		_ = p.Add(0, []byte("k"), []byte(fmt.Sprintf("e%d", e)))
+		if err := p.Prepare(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// CommitThrough stops at the bound; epoch 3 stays undecided.
+	if err := p.CommitThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := committed(b); len(got) != 2 {
+		t.Fatalf("committed %v, want e1 e2", got)
+	}
+	if got := p.PendingEpochs(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("pending = %v, want [3]", got)
+	}
+
+	// Recovery at epoch 2: pending 3 never globally committed → abort;
+	// the open buffer is pre-failure staging → discarded. Idempotent.
+	_ = p.Add(0, []byte("k"), []byte("pre-failure"))
+	for i := 0; i < 2; i++ {
+		if err := p.Recover(2); err != nil {
+			t.Fatal(err)
+		}
+		if got := committed(b); len(got) != 2 {
+			t.Fatalf("recover pass %d: committed %v", i, got)
+		}
+		if got := p.PendingEpochs(); len(got) != 0 {
+			t.Fatalf("recover pass %d: pending %v", i, got)
+		}
+	}
+	if got := p.LastCommitted(); got != 2 {
+		t.Fatalf("last committed = %d, want 2", got)
+	}
+}
+
+func TestTxnRecoverCommitsLostNotification(t *testing.T) {
+	b := NewBroker(1)
+	p := NewTxnProducer(b, "sink/0")
+	_ = p.Add(0, []byte("k"), []byte("won"))
+	if err := p.Prepare(4); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint globally committed epoch 4 but the sink died before
+	// hearing it: recovery at 4 must commit, not abort.
+	if err := p.Recover(4); err != nil {
+		t.Fatal(err)
+	}
+	got := committed(b)
+	if len(got) != 1 || got[0] != "won" {
+		t.Fatalf("committed %v, want [won]", got)
+	}
+}
+
+func TestConsumerSeekFiltersLandingSegment(t *testing.T) {
+	b := NewBroker(1)
+	n := SegmentRecords*2 + 10
+	for i := 0; i < n; i++ {
+		b.Produce(0, []byte("k"), []byte(fmt.Sprintf("v%d", i)))
+	}
+	b.Flush()
+	for _, target := range []int64{0, 1, int64(SegmentRecords) - 1, int64(SegmentRecords), int64(SegmentRecords) + 7, int64(n) - 1} {
+		c := NewConsumer(b, []int{0})
+		c.Seek(0, target)
+		var recs []Record
+		for {
+			batch := c.Poll(1024)
+			if len(batch) == 0 {
+				break
+			}
+			recs = append(recs, batch...)
+		}
+		if int64(len(recs)) != int64(n)-target {
+			t.Fatalf("seek %d: polled %d records, want %d", target, len(recs), int64(n)-target)
+		}
+		if recs[0].Offset != target {
+			t.Fatalf("seek %d: first offset %d", target, recs[0].Offset)
+		}
+	}
+	// Seeking to the end of the log yields nothing.
+	c := NewConsumer(b, []int{0})
+	c.Seek(0, int64(n))
+	if recs := c.Poll(1024); len(recs) != 0 {
+		t.Fatalf("seek to end polled %d records", len(recs))
+	}
+}

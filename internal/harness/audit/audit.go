@@ -1,0 +1,101 @@
+// Package audit is the reusable duplicate-audit chaos harness for the
+// end-to-end exactly-once certification suite: preload a source broker
+// with uniquely valued records, run a topology (with kills) that copies
+// them into a transactional sink broker, then compare the sink's
+// *committed* record set against the expectation as an exact multiset —
+// zero duplicates, zero loss, regardless of where the kill landed.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heron/internal/extsvc/kafkasim"
+)
+
+// PreloadUnique fills every partition of the source broker with n records
+// whose values are unique across the whole broker ("p<part>-<i>"), and
+// returns the expected multiset (every value exactly once).
+func PreloadUnique(b *kafkasim.Broker, nPerPartition int) map[string]int {
+	expected := make(map[string]int, b.Partitions()*nPerPartition)
+	b.Preload(nPerPartition, func(part, i int) (key, value []byte) {
+		v := fmt.Sprintf("p%d-%d", part, i)
+		expected[v]++
+		return []byte(v), []byte(v)
+	})
+	return expected
+}
+
+// CommittedMultiset reads every committed (readable) record of the broker
+// with a fresh consumer and returns value → occurrence count. Records
+// still staged in open or pending transactions are invisible, exactly as
+// they are to a read-committed Kafka consumer.
+func CommittedMultiset(b *kafkasim.Broker) map[string]int {
+	parts := make([]int, b.Partitions())
+	for i := range parts {
+		parts[i] = i
+	}
+	c := kafkasim.NewConsumer(b, parts)
+	got := map[string]int{}
+	for {
+		recs := c.Poll(1024)
+		if len(recs) == 0 {
+			return got
+		}
+		for _, r := range recs {
+			got[string(r.Value)]++
+		}
+	}
+}
+
+// DiffMultisets compares the committed set against the expectation and
+// returns the total missing count, the total duplicate count, and a short
+// human-readable sample of the first few discrepancies for the test log.
+func DiffMultisets(expected, got map[string]int) (missing, dups int, sample string) {
+	var notes []string
+	keys := make([]string, 0, len(expected))
+	for v := range expected {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		want := expected[v]
+		if have := got[v]; have < want {
+			missing += want - have
+			if len(notes) < 5 {
+				notes = append(notes, fmt.Sprintf("%s: want %d have %d", v, want, have))
+			}
+		} else if have > want {
+			dups += have - want
+			if len(notes) < 5 {
+				notes = append(notes, fmt.Sprintf("%s: want %d have %d (dup)", v, want, have))
+			}
+		}
+	}
+	for v, have := range got {
+		if _, ok := expected[v]; !ok {
+			dups += have
+			if len(notes) < 5 {
+				notes = append(notes, fmt.Sprintf("%s: unexpected ×%d", v, have))
+			}
+		}
+	}
+	return missing, dups, strings.Join(notes, "; ")
+}
+
+// CommittedTotal is the committed record count across all partitions —
+// the cheap progress probe audits poll before doing the full multiset
+// comparison.
+func CommittedTotal(b *kafkasim.Broker) int {
+	n := 0
+	for p := 0; p < b.Partitions(); p++ {
+		n += b.Len(p)
+	}
+	return n
+}
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. The chaos suites shrink their data volumes under -race so
+// `make verify` keeps every kill window in scope at a tolerable runtime.
+func RaceEnabled() bool { return raceEnabled }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package audit
+
+const raceEnabled = false

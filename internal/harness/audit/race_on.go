@@ -1,0 +1,7 @@
+//go:build race
+
+package audit
+
+// raceEnabled reports whether the binary was built with the race
+// detector; see RaceEnabled.
+const raceEnabled = true

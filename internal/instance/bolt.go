@@ -206,6 +206,10 @@ func (in *Instance) runBolt() {
 				in.boltData(f.data, &dt, col)
 			case network.MsgMarker:
 				in.boltMarker(f.data, &dt, col)
+			case network.MsgCommitted:
+				if id, _, _, err := tuple.DecodeMarker(f.data); err == nil {
+					in.epochCommitted(id)
+				}
 			default:
 				continue
 			}

@@ -30,45 +30,71 @@ type barrier struct {
 	held [][]byte
 }
 
-// statefulComponent returns the user component's StatefulComponent
-// extension, or nil.
-func (in *Instance) statefulComponent() api.StatefulComponent {
+// component returns the user component (spout or bolt) for optional-
+// interface probing.
+func (in *Instance) component() any {
 	switch in.opts.Kind {
 	case core.KindSpout:
-		sc, _ := in.opts.Spout.(api.StatefulComponent)
-		return sc
+		return in.opts.Spout
 	case core.KindBolt:
-		sc, _ := in.opts.Bolt.(api.StatefulComponent)
-		return sc
+		return in.opts.Bolt
 	}
 	return nil
 }
 
+// statefulComponent returns the user component's StatefulComponent
+// extension, or nil.
+func (in *Instance) statefulComponent() api.StatefulComponent {
+	sc, _ := in.component().(api.StatefulComponent)
+	return sc
+}
+
 // maybeRestore rebuilds the component's state from the restore checkpoint
 // chosen at container launch. Called after Open/Prepare, before any input
-// is processed.
+// is processed. Transactional sinks run their recovery pass even when
+// nothing was ever committed (restore 0): transactions prepared before
+// the failure must be aborted, or their records would double-commit when
+// a later epoch lands.
 func (in *Instance) maybeRestore() {
-	if in.opts.Checkpoint == nil || in.opts.RestoreCheckpoint <= 0 {
+	if in.opts.Checkpoint == nil {
 		return
 	}
-	// Stale markers from checkpoints attempted before the failure may
-	// still be in flight; ignore everything up to the restore point even
-	// for stateless components.
-	in.lastCkptID = in.opts.RestoreCheckpoint
+	restore := in.opts.RestoreCheckpoint
+	if restore > 0 {
+		// Stale markers from checkpoints attempted before the failure may
+		// still be in flight; ignore everything up to the restore point even
+		// for stateless components.
+		in.lastCkptID = restore
+		in.restoreState(restore)
+	}
+	// Commit notifications for epochs ≤ restore are already resolved by
+	// RecoverEpochs below; treat them as applied.
+	in.lastCommitID = restore
+	if ts, ok := in.component().(api.TransactionalSink); ok {
+		if err := ts.RecoverEpochs(restore); err != nil {
+			log.Printf("instance %v: recover transactional sink at epoch %d: %v",
+				in.opts.ID, restore, err)
+		}
+	}
+}
+
+// restoreState loads and applies the component's snapshot for checkpoint
+// restore.
+func (in *Instance) restoreState(restore int64) {
 	sc := in.statefulComponent()
 	if sc == nil {
 		return
 	}
-	data, err := in.opts.Checkpoint.Load(in.opts.Topology, in.opts.RestoreCheckpoint, in.opts.ID.TaskID)
+	data, err := in.opts.Checkpoint.Load(in.opts.Topology, restore, in.opts.ID.TaskID)
 	if err != nil {
 		if !errors.Is(err, core.ErrNotFound) {
-			log.Printf("instance %v: load checkpoint %d: %v", in.opts.ID, in.opts.RestoreCheckpoint, err)
+			log.Printf("instance %v: load checkpoint %d: %v", in.opts.ID, restore, err)
 		}
 		return
 	}
 	st, err := checkpoint.DecodeState(data)
 	if err != nil {
-		log.Printf("instance %v: decode checkpoint %d: %v", in.opts.ID, in.opts.RestoreCheckpoint, err)
+		log.Printf("instance %v: decode checkpoint %d: %v", in.opts.ID, restore, err)
 		return
 	}
 	if err := sc.RestoreState(st); err != nil {
@@ -78,27 +104,69 @@ func (in *Instance) maybeRestore() {
 	in.mRestores.Inc(1)
 }
 
-// checkpointSave captures and persists the component's state for one
-// checkpoint. Stateless components skip the snapshot but still ack (the
-// coordinator waits on every task).
-func (in *Instance) checkpointSave(id int64) {
+// checkpointSave runs the snapshot phase for one checkpoint: stage the
+// transactional prepare (source offsets, sink pending transaction), then
+// capture and persist the component's state. Stateless components skip
+// the snapshot but still ack (the coordinator waits on every task). The
+// return value gates the ack: a failed prepare or persist must abandon
+// the epoch — acking it would let the coordinator globally commit a
+// checkpoint this task did not durably join.
+func (in *Instance) checkpointSave(id int64) bool {
+	if in.opts.Checkpoint == nil {
+		return false
+	}
+	if ts, ok := in.component().(api.TransactionalSource); ok {
+		if err := ts.PrepareOffsets(id); err != nil {
+			log.Printf("instance %v: prepare offsets for epoch %d: %v", in.opts.ID, id, err)
+			return false
+		}
+	}
+	if ts, ok := in.component().(api.TransactionalSink); ok {
+		if err := ts.PrepareEpoch(id); err != nil {
+			log.Printf("instance %v: prepare epoch %d: %v", in.opts.ID, id, err)
+			return false
+		}
+	}
 	sc := in.statefulComponent()
-	if sc == nil || in.opts.Checkpoint == nil {
-		return
+	if sc == nil {
+		return true
 	}
 	start := time.Now()
 	st := checkpoint.NewMapState()
 	if err := sc.SaveState(st); err != nil {
 		log.Printf("instance %v: save state: %v", in.opts.ID, err)
-		return
+		return false
 	}
 	data := checkpoint.EncodeState(st)
 	if err := in.opts.Checkpoint.Save(in.opts.Topology, id, in.opts.ID.TaskID, data); err != nil {
 		log.Printf("instance %v: persist checkpoint %d: %v", in.opts.ID, id, err)
-		return
+		return false
 	}
 	in.mCkptDur.Observe(time.Since(start).Nanoseconds())
 	in.mCkptSize.Observe(int64(len(data)))
+	return true
+}
+
+// epochCommitted applies one global-commit notification (a MsgCommitted
+// frame) to the transactional source/sink: the coordinator has durably
+// committed checkpoint id, so externally staged effects up to that epoch
+// become visible. Notifications are a monotone high-water mark — stale
+// and duplicate ones are ignored.
+func (in *Instance) epochCommitted(id int64) {
+	if in.opts.Checkpoint == nil || id <= in.lastCommitID {
+		return
+	}
+	in.lastCommitID = id
+	if ts, ok := in.component().(api.TransactionalSource); ok {
+		if err := ts.EpochCommitted(id); err != nil {
+			log.Printf("instance %v: commit source offsets for epoch %d: %v", in.opts.ID, id, err)
+		}
+	}
+	if ts, ok := in.component().(api.TransactionalSink); ok {
+		if err := ts.CommitEpoch(id); err != nil {
+			log.Printf("instance %v: commit epoch %d: %v", in.opts.ID, id, err)
+		}
+	}
 }
 
 // forwardMarkers sends this task's marker for checkpoint id to every
@@ -137,8 +205,9 @@ func (in *Instance) spoutCheckpoint(id int64) {
 	in.lastCkptID = id
 	in.flushOut()
 	in.forwardMarkers(id)
-	in.checkpointSave(id)
-	in.sendCheckpointSaved(id)
+	if in.checkpointSave(id) {
+		in.sendCheckpointSaved(id)
+	}
 }
 
 // boltMarker handles one marker frame at a bolt, advancing (or starting)
@@ -176,8 +245,9 @@ func (in *Instance) boltMarker(data []byte, dt *tuple.DataTuple, col *boltCollec
 	in.lastCkptID = id
 	in.flushOut()
 	in.forwardMarkers(id)
-	in.checkpointSave(id)
-	in.sendCheckpointSaved(id)
+	if in.checkpointSave(id) {
+		in.sendCheckpointSaved(id)
+	}
 	in.releaseHeld(dt, col)
 }
 

@@ -95,6 +95,10 @@ type Instance struct {
 	lastCkptID int64
 	bar        *barrier
 	markerBuf  []byte
+	// lastCommitID is the newest globally committed epoch this instance
+	// has applied to its transactional source/sink; commit notifications
+	// are an idempotent high-water mark, so older ones are ignored.
+	lastCommitID int64
 
 	// Reusable scratch buffers (executor goroutine only; Send copies).
 	frameBuf []byte

@@ -172,6 +172,10 @@ func (in *Instance) spoutFrame(f inFrame) {
 		if id, _, _, err := tuple.DecodeMarker(f.data); err == nil {
 			in.spoutCheckpoint(id)
 		}
+	case network.MsgCommitted:
+		if id, _, _, err := tuple.DecodeMarker(f.data); err == nil {
+			in.epochCommitted(id)
+		}
 	}
 }
 

@@ -48,6 +48,11 @@ const (
 	MsgAck     MsgKind = 2 // batch of encoded ack/fail control tuples
 	MsgControl MsgKind = 3 // control plane (registration, plans, metrics)
 	MsgMarker  MsgKind = 4 // checkpoint epoch marker (barrier alignment)
+	// MsgCommitted notifies an instance that a checkpoint epoch globally
+	// committed (the second phase of transactional sources/sinks). It uses
+	// the marker payload encoding and, like markers, must not overtake data
+	// already batched for the same destination.
+	MsgCommitted MsgKind = 5
 )
 
 // MaxFrameSize bounds a single frame; larger sends fail fast instead of

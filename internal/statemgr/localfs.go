@@ -243,6 +243,20 @@ func (l *LocalFS) DeletePackingPlan(topology string) error {
 	return err
 }
 
+// SetCheckpointLedger implements core.StateManager.
+func (l *LocalFS) SetCheckpointLedger(topology string, led *core.CheckpointLedger) error {
+	return l.write(l.file(topology, "ckptledger"), led, false)
+}
+
+// GetCheckpointLedger implements core.StateManager.
+func (l *LocalFS) GetCheckpointLedger(topology string) (*core.CheckpointLedger, error) {
+	var led core.CheckpointLedger
+	if err := l.read(l.file(topology, "ckptledger"), &led); err != nil {
+		return nil, err
+	}
+	return &led, nil
+}
+
 // Close implements core.StateManager: watches stop and ephemeral records
 // (TMaster locations) are removed, emulating session expiry.
 func (l *LocalFS) Close() error {

@@ -70,6 +70,7 @@ func packingPath(name string) string     { return "/topologies/" + name + "/pack
 func tmasterPath(name string) string     { return "/topologies/" + name + "/tmaster" }
 func schedulerPath(name string) string   { return "/topologies/" + name + "/scheduler" }
 func topologyDirPath(name string) string { return "/topologies/" + name }
+func ledgerPath(name string) string      { return "/topologies/" + name + "/ckptledger" }
 
 // SetTMasterLocation implements core.StateManager; the record is ephemeral.
 func (m *Memory) SetTMasterLocation(loc core.TMasterLocation) error {
@@ -183,7 +184,7 @@ func (m *Memory) DeleteTopology(name string) error {
 	if err := m.checkInit(); err != nil {
 		return err
 	}
-	for _, p := range []string{topologyPath(name), packingPath(name), schedulerPath(name), tmasterPath(name), topologyDirPath(name)} {
+	for _, p := range []string{topologyPath(name), packingPath(name), schedulerPath(name), tmasterPath(name), ledgerPath(name), topologyDirPath(name)} {
 		if err := m.session.Delete(p); err != nil {
 			return err
 		}
@@ -247,6 +248,37 @@ func (m *Memory) DeletePackingPlan(topology string) error {
 		return err
 	}
 	return m.session.Delete(packingPath(topology))
+}
+
+// SetCheckpointLedger implements core.StateManager.
+func (m *Memory) SetCheckpointLedger(topology string, l *core.CheckpointLedger) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	return m.session.Set(ledgerPath(topology), b, false)
+}
+
+// GetCheckpointLedger implements core.StateManager.
+func (m *Memory) GetCheckpointLedger(topology string) (*core.CheckpointLedger, error) {
+	if err := m.checkInit(); err != nil {
+		return nil, err
+	}
+	b, ok, err := m.session.Get(ledgerPath(topology))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, core.ErrNotFound
+	}
+	var l core.CheckpointLedger
+	if err := json.Unmarshal(b, &l); err != nil {
+		return nil, err
+	}
+	return &l, nil
 }
 
 // Close implements core.StateManager: the session expires, deleting this

@@ -268,6 +268,45 @@ func BenchmarkRouteCheckpoint(b *testing.B) {
 	})
 }
 
+// BenchmarkRouteTxn bounds what end-to-end transactions cost the routing
+// hot path. "off" is the checkpoint cadence alone (markers every 256
+// frames); "on" adds the transactional second phase — a global-commit
+// notification fanned out as a MsgCommitted frame after each barrier.
+// The two columns must stay within noise of each other and the route
+// loop must remain allocation-free: commit notifications are per-epoch
+// control traffic, amortized to nothing against the data path.
+func BenchmarkRouteTxn(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		s := newBenchSM(b)
+		frame := benchFrame(2, 8)
+		marker := tuple.AppendMarker(nil, 1, 0, 2)
+		b.SetBytes(int64(len(frame)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.routeDataLazy(frame)
+			if i%256 == 255 {
+				s.routeMarker(marker)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		s := newBenchSM(b)
+		frame := benchFrame(2, 8)
+		marker := tuple.AppendMarker(nil, 1, 0, 2)
+		b.SetBytes(int64(len(frame)))
+		b.ResetTimer()
+		epoch := int64(0)
+		for i := 0; i < b.N; i++ {
+			s.routeDataLazy(frame)
+			if i%256 == 255 {
+				s.routeMarker(marker)
+				epoch++
+				s.notifyCommitted(epoch)
+			}
+		}
+	})
+}
+
 // healthStubTopo is an inert healthmgr.Topology: a frozen metrics view
 // (TakenAt never advances, so the sensor produces no samples after
 // warmup) over a one-container plan. It lets the benchmark run a live

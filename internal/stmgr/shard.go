@@ -221,6 +221,8 @@ func (sh *shard) run() {
 			sh.processData(buf)
 		case network.MsgMarker:
 			sh.processMarker(buf)
+		case network.MsgCommitted:
+			sh.processCommitted(buf)
 		default:
 			wire.PutBuffer(buf)
 		}
@@ -320,6 +322,32 @@ func (sh *shard) processMarker(buf *wire.Buffer) {
 	}
 	if peer := rt.peers[container]; peer != nil {
 		peer.enqueueOwned(network.MsgMarker, buf)
+		return
+	}
+	wire.PutBuffer(buf)
+}
+
+// processCommitted delivers one global-commit notification to its local
+// instance after flushing the shard cache for the destination — the same
+// data-before-marker FIFO the barrier path keeps, so a transactional sink
+// never commits an epoch before it has executed every tuple batched ahead
+// of the notification. Committed frames are injected locally by
+// notifyCommitted and never forwarded; an unregistered destination just
+// drops the frame (the instance will resolve the epoch via recovery).
+func (sh *shard) processCommitted(buf *wire.Buffer) {
+	_, _, dest, err := tuple.DecodeMarker(buf.B)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	rt := sh.routes.Load()
+	if rt == nil {
+		wire.PutBuffer(buf)
+		return
+	}
+	sh.cache.flushDest(dest)
+	if o := rt.instances[dest]; o != nil {
+		o.enqueueOwned(network.MsgCommitted, buf)
 		return
 	}
 	wire.PutBuffer(buf)

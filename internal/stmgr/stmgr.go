@@ -349,6 +349,7 @@ func (s *StreamManager) connectTMaster(loc core.TMasterLocation) {
 			s.triggerCheckpoint(m.CheckpointID)
 		case ctrl.OpCheckpointCommitted:
 			s.mCkptEpoch.Set(m.CheckpointID)
+			s.notifyCommitted(m.CheckpointID)
 		}
 	})
 	reg, err := ctrl.Encode(&ctrl.Message{
@@ -589,6 +590,37 @@ func (s *StreamManager) triggerCheckpoint(id int64) {
 	for task, o := range rt.instances {
 		if int(task) < len(rt.plan.Tasks) && rt.plan.Tasks[task].Kind == core.KindSpout {
 			o.enqueue(network.MsgMarker, tuple.AppendMarker(nil, id, -1, task))
+		}
+	}
+}
+
+// notifyCommitted fans the global-commit notification for checkpoint id
+// out to every registered local instance as a MsgCommitted frame — the
+// second phase of the transactional source/sink protocol. The frame must
+// not overtake data already batched for the same instance (a sink must
+// see every pre-commit tuple before it learns the epoch committed), so it
+// takes the same route its data takes: in dispatch mode through the
+// destination's shard ring (processCommitted flushes the shard cache for
+// the destination first), inline behind an explicit cache flush.
+// Committed frames are local-only — every container's Stream Manager
+// hears the broadcast itself, so nothing is forwarded to peers.
+func (s *StreamManager) notifyCommitted(id int64) {
+	rt := s.routes.Load()
+	if rt == nil || rt.plan == nil {
+		return
+	}
+	for task := range rt.instances {
+		if s.nShards > 1 {
+			buf := wire.GetBuffer()
+			buf.B = tuple.AppendMarker(buf.B, id, -1, task)
+			_ = s.shards[s.shardOf(task)].inbox.Enqueue(network.MsgCommitted, buf)
+			continue
+		}
+		if s.cache != nil {
+			s.cache.flushDest(task)
+		}
+		if o := rt.instances[task]; o != nil {
+			o.enqueue(network.MsgCommitted, tuple.AppendMarker(nil, id, -1, task))
 		}
 	}
 }

@@ -93,7 +93,12 @@ func New(opts Options) (*TMaster, error) {
 		}
 		tm.ckptBackend = backend
 		tm.ckpt = checkpoint.NewCoordinator(opts.Topology, backend)
-		// A TMaster restarted mid-topology must not reuse committed ids.
+		// Persist the prepare/commit ledger through the State Manager, and
+		// resume the id sequence past both the latest committed checkpoint
+		// and the ledger's Next: a TMaster restarted mid-epoch must not
+		// reuse the in-flight id (transactional sinks may already hold a
+		// prepared transaction under it).
+		tm.ckpt.UseLedger(opts.State)
 		if err := tm.ckpt.InitFromBackend(); err != nil {
 			l.Close()
 			backend.Close()
@@ -224,6 +229,19 @@ func (tm *TMaster) broadcastIfComplete() {
 	}
 	for _, c := range conns {
 		_ = c.Send(network.MsgControl, raw)
+	}
+	// Re-advertise the newest committed epoch with every complete plan
+	// broadcast. Commit notifications are fire-and-forget; if the previous
+	// TMaster died between backend.Commit and the broadcast (or a container
+	// relaunched without a restore), transactional sinks would sit on a
+	// prepared transaction for an epoch that already won. The notification
+	// is an idempotent high-water mark, so repeating it is free.
+	if tm.ckpt != nil {
+		if latest, err := tm.ckpt.LatestCommitted(); err == nil && latest > 0 {
+			tm.broadcastCtrl(&ctrl.Message{
+				Op: ctrl.OpCheckpointCommitted, Topology: tm.opts.Topology, CheckpointID: latest,
+			})
+		}
 	}
 	tm.readyOK.Do(func() { close(tm.ready) })
 }

@@ -1,0 +1,253 @@
+package workloads
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"heron/api"
+	"heron/internal/extsvc/kafkasim"
+)
+
+// This file is the end-to-end exactly-once workload: a Kafka-backed
+// source/sink pair that extends the aligned-checkpoint epoch across both
+// topology edges. KafkaTxnSpout reads a kafkasim broker through a consumer
+// group and checkpoints its read positions (api.TransactionalSource);
+// KafkaTxnSink writes a second broker through a transactional producer with
+// barrier-driven two-phase commit (api.TransactionalSink). A kill at any
+// point replays input from the last committed cut and aborts or commits
+// the sink's pending transactions to match — the chaos suite audits the
+// sink broker for an exact multiset of the input.
+
+// KafkaStats aggregates progress counters shared by all instances of one
+// run, for harness polling.
+type KafkaStats struct {
+	Polled    atomic.Int64 // records read from the source broker
+	Staged    atomic.Int64 // records staged at the sink (pre-commit)
+	Prepared  atomic.Int64 // sink prepare calls
+	Committed atomic.Int64 // sink commit notifications applied
+}
+
+// TxnHooks are chaos-test interception points on the sink's transactional
+// edges; nil (or a nil member) is the production path. A hook that
+// returns an error abandons the surrounding phase, which the protocol
+// treats exactly like a crash at that point — the lever the chaos suite
+// uses to pin a kill inside a specific failure window.
+type TxnHooks struct {
+	// OnPrepared runs after the broker holds the pending transaction but
+	// before the snapshot is acked (failure window: prepared, never
+	// globally committed).
+	OnPrepared func(epoch int64) error
+	// OnCommit runs when the global-commit notification arrives, before
+	// the broker commit is applied (failure window: globally committed,
+	// sink unaware).
+	OnCommit func(epoch int64) error
+	// OnRecover runs at restart before pending transactions are resolved
+	// (failure window: killed again mid-recovery).
+	OnRecover func(committed int64) error
+}
+
+// KafkaTxnSpout is a transactional source: it polls an assigned share of the
+// broker's partitions through a consumer group, emits (key, value)
+// tuples, and rides its read positions on the checkpoint — offsets are
+// staged at snapshot time and committed to the group only when the epoch
+// globally commits, so the group's committed positions never run ahead of
+// a recoverable cut.
+type KafkaTxnSpout struct {
+	Broker *kafkasim.Broker
+	Group  string
+	// BatchSize bounds records emitted per NextTuple (default 32).
+	BatchSize int
+	Stats     *KafkaStats
+
+	out      api.SpoutCollector
+	consumer *kafkasim.Consumer
+	pos      map[int]int64           // partition → next offset to read
+	staged   map[int64]map[int]int64 // epoch → positions at its snapshot
+}
+
+// Open implements api.Spout: partitions are split round-robin across the
+// component's instances, Kafka consumer-group style.
+func (s *KafkaTxnSpout) Open(ctx api.TopologyContext, out api.SpoutCollector) error {
+	s.out = out
+	if s.BatchSize < 1 {
+		s.BatchSize = 32
+	}
+	par := ctx.ComponentParallelism(ctx.ComponentName())
+	if par < 1 {
+		par = 1
+	}
+	s.consumer = kafkasim.AssignAll(s.Broker, int(ctx.ComponentIndex()), par)
+	s.pos = map[int]int64{}
+	for _, p := range s.consumer.Assigned() {
+		s.pos[p] = 0
+	}
+	s.staged = map[int64]map[int]int64{}
+	return nil
+}
+
+// NextTuple implements api.Spout.
+func (s *KafkaTxnSpout) NextTuple() bool {
+	recs := s.consumer.Poll(s.BatchSize)
+	for _, r := range recs {
+		s.pos[r.Partition] = r.Offset + 1
+		s.out.Emit("", nil, string(r.Key), string(r.Value))
+	}
+	if s.Stats != nil {
+		s.Stats.Polled.Add(int64(len(recs)))
+	}
+	return len(recs) > 0
+}
+
+func (s *KafkaTxnSpout) Ack(any)      {}
+func (s *KafkaTxnSpout) Fail(any)     {}
+func (s *KafkaTxnSpout) Close() error { return nil }
+
+const offKeyPrefix = "off:"
+
+// SaveState implements api.StatefulComponent: the snapshot is the read
+// position of every assigned partition.
+func (s *KafkaTxnSpout) SaveState(st api.State) error {
+	for part, off := range s.pos {
+		st.Set(offKeyPrefix+strconv.Itoa(part), []byte(strconv.FormatInt(off, 10)))
+	}
+	return nil
+}
+
+// RestoreState implements api.StatefulComponent: rewind the consumer to
+// the checkpointed positions, so replay re-reads exactly the records
+// whose downstream effects the recovery discarded.
+func (s *KafkaTxnSpout) RestoreState(st api.State) error {
+	var err error
+	st.Range(func(key string, value []byte) bool {
+		if !strings.HasPrefix(key, offKeyPrefix) {
+			return true
+		}
+		part, perr := strconv.Atoi(key[len(offKeyPrefix):])
+		if perr != nil {
+			err = perr
+			return false
+		}
+		off, perr := strconv.ParseInt(string(value), 10, 64)
+		if perr != nil {
+			err = perr
+			return false
+		}
+		s.pos[part] = off
+		s.consumer.Seek(part, off)
+		return true
+	})
+	return err
+}
+
+// PrepareOffsets implements api.TransactionalSource.
+func (s *KafkaTxnSpout) PrepareOffsets(epoch int64) error {
+	cut := make(map[int]int64, len(s.pos))
+	for p, o := range s.pos {
+		cut[p] = o
+	}
+	s.staged[epoch] = cut
+	return nil
+}
+
+// EpochCommitted implements api.TransactionalSource: commit the newest
+// staged cut at or below the committed epoch to the consumer group and
+// drop every staged cut the high-water mark passed.
+func (s *KafkaTxnSpout) EpochCommitted(epoch int64) error {
+	var best int64
+	for e := range s.staged {
+		if e <= epoch && e > best {
+			best = e
+		}
+	}
+	if best > 0 {
+		s.Broker.CommitOffsets(s.Group, s.staged[best])
+	}
+	for e := range s.staged {
+		if e <= epoch {
+			delete(s.staged, e)
+		}
+	}
+	return nil
+}
+
+// KafkaTxnSink is a transactional sink bolt: Execute stages records in the
+// broker's open transaction buffer; the checkpoint barrier prepares them
+// under the epoch, and only the coordinator's global-commit notification
+// (or recovery deciding in the epoch's favor) makes them readable. The
+// transactional id is stable per task across relaunches, so a restarted
+// instance's registration fences the previous incarnation.
+type KafkaTxnSink struct {
+	Broker *kafkasim.Broker
+	Hooks  *TxnHooks
+	Stats  *KafkaStats
+
+	producer *kafkasim.TxnProducer
+}
+
+// Prepare implements api.Bolt.
+func (k *KafkaTxnSink) Prepare(ctx api.TopologyContext, _ api.BoltCollector) error {
+	id := fmt.Sprintf("%s/%s/%d", ctx.TopologyName(), ctx.ComponentName(), ctx.ComponentIndex())
+	k.producer = kafkasim.NewTxnProducer(k.Broker, id)
+	return nil
+}
+
+// Execute implements api.Bolt: records partition by key hash, mirroring a
+// keyed Kafka producer.
+func (k *KafkaTxnSink) Execute(t api.Tuple) error {
+	key, value := t.String(0), t.String(1)
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	part := int(h.Sum32()) % k.Broker.Partitions()
+	if err := k.producer.Add(part, []byte(key), []byte(value)); err != nil {
+		return err
+	}
+	if k.Stats != nil {
+		k.Stats.Staged.Add(1)
+	}
+	return nil
+}
+
+func (k *KafkaTxnSink) Cleanup() error { return nil }
+
+// PrepareEpoch implements api.TransactionalSink.
+func (k *KafkaTxnSink) PrepareEpoch(epoch int64) error {
+	if err := k.producer.Prepare(epoch); err != nil {
+		return err
+	}
+	if k.Stats != nil {
+		k.Stats.Prepared.Add(1)
+	}
+	if k.Hooks != nil && k.Hooks.OnPrepared != nil {
+		return k.Hooks.OnPrepared(epoch)
+	}
+	return nil
+}
+
+// CommitEpoch implements api.TransactionalSink.
+func (k *KafkaTxnSink) CommitEpoch(epoch int64) error {
+	if k.Hooks != nil && k.Hooks.OnCommit != nil {
+		if err := k.Hooks.OnCommit(epoch); err != nil {
+			return err
+		}
+	}
+	if err := k.producer.CommitThrough(epoch); err != nil {
+		return err
+	}
+	if k.Stats != nil {
+		k.Stats.Committed.Add(1)
+	}
+	return nil
+}
+
+// RecoverEpochs implements api.TransactionalSink.
+func (k *KafkaTxnSink) RecoverEpochs(committed int64) error {
+	if k.Hooks != nil && k.Hooks.OnRecover != nil {
+		if err := k.Hooks.OnRecover(committed); err != nil {
+			return err
+		}
+	}
+	return k.producer.Recover(committed)
+}
