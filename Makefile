@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet bench-parallel bench-cluster bench-txn
+.PHONY: build test race vet verify bench bench-json bench-health bench-streamlet bench-parallel bench-cluster bench-txn bench-failover
 
 build:
 	$(GO) build ./...
@@ -114,4 +114,24 @@ bench-cluster:
 		-benchmem -benchtime 2s ./internal/stmgr/ | \
 		$(GO) run ./cmd/benchjson -label after -out BENCH_PR8.json
 	$(GO) run ./cmd/benchgate -mode cluster -ledger BENCH_PR8.json \
+		-baseline BENCH_PR2.json -parallel-baseline BENCH_PR7.json
+
+# bench-failover refreshes BENCH_PR10.json: the control-plane failover
+# ledger. heron-bench -failover runs a checkpointed WordCount with 2 and
+# 3 control replicas, hard-kills the leader three times per
+# configuration, and times each kill to the first checkpoint epoch the
+# successor commits (lease lapse + election + fencing + log replay +
+# re-registration + one checkpoint round). The single- and multi-shard
+# route benchmarks ride along so benchgate -mode failover can assert
+# replication costs the data path nothing.
+bench-failover:
+	$(GO) run ./cmd/heron-bench -failover | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR10.json
+	$(GO) test -run XX -bench 'BenchmarkRouteLazy' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR10.json
+	GOMAXPROCS=8 $(GO) test -run XX -bench 'BenchmarkRouteParallel' \
+		-benchmem -benchtime 2s ./internal/stmgr/ | \
+		$(GO) run ./cmd/benchjson -label after -out BENCH_PR10.json
+	$(GO) run ./cmd/benchgate -mode failover -ledger BENCH_PR10.json \
 		-baseline BENCH_PR2.json -parallel-baseline BENCH_PR7.json

@@ -13,6 +13,7 @@
 package heron_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -190,6 +191,34 @@ func BenchmarkAblationCodec(b *testing.B) {
 	for _, codec := range []string{"naive", "fast"} {
 		b.Run(codec, func(b *testing.B) {
 			benchWC(b, harness.WCOptions{Parallelism: 16, Optimized: true, CodecOverride: codec}, false)
+		})
+	}
+}
+
+// BenchmarkFailover measures control-plane recovery latency: a
+// checkpointed WordCount with ControlReplicas hot standbys absorbs
+// leader kills, each timed kill→first-post-failover-commit (lease lapse
+// + election + fencing + log replay + re-registration + one checkpoint
+// round). ns/op is the mean over the kills of one sweep; run with
+// -benchtime 1x — the sweep is seconds, not nanoseconds.
+func BenchmarkFailover(b *testing.B) {
+	for _, replicas := range []int{2, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			var last harness.FailoverPoint
+			for i := 0; i < b.N; i++ {
+				pts, err := harness.FailoverSweep(harness.FailoverOptions{
+					Replicas: []int{replicas},
+					Kills:    3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = pts[0]
+			}
+			b.ReportMetric(last.MeanKillToCommitNs, "ns/op")
+			b.ReportMetric(last.MaxKillToCommitNs, "max-failover-ns")
+			b.ReportMetric(last.MeanElectionNs, "election-ns")
+			b.ReportMetric(float64(last.FinalTerm), "final-term")
 		})
 	}
 }

@@ -8,6 +8,10 @@ import (
 	"time"
 
 	"heron/api"
+	"heron/internal/cluster"
+	"heron/internal/core"
+	"heron/internal/metrics"
+	"heron/internal/replication"
 )
 
 // chaosBolt randomly fails a fraction of its inputs; the acking framework
@@ -237,4 +241,264 @@ func runScaleDown(t *testing.T, shards int) {
 	if len(grewTasks) > 2 {
 		t.Errorf("%d tasks still receiving traffic after scale-down to 2", len(grewTasks))
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane failover chaos: Config.ControlReplicas > 1 turns the
+// TMaster into one generation of a replicated control plane. These tests
+// kill the active leader (hard crash: the lease lapses, a standby fences
+// the dead generation, replays the control log, and takes over) at the
+// nastiest moments and verify the data plane never notices.
+
+// controlLeader returns the current leader's status, if any replica
+// leads right now.
+func controlLeader(h *Handle) (replication.Status, bool) {
+	for _, st := range h.ControlStatus() {
+		if st.Role == replication.RoleLeader {
+			return st, true
+		}
+	}
+	return replication.Status{}, false
+}
+
+// waitControlLeader waits for a leader whose (node, term) differs from
+// prev — i.e. a completed failover — and returns its status.
+func waitControlLeader(t *testing.T, h *Handle, prev replication.Status) replication.Status {
+	t.Helper()
+	var succ replication.Status
+	waitFor(t, 20*time.Second, "standby takeover", func() bool {
+		st, ok := controlLeader(h)
+		if !ok || st.NodeID == prev.NodeID || st.Term <= prev.Term {
+			return false
+		}
+		succ = st
+		return true
+	})
+	return succ
+}
+
+// TestControlPlaneFailoverMidEpoch hard-kills the leading TMaster with
+// checkpoint epochs in flight. A standby must win the election with a
+// higher fencing term, resume global commits past the kill point, serve
+// control operations again, and the stateful pipeline must keep exact
+// counts throughout — workers never restart for a control-plane death.
+func TestControlPlaneFailoverMidEpoch(t *testing.T) {
+	dict := healthDict()
+	h := &ckptHarness{spouts: map[int32]*seqSpout{}, bolts: map[int32]*ckptCountBolt{}}
+	var slow atomic.Bool
+	spec := buildHealthTopology(t, "ctrl-midepoch", h, &slow, dict, 2)
+
+	cfg := healthTestConfig(t, "ctrl-midepoch")
+	cfg.CheckpointInterval = 150 * time.Millisecond
+	cfg.ControlReplicas = 3
+	cl := cluster.New("ctrl-midepoch-sim", 4, core.Resource{CPU: 32, RAMMB: 32768, DiskMB: 65536})
+	cfg.Framework = cl
+
+	handle, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Kill()
+	if err := handle.WaitRunning(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full pool reports in: one leader, two warm standbys.
+	waitFor(t, 10*time.Second, "replica pool up", func() bool {
+		sts := handle.ControlStatus()
+		leaders := 0
+		for _, st := range sts {
+			if st.Role == replication.RoleLeader {
+				leaders++
+			}
+		}
+		return len(sts) == 3 && leaders == 1
+	})
+	waitFor(t, 20*time.Second, "first committed epoch", func() bool {
+		return handle.CommittedEpoch() > 0
+	})
+
+	old, ok := controlLeader(handle)
+	if !ok {
+		t.Fatal("no leader after first commit")
+	}
+	epochAtKill := handle.CommittedEpoch()
+
+	killed, err := handle.KillLeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("KillLeader found no leader")
+	}
+
+	succ := waitControlLeader(t, handle, old)
+	if succ.Failovers < 1 || succ.LastFailoverNs <= 0 {
+		t.Errorf("successor did not account the failover: %+v", succ)
+	}
+
+	// Checkpointing resumes under the new generation's term.
+	waitFor(t, 30*time.Second, "post-failover commit", func() bool {
+		return handle.CommittedEpoch() > epochAtKill
+	})
+
+	// Control operations work again; a request landing in the residual
+	// window retries through ErrNotLeader.
+	if err := RetryNotLeader(20*time.Second, func() error {
+		return handle.ScaleComponent("count", 3)
+	}); err != nil {
+		t.Fatalf("post-failover rescale: %v", err)
+	}
+	if got := countParallelism(t, handle); got != 3 {
+		t.Fatalf("count parallelism = %d after post-failover rescale, want 3", got)
+	}
+
+	base := h.executed.Load()
+	waitFor(t, 30*time.Second, "post-failover progress", func() bool {
+		return h.executed.Load() > base+5_000
+	})
+
+	// The merged metrics view carries the replication series: exactly one
+	// role=1 gauge (the successor), its term, and the failover latency.
+	mv := handle.Metrics()
+	if got := mv.Gauge(metrics.MReplicationRole, succ.NodeID); got != 1 {
+		t.Errorf("replication.role{%s} = %d, want 1", succ.NodeID, got)
+	}
+	if got := mv.Gauge(metrics.MReplicationTerm, succ.NodeID); got < succ.Term {
+		t.Errorf("replication.term{%s} = %d, want >= %d", succ.NodeID, got, succ.Term)
+	}
+	if got := mv.Gauge(metrics.MReplicationFailoverLatency, succ.NodeID); got <= 0 {
+		t.Errorf("replication.failover-latency-ns{%s} = %d, want > 0", succ.NodeID, got)
+	}
+
+	drainAndAudit(t, handle, h, dict)
+}
+
+// TestControlPlaneFailoverMidRescale kills the leader inside the
+// stateful-rescale protocol — after the checkpoint barrier and the
+// rescale-begin control record, before any state moves. The surviving
+// Handle must resume the rescale through the successor (the reserve step
+// fails with ErrNotLeader and re-resolves the leader) and the exact-count
+// audit must still hold across the repartitioned relaunch.
+func TestControlPlaneFailoverMidRescale(t *testing.T) {
+	dict := healthDict()
+	h := &ckptHarness{spouts: map[int32]*seqSpout{}, bolts: map[int32]*ckptCountBolt{}}
+	var slow atomic.Bool
+	spec := buildHealthTopology(t, "ctrl-midrescale", h, &slow, dict, 2)
+
+	cfg := healthTestConfig(t, "ctrl-midrescale")
+	cfg.ControlReplicas = 3
+	cl := cluster.New("ctrl-midrescale-sim", 4, core.Resource{CPU: 32, RAMMB: 32768, DiskMB: 65536})
+	cfg.Framework = cl
+
+	handle, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Kill()
+	if err := handle.WaitRunning(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 20*time.Second, "first committed epoch", func() bool {
+		return handle.CommittedEpoch() > 0
+	})
+	old, ok := controlLeader(handle)
+	if !ok {
+		t.Fatal("no leader after first commit")
+	}
+
+	// One-shot: the retry wrapper must not decapitate every successor.
+	var once sync.Once
+	handle.hookAfterRescaleBarrier = func() {
+		once.Do(func() {
+			if killed, err := handle.KillLeader(); err != nil || !killed {
+				t.Errorf("mid-rescale KillLeader: killed=%v err=%v", killed, err)
+			}
+		})
+	}
+	err = RetryNotLeader(30*time.Second, func() error {
+		return handle.ScaleComponent("count", 4)
+	})
+	handle.hookAfterRescaleBarrier = nil
+	if err != nil {
+		t.Fatalf("rescale across leader death: %v", err)
+	}
+	if got := countParallelism(t, handle); got != 4 {
+		t.Fatalf("count parallelism = %d, want 4", got)
+	}
+
+	succ := waitControlLeader(t, handle, old)
+	t.Logf("rescale survived failover %s/term=%d -> %s/term=%d",
+		old.NodeID, old.Term, succ.NodeID, succ.Term)
+
+	waitFor(t, 15*time.Second, "state restored on relaunch", func() bool {
+		return handle.SumCounter(metrics.MRestoreCount) > 0
+	})
+	base := h.executed.Load()
+	waitFor(t, 30*time.Second, "post-rescale progress", func() bool {
+		return h.executed.Load() > base+5_000
+	})
+
+	drainAndAudit(t, handle, h, dict)
+}
+
+// TestControlPlaneSurvivesTMasterContainerKill kills container 0 — the
+// TMaster's own container — through the scheduler's failure path. With a
+// replicated control plane the pool standby takes over, the scheduler
+// re-places only container 0 (a fresh candidate joins as standby), and
+// crucially the WORKERS never quiesce: zero restores, commits continue.
+func TestControlPlaneSurvivesTMasterContainerKill(t *testing.T) {
+	dict := healthDict()
+	h := &ckptHarness{spouts: map[int32]*seqSpout{}, bolts: map[int32]*ckptCountBolt{}}
+	var slow atomic.Bool
+	spec := buildHealthTopology(t, "ctrl-c0kill", h, &slow, dict, 2)
+
+	cfg := healthTestConfig(t, "ctrl-c0kill")
+	cfg.ControlReplicas = 2
+	cl := cluster.New("ctrl-c0kill-sim", 4, core.Resource{CPU: 32, RAMMB: 32768, DiskMB: 65536})
+	cfg.Framework = cl
+
+	handle, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Kill()
+	if err := handle.WaitRunning(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 20*time.Second, "first committed epoch", func() bool {
+		return handle.CommittedEpoch() > 0
+	})
+	old, ok := controlLeader(handle)
+	if !ok {
+		t.Fatal("no leader after first commit")
+	}
+	epochAtKill := handle.CommittedEpoch()
+
+	if err := cl.InjectFailure(handle.Name(), core.TMasterContainerID); err != nil {
+		t.Fatal(err)
+	}
+
+	succ := waitControlLeader(t, handle, old)
+	t.Logf("container-0 kill: %s/term=%d -> %s/term=%d",
+		old.NodeID, old.Term, succ.NodeID, succ.Term)
+	waitFor(t, 30*time.Second, "post-kill commit", func() bool {
+		return handle.CommittedEpoch() > epochAtKill
+	})
+	// The scheduler re-places the control container.
+	waitFor(t, 15*time.Second, "container 0 re-placed", func() bool {
+		return cl.Allocated(handle.Name(), core.TMasterContainerID)
+	})
+
+	base := h.executed.Load()
+	waitFor(t, 30*time.Second, "post-kill progress", func() bool {
+		return h.executed.Load() > base+5_000
+	})
+	// The whole point of control-plane replication: a TMaster death is NOT
+	// a data-plane event. No worker restarted, no state restore ran.
+	if n := handle.SumCounter(metrics.MRestoreCount); n != 0 {
+		t.Errorf("restore-count = %d after a control-only kill, want 0", n)
+	}
+
+	drainAndAudit(t, handle, h, dict)
 }

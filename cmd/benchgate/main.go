@@ -42,6 +42,9 @@ type Result struct {
 	DemandCores      float64 `json:"demand_cores,omitempty"`
 	DemandContainers float64 `json:"demand_containers,omitempty"`
 	MinTenantTPS     float64 `json:"min_tenant_tps,omitempty"`
+	MaxFailoverNs    float64 `json:"max_failover_ns,omitempty"`
+	ElectionNs       float64 `json:"election_ns,omitempty"`
+	FinalTerm        float64 `json:"final_term,omitempty"`
 }
 
 type Entry struct {
@@ -82,7 +85,7 @@ const regressionFactor = 1.75
 func main() {
 	ledgerPath := flag.String("ledger", "BENCH_PR7.json", "benchjson ledger with BenchmarkRouteParallel results")
 	basePath := flag.String("baseline", "BENCH_PR2.json", "ledger holding the single-shard route baselines")
-	mode := flag.String("mode", "parallel", `gate to run: "parallel" (sharded data path), "cluster" (multi-tenant scalability curves) or "txn" (transactional route overhead)`)
+	mode := flag.String("mode", "parallel", `gate to run: "parallel" (sharded data path), "cluster" (multi-tenant scalability curves), "txn" (transactional route overhead) or "failover" (control-plane recovery latency)`)
 	parallelBase := flag.String("parallel-baseline", "BENCH_PR7.json", "ledger holding the sharded-route baselines (cluster mode)")
 	flag.Parse()
 
@@ -120,6 +123,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("benchgate: OK — transactional route arms allocation-free and within noise, sharded path within RouteParallel baselines")
+		return
+	}
+	if *mode == "failover" {
+		gateFailover(results, baseline, *parallelBase, *ledgerPath, reject)
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: OK — failover recovery within budget on every replica count, data-path benchmarks within baseline bounds")
 		return
 	}
 	if *mode != "parallel" {
@@ -254,6 +268,85 @@ func gateCluster(results, baseline map[string]*Result, parallelBasePath, ledgerP
 
 	// Route benchmarks must ride along in the ledger and hold their
 	// baselines: the substrate may not tax the single-topology data path.
+	checkRoute := func(prefix string, base map[string]*Result, basePath string) {
+		found := false
+		for name, b := range base {
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			found = true
+			cur, ok := results[name]
+			if !ok {
+				reject("%s missing from %s (needed for the no-regression gate)", name, ledgerPath)
+				continue
+			}
+			if cur.AllocsPerOp > b.AllocsPerOp {
+				reject("%s: %d allocs/op, baseline has %d", name, cur.AllocsPerOp, b.AllocsPerOp)
+			}
+			if cur.NsPerOp > b.NsPerOp*regressionFactor {
+				reject("%s: %.1f ns/op vs baseline %.1f (limit %.1fx)",
+					name, cur.NsPerOp, b.NsPerOp, regressionFactor)
+			}
+		}
+		if !found {
+			reject("no %s* baselines in %s", prefix, basePath)
+		}
+	}
+	checkRoute("BenchmarkRouteLazy/", baseline, "baseline ledger")
+	parallelBaseline, err := load(parallelBasePath)
+	if err != nil {
+		reject("reading parallel baseline: %v", err)
+		return
+	}
+	checkRoute("BenchmarkRouteParallel/", parallelBaseline, parallelBasePath)
+}
+
+// failoverBudgetNs bounds the mean kill→first-post-failover-commit
+// latency: the lease TTL, election, fencing, log replay, re-registration
+// and one checkpoint round together must land well under 5 seconds on
+// any host — the figure is dominated by configured timers (TTL, interval),
+// not machine speed, so this gate travels.
+const failoverBudgetNs = 5e9
+
+// gateFailover enforces the control-plane recovery contract on a
+// BENCH_PR10-style ledger:
+//
+//  1. Curve presence: BenchmarkFailover arms must cover ≥2 replica
+//     counts, each carrying election-ns and final-term units.
+//  2. Recovery budget: every arm's mean kill→commit (ns/op) and worst
+//     kill (max-failover-ns) must land under the 5s budget, and the
+//     replicas' own election accounting must be positive (the failover
+//     was really observed, not a no-op).
+//  3. Terms advanced: final-term ≥ 2 proves at least one real election
+//     happened after the initial grant.
+//  4. No data-path regression: BenchmarkRouteLazy vs the BENCH_PR2
+//     baselines and BenchmarkRouteParallel vs BENCH_PR7 — control-plane
+//     replication must cost the data path nothing.
+func gateFailover(results, baseline map[string]*Result, parallelBasePath, ledgerPath string, reject func(string, ...any)) {
+	const prefix = "BenchmarkFailover/replicas="
+	arms := 0
+	for name, r := range results {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		arms++
+		if r.NsPerOp <= 0 || r.NsPerOp > failoverBudgetNs {
+			reject("%s: mean kill→commit %.0f ns, want (0, %.0f]", name, r.NsPerOp, failoverBudgetNs)
+		}
+		if r.MaxFailoverNs <= 0 || r.MaxFailoverNs > 2*failoverBudgetNs {
+			reject("%s: worst kill→commit %.0f ns, want (0, %.0f]", name, r.MaxFailoverNs, 2*failoverBudgetNs)
+		}
+		if r.ElectionNs <= 0 {
+			reject("%s: no election latency recorded — the kills never deposed a leader", name)
+		}
+		if r.FinalTerm < 2 {
+			reject("%s: final term %.0f, want ≥ 2 (terms must advance across kills)", name, r.FinalTerm)
+		}
+	}
+	if arms < 2 {
+		reject("need %s* arms for ≥2 replica counts in %s — run `make bench-failover` first (have %d)", prefix, ledgerPath, arms)
+	}
+
 	checkRoute := func(prefix string, base map[string]*Result, basePath string) {
 		found := false
 		for name, b := range base {

@@ -43,6 +43,12 @@ type Result struct {
 	DemandCores      float64 `json:"demand_cores,omitempty"`
 	DemandContainers float64 `json:"demand_containers,omitempty"`
 	MinTenantTPS     float64 `json:"min_tenant_tps,omitempty"`
+	// Control-plane failover units (max-failover-ns, election-ns,
+	// final-term), reported by the heron-bench -failover sweep (see
+	// BenchmarkFailover in BENCH_PR10.json); absent everywhere else.
+	MaxFailoverNs float64 `json:"max_failover_ns,omitempty"`
+	ElectionNs    float64 `json:"election_ns,omitempty"`
+	FinalTerm     float64 `json:"final_term,omitempty"`
 }
 
 // Entry is one benchmark with its before/after columns.
@@ -81,6 +87,9 @@ var (
 	coresRe    = regexp.MustCompile(numRe + ` demand-cores`)
 	ctrsRe     = regexp.MustCompile(numRe + ` demand-containers`)
 	minTpsRe   = regexp.MustCompile(numRe + ` min-tenant-tps`)
+	maxFoRe    = regexp.MustCompile(numRe + ` max-failover-ns`)
+	electRe    = regexp.MustCompile(numRe + ` election-ns`)
+	termRe     = regexp.MustCompile(numRe + ` final-term`)
 )
 
 // parseLine extracts one Result from a benchmark output line, or nil.
@@ -116,6 +125,15 @@ func parseLine(line string) (string, *Result) {
 	}
 	if m := minTpsRe.FindStringSubmatch(line); m != nil {
 		r.MinTenantTPS, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := maxFoRe.FindStringSubmatch(line); m != nil {
+		r.MaxFailoverNs, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := electRe.FindStringSubmatch(line); m != nil {
+		r.ElectionNs, _ = strconv.ParseFloat(m[1], 64)
+	}
+	if m := termRe.FindStringSubmatch(line); m != nil {
+		r.FinalTerm, _ = strconv.ParseFloat(m[1], 64)
 	}
 	return name[1], r
 }

@@ -30,10 +30,16 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full parallelism sweeps (slow)")
 	dict := flag.Int("dict", 45_000, "dictionary size (450000 = paper)")
 	cluster := flag.Bool("cluster", false, "run the Theodolite-style multi-tenant scalability sweep instead of the figures")
+	failover := flag.Bool("failover", false, "run the control-plane failover sweep instead of the figures")
+	kills := flag.Int("kills", 3, "leader kills per replica count (failover sweep)")
 	flag.Parse()
 
 	if *cluster {
 		runClusterSweep(*warmup, *measure)
+		return
+	}
+	if *failover {
+		runFailoverSweep(*kills)
 		return
 	}
 
@@ -155,6 +161,30 @@ func runClusterSweep(warmup, measure time.Duration) {
 	for _, p := range points {
 		fmt.Fprintf(os.Stderr, "%-8d %-10d %-5d %-12.0f %-10.0f %-12.1f %-14d %v\n",
 			p.Tenants, p.Load, p.Parallelism, p.AchievedTPS, p.MinTenantTPS, p.Cores, p.Containers, p.Sustained)
+		fmt.Println(p.BenchLine())
+	}
+}
+
+// runFailoverSweep measures control-plane recovery: a checkpointed
+// WordCount with ControlReplicas hot standbys absorbs repeated leader
+// kills, each timed kill→first-post-failover-commit. Points print both
+// as a table (stderr) and as `go test -bench`-format lines (stdout) for
+// cmd/benchjson.
+func runFailoverSweep(kills int) {
+	points, err := harness.FailoverSweep(harness.FailoverOptions{
+		Replicas: []int{2, 3},
+		Kills:    kills,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heron-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%-9s %-6s %-16s %-16s %-14s %s\n",
+		"replicas", "kills", "mean-ms", "max-ms", "election-ms", "final-term")
+	for _, p := range points {
+		fmt.Fprintf(os.Stderr, "%-9d %-6d %-16.1f %-16.1f %-14.1f %d\n",
+			p.Replicas, p.Kills, p.MeanKillToCommitNs/1e6, p.MaxKillToCommitNs/1e6,
+			p.MeanElectionNs/1e6, p.FinalTerm)
 		fmt.Println(p.BenchLine())
 	}
 }

@@ -1,0 +1,175 @@
+// Control-plane failover surface: when Config.ControlReplicas > 1 the
+// topology's TMaster is one generation of a replicated control plane
+// (internal/replication). Control operations issued while no generation
+// is active — the failover window — fail with an error matching
+// ErrNotLeader via errors.Is; RetryNotLeader wraps such calls with a
+// bounded retry.
+
+package heron
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"heron/internal/core"
+	"heron/internal/metrics"
+	"heron/internal/replication"
+	"heron/internal/tmaster"
+)
+
+// ErrNotLeader marks a control operation that hit a TMaster generation
+// which lost (or has not yet won) leadership. Match with errors.Is; the
+// operation is safe to retry once a new leader is up (see
+// RetryNotLeader).
+var ErrNotLeader = core.ErrNotLeader
+
+// RetryNotLeader runs fn, retrying while it fails with ErrNotLeader,
+// until timeout. Any other error (or success) returns immediately: only
+// the leadership gap is worth waiting out.
+func RetryNotLeader(timeout time.Duration, fn func() error) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := fn()
+		if err == nil || !errors.Is(err, ErrNotLeader) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("heron: still no leader after %v: %w", timeout, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ControlStatus reports every control replica's last known status,
+// leader first (empty when ControlReplicas <= 1).
+func (h *Handle) ControlStatus() []replication.Status {
+	return h.engine.ControlStatus()
+}
+
+// leaderTM returns the active TMaster, mapping its absence to
+// ErrNotLeader when the control plane is replicated (a failover is in
+// progress) and to a plain error otherwise.
+func (h *Handle) leaderTM() (*tmaster.TMaster, error) {
+	if tm := h.engine.TMaster(); tm != nil {
+		return tm, nil
+	}
+	if h.engine.Replicated() {
+		return nil, fmt.Errorf("%w: control plane failing over", ErrNotLeader)
+	}
+	return nil, errors.New("heron: no running TMaster")
+}
+
+// waitLeaderTM polls for an active TMaster through a failover window.
+func (h *Handle) waitLeaderTM(timeout time.Duration) (*tmaster.TMaster, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		tm, err := h.leaderTM()
+		if err == nil || !errors.Is(err, ErrNotLeader) {
+			return tm, err
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// appendControlMark best-effort appends a control-log record through the
+// current leader, waiting out a failover window if one is in progress.
+// Used for rescale phase markers, whose writer (the Handle) outlives any
+// one TMaster generation.
+func (h *Handle) appendControlMark(rec *replication.Record, wait time.Duration) error {
+	if !h.engine.Replicated() {
+		return nil
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		tm, err := h.leaderTM()
+		if err == nil {
+			if err = tm.AppendControl(rec); err == nil {
+				return nil
+			}
+		}
+		if !errors.Is(err, ErrNotLeader) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// controlHealth exposes the replica statuses on /health (nil when the
+// control plane is unreplicated, keeping the payload unchanged).
+func (h *Handle) controlHealth() func() any {
+	if !h.engine.Replicated() {
+		return nil
+	}
+	return func() any { return h.engine.ControlStatus() }
+}
+
+// KillLeader hard-crashes the control-plane leader replica: the lease
+// lapses by TTL, a standby fences the dead generation and takes over,
+// and a replacement standby joins the pool. Returns false when no
+// replica currently leads (ControlReplicas <= 1, or mid-failover).
+// This is the chaos harness's TMaster-kill primitive.
+func (h *Handle) KillLeader() (bool, error) {
+	return h.engine.CrashLeader(h.name)
+}
+
+// CommittedEpoch reports the newest globally committed checkpoint epoch
+// through the current leader (0 while no leader is active) — what the
+// failover harness polls to time kill → first post-failover commit.
+func (h *Handle) CommittedEpoch() int64 {
+	tm := h.engine.TMaster()
+	if tm == nil {
+		return 0
+	}
+	return tm.LatestCommittedEpoch()
+}
+
+// addControlMetrics folds the replication.* series into the merged
+// metrics view, one gauge set per replica (component tag = node id).
+func (h *Handle) addControlMetrics(v *metrics.TopologyView) {
+	sts := h.engine.ControlStatus()
+	if len(sts) == 0 {
+		return
+	}
+	var s metrics.Snapshot
+	for _, st := range sts {
+		tags := metrics.Tags{Component: st.NodeID}
+		var role int64
+		if st.Role == replication.RoleLeader {
+			role = 1
+		}
+		s.Gauges = append(s.Gauges,
+			metrics.GaugePoint{ID: metrics.ID{Name: metrics.MReplicationRole, Tags: tags}, Value: role},
+			metrics.GaugePoint{ID: metrics.ID{Name: metrics.MReplicationTerm, Tags: tags}, Value: st.Term},
+		)
+		if st.LastFailoverNs > 0 {
+			s.Gauges = append(s.Gauges, metrics.GaugePoint{
+				ID: metrics.ID{Name: metrics.MReplicationFailoverLatency, Tags: tags}, Value: st.LastFailoverNs,
+			})
+		}
+	}
+	v.Add(&s)
+}
+
+// healthActionLog adapts the control log for the health manager: every
+// resolver action is logged before it runs.
+func (h *Handle) healthActionLog() func(action, component, detail string) error {
+	if !h.engine.Replicated() {
+		return nil
+	}
+	return func(action, component, detail string) error {
+		tm, err := h.leaderTM()
+		if err != nil {
+			return err
+		}
+		return tm.AppendControl(&replication.Record{
+			Kind: replication.KindHealth,
+			Health: &replication.HealthRecord{
+				Action: action, Component: component, Detail: detail,
+			},
+		})
+	}
+}

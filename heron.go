@@ -63,6 +63,11 @@ type Handle struct {
 	// quota reservation when the topology dies.
 	admitUpdate func(current, proposed *core.PackingPlan) error
 	onKill      func()
+
+	// hookAfterRescaleBarrier, when set (chaos tests only), runs after
+	// the pre-rescale barrier commits and its begin record is logged —
+	// the window where a leader kill leaves a half-done rescale.
+	hookAfterRescaleBarrier func()
 }
 
 // submitHooks let a shared cluster intercept the submission lifecycle.
@@ -196,6 +201,7 @@ func submit(spec *api.Spec, cfg *Config, hooks submitHooks) (*Handle, error) {
 			Interval:        cfg.HealthInterval,
 			AckingEnabled:   cfg.AckingEnabled,
 			MaxSpoutPending: cfg.MaxSpoutPending,
+			ActionLog:       h.healthActionLog(),
 		})
 		if err != nil {
 			_ = h.Kill()
@@ -211,6 +217,7 @@ func submit(spec *api.Spec, cfg *Config, hooks submitHooks) (*Handle, error) {
 			View:     h.Metrics,
 			Pprof:    cfg.HTTPPprof,
 			Health:   h.healthStatus(),
+			Control:  h.controlHealth(),
 		})
 		if err != nil {
 			_ = h.Kill()
@@ -336,6 +343,9 @@ func (h *Handle) Kill() error {
 		_ = h.obs.Close()
 	}
 	err := h.sched.OnKill(core.KillRequest{Topology: h.name})
+	// Stop the standby pool after the scheduler tore the containers down
+	// (replicated control plane only; no-op otherwise).
+	h.engine.StopControl()
 	_ = h.sched.Close()
 	_ = h.rm.Close()
 	_ = h.state.DeleteTopology(h.name)
@@ -374,9 +384,9 @@ func (h *Handle) SetMaxSpoutPending(n int) error {
 	if n < 0 {
 		return errors.New("heron: negative max spout pending")
 	}
-	tm := h.engine.TMaster()
-	if tm == nil {
-		return errors.New("heron: no running TMaster")
+	tm, err := h.leaderTM()
+	if err != nil {
+		return err
 	}
 	tm.Tune(n)
 	return nil
@@ -399,6 +409,7 @@ func (h *Handle) Metrics() *metrics.TopologyView {
 		s := h.health.MetricsSnapshot()
 		v.Add(&s)
 	}
+	h.addControlMetrics(v)
 	return v
 }
 

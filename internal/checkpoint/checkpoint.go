@@ -99,14 +99,29 @@ func New(name string) (Backend, error) {
 type Coordinator struct {
 	topology string
 	backend  Backend
-	// ledger, when set, durably records the epoch sequence through the
-	// State Manager (see UseLedger).
-	ledger core.StateManager
+	// ledger, when set, durably records the epoch sequence (see
+	// UseLedger).
+	ledger LedgerStore
+
+	// CommitSink, when set, is invoked before the backend commit of a
+	// completed checkpoint; an error aborts the commit. The replicated
+	// control plane routes global commits through the control log here —
+	// a fenced append means this coordinator's TMaster was deposed and
+	// must not decide the epoch.
+	CommitSink func(id int64) error
 
 	mu      sync.Mutex
 	next    int64
 	pending int64          // 0 = no checkpoint outstanding
 	waiting map[int32]bool // tasks not yet saved for pending
+}
+
+// LedgerStore persists the coordinator's prepare/commit ledger. The
+// plain State Manager satisfies it; a replicated control plane wraps it
+// with an adapter that appends a log record before the durable write.
+type LedgerStore interface {
+	SetCheckpointLedger(topology string, l *core.CheckpointLedger) error
+	GetCheckpointLedger(topology string) (*core.CheckpointLedger, error)
 }
 
 // NewCoordinator creates a coordinator persisting through backend.
@@ -122,7 +137,7 @@ func NewCoordinator(topology string, backend Backend) *Coordinator {
 // prepared (undecided) transaction for, conflating two different cuts of
 // the stream under one epoch. The ledger keeps the id sequence strictly
 // monotone across restarts.
-func (c *Coordinator) UseLedger(sm core.StateManager) {
+func (c *Coordinator) UseLedger(sm LedgerStore) {
 	c.mu.Lock()
 	c.ledger = sm
 	c.mu.Unlock()
@@ -206,6 +221,11 @@ func (c *Coordinator) Saved(task int32, id int64) (complete bool, err error) {
 	if !done {
 		return false, nil
 	}
+	if sink := c.CommitSink; sink != nil {
+		if err := sink(id); err != nil {
+			return false, err
+		}
+	}
 	if err := c.backend.Commit(c.topology, id); err != nil {
 		return false, err
 	}
@@ -224,6 +244,18 @@ func (c *Coordinator) Reserve() int64 {
 	c.next++
 	c.persistLedgerLocked()
 	return id
+}
+
+// InitFloor raises the id sequence to at least next. A promoted standby
+// calls it with its replayed view's ledger floor so an epoch that was in
+// flight under the dead leader — possibly prepared at transactional
+// sinks — is abandoned, never reused for a different cut of the stream.
+func (c *Coordinator) InitFloor(next int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if next > c.next {
+		c.next = next
+	}
 }
 
 // LatestCommitted reports the newest globally committed epoch from the

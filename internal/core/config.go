@@ -85,6 +85,18 @@ type Config struct {
 	// or "observe" (diagnoses only, never acts). Requires HealthInterval.
 	HealthPolicy string
 
+	// ControlReplicas replicates the control plane: 0 or 1 (the default)
+	// runs the classic single TMaster in container 0; N ≥ 2 runs one
+	// leader plus N-1 hot standbys that tail the replicated control log
+	// and take over via leader election when the leader's lease lapses.
+	// Requires a StateManager implementing VersionedStore (both built-in
+	// managers do). Capped at MaxControlReplicas.
+	ControlReplicas int
+	// ControlLeaseTTL is the leader lease's time-to-live: a crashed
+	// leader that cannot renew is deposed after at most this long. The
+	// holder renews every TTL/3. 0 selects DefaultControlLeaseTTL.
+	ControlLeaseTTL time.Duration
+
 	// HTTPAddr, when non-empty, starts the observability HTTP server on
 	// this address ("127.0.0.1:0" picks a free port). It serves /metrics
 	// (Prometheus text) and /topology (JSON).
@@ -118,6 +130,12 @@ const (
 	DefaultMessageTimeout      = 30 * time.Second
 	// DefaultMetricsExportInterval paces the Metrics Manager push loop.
 	DefaultMetricsExportInterval = 250 * time.Millisecond
+	// MaxControlReplicas bounds Config.ControlReplicas: more standbys than
+	// this only add election traffic, never availability.
+	MaxControlReplicas = 7
+	// DefaultControlLeaseTTL bounds failover detection time when the
+	// leader hard-crashes without closing its statemgr session.
+	DefaultControlLeaseTTL = 250 * time.Millisecond
 )
 
 // DefaultInstanceResources is the per-instance ask used when a component
@@ -197,7 +215,21 @@ func (c *Config) Validate() error {
 	if c.StmgrShards > 1 && !c.StreamManagerOptimized {
 		return fmt.Errorf("core: StmgrShards %d > 1 requires StreamManagerOptimized", c.StmgrShards)
 	}
+	if c.ControlReplicas < 0 || c.ControlReplicas > MaxControlReplicas {
+		return fmt.Errorf("core: ControlReplicas %d outside [0, %d]", c.ControlReplicas, MaxControlReplicas)
+	}
+	if c.ControlLeaseTTL < 0 {
+		return fmt.Errorf("core: negative ControlLeaseTTL")
+	}
 	return nil
+}
+
+// ResolveControlLeaseTTL applies the lease-TTL default.
+func (c *Config) ResolveControlLeaseTTL() time.Duration {
+	if c.ControlLeaseTTL > 0 {
+		return c.ControlLeaseTTL
+	}
+	return DefaultControlLeaseTTL
 }
 
 // ResolveStmgrShards turns the StmgrShards knob into an effective shard

@@ -1,10 +1,27 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // ErrNotFound is returned by StateManager getters for absent keys and by
 // the registries for unknown module names.
 var ErrNotFound = errors.New("core: not found")
+
+// ErrNotLeader is wrapped by every control-plane operation that lands on
+// a deposed or not-yet-elected Topology Master while the control plane is
+// replicated (Config.ControlReplicas > 1): scaling, tuning, checkpoint
+// reservations, and health-manager actions during a failover window.
+// It is a typed transient — callers retry against the new leader (see
+// heron.RetryNotLeader) instead of treating the window as a hard failure.
+var ErrNotLeader = errors.New("core: not leader")
+
+// ErrVersionMismatch is returned by VersionedStore.SetIf when the node's
+// current version differs from the caller's expectation — someone else
+// wrote (or created, or deleted) the node in between. It is the CAS
+// failure that fences deposed leaders out of the control log.
+var ErrVersionMismatch = errors.New("core: version mismatch")
 
 // ErrDuplicateTopology is wrapped by every submission path that rejects a
 // topology name already live on the target state tree (whose statemgr
@@ -154,6 +171,38 @@ type StateManager interface {
 	GetCheckpointLedger(topology string) (*CheckpointLedger, error)
 
 	Close() error
+}
+
+// VersionedStore is an optional StateManager capability required by the
+// replicated control plane (internal/replication). Plain Set is
+// last-writer-wins, which cannot fence a deposed leader; SetIf is a
+// versioned compare-and-set, and AcquireLease implements the ephemeral
+// lease znode that leader election hangs off. Every node written through
+// this interface carries a monotonically increasing version, starting at
+// 1 on creation.
+type VersionedStore interface {
+	// SetIf writes data iff the node's current version equals
+	// expectVersion (0 = the node must not exist; the write creates it).
+	// Returns the node's new version, or ErrVersionMismatch.
+	SetIf(path string, data []byte, expectVersion int64) (int64, error)
+	// GetVersioned reads a node's data and version. Absent (or
+	// lease-expired) nodes report version 0 with a nil error.
+	GetVersioned(path string) ([]byte, int64, bool, error)
+	// AcquireLease creates or renews a lease node. It succeeds when the
+	// node is absent, expired, or already held by this manager's session;
+	// it fails (false, nil) while another live session holds it. The node
+	// vanishes when the holder's session closes or the TTL lapses without
+	// renewal — whichever comes first.
+	AcquireLease(path string, data []byte, ttl time.Duration) (bool, error)
+	// ReleaseLease deletes the lease node if this session holds it.
+	ReleaseLease(path string) error
+	// WatchNode invokes cb on every change to the node, including
+	// deletion and lease expiry (exists=false). Returns a cancel func.
+	WatchNode(path string, cb func(data []byte, exists bool)) (func(), error)
+	// NodeChildren lists the direct children of a tree node, sorted.
+	NodeChildren(path string) ([]string, error)
+	// DeleteNode removes a node regardless of version (administrative).
+	DeleteNode(path string) error
 }
 
 // CheckpointLedger is the checkpoint coordinator's durable control

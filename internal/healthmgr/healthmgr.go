@@ -53,6 +53,12 @@ type Options struct {
 	// Registry receives the healthmgr.* metric series; a private one is
 	// created when nil.
 	Registry *metrics.Registry
+	// ActionLog, when set, write-ahead-logs every resolver action before
+	// it runs (the replicated control plane appends it to the control
+	// log). An error skips this tick's action without escalation —
+	// core.ErrNotLeader during a failover is transient, and the next
+	// leader's health manager re-diagnoses from fresh metrics.
+	ActionLog func(action, component, detail string) error
 }
 
 // PolicyFactory builds a policy for one topology's options.
@@ -376,6 +382,11 @@ func (m *Manager) resolve(now time.Time, d Diagnosis, latest *Sample) {
 		level = len(eligible) - 1
 	}
 	r := eligible[level]
+	if m.opts.ActionLog != nil {
+		if err := m.opts.ActionLog(r.Name(), d.Component, string(d.Kind)); err != nil {
+			return // control log unavailable (failover): act next tick
+		}
+	}
 	detail, err := r.Resolve(d, m.opts.Topology, latest)
 	if err != nil {
 		// The cheap remedy is exhausted or failed: escalate immediately

@@ -53,6 +53,14 @@ const (
 	MHealthDiagnoses       = "healthmgr.diagnoses"        // diagnoses produced
 	MHealthActions         = "healthmgr.resolver-actions" // resolver actions taken
 	MHealthRescaleDuration = "healthmgr.rescale-duration" // ns per runtime rescale
+
+	// Replicated control plane (tags: component = replica node id).
+	// Role is 1 for the leader and 0 for standbys; term is the replica's
+	// last observed fencing term; failover latency is the leader's
+	// loss-of-leader → promoted wall time.
+	MReplicationRole            = "replication.role"
+	MReplicationTerm            = "replication.term"
+	MReplicationFailoverLatency = "replication.failover-latency-ns"
 )
 
 // UserPrefix namespaces metrics registered by user components so they can

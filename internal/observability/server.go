@@ -34,6 +34,9 @@ type Options struct {
 	// manager's current diagnosis and action log. When nil, /health
 	// reports {"enabled": false}.
 	Health func() any
+	// Control, when non-nil, adds the replicated-control-plane status
+	// (leader, terms, failover counts) to the /health payload.
+	Control func() any
 }
 
 // Server is a running observability endpoint.
@@ -69,16 +72,22 @@ func Start(opts Options) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		var control any
+		if opts.Control != nil {
+			control = opts.Control()
+		}
 		if opts.Health == nil {
 			_ = enc.Encode(struct {
 				Enabled bool `json:"enabled"`
-			}{false})
+				Control any  `json:"control,omitempty"`
+			}{false, control})
 			return
 		}
 		_ = enc.Encode(struct {
 			Enabled bool `json:"enabled"`
 			Status  any  `json:"status"`
-		}{true, opts.Health()})
+			Control any  `json:"control,omitempty"`
+		}{true, opts.Health(), control})
 	})
 	if opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

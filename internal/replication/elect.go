@@ -1,0 +1,141 @@
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"heron/internal/core"
+)
+
+// LeaderInfo is the lease node's payload.
+type LeaderInfo struct {
+	NodeID string `json:"nodeId"`
+	Term   int64  `json:"term"`
+}
+
+func leaderPath(topology string) string {
+	return "/topologies/" + topology + "/leader"
+}
+
+func termPath(topology string) string {
+	return "/topologies/" + topology + "/term"
+}
+
+// Elector runs leader election for one replica: an ephemeral lease znode
+// names the leader, and a persistent CAS counter allocates monotonically
+// increasing fencing terms. A candidate that grabs the lease bumps the
+// counter; the new term then fences the control log, so even a deposed
+// leader that still believes it holds the lease cannot append.
+type Elector struct {
+	vs       core.VersionedStore
+	topology string
+	nodeID   string
+	ttl      time.Duration
+}
+
+// NewElector builds an elector for nodeID.
+func NewElector(vs core.VersionedStore, topology, nodeID string, ttl time.Duration) *Elector {
+	return &Elector{vs: vs, topology: topology, nodeID: nodeID, ttl: ttl}
+}
+
+// TryAcquire attempts one lease grab (or renewal). On success it
+// allocates the fencing term (first acquisition only — renewals keep it)
+// and returns it.
+func (e *Elector) TryAcquire(haveTerm int64) (int64, bool, error) {
+	term := haveTerm
+	if term == 0 {
+		// Optimistically read the counter before grabbing the lease so the
+		// advertised term is right on the first write in the common case.
+		term = e.peekTerm() + 1
+	}
+	b, err := json.Marshal(LeaderInfo{NodeID: e.nodeID, Term: term})
+	if err != nil {
+		return 0, false, err
+	}
+	ok, err := e.vs.AcquireLease(leaderPath(e.topology), b, e.ttl)
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	if haveTerm != 0 {
+		return haveTerm, true, nil
+	}
+	// Holding the lease, allocate the real term by CAS — the counter may
+	// have moved past the peek.
+	term, err = e.bumpTerm()
+	if err != nil {
+		_ = e.vs.ReleaseLease(leaderPath(e.topology))
+		return 0, false, err
+	}
+	b, _ = json.Marshal(LeaderInfo{NodeID: e.nodeID, Term: term})
+	if _, err := e.vs.AcquireLease(leaderPath(e.topology), b, e.ttl); err != nil {
+		return 0, false, err
+	}
+	return term, true, nil
+}
+
+func (e *Elector) peekTerm() int64 {
+	data, _, ok, err := e.vs.GetVersioned(termPath(e.topology))
+	if err != nil || !ok {
+		return 0
+	}
+	t, _ := strconv.ParseInt(string(data), 10, 64)
+	return t
+}
+
+// bumpTerm CAS-increments the term counter and returns the new value.
+// Only the lease holder calls it, so retries only race watchers, never
+// other bumps.
+func (e *Elector) bumpTerm() (int64, error) {
+	for {
+		data, ver, ok, err := e.vs.GetVersioned(termPath(e.topology))
+		if err != nil {
+			return 0, err
+		}
+		var t int64
+		if ok {
+			t, _ = strconv.ParseInt(string(data), 10, 64)
+		} else {
+			ver = 0
+		}
+		next := t + 1
+		if _, err := e.vs.SetIf(termPath(e.topology), []byte(strconv.FormatInt(next, 10)), ver); err != nil {
+			if errors.Is(err, core.ErrVersionMismatch) {
+				continue
+			}
+			return 0, err
+		}
+		return next, nil
+	}
+}
+
+// Renew extends the lease; false means the lease was lost (another
+// session holds it — this leader is deposed).
+func (e *Elector) Renew(term int64) (bool, error) {
+	b, err := json.Marshal(LeaderInfo{NodeID: e.nodeID, Term: term})
+	if err != nil {
+		return false, err
+	}
+	return e.vs.AcquireLease(leaderPath(e.topology), b, e.ttl)
+}
+
+// Resign releases the lease (clean shutdown — the next election starts
+// immediately instead of waiting out the TTL).
+func (e *Elector) Resign() error {
+	return e.vs.ReleaseLease(leaderPath(e.topology))
+}
+
+// Leader reads the current lease (ok=false when no live leader).
+func (e *Elector) Leader() (LeaderInfo, bool, error) {
+	data, _, ok, err := e.vs.GetVersioned(leaderPath(e.topology))
+	if err != nil || !ok {
+		return LeaderInfo{}, false, err
+	}
+	var li LeaderInfo
+	if err := json.Unmarshal(data, &li); err != nil {
+		return LeaderInfo{}, false, fmt.Errorf("replication: corrupt leader record: %w", err)
+	}
+	return li, true, nil
+}

@@ -1,0 +1,293 @@
+// Package replication makes the control plane survive TMaster death.
+// Three pieces compose (the ROADMAP's "Replicated control plane" item,
+// after Stream-based State-Machine Replication):
+//
+//   - leader election over an ephemeral lease znode in the statemgr, with
+//     a monotonically increasing fencing term allocated by compare-and-set
+//     (elect.go);
+//   - an ordered control log appended over the statemgr tree, to which
+//     every control-plane mutation — checkpoint-ledger transitions, global
+//     commits, health-manager actions, rescale begin/commit/rollback,
+//     plan and tune changes — is written before it takes effect (this
+//     file);
+//   - hot-standby replicas that tail the log into a warm View and, on
+//     winning election, fence the old leader, replay the suffix, and
+//     promote a new active TMaster (replica.go, view.go).
+//
+// The log is not consensus: the statemgr tree (ZooKeeper's stand-in) is
+// the single source of truth, exactly as in real Heron. What the log adds
+// is ordering and fencing — a deposed leader's late appends fail the
+// term check and are rejected, so at most one TMaster generation can
+// mutate control state at a time.
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"heron/internal/core"
+)
+
+// Record kinds.
+const (
+	KindPlan            = "plan"
+	KindLedger          = "ledger"
+	KindCommit          = "commit"
+	KindHealth          = "health"
+	KindRescaleBegin    = "rescale-begin"
+	KindRescaleCommit   = "rescale-commit"
+	KindRescaleRollback = "rescale-rollback"
+	KindTune            = "tune"
+)
+
+// Record is one ordered control-log entry. Seq and Term are assigned by
+// Append; exactly one payload field is set, selected by Kind.
+type Record struct {
+	Seq  int64  `json:"seq"`
+	Term int64  `json:"term"`
+	Kind string `json:"kind"`
+
+	// KindLedger: the coordinator's ledger after the transition (Next is
+	// the next epoch it may hand out, Pending the epoch in flight).
+	Ledger *core.CheckpointLedger `json:"ledger,omitempty"`
+	// KindCommit / KindTune: the globally committed epoch / the new
+	// max-spout-pending value.
+	Value int64 `json:"value,omitempty"`
+	// KindPlan: a summary of the broadcast plan (the durable plan itself
+	// lives in the statemgr's topology/packing records).
+	Plan *PlanRecord `json:"plan,omitempty"`
+	// KindHealth: one health-manager resolver action.
+	Health *HealthRecord `json:"health,omitempty"`
+	// KindRescale*: the rescale protocol's phase markers.
+	Rescale *RescaleRecord `json:"rescale,omitempty"`
+}
+
+// PlanRecord summarizes a physical-plan broadcast.
+type PlanRecord struct {
+	Epoch      int64 `json:"epoch"`
+	Containers int   `json:"containers"`
+	Tasks      int   `json:"tasks"`
+}
+
+// HealthRecord is one resolver action written ahead of its effect.
+type HealthRecord struct {
+	Action    string `json:"action"`
+	Component string `json:"component,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// RescaleRecord marks a phase of the stateful rescale protocol. Begin
+// records carry everything a successor needs to drive the existing
+// rollback path if the rescale never commits: the pre-rescale topology,
+// packing plan, and the checkpoint the barrier committed.
+type RescaleRecord struct {
+	Component     string            `json:"component"`
+	Parallelism   int               `json:"parallelism"`
+	PreCheckpoint int64             `json:"preCheckpoint,omitempty"`
+	Topology      *core.Topology    `json:"topology,omitempty"`
+	Packing       *core.PackingPlan `json:"packing,omitempty"`
+}
+
+// Head is the log's CAS anchor: Next is the sequence the next append
+// takes, Term fences appenders — an Append whose term is below Head.Term
+// is a deposed leader's late write and is rejected.
+type Head struct {
+	Term int64 `json:"term"`
+	Next int64 `json:"next"`
+}
+
+// Log reads and (once fenced to a term) appends the replicated control
+// log of one topology.
+type Log struct {
+	vs       core.VersionedStore
+	topology string
+
+	mu   sync.Mutex
+	term int64 // 0 = read-only; appends require a fenced term
+}
+
+// NewLog returns a read-only handle; call Fence to become the appender.
+func NewLog(vs core.VersionedStore, topology string) *Log {
+	return &Log{vs: vs, topology: topology}
+}
+
+func logBase(topology string) string  { return "/topologies/" + topology + "/ctrllog" }
+func headPath(topology string) string { return logBase(topology) + "/head" }
+func recPath(topology string, seq int64) string {
+	return logBase(topology) + "/e" + strconv.FormatInt(seq, 10)
+}
+
+// Head reads the current head; ok is false when the log was never
+// initialized (no leader has appended or fenced yet).
+func (l *Log) Head() (Head, bool, error) {
+	data, _, ok, err := l.vs.GetVersioned(headPath(l.topology))
+	if err != nil || !ok {
+		return Head{}, false, err
+	}
+	var h Head
+	if err := json.Unmarshal(data, &h); err != nil {
+		return Head{}, false, fmt.Errorf("replication: corrupt log head: %w", err)
+	}
+	return h, true, nil
+}
+
+// Read returns the record at seq (ok=false if absent).
+func (l *Log) Read(seq int64) (*Record, bool, error) {
+	data, _, ok, err := l.vs.GetVersioned(recPath(l.topology, seq))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, false, fmt.Errorf("replication: corrupt record e%d: %w", seq, err)
+	}
+	return &r, true, nil
+}
+
+// Replay applies every committed record with seq in [from, head.Next) to
+// fn, in order.
+func (l *Log) Replay(from int64, fn func(*Record) error) error {
+	head, ok, err := l.Head()
+	if err != nil || !ok {
+		return err
+	}
+	if from < 1 {
+		from = 1
+	}
+	for seq := from; seq < head.Next; seq++ {
+		rec, ok, err := l.Read(seq)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("replication: log gap at e%d", seq)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Term returns the fenced append term (0 = read-only).
+func (l *Log) Term() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term
+}
+
+// Fence raises the log head's term to term, rejecting all lower-term
+// appenders from that point on, and makes this handle the appender. It
+// fails with core.ErrNotLeader if a higher term already fenced the log.
+func (l *Log) Fence(term int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		data, ver, ok, err := l.vs.GetVersioned(headPath(l.topology))
+		if err != nil {
+			return err
+		}
+		h := Head{Next: 1}
+		if ok {
+			if err := json.Unmarshal(data, &h); err != nil {
+				return fmt.Errorf("replication: corrupt log head: %w", err)
+			}
+		}
+		if h.Term > term {
+			return fmt.Errorf("%w: log fenced at term %d > %d", core.ErrNotLeader, h.Term, term)
+		}
+		h.Term = term
+		b, err := json.Marshal(h)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			ver = 0
+		}
+		if _, err := l.vs.SetIf(headPath(l.topology), b, ver); err != nil {
+			if errors.Is(err, core.ErrVersionMismatch) {
+				continue // raced another head update; reload
+			}
+			return err
+		}
+		l.term = term
+		return nil
+	}
+}
+
+// Append writes rec at the log tail: the record is durably placed, then
+// the head advances — only after both does the mutation it describes take
+// effect at the caller. A fenced-out appender (head term above ours) gets
+// core.ErrNotLeader and must not apply the mutation. A record placed by a
+// leader that died before advancing the head never took effect, so the
+// next leader's append may overwrite it.
+func (l *Log) Append(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.term <= 0 {
+		return fmt.Errorf("replication: log not fenced for append")
+	}
+	for {
+		data, headVer, ok, err := l.vs.GetVersioned(headPath(l.topology))
+		if err != nil {
+			return err
+		}
+		h := Head{Term: l.term, Next: 1}
+		if ok {
+			if err := json.Unmarshal(data, &h); err != nil {
+				return fmt.Errorf("replication: corrupt log head: %w", err)
+			}
+		} else {
+			headVer = 0
+		}
+		if h.Term > l.term {
+			return fmt.Errorf("%w: log fenced at term %d > %d", core.ErrNotLeader, h.Term, l.term)
+		}
+		rec.Seq, rec.Term = h.Next, l.term
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		rp := recPath(l.topology, rec.Seq)
+		if _, err := l.vs.SetIf(rp, b, 0); err != nil {
+			if !errors.Is(err, core.ErrVersionMismatch) {
+				return err
+			}
+			// A record already sits at this seq: a dead leader placed it
+			// but never advanced the head (so it never took effect).
+			// Overwrite iff its term is stale; an equal-or-higher term
+			// means we are the deposed one.
+			exData, exVer, exOk, err2 := l.vs.GetVersioned(rp)
+			if err2 != nil {
+				return err2
+			}
+			if exOk {
+				var ex Record
+				if json.Unmarshal(exData, &ex) == nil && ex.Term >= l.term {
+					return fmt.Errorf("%w: record e%d held by term %d", core.ErrNotLeader, rec.Seq, ex.Term)
+				}
+			}
+			if _, err := l.vs.SetIf(rp, b, exVer); err != nil {
+				if errors.Is(err, core.ErrVersionMismatch) {
+					continue // raced; reload head and retry
+				}
+				return err
+			}
+		}
+		h.Term, h.Next = l.term, rec.Seq+1
+		hb, err := json.Marshal(h)
+		if err != nil {
+			return err
+		}
+		if _, err := l.vs.SetIf(headPath(l.topology), hb, headVer); err != nil {
+			if errors.Is(err, core.ErrVersionMismatch) {
+				continue // head moved under us (fencing bump); reload
+			}
+			return err
+		}
+		return nil
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"heron/internal/instance"
 	"heron/internal/metrics"
 	"heron/internal/network"
+	"heron/internal/replication"
 	"heron/internal/stmgr"
 	"heron/internal/tmaster"
 )
@@ -30,6 +31,11 @@ type Engine struct {
 	mu         sync.Mutex
 	tm         *tmaster.TMaster
 	registries map[int32]*metrics.Registry
+
+	// Replicated control plane (control.go).
+	ctrlReplicas []*controlReplica
+	ctrlStatus   map[string]replication.Status
+	poolStarted  bool
 }
 
 // NewEngine creates the launcher for one topology.
@@ -59,6 +65,9 @@ func (e *Engine) LaunchContainer(topology string, containerID int32) (func(), er
 }
 
 func (e *Engine) launchTMaster(topology string) (func(), error) {
+	if e.cfg.ControlReplicas > 1 {
+		return e.launchReplicatedControl(topology)
+	}
 	state, err := e.newStateSession()
 	if err != nil {
 		return nil, err

@@ -74,6 +74,13 @@ func (m *Mesos) Initialize(cfg *core.Config) error {
 			if !managed {
 				continue
 			}
+			if ev.ContainerID == core.TMasterContainerID && m.cfg.ControlReplicas > 1 {
+				// Replicated control plane: a hot standby is already taking
+				// over leadership — re-place only container 0, never quiesce
+				// the workers for a TMaster death.
+				_ = m.placeOnOffer(ev.Topology, ev.ContainerID, res)
+				continue
+			}
 			if reqs != nil {
 				// Checkpoint recovery: quiesce the whole worker set, then
 				// re-place every container on fresh offers; each relaunch

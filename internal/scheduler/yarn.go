@@ -64,6 +64,13 @@ func (y *YARN) Initialize(cfg *core.Config) error {
 			if !managed {
 				continue
 			}
+			if ev.ContainerID == core.TMasterContainerID && y.cfg.ControlReplicas > 1 {
+				// Replicated control plane: a hot standby is already taking
+				// over leadership, so the workers keep running — re-place
+				// only container 0 as a fresh leader candidate.
+				_ = y.cl.Allocate(ev.Topology, ev.ContainerID, res, y.cfg.Launcher, cluster.AllocateOptions{})
+				continue
+			}
 			if reqs != nil {
 				// Checkpoint recovery: quiesce the whole worker set before
 				// anything restarts, then re-request every container; each

@@ -8,7 +8,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heron/internal/core"
@@ -20,9 +23,15 @@ import (
 // records are tracked in memory and removed when the manager closes.
 type LocalFS struct {
 	root string
+	// owner is a process-unique id identifying this manager instance as a
+	// lease holder in kv envelopes.
+	owner int64
 
-	mu        sync.Mutex
-	ephemeral map[string]bool
+	mu sync.Mutex
+	// ephemeral maps path → the bytes this manager last wrote there. Close
+	// only removes a file whose content still matches: a new leader that
+	// re-advertised over our record must not lose it to our late cleanup.
+	ephemeral map[string][]byte
 	stop      chan struct{}
 	stopOnce  sync.Once
 	watchWG   sync.WaitGroup
@@ -30,6 +39,28 @@ type LocalFS struct {
 
 // WatchPollInterval is how often LocalFS watches re-read their file.
 const WatchPollInterval = 25 * time.Millisecond
+
+// lfsOwners hands each LocalFS instance a process-unique lease-holder id;
+// lfsLocks serializes read-modify-write cycles (SetIf, AcquireLease) among
+// the in-process managers sharing one root. Cross-process deployments
+// would need file locking here; every deployment this repo models runs
+// its containers in one process.
+var (
+	lfsNextOwner int64
+	lfsLocksMu   sync.Mutex
+	lfsLocks     = map[string]*sync.Mutex{}
+)
+
+func lfsLock(root string) *sync.Mutex {
+	lfsLocksMu.Lock()
+	defer lfsLocksMu.Unlock()
+	m, ok := lfsLocks[root]
+	if !ok {
+		m = &sync.Mutex{}
+		lfsLocks[root] = m
+	}
+	return m
+}
 
 // Initialize implements core.StateManager. The directory comes from
 // Extra["localfs.root"], defaulting to a directory under os.TempDir
@@ -43,7 +74,8 @@ func (l *LocalFS) Initialize(cfg *core.Config) error {
 		return fmt.Errorf("statemgr: localfs root: %w", err)
 	}
 	l.root = root
-	l.ephemeral = map[string]bool{}
+	l.owner = atomic.AddInt64(&lfsNextOwner, 1)
+	l.ephemeral = map[string][]byte{}
 	l.stop = make(chan struct{})
 	return nil
 }
@@ -79,7 +111,7 @@ func (l *LocalFS) write(path string, v any, ephemeral bool) error {
 	}
 	if ephemeral {
 		l.mu.Lock()
-		l.ephemeral[path] = true
+		l.ephemeral[path] = append([]byte(nil), b...)
 		l.mu.Unlock()
 	}
 	return nil
@@ -258,7 +290,9 @@ func (l *LocalFS) GetCheckpointLedger(topology string) (*core.CheckpointLedger, 
 }
 
 // Close implements core.StateManager: watches stop and ephemeral records
-// (TMaster locations) are removed, emulating session expiry.
+// (TMaster locations) are removed, emulating session expiry. A record is
+// only removed while its content still matches what this manager wrote —
+// if a new leader already re-advertised, the file is theirs now.
 func (l *LocalFS) Close() error {
 	if l.root == "" {
 		return nil
@@ -266,14 +300,302 @@ func (l *LocalFS) Close() error {
 	l.stopOnce.Do(func() { close(l.stop) })
 	l.watchWG.Wait()
 	l.mu.Lock()
-	paths := make([]string, 0, len(l.ephemeral))
-	for p := range l.ephemeral {
-		paths = append(paths, p)
-	}
-	l.ephemeral = map[string]bool{}
+	mine := l.ephemeral
+	l.ephemeral = map[string][]byte{}
 	l.mu.Unlock()
-	for _, p := range paths {
-		_ = os.Remove(p)
+	lock := lfsLock(l.root)
+	lock.Lock()
+	defer lock.Unlock()
+	for p, want := range mine {
+		if got, err := os.ReadFile(p); err == nil && bytes.Equal(got, want) {
+			_ = os.Remove(p)
+		}
+	}
+	return nil
+}
+
+// Abandon simulates a hard crash: watches stop but ephemeral records and
+// leases are left behind, to lapse by TTL or be overwritten by a
+// successor.
+func (l *LocalFS) Abandon() {
+	if l.root == "" {
+		return
+	}
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.watchWG.Wait()
+	l.mu.Lock()
+	l.ephemeral = map[string][]byte{}
+	l.mu.Unlock()
+}
+
+// --- core.VersionedStore over a kv/ file namespace ---
+//
+// Versioned nodes live under root/kv/<tree-path>.json as envelopes
+// carrying {version, data, owner, deadline}; the existing per-topology
+// layout is untouched. Read-modify-write cycles serialize on the shared
+// per-root mutex.
+
+type kvEnvelope struct {
+	Version int64  `json:"version"`
+	Data    []byte `json:"data"`
+	// Owner and Deadline are set for lease nodes only: Owner is the
+	// holder's process-unique id, Deadline the expiry in unix nanos.
+	Owner    int64 `json:"owner,omitempty"`
+	Deadline int64 `json:"deadline,omitempty"`
+}
+
+func (l *LocalFS) kvFile(path string) (string, error) {
+	path, err := cleanPath(path)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(l.root, "kv", filepath.FromSlash(path[1:])+".json"), nil
+}
+
+// readEnvelopeLocked reads a kv envelope, treating lapsed leases as
+// absent (and reaping the file). Caller holds the root lock.
+func (l *LocalFS) readEnvelopeLocked(file string) (kvEnvelope, bool, error) {
+	var env kvEnvelope
+	b, err := os.ReadFile(file)
+	if errors.Is(err, fs.ErrNotExist) {
+		return env, false, nil
+	}
+	if err != nil {
+		return env, false, err
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		return env, false, fmt.Errorf("statemgr: corrupt kv envelope %s: %w", file, err)
+	}
+	if env.Deadline > 0 && time.Now().UnixNano() >= env.Deadline {
+		_ = os.Remove(file)
+		return kvEnvelope{}, false, nil
+	}
+	return env, true, nil
+}
+
+func (l *LocalFS) writeEnvelopeLocked(file string, env kvEnvelope) error {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(file), 0o755); err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", file, l.owner)
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, file)
+}
+
+// SetIf implements core.VersionedStore.
+func (l *LocalFS) SetIf(path string, data []byte, expectVersion int64) (int64, error) {
+	if err := l.checkInit(); err != nil {
+		return 0, err
+	}
+	file, err := l.kvFile(path)
+	if err != nil {
+		return 0, err
+	}
+	lock := lfsLock(l.root)
+	lock.Lock()
+	defer lock.Unlock()
+	env, ok, err := l.readEnvelopeLocked(file)
+	if err != nil {
+		return 0, err
+	}
+	version := int64(0)
+	if ok {
+		version = env.Version
+	}
+	if version != expectVersion {
+		return 0, fmt.Errorf("%w: %s at version %d, expected %d", core.ErrVersionMismatch, path, version, expectVersion)
+	}
+	next := kvEnvelope{Version: version + 1, Data: append([]byte(nil), data...)}
+	if err := l.writeEnvelopeLocked(file, next); err != nil {
+		return 0, err
+	}
+	return next.Version, nil
+}
+
+// GetVersioned implements core.VersionedStore.
+func (l *LocalFS) GetVersioned(path string) ([]byte, int64, bool, error) {
+	if err := l.checkInit(); err != nil {
+		return nil, 0, false, err
+	}
+	file, err := l.kvFile(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	lock := lfsLock(l.root)
+	lock.Lock()
+	defer lock.Unlock()
+	env, ok, err := l.readEnvelopeLocked(file)
+	if err != nil || !ok {
+		return nil, 0, false, err
+	}
+	return env.Data, env.Version, true, nil
+}
+
+// AcquireLease implements core.VersionedStore.
+func (l *LocalFS) AcquireLease(path string, data []byte, ttl time.Duration) (bool, error) {
+	if err := l.checkInit(); err != nil {
+		return false, err
+	}
+	if ttl <= 0 {
+		return false, fmt.Errorf("statemgr: lease ttl %v <= 0", ttl)
+	}
+	file, err := l.kvFile(path)
+	if err != nil {
+		return false, err
+	}
+	lock := lfsLock(l.root)
+	lock.Lock()
+	defer lock.Unlock()
+	env, ok, err := l.readEnvelopeLocked(file)
+	if err != nil {
+		return false, err
+	}
+	if ok && env.Owner != l.owner {
+		return false, nil
+	}
+	next := kvEnvelope{
+		Version:  env.Version + 1,
+		Data:     append([]byte(nil), data...),
+		Owner:    l.owner,
+		Deadline: time.Now().Add(ttl).UnixNano(),
+	}
+	if err := l.writeEnvelopeLocked(file, next); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ReleaseLease implements core.VersionedStore.
+func (l *LocalFS) ReleaseLease(path string) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	file, err := l.kvFile(path)
+	if err != nil {
+		return err
+	}
+	lock := lfsLock(l.root)
+	lock.Lock()
+	defer lock.Unlock()
+	env, ok, err := l.readEnvelopeLocked(file)
+	if err != nil || !ok || env.Owner != l.owner {
+		return err
+	}
+	return os.Remove(file)
+}
+
+// WatchNode implements core.VersionedStore with the same poll loop the
+// TMaster-location watch uses: it arms on the first poll and fires on
+// every (exists, version) transition after that — including lease expiry,
+// which a poll observes as a deletion.
+func (l *LocalFS) WatchNode(path string, cb func(data []byte, exists bool)) (func(), error) {
+	if err := l.checkInit(); err != nil {
+		return nil, err
+	}
+	file, err := l.kvFile(path)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() { once.Do(func() { close(done) }) }
+	l.watchWG.Add(1)
+	go func() {
+		defer l.watchWG.Done()
+		var lastVersion int64
+		lastExists := false
+		first := true
+		t := time.NewTicker(WatchPollInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-l.stop:
+				return
+			case <-t.C:
+			}
+			lock := lfsLock(l.root)
+			lock.Lock()
+			env, exists, err := l.readEnvelopeLocked(file)
+			lock.Unlock()
+			if err != nil {
+				continue
+			}
+			if first {
+				lastVersion, lastExists, first = env.Version, exists, false
+				continue
+			}
+			if exists == lastExists && env.Version == lastVersion {
+				continue
+			}
+			lastVersion, lastExists = env.Version, exists
+			if exists {
+				cb(env.Data, true)
+			} else {
+				cb(nil, false)
+			}
+		}
+	}()
+	return cancel, nil
+}
+
+// NodeChildren implements core.VersionedStore.
+func (l *LocalFS) NodeChildren(path string) ([]string, error) {
+	if err := l.checkInit(); err != nil {
+		return nil, err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(l.root, "kv", filepath.FromSlash(path[1:]))
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() {
+			if !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".tmp") {
+				continue
+			}
+			name = strings.TrimSuffix(name, ".json")
+		}
+		seen[name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DeleteNode implements core.VersionedStore.
+func (l *LocalFS) DeleteNode(path string) error {
+	if err := l.checkInit(); err != nil {
+		return err
+	}
+	file, err := l.kvFile(path)
+	if err != nil {
+		return err
+	}
+	lock := lfsLock(l.root)
+	lock.Lock()
+	defer lock.Unlock()
+	if err := os.Remove(file); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
 	}
 	return nil
 }

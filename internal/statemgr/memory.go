@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"heron/internal/core"
 )
@@ -72,7 +73,11 @@ func schedulerPath(name string) string   { return "/topologies/" + name + "/sche
 func topologyDirPath(name string) string { return "/topologies/" + name }
 func ledgerPath(name string) string      { return "/topologies/" + name + "/ckptledger" }
 
-// SetTMasterLocation implements core.StateManager; the record is ephemeral.
+// SetTMasterLocation implements core.StateManager; the record is
+// ephemeral. A delete precedes the write so ownership transfers to this
+// session: when a new leader advertises over a dead leader's lingering
+// record, the dead session's eventual expiry must not delete the new
+// location out from under the topology.
 func (m *Memory) SetTMasterLocation(loc core.TMasterLocation) error {
 	if err := m.checkInit(); err != nil {
 		return err
@@ -81,7 +86,11 @@ func (m *Memory) SetTMasterLocation(loc core.TMasterLocation) error {
 	if err != nil {
 		return err
 	}
-	return m.session.Set(tmasterPath(loc.Topology), b, true)
+	p := tmasterPath(loc.Topology)
+	if err := m.session.Delete(p); err != nil {
+		return err
+	}
+	return m.session.Set(p, b, true)
 }
 
 // GetTMasterLocation implements core.StateManager.
@@ -288,4 +297,71 @@ func (m *Memory) Close() error {
 		return nil
 	}
 	return m.session.Close()
+}
+
+// Abandon simulates a hard crash: the session dies without cleanup, so
+// plain ephemerals linger and lease nodes lapse at their TTL. The chaos
+// harness uses it to exercise TTL-driven failover.
+func (m *Memory) Abandon() {
+	if m.session != nil {
+		m.session.Abandon()
+	}
+}
+
+// --- core.VersionedStore, delegated to the session ---
+
+// SetIf implements core.VersionedStore.
+func (m *Memory) SetIf(path string, data []byte, expectVersion int64) (int64, error) {
+	if err := m.checkInit(); err != nil {
+		return 0, err
+	}
+	return m.session.SetIf(path, data, expectVersion)
+}
+
+// GetVersioned implements core.VersionedStore.
+func (m *Memory) GetVersioned(path string) ([]byte, int64, bool, error) {
+	if err := m.checkInit(); err != nil {
+		return nil, 0, false, err
+	}
+	return m.session.GetVersioned(path)
+}
+
+// AcquireLease implements core.VersionedStore.
+func (m *Memory) AcquireLease(path string, data []byte, ttl time.Duration) (bool, error) {
+	if err := m.checkInit(); err != nil {
+		return false, err
+	}
+	return m.session.AcquireLease(path, data, ttl)
+}
+
+// ReleaseLease implements core.VersionedStore.
+func (m *Memory) ReleaseLease(path string) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	return m.session.ReleaseLease(path)
+}
+
+// WatchNode implements core.VersionedStore.
+func (m *Memory) WatchNode(path string, cb func(data []byte, exists bool)) (func(), error) {
+	if err := m.checkInit(); err != nil {
+		return nil, err
+	}
+	return m.session.Watch(path, cb)
+}
+
+// NodeChildren implements core.VersionedStore.
+func (m *Memory) NodeChildren(path string) ([]string, error) {
+	if err := m.checkInit(); err != nil {
+		return nil, err
+	}
+	return m.session.Children(path)
+}
+
+// DeleteNode implements core.VersionedStore.
+func (m *Memory) DeleteNode(path string) error {
+	if err := m.checkInit(); err != nil {
+		return err
+	}
+	return m.session.Delete(path)
 }

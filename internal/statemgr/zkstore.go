@@ -17,6 +17,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"heron/internal/core"
 )
 
 // Store is a ZooKeeper-like tree of nodes. All access happens through
@@ -27,12 +30,20 @@ type Store struct {
 	watches  map[string]map[int64]*watch
 	nextSess int64
 	nextWid  int64
+	// leases maps lease-node path → expiry deadline; the janitor
+	// goroutine reaps lapsed entries and fires their watches.
+	leases      map[string]time.Time
+	janitorOn   bool
+	janitorKick chan struct{}
 }
 
 type znode struct {
 	data []byte
 	// owner is the session id for ephemeral nodes, 0 for persistent ones.
 	owner int64
+	// version counts writes to this node instance, starting at 1 on
+	// creation; deletion and re-creation restart it (ZooKeeper semantics).
+	version int64
 }
 
 type watch struct {
@@ -43,7 +54,12 @@ type watch struct {
 
 // NewStore returns an empty tree.
 func NewStore() *Store {
-	return &Store{nodes: map[string]*znode{}, watches: map[string]map[int64]*watch{}}
+	return &Store{
+		nodes:       map[string]*znode{},
+		watches:     map[string]map[int64]*watch{},
+		leases:      map[string]time.Time{},
+		janitorKick: make(chan struct{}, 1),
+	}
 }
 
 // Session is one client's connection to the store. Closing it removes the
@@ -98,15 +114,8 @@ func (se *Session) Set(path string, data []byte, ephemeral bool) error {
 	}
 	st := se.store
 	st.mu.Lock()
-	// Auto-create persistent parents (a convenience over raw ZooKeeper).
-	for i := 1; i < len(path); i++ {
-		if path[i] == '/' {
-			parent := path[:i]
-			if _, ok := st.nodes[parent]; !ok {
-				st.nodes[parent] = &znode{}
-			}
-		}
-	}
+	reaped := st.reapLocked(time.Now())
+	st.mkParentsLocked(path)
 	n, ok := st.nodes[path]
 	if !ok {
 		n = &znode{}
@@ -116,13 +125,30 @@ func (se *Session) Set(path string, data []byte, ephemeral bool) error {
 		st.nodes[path] = n
 	}
 	n.data = append(n.data[:0], data...)
+	n.version++
 	fire := st.collectWatches(path)
 	data = append([]byte(nil), n.data...)
 	st.mu.Unlock()
+	for _, w := range reaped {
+		w.cb(nil, false)
+	}
 	for _, w := range fire {
 		w.cb(data, true)
 	}
 	return nil
+}
+
+// mkParentsLocked auto-creates persistent parents (a convenience over raw
+// ZooKeeper). Caller holds st.mu.
+func (st *Store) mkParentsLocked(path string) {
+	for i := 1; i < len(path); i++ {
+		if path[i] == '/' {
+			parent := path[:i]
+			if _, ok := st.nodes[parent]; !ok {
+				st.nodes[parent] = &znode{version: 1}
+			}
+		}
+	}
 }
 
 // Get returns the data at path; ok is false if the node does not exist.
@@ -136,12 +162,20 @@ func (se *Session) Get(path string) ([]byte, bool, error) {
 	}
 	st := se.store
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	reaped := st.reapLocked(time.Now())
 	n, ok := st.nodes[path]
+	var data []byte
+	if ok {
+		data = append([]byte(nil), n.data...)
+	}
+	st.mu.Unlock()
+	for _, w := range reaped {
+		w.cb(nil, false)
+	}
 	if !ok {
 		return nil, false, nil
 	}
-	return append([]byte(nil), n.data...), true, nil
+	return data, true, nil
 }
 
 // Delete removes the node at path; deleting an absent node is a no-op.
@@ -157,6 +191,7 @@ func (se *Session) Delete(path string) error {
 	st.mu.Lock()
 	_, existed := st.nodes[path]
 	delete(st.nodes, path)
+	delete(st.leases, path)
 	var fire []*watch
 	if existed {
 		fire = st.collectWatches(path)
@@ -283,6 +318,7 @@ func (se *Session) Close() error {
 	for p, n := range st.nodes {
 		if n.owner == se.id {
 			delete(st.nodes, p)
+			delete(st.leases, p)
 			fire = append(fire, st.collectWatches(p)...)
 		}
 	}
@@ -291,4 +327,248 @@ func (se *Session) Close() error {
 		w.cb(nil, false)
 	}
 	return nil
+}
+
+// Abandon expires the session WITHOUT deleting its ephemeral nodes — the
+// store-side view of a client that hard-crashed before its ZooKeeper
+// session timed out. Plain ephemerals linger until another session
+// overwrites or deletes them; lease nodes still lapse at their TTL, which
+// is exactly the window leader election is designed around.
+func (se *Session) Abandon() {
+	se.mu.Lock()
+	if se.closed {
+		se.mu.Unlock()
+		return
+	}
+	se.closed = true
+	cancels := se.cancels
+	se.cancels = nil
+	se.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// SetIf is a versioned compare-and-set: it writes data iff the node's
+// current version equals expectVersion (0 = the node must not exist; the
+// write creates it, persistent). Returns the new version, or
+// core-level ErrVersionMismatch via the manager wrappers. Versions start
+// at 1 and count every write to the node instance.
+func (se *Session) SetIf(path string, data []byte, expectVersion int64) (int64, error) {
+	if err := se.check(); err != nil {
+		return 0, err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return 0, err
+	}
+	st := se.store
+	st.mu.Lock()
+	reaped := st.reapLocked(time.Now())
+	n, ok := st.nodes[path]
+	var mismatch error
+	var newVersion int64
+	var fire []*watch
+	var fired []byte
+	switch {
+	case !ok && expectVersion != 0:
+		mismatch = fmt.Errorf("%w: %s absent, expected version %d", core.ErrVersionMismatch, path, expectVersion)
+	case ok && n.version != expectVersion:
+		mismatch = fmt.Errorf("%w: %s at version %d, expected %d", core.ErrVersionMismatch, path, n.version, expectVersion)
+	default:
+		if !ok {
+			st.mkParentsLocked(path)
+			n = &znode{}
+			st.nodes[path] = n
+		}
+		n.data = append(n.data[:0], data...)
+		n.version++
+		newVersion = n.version
+		fire = st.collectWatches(path)
+		fired = append([]byte(nil), n.data...)
+	}
+	st.mu.Unlock()
+	for _, w := range reaped {
+		w.cb(nil, false)
+	}
+	for _, w := range fire {
+		w.cb(fired, true)
+	}
+	return newVersion, mismatch
+}
+
+// GetVersioned returns a node's data and version (0, false for absent or
+// lease-expired nodes).
+func (se *Session) GetVersioned(path string) ([]byte, int64, bool, error) {
+	if err := se.check(); err != nil {
+		return nil, 0, false, err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	st := se.store
+	st.mu.Lock()
+	reaped := st.reapLocked(time.Now())
+	n, ok := st.nodes[path]
+	var data []byte
+	var version int64
+	if ok {
+		data = append([]byte(nil), n.data...)
+		version = n.version
+	}
+	st.mu.Unlock()
+	for _, w := range reaped {
+		w.cb(nil, false)
+	}
+	return data, version, ok, nil
+}
+
+// AcquireLease creates or renews a TTL-bounded ephemeral node. It
+// succeeds when the node is absent, lapsed, or already held by this
+// session, and fails (false, nil) while another live session holds it.
+// Renewals do not fire watches; creation and expiry do.
+func (se *Session) AcquireLease(path string, data []byte, ttl time.Duration) (bool, error) {
+	if err := se.check(); err != nil {
+		return false, err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return false, err
+	}
+	if ttl <= 0 {
+		return false, fmt.Errorf("statemgr: lease ttl %v <= 0", ttl)
+	}
+	st := se.store
+	st.mu.Lock()
+	now := time.Now()
+	reaped := st.reapLocked(now)
+	n, ok := st.nodes[path]
+	if ok && n.owner != se.id {
+		st.mu.Unlock()
+		for _, w := range reaped {
+			w.cb(nil, false)
+		}
+		return false, nil
+	}
+	var fire []*watch
+	var fired []byte
+	if !ok {
+		st.mkParentsLocked(path)
+		n = &znode{owner: se.id}
+		st.nodes[path] = n
+		n.data = append(n.data[:0], data...)
+		n.version++
+		fire = st.collectWatches(path)
+		fired = append([]byte(nil), n.data...)
+	} else {
+		n.data = append(n.data[:0], data...)
+		n.version++
+	}
+	st.leases[path] = now.Add(ttl)
+	st.kickJanitorLocked()
+	st.mu.Unlock()
+	for _, w := range reaped {
+		w.cb(nil, false)
+	}
+	for _, w := range fire {
+		w.cb(fired, true)
+	}
+	return true, nil
+}
+
+// ReleaseLease deletes the lease node if this session holds it.
+func (se *Session) ReleaseLease(path string) error {
+	if err := se.check(); err != nil {
+		return err
+	}
+	path, err := cleanPath(path)
+	if err != nil {
+		return err
+	}
+	st := se.store
+	st.mu.Lock()
+	n, ok := st.nodes[path]
+	var fire []*watch
+	if ok && n.owner == se.id {
+		delete(st.nodes, path)
+		delete(st.leases, path)
+		fire = st.collectWatches(path)
+	}
+	st.mu.Unlock()
+	for _, w := range fire {
+		w.cb(nil, false)
+	}
+	return nil
+}
+
+// reapLocked removes lapsed lease nodes and returns their watches for the
+// caller to fire after unlocking. Caller holds st.mu.
+func (st *Store) reapLocked(now time.Time) []*watch {
+	if len(st.leases) == 0 {
+		return nil
+	}
+	var fire []*watch
+	for p, deadline := range st.leases {
+		if now.Before(deadline) {
+			continue
+		}
+		delete(st.leases, p)
+		delete(st.nodes, p)
+		fire = append(fire, st.collectWatches(p)...)
+	}
+	return fire
+}
+
+// kickJanitorLocked (re)starts or nudges the lease janitor. Caller holds
+// st.mu.
+func (st *Store) kickJanitorLocked() {
+	if !st.janitorOn {
+		st.janitorOn = true
+		go st.janitorLoop()
+		return
+	}
+	select {
+	case st.janitorKick <- struct{}{}:
+	default:
+	}
+}
+
+// janitorLoop wakes at the earliest lease deadline, reaps lapsed nodes,
+// fires their watches, and exits once no leases remain — so idle stores
+// carry no background goroutine.
+func (st *Store) janitorLoop() {
+	for {
+		st.mu.Lock()
+		if len(st.leases) == 0 {
+			st.janitorOn = false
+			st.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		fire := st.reapLocked(now)
+		var next time.Time
+		for _, d := range st.leases {
+			if next.IsZero() || d.Before(next) {
+				next = d
+			}
+		}
+		st.mu.Unlock()
+		for _, w := range fire {
+			w.cb(nil, false)
+		}
+		wait := 50 * time.Millisecond
+		if !next.IsZero() {
+			wait = time.Until(next) + time.Millisecond
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-st.janitorKick:
+			timer.Stop()
+		}
+	}
 }

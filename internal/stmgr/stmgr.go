@@ -93,6 +93,7 @@ type StreamManager struct {
 	mu        sync.Mutex
 	plan      *core.PhysicalPlan
 	epoch     int64
+	planTerm  int64 // fencing term of the last applied plan's TMaster
 	instances map[int32]*outbox      // local task id → delivery queue
 	instConns map[int32]network.Conn // local task id → conn (for close)
 	// pending holds data frames for local tasks whose instance has not
@@ -382,10 +383,16 @@ func (s *StreamManager) applyPlan(p *ctrl.PlanPayload) {
 	}
 
 	s.mu.Lock()
-	if p.Epoch < s.epoch {
+	// Plans are ordered by (term, epoch): every promoted TMaster restarts
+	// its epoch counter at 1, so a plan from a lower fencing term is a
+	// deposed leader's late broadcast, and within one term a lower epoch
+	// is a stale one. Term 0 (unreplicated control plane) keeps the
+	// original epoch-only ordering.
+	if p.Term < s.planTerm || (p.Term == s.planTerm && p.Epoch < s.epoch) {
 		s.mu.Unlock()
 		return // stale broadcast
 	}
+	s.planTerm = p.Term
 	s.epoch = p.Epoch
 	s.plan = pp
 	// Reconcile peers: close connections whose address changed or whose
@@ -707,6 +714,7 @@ func (s *StreamManager) payloadLocked() *ctrl.PlanPayload {
 	stmgrs[s.opts.Container] = s.Addr()
 	return &ctrl.PlanPayload{
 		Epoch:    s.epoch,
+		Term:     s.planTerm,
 		Topology: s.plan.Topology,
 		Packing:  s.plan.Packing,
 		Stmgrs:   stmgrs,

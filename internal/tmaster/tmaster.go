@@ -19,6 +19,7 @@ import (
 	"heron/internal/ctrl"
 	"heron/internal/metrics"
 	"heron/internal/network"
+	"heron/internal/replication"
 )
 
 // Options configure one Topology Master.
@@ -29,6 +30,9 @@ type Options struct {
 	// TMaster closes the session and thereby deletes the ephemeral
 	// location record.
 	State core.StateManager
+	// Lead, when set, runs this TMaster as one generation of a
+	// replicated control plane (see leadership.go).
+	Lead *Leadership
 }
 
 // TMaster is the topology controller.
@@ -48,6 +52,12 @@ type TMaster struct {
 	ckptBackend   checkpoint.Backend
 	ckptSuspended atomic.Bool
 	commitWaiters []chan int64 // notified (non-blocking) on every commit
+
+	// Replicated control plane (leadership.go): a fenced log append
+	// proves a newer leader exists and deposes this generation.
+	deposed    atomic.Bool
+	deposeOnce sync.Once
+	crashed    atomic.Bool
 
 	stopCh   chan struct{}
 	stopOnce sync.Once
@@ -100,6 +110,14 @@ func New(opts Options) (*TMaster, error) {
 		// prepared transaction under it).
 		tm.ckpt.UseLedger(opts.State)
 		if err := tm.ckpt.InitFromBackend(); err != nil {
+			l.Close()
+			backend.Close()
+			return nil, err
+		}
+		// Under a replicated control plane, reroute the ledger through the
+		// control log and recover the dead leader's state from the
+		// replayed view.
+		if err := tm.initLeadership(); err != nil {
 			l.Close()
 			backend.Close()
 			return nil, err
@@ -179,6 +197,9 @@ func (tm *TMaster) Refresh() { tm.broadcastIfComplete() }
 // broadcastIfComplete pushes the current plan to every registered Stream
 // Manager when all containers of the packing plan have registered.
 func (tm *TMaster) broadcastIfComplete() {
+	if tm.isDeposed() {
+		return
+	}
 	topo, err := tm.opts.State.GetTopology(tm.opts.Topology)
 	if err != nil {
 		return
@@ -197,6 +218,7 @@ func (tm *TMaster) broadcastIfComplete() {
 	tm.epoch++
 	payload := &ctrl.PlanPayload{
 		Epoch:    tm.epoch,
+		Term:     tm.term(),
 		Topology: topo,
 		Packing:  packing,
 		Stmgrs:   map[int32]string{},
@@ -222,6 +244,22 @@ func (tm *TMaster) broadcastIfComplete() {
 		}
 	}
 	tm.mu.Unlock()
+
+	// Write-ahead: the plan change is logged before any Stream Manager
+	// sees it, so a fenced-out leader cannot push a broadcast a newer
+	// generation's replicas never observed.
+	nTasks := 0
+	for i := range packing.Containers {
+		nTasks += len(packing.Containers[i].Instances)
+	}
+	if err := tm.AppendControl(&replication.Record{
+		Kind: replication.KindPlan,
+		Plan: &replication.PlanRecord{
+			Epoch: payload.Epoch, Containers: len(packing.Containers), Tasks: nTasks,
+		},
+	}); err != nil {
+		return
+	}
 
 	raw, err := ctrl.Encode(&ctrl.Message{Op: ctrl.OpPlan, Topology: tm.opts.Topology, Plan: payload})
 	if err != nil {
@@ -279,6 +317,11 @@ func (tm *TMaster) MetricsView() *metrics.TopologyView {
 // stream manager, which relays it to its local spout instances — the
 // runtime path behind observation-driven parameter tuning.
 func (tm *TMaster) Tune(maxSpoutPending int) {
+	if err := tm.AppendControl(&replication.Record{
+		Kind: replication.KindTune, Value: int64(maxSpoutPending),
+	}); err != nil {
+		return
+	}
 	raw, err := ctrl.Encode(&ctrl.Message{
 		Op: ctrl.OpTune, Topology: tm.opts.Topology, MaxSpoutPending: maxSpoutPending,
 	})
@@ -342,6 +385,9 @@ func (tm *TMaster) checkpointLoop() {
 // triggerCheckpoint begins one checkpoint over every task of the current
 // packing plan.
 func (tm *TMaster) triggerCheckpoint() (int64, bool) {
+	if tm.isDeposed() {
+		return 0, false
+	}
 	packing, err := tm.opts.State.GetPackingPlan(tm.opts.Topology)
 	if err != nil {
 		return 0, false
@@ -354,6 +400,11 @@ func (tm *TMaster) triggerCheckpoint() (int64, bool) {
 	}
 	id, ok := tm.ckpt.Begin(tasks)
 	if !ok {
+		return 0, false
+	}
+	// Begin's ledger write routes through the control log; a fenced
+	// append deposed us synchronously — never broadcast the trigger.
+	if tm.isDeposed() {
 		return 0, false
 	}
 	tm.broadcastCtrl(&ctrl.Message{
@@ -380,6 +431,9 @@ func (tm *TMaster) ResumeCheckpoints() { tm.ckptSuspended.Store(false) }
 func (tm *TMaster) CheckpointNow(timeout time.Duration) (int64, error) {
 	if tm.ckpt == nil {
 		return 0, errors.New("tmaster: checkpointing disabled")
+	}
+	if tm.isDeposed() {
+		return 0, tm.errNotLeader()
 	}
 	ch := make(chan int64, 4)
 	tm.mu.Lock()
@@ -423,7 +477,18 @@ func (tm *TMaster) ReserveCheckpointID() (int64, error) {
 	if tm.ckpt == nil {
 		return 0, errors.New("tmaster: checkpointing disabled")
 	}
-	return tm.ckpt.Reserve(), nil
+	if tm.isDeposed() {
+		return 0, tm.errNotLeader()
+	}
+	id := tm.ckpt.Reserve()
+	// Reserve's ledger write routes through the control log; if the
+	// append was fenced we were deposed synchronously — the id must not
+	// reach the caller (a new leader may hand it out for a different
+	// epoch).
+	if tm.isDeposed() {
+		return 0, tm.errNotLeader()
+	}
+	return id, nil
 }
 
 // checkpointSaved records one task's snapshot ack; when the barrier set
@@ -481,6 +546,14 @@ func (tm *TMaster) Stop() {
 		tm.wg.Wait()
 		if tm.ckptBackend != nil {
 			_ = tm.ckptBackend.Close()
+		}
+		if tm.crashed.Load() {
+			// Hard kill: leave the session hanging so ephemerals and the
+			// leader lease lapse by TTL instead of vanishing instantly.
+			if a, ok := tm.opts.State.(interface{ Abandon() }); ok {
+				a.Abandon()
+				return
+			}
 		}
 		_ = tm.opts.State.Close()
 	})

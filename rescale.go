@@ -10,6 +10,7 @@ import (
 	"heron/internal/checkpoint"
 	"heron/internal/core"
 	"heron/internal/packing"
+	"heron/internal/replication"
 )
 
 // rescaleCheckpointTimeout bounds the pre-rescale checkpoint barrier:
@@ -70,9 +71,9 @@ func (h *Handle) ScaleComponent(component string, parallelism int) error {
 
 // rescaleStateful runs the checkpoint-preserving rescale protocol.
 func (h *Handle) rescaleStateful(component string, oldCount int, changes map[string]int, current *core.PackingPlan) error {
-	tm := h.engine.TMaster()
-	if tm == nil {
-		return errors.New("heron: no running TMaster")
+	tm, err := h.leaderTM()
+	if err != nil {
+		return err
 	}
 	qs, ok := h.sched.(core.QuiescingScheduler)
 	if !ok {
@@ -88,16 +89,44 @@ func (h *Handle) rescaleStateful(component string, oldCount int, changes map[str
 		return fmt.Errorf("heron: pre-rescale checkpoint: %w", err)
 	}
 
-	// 2. Repack with minimal disruption, then pass quota admission: on a
-	// shared cluster a rescale that would push the tenant over quota is
-	// rejected here, before any state moves — rejection needs no rollback.
-	proposed, err := h.rm.Repack(current, changes)
+	// Log the rescale before anything mutates: the begin record carries
+	// everything a successor leader's warm view needs to recognize (and a
+	// surviving Handle to abort) a half-done rescale — the pre-rescale
+	// topology, packing plan, and the barrier checkpoint.
+	preTopo, err := h.state.GetTopology(h.name)
 	if err != nil {
 		return err
 	}
+	if err := h.appendControlMark(&replication.Record{
+		Kind: replication.KindRescaleBegin,
+		Rescale: &replication.RescaleRecord{
+			Component:     component,
+			Parallelism:   changes[component],
+			PreCheckpoint: ckptID,
+			Topology:      preTopo,
+			Packing:       current,
+		},
+	}, 0); err != nil {
+		return err
+	}
+	if h.hookAfterRescaleBarrier != nil {
+		// Chaos tests kill the leader exactly here: after the barrier and
+		// the begin record, before any state moves.
+		h.hookAfterRescaleBarrier()
+	}
+
+	// 2. Repack with minimal disruption, then pass quota admission: on a
+	// shared cluster a rescale that would push the tenant over quota is
+	// rejected here, before any state moves — rejection needs no rollback.
+	// From here on, every pre-mutation failure closes the begin record
+	// with an abort mark so no warm view keeps a dangling rescale.
+	proposed, err := h.rm.Repack(current, changes)
+	if err != nil {
+		return h.abortRescale(component, oldCount, err)
+	}
 	if h.admitUpdate != nil {
 		if err := h.admitUpdate(current, proposed); err != nil {
-			return err
+			return h.abortRescale(component, oldCount, err)
 		}
 	}
 
@@ -107,12 +136,24 @@ func (h *Handle) rescaleStateful(component string, oldCount int, changes map[str
 	_, stateful := probe.(api.StatefulComponent)
 	if stateful {
 		newID, err := tm.ReserveCheckpointID()
+		if errors.Is(err, ErrNotLeader) {
+			// The leader died after the barrier. Its successor's warm view
+			// replayed the begin record; resume the rescale through it.
+			cur, werr := h.waitLeaderTM(rescaleCheckpointTimeout)
+			if werr != nil {
+				return h.abortRescale(component, oldCount, werr)
+			}
+			tm = cur
+			tm.SuspendCheckpoints()
+			defer tm.ResumeCheckpoints()
+			newID, err = tm.ReserveCheckpointID()
+		}
 		if err != nil {
-			return err
+			return h.abortRescale(component, oldCount, err)
 		}
 		backend, err := h.openBackend()
 		if err != nil {
-			return err
+			return h.abortRescale(component, oldCount, err)
 		}
 		rep, _ := probe.(api.StateRepartitioner)
 		spout := h.spec.Topology.Component(component).Kind == core.KindSpout
@@ -129,14 +170,14 @@ func (h *Handle) rescaleStateful(component string, oldCount int, changes map[str
 		})
 		_ = backend.Close()
 		if err != nil {
-			return err
+			return h.abortRescale(component, oldCount, err)
 		}
 	}
 
 	// 4. Persist the scaled topology and plan.
 	topo, err := h.state.GetTopology(h.name)
 	if err != nil {
-		return err
+		return h.abortRescale(component, oldCount, err)
 	}
 	counts := current.ComponentCounts()
 	for i := range topo.Components {
@@ -146,7 +187,7 @@ func (h *Handle) rescaleStateful(component string, oldCount int, changes map[str
 	}
 	scaled, err := packing.ScaledTopology(topo, changes)
 	if err != nil {
-		return err
+		return h.abortRescale(component, oldCount, err)
 	}
 	if err := h.state.SetTopology(scaled); err != nil {
 		return err
@@ -163,8 +204,29 @@ func (h *Handle) rescaleStateful(component string, oldCount int, changes map[str
 	if err := qs.OnQuiescedUpdate(core.UpdateRequest{Topology: h.name, Current: current, Proposed: proposed}); err != nil {
 		return h.rollbackRescale(tm, qs, component, oldCount, changes, current, proposed, scaled, ckptID, stateful, err)
 	}
-	tm.Refresh()
+	// Close the rescale in the log (waiting out a failover window if the
+	// leader died mid-relaunch), then rebroadcast through whoever leads.
+	_ = h.appendControlMark(&replication.Record{
+		Kind:    replication.KindRescaleCommit,
+		Rescale: &replication.RescaleRecord{Component: component, Parallelism: changes[component]},
+	}, rescaleCheckpointTimeout)
+	if cur, err := h.leaderTM(); err == nil {
+		cur.Refresh()
+	} else {
+		tm.Refresh()
+	}
 	return nil
+}
+
+// abortRescale closes a begun-but-unmutated rescale in the control log:
+// nothing has moved yet, so the abort is just the rollback record that
+// keeps warm views from carrying a dangling rescale-begin forever.
+func (h *Handle) abortRescale(component string, oldCount int, cause error) error {
+	_ = h.appendControlMark(&replication.Record{
+		Kind:    replication.KindRescaleRollback,
+		Rescale: &replication.RescaleRecord{Component: component, Parallelism: oldCount},
+	}, rescaleCheckpointTimeout)
+	return cause
 }
 
 // rollbackRescale restores the pre-rescale plan, topology record, and —
@@ -172,6 +234,14 @@ func (h *Handle) rescaleStateful(component string, oldCount int, changes map[str
 // a fresh id so relaunched containers restore the old task layout.
 func (h *Handle) rollbackRescale(tm tmRefresher, qs core.QuiescingScheduler, component string, oldCount int, changes map[string]int, current, proposed *core.PackingPlan, scaled *core.Topology, ckptID int64, stateful bool, cause error) error {
 	errs := []error{fmt.Errorf("heron: rescale of %q failed: %w", component, cause)}
+	// If the failure was a leader death, the tm we hold is deposed:
+	// re-resolve so the rollback's checkpoint reservation and rebroadcast
+	// go through the new leader.
+	if h.engine.Replicated() {
+		if cur, err := h.waitLeaderTM(rescaleCheckpointTimeout); err == nil {
+			tm = cur
+		}
+	}
 	if h.admitUpdate != nil {
 		// The quota reservation moved to the proposed plan at admission;
 		// the rollback returns to the current plan, so move it back.
@@ -205,6 +275,11 @@ func (h *Handle) rollbackRescale(tm tmRefresher, qs core.QuiescingScheduler, com
 	if err := qs.OnQuiescedUpdate(core.UpdateRequest{Topology: h.name, Current: proposed, Proposed: current}); err != nil {
 		errs = append(errs, fmt.Errorf("heron: rollback relaunch: %w", err))
 	}
+	// Record the abort so no warm view keeps a dangling rescale-begin.
+	_ = h.appendControlMark(&replication.Record{
+		Kind:    replication.KindRescaleRollback,
+		Rescale: &replication.RescaleRecord{Component: component, Parallelism: oldCount},
+	}, rescaleCheckpointTimeout)
 	tm.Refresh()
 	return errors.Join(errs...)
 }

@@ -2,6 +2,7 @@ package heron
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -305,4 +306,194 @@ func TestTxnExactlyOnceCommitWindow(t *testing.T) {
 // recovery itself must be idempotent.
 func TestTxnExactlyOnceKillDuringRestore(t *testing.T) {
 	runTxnExactlyOnce(t, "memory", "restore-memory", 0, false, windowRestore)
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once across control-plane failover: the same transactional
+// pipeline and exact multiset audit as above, but the kill targets the
+// LEADING TMASTER instead of a worker. A standby replays the control log
+// (including the checkpoint ledger), re-registers with the Stream
+// Managers, re-broadcasts the last global commit, and the pipeline must
+// finish with zero loss and zero duplicates — the sink never hears a
+// commit decision twice and never misses one.
+
+func runTxnLeaderKill(t *testing.T, backendName, label string, shards int, ring bool, midRescale bool) {
+	nPer := 256
+	if audit.RaceEnabled() {
+		nPer = 96
+	}
+	src := kafkasim.NewBroker(4)
+	expected := audit.PreloadUnique(src, nPer)
+	total := 4 * nPer
+	sink := kafkasim.NewBroker(4)
+	stats := &workloads.KafkaStats{}
+	group := "grp-" + label
+
+	b := api.NewTopologyBuilder("txnha-" + label)
+	b.SetSpout("ksrc", func() api.Spout {
+		return &workloads.KafkaTxnSpout{Broker: src, Group: group, Stats: stats}
+	}, 2).OutputFields("key", "value")
+	b.SetBolt("ksink", func() api.Bolt {
+		return &workloads.KafkaTxnSink{Broker: sink, Stats: stats}
+	}, 2).FieldsGrouping("ksrc", "", "key")
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := NewConfig()
+	cfg.StateRoot = "/txnha-" + label
+	statemgr.ResetSharedStore(cfg.StateRoot)
+	checkpoint.ResetSharedMemory(cfg.StateRoot)
+	checkpoint.ResetSharedRedis(cfg.StateRoot)
+	cfg.NumContainers = 3
+	cfg.SchedulerName = "yarn"
+	cfg.CheckpointInterval = 200 * time.Millisecond
+	cfg.StateBackend = backendName
+	cfg.ControlReplicas = 2
+	if shards > 0 {
+		cfg.StmgrShards = shards
+	}
+	if ring {
+		cfg.Transport = "ring"
+	}
+	if backendName == "localfs" {
+		cfg.Extra = map[string]string{"checkpoint.root": t.TempDir()}
+	}
+	cl := cluster.New("txnha-"+label+"-sim", 4, core.Resource{CPU: 32, RAMMB: 32768, DiskMB: 65536})
+	cfg.Framework = cl
+
+	handle, err := Submit(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Kill()
+	if err := handle.WaitRunning(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	poll, err := checkpoint.New(backendName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := poll.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer poll.Close()
+	latest := func() int64 {
+		id, _ := poll.LatestCommitted(handle.Name())
+		return id
+	}
+
+	// At least one epoch commits end-to-end before the kill: the chain
+	// prepare → global-commit → notification demonstrably works.
+	waitFor(t, 15*time.Second, "first committed epoch", func() bool {
+		return latest() > 0
+	})
+	waitFor(t, 15*time.Second, "first records committed at the sink", func() bool {
+		return audit.CommittedTotal(sink) > 0
+	})
+
+	old, hadLeader := controlLeader(handle)
+	if !hadLeader {
+		t.Fatal("no control leader after first commit")
+	}
+	epochAtKill := latest()
+
+	if midRescale {
+		// Kill the leader inside the rescale protocol: after the barrier
+		// and the begin record, before any state moves. The sink is
+		// stateless, so this drives the no-repartition arm of the resumed
+		// rescale. One-shot: the retry wrapper must not kill successors.
+		var once sync.Once
+		handle.hookAfterRescaleBarrier = func() {
+			once.Do(func() {
+				if killed, err := handle.KillLeader(); err != nil || !killed {
+					t.Errorf("mid-rescale KillLeader: killed=%v err=%v", killed, err)
+				}
+			})
+		}
+		err := RetryNotLeader(30*time.Second, func() error {
+			return handle.ScaleComponent("ksink", 3)
+		})
+		handle.hookAfterRescaleBarrier = nil
+		if err != nil {
+			t.Fatalf("rescale across leader death: %v", err)
+		}
+		plan, err := handle.PackingPlan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.ComponentCounts()["ksink"]; got != 3 {
+			t.Fatalf("ksink parallelism = %d, want 3", got)
+		}
+	} else {
+		killed, err := handle.KillLeader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !killed {
+			t.Fatal("KillLeader found no leader")
+		}
+	}
+
+	succ := waitControlLeader(t, handle, old)
+	t.Logf("leader kill (%s): %s/term=%d -> %s/term=%d",
+		label, old.NodeID, old.Term, succ.NodeID, succ.Term)
+
+	// Epochs commit again under the successor's fencing term.
+	waitFor(t, 30*time.Second, "post-failover commit", func() bool {
+		return latest() > epochAtKill
+	})
+
+	// Drain: the source is finite; once every record's epoch commits the
+	// sink's committed set stops growing at exactly the input size.
+	waitFor(t, 60*time.Second, "sink committed the whole input", func() bool {
+		return audit.CommittedTotal(sink) >= total
+	})
+	time.Sleep(500 * time.Millisecond)
+
+	got := audit.CommittedMultiset(sink)
+	if missing, dups, sample := audit.DiffMultisets(expected, got); missing != 0 || dups != 0 {
+		t.Fatalf("exactly-once violated across failover: %d missing, %d duplicated (%s)", missing, dups, sample)
+	}
+
+	// The consumer group's durable offsets converge to the end of the
+	// source log through the successor's commits.
+	waitFor(t, 30*time.Second, "consumer-group offsets at end of log", func() bool {
+		var sum int64
+		for _, off := range src.FetchOffsets(group) {
+			sum += off
+		}
+		return sum == int64(total)
+	})
+}
+
+// TestTxnFailoverMidEpoch kills the leading TMaster with data in flight
+// between barriers, on every checkpoint backend.
+func TestTxnFailoverMidEpoch(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		runTxnLeaderKill(t, backend, "ha-mid-"+backend, 0, false, false)
+	})
+}
+
+// TestTxnFailoverMidEpochSharded repeats the leader kill with four-way
+// sharded Stream Managers (the memory variant additionally crosses the
+// shared-memory ring transport): the successor must re-register with
+// every shard and its re-broadcast commit must reach sinks through shard
+// rings.
+func TestTxnFailoverMidEpochSharded(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		runTxnLeaderKill(t, backend, "ha-mid4-"+backend, 4, backend == "memory", false)
+	})
+}
+
+// TestTxnFailoverMidRescale kills the leader inside a rescale of the
+// transactional sink, on every checkpoint backend: the surviving Handle
+// resumes the rescale through the successor and the exactly-once audit
+// still holds.
+func TestTxnFailoverMidRescale(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		runTxnLeaderKill(t, backend, "ha-resc-"+backend, 0, false, true)
+	})
 }
